@@ -1,0 +1,39 @@
+"""Helpers shared by the benchmark files (kept outside conftest so they can
+be imported by module name without clashing with tests/conftest.py)."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+# Recursive-descent parsers inherit Python's call stack; deeply nested
+# inputs (E4) need head room.
+sys.setrecursionlimit(100_000)
+
+from repro.codegen import generate_parser_source, load_parser
+from repro.optim import Options, prepare
+
+
+def compile_with(grammar, options: Options):
+    """Grammar + options -> (generated parser class, prepared grammar)."""
+    prepared = prepare(grammar, options)
+    return load_parser(generate_parser_source(prepared)), prepared
+
+
+def print_table(title: str, rows: list[dict], columns: list[str]) -> None:
+    print(f"\n=== {title} ===")
+    widths = {c: max(len(c), *(len(str(r.get(c, ""))) for r in rows)) for c in columns}
+    print("  ".join(c.ljust(widths[c]) for c in columns))
+    print("  ".join("-" * widths[c] for c in columns))
+    for row in rows:
+        print("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+
+
+def time_best_of(fn, repeat: int = 3) -> float:
+    """Best-of-N wall time in seconds."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

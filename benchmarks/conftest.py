@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures: seeded corpora and compiled languages.
+
+Everything is session-scoped and seeded so repeated runs measure identical
+work.  Each experiment prints the table/series it reproduces (the shapes
+the paper reports); EXPERIMENTS.md records a reference run.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import repro
+from repro.workloads import generate_c_program, generate_jay_program, generate_json_document
+
+
+@pytest.fixture(scope="session")
+def jay_corpus() -> list[str]:
+    """Three medium Jay programs (~25 KB total), fixed seeds."""
+    return [generate_jay_program(size=14, seed=seed) for seed in (11, 22, 33)]
+
+
+@pytest.fixture(scope="session")
+def xc_corpus() -> list[str]:
+    return [generate_c_program(size=12, seed=seed) for seed in (44, 55)]
+
+
+@pytest.fixture(scope="session")
+def json_corpus() -> list[str]:
+    return [generate_json_document(size=150, seed=seed) for seed in (66, 77)]
+
+
+@pytest.fixture(scope="session")
+def jay_grammar():
+    return repro.load_grammar("jay.Jay")
+
+
+@pytest.fixture(scope="session")
+def jay_all(jay_grammar):
+    return repro.compile_grammar(jay_grammar)

@@ -1,0 +1,93 @@
+"""E1 — "Table 1": grammar modularity statistics.
+
+Reproduces the paper's per-grammar module statistics: number of modules,
+productions, alternatives, and grammar LoC for each shipped language, with
+a per-module breakdown for the flagship Jay grammar.  The timed quantity
+is full module composition (load + instantiate + modify + flatten), which
+the paper's generator performs on every build.
+
+Expected shape: real languages decompose into ~10-17 small modules of a
+few dozen grammar-LoC each; extension modules are an order of magnitude
+smaller than the grammars they extend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import grammar_stats, module_stats
+from repro.meta import ModuleLoader
+from repro.modules import Composer
+
+from bench_util import print_table
+
+GRAMMARS = [
+    "calc.Calculator", "json.Json", "jay.Jay", "jay.Extended",
+    "xc.XC", "xc.Extended", "sql.Sql", "ml.ML", "ml.Extended", "meta.Module",
+]
+
+
+def collect(root: str):
+    composer = Composer(ModuleLoader())
+    grammar = composer.compose(root)
+    modules = [module_stats(template) for _, template in composer.instance_modules()]
+    return grammar, modules
+
+
+def test_e1_per_grammar_summary(benchmark):
+    rows = []
+    for root in GRAMMARS:
+        grammar, modules = collect(root)
+        stats = grammar_stats(grammar)
+        rows.append(
+            {
+                "grammar": root,
+                "modules": len(modules),
+                "productions": stats.productions,
+                "generic": stats.by_kind["generic"],
+                "void": stats.by_kind["void"],
+                "alternatives": stats.alternatives,
+                "grammar LoC": sum(m.loc for m in modules),
+            }
+        )
+    print_table(
+        "E1 / Table 1 — modularity statistics per grammar",
+        rows,
+        ["grammar", "modules", "productions", "generic", "void", "alternatives", "grammar LoC"],
+    )
+
+    by_name = {r["grammar"]: r for r in rows}
+    # Shape assertions: real languages are genuinely modular.
+    assert by_name["jay.Jay"]["modules"] >= 10
+    assert by_name["xc.XC"]["modules"] >= 10
+    assert by_name["jay.Jay"]["productions"] >= 60
+    # Extended grammars pull in more modules but barely more LoC.
+    assert by_name["jay.Extended"]["modules"] > by_name["jay.Jay"]["modules"]
+    extra_loc = by_name["jay.Extended"]["grammar LoC"] - by_name["jay.Jay"]["grammar LoC"]
+    assert extra_loc < 0.5 * by_name["jay.Jay"]["grammar LoC"]
+
+    # Timed quantity: composing the largest grammar from its 17 modules.
+    benchmark.pedantic(lambda: collect("jay.Extended"), rounds=5, iterations=1)
+
+
+def test_e1_jay_module_breakdown(benchmark):
+    grammar, modules = collect("jay.Jay")
+    rows = [
+        {
+            "module": m.name,
+            "imports": m.imports,
+            "productions": m.productions,
+            "alternatives": m.alternatives,
+            "LoC": m.loc,
+        }
+        for m in sorted(modules, key=lambda m: m.name)
+    ]
+    print_table(
+        "E1 — jay.Jay module breakdown",
+        rows,
+        ["module", "imports", "productions", "alternatives", "LoC"],
+    )
+    # No module dominates: the largest module holds < 40% of the grammar.
+    total = sum(r["LoC"] for r in rows)
+    assert max(r["LoC"] for r in rows) < 0.4 * total
+    benchmark.pedantic(lambda: collect("jay.Jay"), rounds=5, iterations=1)

@@ -1,0 +1,115 @@
+"""E2 — "Table 2": the cost of extending a language.
+
+The paper's central claim: with modular syntax, a language extension is a
+*delta* — a module of a few lines — while with a monolithic grammar it is a
+copy-and-edit of the whole thing.  For every shipped extension we measure:
+
+- LoC of the extension module(s),
+- number of added / overridden / removed alternatives,
+- LoC of the base grammar it would otherwise have had to fork.
+
+Expected shape: each delta is 1-2 orders of magnitude smaller than its
+base.  The timed quantity is composing + optimizing + generating the
+extended parser, i.e. the cost of "rebuilding the language" after adding a
+feature.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analysis.stats import module_stats
+from repro.meta import ModuleLoader
+from repro.modules import Composer
+
+from bench_util import print_table
+
+#: (extension root, delta modules, base root)
+EXTENSIONS = [
+    ("calc.Power", ["calc.Power"], "calc.Calculator"),
+    ("calc.Comparison", ["calc.Comparison"], "calc.Calculator"),
+    ("calc.Full", ["calc.Power", "calc.Comparison", "calc.Full"], "calc.Calculator"),
+    ("jay.ForEach", ["jay.ForEach"], "jay.Jay"),
+    ("jay.AssertStmt", ["jay.AssertStmt"], "jay.Jay"),
+    ("jay.SwitchStmt", ["jay.SwitchStmt"], "jay.Jay"),
+    ("jay.Increments", ["jay.Increments"], "jay.Jay"),
+    ("jay.Sql", ["jay.Sql", "sql.Core"], "jay.Jay"),
+    (
+        "jay.Extended",
+        ["jay.ForEach", "jay.AssertStmt", "jay.SwitchStmt", "jay.Increments",
+         "jay.Sql", "sql.Core", "jay.Extended"],
+        "jay.Jay",
+    ),
+    ("xc.Until", ["xc.Until"], "xc.XC"),
+    ("ml.Pipeline", ["ml.Pipeline"], "ml.ML"),
+]
+
+
+def base_loc(root: str) -> int:
+    composer = Composer(ModuleLoader())
+    composer.compose(root)
+    return sum(module_stats(t).loc for _, t in composer.instance_modules())
+
+
+def delta_stats(modules: list[str]):
+    loader = ModuleLoader()
+    loc = 0
+    productions = 0
+    modifications = 0
+    for name in modules:
+        stats = module_stats(loader.load(name))
+        loc += stats.loc
+        productions += stats.productions
+        modifications += stats.modifications
+    return loc, productions, modifications
+
+
+def test_e2_extension_cost_table(benchmark):
+    rows = []
+    for extension, modules, base in EXTENSIONS:
+        delta_loc, new_productions, modifications = delta_stats(modules)
+        monolithic = base_loc(base)
+        rows.append(
+            {
+                "extension": extension,
+                "delta modules": len(modules),
+                "delta LoC": delta_loc,
+                "new prods": new_productions,
+                "modifications": modifications,
+                "base LoC (fork cost)": monolithic,
+                "ratio": f"{monolithic / max(delta_loc, 1):.1f}x",
+            }
+        )
+    print_table(
+        "E2 / Table 2 — extension-as-delta vs fork-the-grammar",
+        rows,
+        ["extension", "delta modules", "delta LoC", "new prods", "modifications",
+         "base LoC (fork cost)", "ratio"],
+    )
+
+    # Shape: single-feature deltas are >= 5x smaller than their base; for the
+    # big Jay grammar >= 10x.
+    by_name = {r["extension"]: r for r in rows}
+    for name in ("jay.ForEach", "jay.AssertStmt", "jay.Increments", "xc.Until", "ml.Pipeline"):
+        row = by_name[name]
+        assert row["base LoC (fork cost)"] >= 10 * row["delta LoC"], name
+    for row in rows:
+        # Even for the toy calculator, a delta beats forking the base.
+        assert row["base LoC (fork cost)"] > 1.5 * row["delta LoC"], row["extension"]
+
+    # Timed quantity: full rebuild of the extended flagship language.
+    benchmark.pedantic(
+        lambda: repro.compile_grammar("jay.Extended"), rounds=3, iterations=1
+    )
+
+
+def test_e2_extended_language_is_conservative(benchmark, jay_corpus):
+    """Adding extensions must not change the meaning of base programs."""
+    base = repro.compile_grammar("jay.Jay")
+    extended = repro.compile_grammar("jay.Extended")
+    for program in jay_corpus:
+        assert base.parse(program) == extended.parse(program)
+    benchmark.pedantic(
+        lambda: [extended.parse(p) for p in jay_corpus], rounds=3, iterations=1
+    )

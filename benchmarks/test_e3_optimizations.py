@@ -1,0 +1,151 @@
+"""E3 — "Table 3": the cumulative effect of each optimization.
+
+Mirrors the paper's headline engineering table: starting from the textbook
+packrat parser (no optimizations: every repetition/option a memoized helper
+production, every production memoized in one big hash table, error strings
+built at every failure) and enabling one optimization at a time, measure
+
+- parse time over a fixed Jay corpus (generated parser), and
+- memo-table footprint (entries and approximate bytes) — the stand-in for
+  the paper's heap-utilization numbers.
+
+Expected shape: time and space improve broadly monotonically; the big time
+wins come from ``transient`` + ``repeated`` (dropping useless memoization
+and helper productions), the big space win from ``chunks`` + ``transient``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optim import Options
+
+from bench_util import compile_with, print_table, time_best_of
+
+
+def measure(parser_cls, corpus):
+    def run():
+        for program in corpus:
+            parser_cls(program).parse()
+
+    best = time_best_of(run, repeat=3)
+    parser = parser_cls(corpus[0])
+    parser.parse()
+    return best, parser.memo_entry_count(), parser.memo_size_bytes()
+
+
+def test_e3_cumulative_optimization_ladder(benchmark, jay_grammar, jay_corpus):
+    total_bytes = sum(len(p) for p in jay_corpus)
+    rows = []
+    results = {}
+    for label, options in Options.cumulative():
+        parser_cls, prepared = compile_with(jay_grammar, options)
+        seconds, entries, size = measure(parser_cls, jay_corpus)
+        results[label] = (seconds, entries, size)
+        rows.append(
+            {
+                "configuration": label,
+                "productions": len(prepared.grammar),
+                "time (ms)": f"{seconds * 1000:.1f}",
+                "KB/s": f"{total_bytes / 1024 / seconds:.0f}",
+                "memo entries": entries,
+                "memo KB": f"{size / 1024:.0f}",
+            }
+        )
+    print_table(
+        "E3 / Table 3 — cumulative optimizations on the Jay corpus",
+        rows,
+        ["configuration", "productions", "time (ms)", "KB/s", "memo entries", "memo KB"],
+    )
+
+    none_time, none_entries, none_size = results["none"]
+    full_time, full_entries, full_size = results["+prefixes"]
+
+    # Headline shapes (generous margins; exact factors are host-dependent):
+    assert full_time < 0.7 * none_time, "optimizations must speed parsing up substantially"
+    assert full_entries < 0.5 * none_entries, "transient/inline must shrink the memo table"
+    assert full_size < 0.7 * none_size, "memo footprint must shrink"
+    # transient is the big single lever for both time and entries
+    before_transient = results["+terminals"]
+    after_transient = results["+transient"]
+    assert after_transient[1] < before_transient[1]
+
+    parser_cls, _ = compile_with(jay_grammar, Options.all())
+    benchmark.pedantic(
+        lambda: [parser_cls(p).parse() for p in jay_corpus], rounds=3, iterations=1
+    )
+
+
+def test_e3_individual_ablations(benchmark, jay_grammar, jay_corpus):
+    """Leave-one-out: disable each optimization alone against the full set."""
+    parser_all, _ = compile_with(jay_grammar, Options.all())
+    base_time, base_entries, base_size = measure(parser_all, jay_corpus)
+    rows = [
+        {
+            "configuration": "all",
+            "time (ms)": f"{base_time * 1000:.1f}",
+            "slowdown": "1.00x",
+            "memo entries": base_entries,
+        }
+    ]
+    for flag in Options.flag_names():
+        parser_cls, _ = compile_with(jay_grammar, Options.all().without(flag))
+        seconds, entries, _ = measure(parser_cls, jay_corpus)
+        rows.append(
+            {
+                "configuration": f"all - {flag}",
+                "time (ms)": f"{seconds * 1000:.1f}",
+                "slowdown": f"{seconds / base_time:.2f}x",
+                "memo entries": entries,
+            }
+        )
+    print_table(
+        "E3b — leave-one-out ablation",
+        rows,
+        ["configuration", "time (ms)", "slowdown", "memo entries"],
+    )
+    # Disabling transient must cost memo entries; disabling repeated must
+    # cost time (helper productions + their memoization).
+    by_name = {r["configuration"]: r for r in rows}
+    assert by_name["all - transient"]["memo entries"] > base_entries
+    benchmark.pedantic(
+        lambda: [parser_all(p).parse() for p in jay_corpus], rounds=3, iterations=1
+    )
+
+
+def test_e3_xc_cumulative(benchmark, xc_corpus):
+    """The same cumulative ladder on the xC grammar — the optimization
+    story must not be Jay-specific."""
+    import repro
+
+    grammar = repro.load_grammar("xc.XC")
+    total_bytes = sum(len(p) for p in xc_corpus)
+    rows = []
+    results = {}
+    for label, options in Options.cumulative():
+        parser_cls, prepared = compile_with(grammar, options)
+        seconds, entries, size = measure(parser_cls, xc_corpus)
+        results[label] = (seconds, entries)
+        rows.append(
+            {
+                "configuration": label,
+                "productions": len(prepared.grammar),
+                "time (ms)": f"{seconds * 1000:.1f}",
+                "KB/s": f"{total_bytes / 1024 / seconds:.0f}",
+                "memo entries": entries,
+            }
+        )
+    print_table(
+        "E3c — cumulative optimizations on the xC corpus",
+        rows,
+        ["configuration", "productions", "time (ms)", "KB/s", "memo entries"],
+    )
+    none_time, none_entries = results["none"]
+    full_time, full_entries = results["+prefixes"]
+    assert full_time < 0.7 * none_time
+    assert full_entries < 0.5 * none_entries
+
+    parser_cls, _ = compile_with(grammar, Options.all())
+    benchmark.pedantic(
+        lambda: [parser_cls(p).parse() for p in xc_corpus], rounds=3, iterations=1
+    )

@@ -1,0 +1,106 @@
+"""E4 — "Figure: linear-time parsing".
+
+Two series:
+
+(a) parse time of the generated packrat Jay parser vs input size — must be
+    linear (we check the least-squares fit and that time-per-byte stays
+    flat within a small factor);
+(b) the pathological grammar (Ford's exponential-backtracking witness):
+    the naive backtracking interpreter blows up exponentially with nesting
+    depth while the packrat interpreter stays linear.
+
+Expected shape: (a) R² ≥ 0.98 for the linear fit; (b) naive time grows
+~3x per nesting level, packrat doesn't.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interp import BacktrackInterpreter, PackratInterpreter
+from repro.workloads import backtracking_grammar, backtracking_input, generate_jay_program
+
+from bench_util import print_table, time_best_of
+
+
+def linear_fit_r2(xs, ys):
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    return 1 - ss_res / ss_tot if ss_tot else 1.0
+
+
+def test_e4a_packrat_time_is_linear_in_input_size(benchmark, jay_all):
+    parser_cls = jay_all.parser_class
+    sizes = [4, 8, 16, 32, 64]
+    programs = [generate_jay_program(size=s, seed=5) for s in sizes]
+    rows = []
+    xs, ys = [], []
+    for program in programs:
+        seconds = time_best_of(lambda p=program: parser_cls(p).parse(), repeat=3)
+        xs.append(len(program))
+        ys.append(seconds)
+        rows.append(
+            {
+                "input bytes": len(program),
+                "time (ms)": f"{seconds * 1000:.1f}",
+                "µs/KB": f"{seconds * 1e6 / (len(program) / 1024):.0f}",
+            }
+        )
+    print_table("E4a — generated Jay parser: time vs input size", rows,
+                ["input bytes", "time (ms)", "µs/KB"])
+
+    r2 = linear_fit_r2(xs, ys)
+    print(f"linear fit R^2 = {r2:.4f}")
+    assert r2 >= 0.98, "packrat parse time must be linear in input size"
+
+    # time-per-byte must not drift by more than 2.5x across a 16x size range
+    per_byte = [y / x for x, y in zip(xs, ys)]
+    assert max(per_byte) < 2.5 * min(per_byte)
+
+    benchmark.pedantic(lambda: parser_cls(programs[-1]).parse(), rounds=3, iterations=1)
+
+
+def test_e4b_naive_backtracking_is_exponential(benchmark):
+    grammar = backtracking_grammar()
+    packrat = PackratInterpreter(grammar)
+    naive = BacktrackInterpreter(grammar)
+
+    depths = [6, 8, 10, 12]
+    rows = []
+    naive_times = []
+    packrat_times = []
+    for depth in depths:
+        source = backtracking_input(depth)
+        packrat_seconds = time_best_of(lambda s=source: packrat.recognize(s), repeat=3)
+        naive_seconds = time_best_of(lambda s=source: naive.recognize(s), repeat=1)
+        naive_times.append(naive_seconds)
+        packrat_times.append(packrat_seconds)
+        rows.append(
+            {
+                "depth": depth,
+                "packrat (ms)": f"{packrat_seconds * 1000:.2f}",
+                "naive (ms)": f"{naive_seconds * 1000:.2f}",
+                "ratio": f"{naive_seconds / packrat_seconds:.0f}x",
+            }
+        )
+    print_table("E4b — pathological input: packrat vs naive backtracking", rows,
+                ["depth", "packrat (ms)", "naive (ms)", "ratio"])
+
+    # Exponential growth: each +2 depth multiplies naive time by ~9 (3^2).
+    # Require at least 4x per step to be robust to noise.
+    for before, after in zip(naive_times, naive_times[1:]):
+        assert after > 4 * before, "naive backtracking must blow up exponentially"
+    # Packrat grows at most linearly-ish across the same range.
+    assert packrat_times[-1] < 10 * max(packrat_times[0], 1e-5)
+    # And a deep input remains trivially parseable for packrat.
+    deep = backtracking_input(300)
+    assert packrat.recognize(deep)
+
+    benchmark.pedantic(lambda: packrat.recognize(deep), rounds=3, iterations=1)

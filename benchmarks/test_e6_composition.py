@@ -1,0 +1,164 @@
+"""E6 — composing independently written grammars.
+
+The paper's qualitative claim, made quantitative:
+
+1. independently written extension modules compose without edits (Jay +
+   for-each + assert + embedded SQL; calculator + power + comparison);
+2. composition is *conservative* — base-language programs parse to
+   identical trees under the extended grammar;
+3. the runtime overhead of carrying extensions is small, because unused
+   alternatives fail fast on their first-character/keyword tests.
+
+Expected shape: overhead of the extended Jay grammar on pure-base programs
+well under 2x (the new alternatives are keyword-guarded).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.workloads import generate_jay_program
+
+from bench_util import print_table, time_best_of
+
+EXTENDED_SNIPPETS = [
+    "class U { void m(int[] xs) { for (int x : xs) { this.use(x); } } }",
+    'class U { void m() { assert ready : "not ready"; } }',
+    "class U { void m() { rows = sql { select a, b from t where a < 9 }; } }",
+]
+
+
+def test_e6_extensions_compose_and_are_conservative(benchmark, jay_corpus):
+    base = repro.compile_grammar("jay.Jay")
+    extended = repro.compile_grammar("jay.Extended")
+
+    # 1. All extension features work in one composed language.
+    for snippet in EXTENDED_SNIPPETS:
+        assert extended.recognize(snippet), snippet
+        assert not base.recognize(snippet), snippet
+
+    # 2. Conservativity on the shared subset.
+    for program in jay_corpus:
+        assert base.parse(program) == extended.parse(program)
+
+    # 3. Overhead of carrying the extensions, on base-only programs.
+    base_cls = base.parser_class
+    ext_cls = extended.parser_class
+    base_time = time_best_of(lambda: [base_cls(p).parse() for p in jay_corpus], repeat=3)
+    ext_time = time_best_of(lambda: [ext_cls(p).parse() for p in jay_corpus], repeat=3)
+    rows = [
+        {"grammar": "jay.Jay", "productions": len(base.prepared.grammar),
+         "time (ms)": f"{base_time * 1000:.1f}", "overhead": "1.00x"},
+        {"grammar": "jay.Extended", "productions": len(extended.prepared.grammar),
+         "time (ms)": f"{ext_time * 1000:.1f}", "overhead": f"{ext_time / base_time:.2f}x"},
+    ]
+    print_table("E6 — overhead of composed extensions on base programs", rows,
+                ["grammar", "productions", "time (ms)", "overhead"])
+    assert ext_time < 2.0 * base_time
+
+    benchmark.pedantic(lambda: [ext_cls(p).parse() for p in jay_corpus], rounds=3, iterations=1)
+
+
+def test_e6_calc_diamond_composition(benchmark):
+    """Two calculator extensions written in ignorance of each other."""
+    power = repro.compile_grammar("calc.Power")
+    comparison = repro.compile_grammar("calc.Comparison")
+    full = repro.compile_grammar("calc.Full")
+
+    assert power.recognize("2**3")
+    assert not comparison.recognize("2**3 <= 9".replace("<= 9", ""))  # power absent
+    assert comparison.recognize("1+2 <= 9")
+    combined = "2**3 <= 9 == 1"
+    assert full.recognize(combined)
+    assert not power.recognize(combined)
+
+    # Composition preserves the shared core exactly.
+    for source in ["1+2*3", "(4-5)/6", "- 7"]:
+        assert power.parse(source, start="Expression") == full.parse(source, start="Expression")
+
+    benchmark.pedantic(lambda: full.parse("2**3 <= 9 == 1"), rounds=5, iterations=1)
+
+
+def test_e6_sql_is_a_language_and_a_library(benchmark):
+    """The same sql.Core modules power a standalone language and an
+    embedded one."""
+    standalone = repro.compile_grammar("sql.Sql")
+    embedded = repro.compile_grammar("jay.Extended")
+
+    query = "select name, age from people where age >= 21"
+    tree = standalone.parse(query)
+    host = embedded.parse(f"class Q {{ void m() {{ r = sql {{ {query} }}; }} }}")
+    assert host.find_all("Select")[0] == tree
+
+    benchmark.pedantic(lambda: standalone.parse(query), rounds=5, iterations=1)
+
+
+def _synthetic_extension(index: int) -> tuple[str, str]:
+    """An independent module adding a keyword-guarded statement form."""
+    name = f"synth.Ext{index}"
+    keyword = f"magic{index}"
+    source = f"""
+    module synth.Ext{index};
+    modify jay.Statements;
+    modify jay.Keywords;
+    import jay.Characters;
+    import jay.Symbols;
+    import jay.Expressions;
+    import jay.Spacing;
+    KeywordWord += "{keyword}" / ... ;
+    Statement += <Magic{index}> KW{index} LPAREN Expression RPAREN SEMI / ... ;
+    transient void KW{index} = "{keyword}" !IdentifierPart Spacing ;
+    """
+    return name, source
+
+
+def test_e6b_overhead_scales_with_extension_count(benchmark, jay_corpus):
+    """How much does carrying k unused extensions cost base programs?
+
+    Expected shape: sub-linear, staying well under 2x even at k=16 —
+    each added alternative fails on its first keyword character.
+    """
+    from bench_util import compile_with
+    from repro.meta import ModuleLoader
+    from repro.optim import Options
+
+    results = []
+    baseline_time = None
+    for count in (0, 2, 4, 8, 16):
+        loader = repro.ModuleLoader()
+        imports = ["import jay.Jay;"]
+        for index in range(count):
+            name, source = _synthetic_extension(index)
+            loader.register_source(name, source)
+            imports.append(f"import {name};")
+        loader.register_source(
+            "synth.Top",
+            "module synth.Top;\n" + "\n".join(imports) + "\npublic Object TopProgram = CompilationUnit ;\n",
+        )
+        grammar = repro.load_grammar("synth.Top", loader=loader)
+        parser_cls, _ = compile_with(grammar, Options.all())
+        # Correctness: the extension actually parses, and base programs agree.
+        if count:
+            probe = "class P { void m() { magic0(1 + 2); } }"
+            assert parser_cls(probe).parse().find_all("Magic0")
+        seconds = time_best_of(lambda: [parser_cls(p).parse() for p in jay_corpus], repeat=3)
+        if baseline_time is None:
+            baseline_time = seconds
+        results.append(
+            {
+                "extensions": count,
+                "statement alts": 11 + count,
+                "time (ms)": f"{seconds * 1000:.1f}",
+                "overhead": f"{seconds / baseline_time:.2f}x",
+            }
+        )
+    print_table(
+        "E6b — cost of carrying k unused extensions (base-only programs)",
+        results,
+        ["extensions", "statement alts", "time (ms)", "overhead"],
+    )
+    final = float(results[-1]["overhead"].rstrip("x"))
+    assert final < 2.0, "keyword-guarded extensions must stay cheap"
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Composing two independently written languages in one file.
+
+``sql.Core`` is a standalone mini-SQL grammar; ``jay.Sql`` splices it into
+Jay's expression syntax, so queries are parsed (and syntax-checked!) by the
+same parser as the host program — no string literals, no injection-prone
+concatenation.  This mirrors the embedded-SQL motivation from the
+extensible-syntax literature.
+
+Run:  python examples/compose_languages.py
+"""
+
+import repro
+from repro.errors import ParseError
+
+PROGRAM = """
+class ReportJob {
+    void run(Database db) {
+        int limit = 42;
+        Rows rows = sql { select name, age from people where age < 42 };
+        Rows all  = sql { SELECT * FROM people };
+        this.emit(rows, all);
+    }
+}
+"""
+
+BROKEN = """
+class ReportJob {
+    void run(Database db) {
+        Rows rows = sql { select from where };
+    }
+}
+"""
+
+# 1. Standalone: the SQL grammar is a language of its own.
+sql = repro.compile_grammar("sql.Sql")
+print("standalone SQL:", sql.parse("select a, b from t where a <= 10"))
+
+# 2. Composed: the same modules, embedded in Jay expressions.
+lang = repro.compile_grammar("jay.Extended")
+tree = lang.parse(PROGRAM)
+for query in tree.find_all("Select"):
+    print("embedded query:", query)
+
+# 3. Malformed queries are *parse* errors with positions, not runtime
+#    surprises.
+try:
+    lang.parse(BROKEN)
+except ParseError as error:
+    print("broken query rejected:", error)
+
+# 4. The other direction: reuse Jay's expression language inside a fresh
+#    little configuration language, importing only the modules needed.
+loader = repro.ModuleLoader()
+loader.register_source(
+    "demo.Config",
+    """
+    module demo.Config;
+
+    import jay.Expressions;
+    import jay.Identifiers;
+    import jay.Symbols;
+    import jay.Spacing;
+
+    public Object Config = Spacing Setting+ EndOfInput ;
+
+    generic Setting = <Set> Identifier ASSIGN Expression SEMI ;
+    """,
+)
+config = repro.compile_grammar("demo.Config", loader=loader)
+print(
+    "config language:",
+    config.parse("threshold = limit * 2 + 1; debug = !prod && verbose;"),
+)

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""A complete little language on top of the library: mini-ML.
+
+The shipped ``ml.*`` grammar modules define an OCaml-flavored functional
+language (let/let rec, first-class functions by juxtaposition, cons lists,
+pattern matching).  This example is its *interpreter*: ~150 lines of plain
+Python over the generic AST — closures, recursion, structural patterns.
+
+Run:  python examples/miniml_interpreter.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import repro
+from repro.runtime.node import GNode
+
+
+# ---------------------------------------------------------------------------
+# Runtime values
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Closure:
+    params: list[GNode]  # patterns
+    body: GNode
+    env: dict[str, Any]
+    name: str | None = None  # for let rec
+
+    def __repr__(self) -> str:
+        return f"<fun {self.name or ''}/{len(self.params)}>"
+
+
+class MatchFailure(Exception):
+    pass
+
+
+UNIT = ()
+
+
+# ---------------------------------------------------------------------------
+# Pattern matching: returns new bindings or raises MatchFailure
+# ---------------------------------------------------------------------------
+
+def match(pattern: GNode, value: Any, bindings: dict[str, Any]) -> dict[str, Any]:
+    kind = pattern.name
+    if kind == "PWildcard":
+        return bindings
+    if kind == "PVar":
+        bindings[pattern[0]] = value
+        return bindings
+    if kind == "PInt":
+        if value == int(pattern[0]):
+            return bindings
+        raise MatchFailure
+    if kind in ("PTrue", "PFalse"):
+        if value is (kind == "PTrue"):
+            return bindings
+        raise MatchFailure
+    if kind == "PNil":
+        if value == []:
+            return bindings
+        raise MatchFailure
+    if kind == "PCons":
+        if isinstance(value, list) and value:
+            match(pattern[0], value[0], bindings)
+            return match(pattern[1], value[1:], bindings)
+        raise MatchFailure
+    raise ValueError(f"unknown pattern {kind}")
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "Add": lambda a, b: a + b,
+    "Sub": lambda a, b: a - b,
+    "Mul": lambda a, b: a * b,
+    "Div": lambda a, b: a // b,
+    "Mod": lambda a, b: a % b,
+    "Concat": lambda a, b: a + b,
+    "Equal": lambda a, b: a == b,
+    "NotEqual": lambda a, b: a != b,
+    "Less": lambda a, b: a < b,
+    "Greater": lambda a, b: a > b,
+    "LessEqual": lambda a, b: a <= b,
+    "GreaterEqual": lambda a, b: a >= b,
+}
+
+
+def evaluate(node: GNode, env: dict[str, Any]) -> Any:
+    kind = node.name
+    if kind == "IntLit":
+        return int(node[0])
+    if kind == "StringLit":
+        return node[0]
+    if kind == "True":
+        return True
+    if kind == "False":
+        return False
+    if kind == "Unit":
+        return UNIT
+    if kind == "Var":
+        try:
+            return env[node[0]]
+        except KeyError:
+            raise NameError(f"unbound variable {node[0]!r}") from None
+    if kind == "ListLit":
+        return [evaluate(e, env) for e in (node[0] or [])]
+    if kind == "Cons":
+        return [evaluate(node[0], env), *evaluate(node[1], env)]
+    if kind in BINOPS:
+        return BINOPS[kind](evaluate(node[0], env), evaluate(node[1], env))
+    if kind == "Or":
+        return evaluate(node[0], env) or evaluate(node[1], env)
+    if kind == "And":
+        return evaluate(node[0], env) and evaluate(node[1], env)
+    if kind == "If":
+        branch = node[1] if evaluate(node[0], env) else node[2]
+        return evaluate(branch, env)
+    if kind == "Fun":
+        return Closure(list(node[0]), node[1], env)
+    if kind == "Let":
+        rec, name, params, value_expr, body = node.children
+        value = make_binding(rec, name, params, value_expr, env)
+        inner = dict(env)
+        inner[name] = value
+        return evaluate(body, inner)
+    if kind == "Apply":
+        function = evaluate(node[0], env)
+        argument = evaluate(node[1], env)
+        return apply(function, argument)
+    if kind == "Match":
+        scrutinee = evaluate(node[0], env)
+        for arm in node[1]:
+            try:
+                bindings = match(arm[0], scrutinee, dict(env))
+            except MatchFailure:
+                continue
+            return evaluate(arm[1], bindings)
+        raise MatchFailure(f"no pattern matched {scrutinee!r}")
+    raise ValueError(f"unknown expression {kind}")
+
+
+def make_binding(rec, name, params, value_expr, env):
+    if params:
+        closure = Closure(list(params), value_expr, env, name if rec else None)
+        if rec:
+            closure.env = env  # recursive lookup goes through its own name
+        return closure
+    return evaluate(value_expr, env)
+
+
+def apply(function: Any, argument: Any) -> Any:
+    if callable(function) and not isinstance(function, Closure):
+        return function(argument)
+    if not isinstance(function, Closure):
+        raise TypeError(f"cannot apply non-function {function!r}")
+    head, *rest = function.params
+    bindings = dict(function.env)
+    if function.name is not None:
+        # let rec: the function sees itself under its own name.
+        bindings[function.name] = function
+    match(head, argument, bindings)
+    if rest:
+        # Partial application: the recursive self-reference is already in
+        # `bindings`, so the partial closure must stay anonymous (a named
+        # partial would shadow the full function on the next application).
+        return Closure(rest, function.body, bindings, None)
+    return evaluate(function.body, bindings)
+
+
+def run(source: str) -> Any:
+    """Parse and evaluate a mini-ML program; returns the result value."""
+    program = LANG.parse(source)
+    env: dict[str, Any] = dict(BUILTINS)
+    for binding in program[0]:
+        rec, name, params, value_expr = binding.children
+        env[name] = make_binding(rec, name, params, value_expr, env)
+    return evaluate(program[1], env)
+
+
+LANG = repro.compile_grammar("ml.ML")
+BUILTINS: dict[str, Any] = {
+    "length": len,
+    "string_of_int": str,
+}
+
+
+# ---------------------------------------------------------------------------
+# Demo programs
+# ---------------------------------------------------------------------------
+
+QUICKSORT = """
+let rec append xs ys =
+  match xs with
+  | [] -> ys
+  | h :: t -> h :: append t ys ;;
+
+let rec filter p xs =
+  match xs with
+  | [] -> []
+  | h :: t -> if p h then h :: filter p t else filter p t ;;
+
+let rec sort xs =
+  match xs with
+  | [] -> []
+  | pivot :: rest ->
+      append (sort (filter (fun x -> x < pivot) rest))
+             (pivot :: sort (filter (fun x -> x >= pivot) rest)) ;;
+
+sort [3; 1; 4; 1; 5; 9; 2; 6; 5; 3]
+"""
+
+CHURCH = """
+let compose f g = fun x -> f (g x) ;;
+let twice f = compose f f ;;
+let add3 x = x + 3 ;;
+twice (twice add3) 0
+"""
+
+FIB = """
+let rec fib n = if n <= 1 then n else fib (n - 1) + fib (n - 2) ;;
+let rec map f xs = match xs with | [] -> [] | h :: t -> f h :: map f t ;;
+let rec range a b = if a >= b then [] else a :: range (a + 1) b ;;
+map fib (range 0 15)
+"""
+
+
+def main() -> None:
+    print("quicksort:", run(QUICKSORT))
+    print("church:   ", run(CHURCH))
+    print("fib map:  ", run(FIB))
+    print("builtins: ", run('length [1; 2; 3] + length "abcd"'))
+    print("strings:  ", run('let greet who = "hello, " ^ who ;; greet "world"'))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The bootstrap: the grammar language, defined in the grammar language.
+
+The ``.mg`` surface syntax is itself a modular PEG — the shipped
+``meta.*`` modules.  This example compiles that grammar with the library's
+own pipeline, parses a grammar file with it, rebuilds the module AST, and
+closes the loop by parsing the meta grammar's own source with itself.
+
+Run:  python examples/selfhosted_meta.py
+"""
+
+import importlib.resources
+
+import repro
+from repro.meta.parser import parse_module
+from repro.meta.selfhost import meta_language, parse_module_selfhosted
+from repro.runtime.visitor import dump_tree
+
+SOURCE = """
+module demo.Ini;
+
+public Object File = Line* EndOfInput ;
+
+generic Line =
+    <Section> void:"[" Name void:"]" Eol
+  / <Setting> Name void:"=" Value Eol
+  / <Blank>   Eol
+  ;
+
+Object Name  = text:( [a-zA-Z0-9_.]+ ) ;
+Object Value = text:( [^\\n]* ) ;
+
+transient void Eol = "\\n" ;
+transient void EndOfInput = !_ ;
+"""
+
+# 1. The meta language is an ordinary compiled Language.
+meta = meta_language()
+print("meta grammar:", len(meta.grammar), "productions from the meta.* modules")
+
+# 2. Parse a grammar file *as data* and look at its tree.
+tree = meta.parse(SOURCE)
+print("\nfirst definition as a generic tree:")
+definitions = tree.find_all("Production")
+print(dump_tree(definitions[0], max_depth=4))
+
+# 3. The bridge turns that tree into the same ModuleAst the hand-written
+#    reader produces.
+hand = parse_module(SOURCE)
+self_hosted = parse_module_selfhosted(SOURCE)
+print("\nhand-written reader == self-hosted reader:", hand == self_hosted)
+
+# 4. And the composed module actually works as a language:
+loader = repro.ModuleLoader()
+loader.register_source("demo.Ini", SOURCE)
+ini = repro.compile_grammar("demo.Ini", loader=loader)
+print("\nparsed ini:", ini.parse("[core]\nuser=grimm\n\n[ui]\ncolor=auto\n"))
+
+# 5. Close the loop: the meta grammar parses its own source.
+meta_source = (importlib.resources.files("repro.grammars") / "meta/Module.mg").read_text()
+self_description = parse_module_selfhosted(meta_source, "meta/Module.mg")
+print(
+    "\nbootstrap fixpoint: meta.Module parsed by itself ->",
+    f"{len(self_description.productions)} productions,",
+    f"same as hand-written: {self_description == parse_module(meta_source)}",
+)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so the package can be installed in environments without the ``wheel``
+package (offline boxes where PEP 660 editable builds are unavailable):
+``python setup.py develop`` works with plain setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — modular PEG grammars and packrat parser generation.
+
+A from-scratch Python reproduction of the system described in *"Better
+Extensibility through Modular Syntax"* (Robert Grimm, PLDI 2006): a parser
+generator for **modular parsing expression grammars** producing **packrat
+parsers**, with
+
+- a grammar **module system** (imports, parameterized modules,
+  modifications ``+= := -=``) so language extensions are deltas, not forks;
+- declarative **semantic values** (generic AST nodes, text and void
+  productions);
+- automatic handling of **direct left recursion**; and
+- the paper's **optimization suite** (chunked memoization, grammar and
+  prefix folding, terminal dispatch, transient productions, iterative
+  repetitions, cost-based inlining, cheap error tracking).
+
+Quickstart::
+
+    import repro
+
+    lang = repro.compile_grammar("calc.Calculator")  # built-in demo grammar
+    print(lang.parse("1 + 2 * (3 - 4)"))
+
+See :mod:`repro.api` for the high-level interface, ``DESIGN.md`` for the
+system inventory, and ``EXPERIMENTS.md`` for the reproduced evaluation.
+"""
+
+from repro.api import Language, compile_grammar, load_grammar, parse
+from repro.errors import (
+    AnalysisError,
+    CodegenError,
+    CompositionError,
+    GrammarSyntaxError,
+    ParseError,
+    ReproError,
+)
+from repro.meta import ModuleLoader, parse_module
+from repro.modules import compose
+from repro.optim import Options, prepare
+from repro.peg import Grammar, ValueKind
+from repro.runtime import GNode
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Language", "compile_grammar", "load_grammar", "parse",
+    "AnalysisError", "CodegenError", "CompositionError",
+    "GrammarSyntaxError", "ParseError", "ReproError",
+    "ModuleLoader", "parse_module", "compose",
+    "Options", "prepare", "Grammar", "ValueKind", "GNode",
+    "__version__",
+]

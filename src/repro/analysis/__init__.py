@@ -1,0 +1,26 @@
+"""Static analyses over flat grammars."""
+
+from repro.analysis.cost import expr_cost, production_cost, reference_counts
+from repro.analysis.first import FirstAnalysis, FirstSet
+from repro.analysis.leftrec import (
+    directly_left_recursive,
+    indirect_left_recursion_cycles,
+    left_call_graph,
+    left_calls,
+    left_recursive_alternatives,
+)
+from repro.analysis.nullability import expr_nullable, nullable_productions
+from repro.analysis.reachability import prune_unreachable, reachable, unreachable
+from repro.analysis.stats import GrammarStats, ModuleStats, grammar_loc, grammar_stats, module_stats
+from repro.analysis.wellformed import Diagnostic, check, require_wellformed
+
+__all__ = [
+    "expr_cost", "production_cost", "reference_counts",
+    "FirstAnalysis", "FirstSet",
+    "directly_left_recursive", "indirect_left_recursion_cycles",
+    "left_call_graph", "left_calls", "left_recursive_alternatives",
+    "expr_nullable", "nullable_productions",
+    "prune_unreachable", "reachable", "unreachable",
+    "GrammarStats", "ModuleStats", "grammar_loc", "grammar_stats", "module_stats",
+    "Diagnostic", "check", "require_wellformed",
+]

@@ -1,0 +1,83 @@
+"""Cost model for the inlining optimization.
+
+``expr_cost`` estimates the dynamic cost of matching an expression, in
+abstract "operation" units; the inliner inlines a production wherever the
+body's cost does not exceed the cost of the call it replaces by more than a
+small factor.  The exact constants only shift the threshold, not the shape
+of the optimization.
+"""
+
+from __future__ import annotations
+
+from repro.peg.expr import (
+    Action,
+    And,
+    AnyChar,
+    Binding,
+    CharClass,
+    CharSwitch,
+    Choice,
+    Epsilon,
+    Expression,
+    Fail,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.production import Production
+
+#: Cost of invoking a production (call + memo lookup overhead).
+CALL_COST = 8
+#: Expected number of iterations used to weight repetition bodies.
+REPETITION_WEIGHT = 4
+
+
+def expr_cost(expr: Expression) -> int:
+    if isinstance(expr, Literal):
+        return 1 + len(expr.text) // 4
+    if isinstance(expr, (CharClass, AnyChar, Epsilon)):
+        return 1
+    if isinstance(expr, Fail):
+        return 0
+    if isinstance(expr, Action):
+        return 2
+    if isinstance(expr, Nonterminal):
+        return CALL_COST
+    if isinstance(expr, Sequence):
+        return sum(expr_cost(item) for item in expr.items)
+    if isinstance(expr, Choice):
+        return sum(expr_cost(alt) for alt in expr.alternatives)
+    if isinstance(expr, Repetition):
+        return REPETITION_WEIGHT * expr_cost(expr.expr)
+    if isinstance(expr, Option):
+        return expr_cost(expr.expr)
+    if isinstance(expr, (And, Not, Binding, Voided, Text)):
+        return 1 + expr_cost(expr.expr)
+    if isinstance(expr, CharSwitch):
+        return 2 + max(
+            [expr_cost(branch) for _, branch in expr.cases] + [expr_cost(expr.default)]
+        )
+    raise TypeError(f"cost: unhandled {type(expr).__name__}")
+
+
+def production_cost(production: Production) -> int:
+    return sum(expr_cost(alt.expr) for alt in production.alternatives)
+
+
+def reference_counts(grammar: Grammar) -> dict[str, int]:
+    """How many syntactic call sites each production has, grammar-wide."""
+    counts: dict[str, int] = {name: 0 for name in grammar.names()}
+    from repro.peg.expr import walk
+
+    for production in grammar:
+        for alternative in production.alternatives:
+            for node in walk(alternative.expr):
+                if isinstance(node, Nonterminal) and node.name in counts:
+                    counts[node.name] += 1
+    return counts

@@ -1,0 +1,162 @@
+"""FIRST-character analysis for terminal/choice dispatch.
+
+``first_chars`` computes, for an expression, the set of characters that any
+successful non-empty match can start with — or ``None`` when the set is
+unknown/unbounded (negated classes, ``AnyChar``).  The result additionally
+says whether the expression is nullable, because a nullable alternative can
+succeed on *any* next character and therefore defeats dispatch.
+
+Used by the terminal optimization (:mod:`repro.optim.terminals`) and by the
+code generator's top-level alternative guards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.nullability import nullable_productions
+from repro.peg.expr import (
+    Action,
+    And,
+    AnyChar,
+    Binding,
+    CharClass,
+    CharSwitch,
+    Choice,
+    Epsilon,
+    Expression,
+    Fail,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+)
+from repro.peg.grammar import Grammar
+
+
+@dataclass(frozen=True, slots=True)
+class FirstSet:
+    """``chars`` is None when unknown/unbounded."""
+
+    chars: frozenset[str] | None
+    nullable: bool
+
+    @property
+    def known(self) -> bool:
+        return self.chars is not None and not self.nullable
+
+
+_UNKNOWN = FirstSet(None, False)
+
+
+class FirstAnalysis:
+    """Compute FIRST sets over one grammar (fixpoint over productions)."""
+
+    def __init__(self, grammar: Grammar):
+        self._grammar = grammar
+        self._nullable = nullable_productions(grammar)
+        self._production_first: dict[str, FirstSet] = {}
+        self._compute_productions()
+
+    def _compute_productions(self) -> None:
+        # Initialize to empty known sets and iterate to fixpoint.
+        names = self._grammar.names()
+        for name in names:
+            self._production_first[name] = FirstSet(frozenset(), name in self._nullable)
+        changed = True
+        while changed:
+            changed = False
+            for production in self._grammar:
+                combined: set[str] | None = set()
+                for alternative in production.alternatives:
+                    fs = self.first(alternative.expr)
+                    if fs.chars is None:
+                        combined = None
+                        break
+                    combined |= fs.chars
+                new = FirstSet(
+                    None if combined is None else frozenset(combined),
+                    production.name in self._nullable,
+                )
+                if new != self._production_first[production.name]:
+                    self._production_first[production.name] = new
+                    changed = True
+
+    # -- queries ------------------------------------------------------------
+
+    def production_first(self, name: str) -> FirstSet:
+        return self._production_first.get(name, _UNKNOWN)
+
+    def first(self, expr: Expression) -> FirstSet:
+        """FIRST set of an expression in this grammar."""
+        if isinstance(expr, Literal):
+            ch = expr.text[0]
+            chars = {ch.lower(), ch.upper()} if expr.ignore_case else {ch}
+            return FirstSet(frozenset(chars), False)
+        if isinstance(expr, CharClass):
+            return FirstSet(expr.first_chars(), False)
+        if isinstance(expr, AnyChar):
+            return FirstSet(None, False)
+        if isinstance(expr, (Epsilon, Action)):
+            return FirstSet(frozenset(), True)
+        if isinstance(expr, Fail):
+            return FirstSet(frozenset(), False)
+        if isinstance(expr, Nonterminal):
+            return self.production_first(expr.name)
+        if isinstance(expr, Sequence):
+            chars: set[str] = set()
+            for item in expr.items:
+                fs = self.first(item)
+                if isinstance(item, (And, Not)):
+                    # Predicates constrain but don't consume; a following
+                    # item provides the actual first character.  Treating
+                    # them as transparent keeps the set an over-approximation
+                    # only when the predicate is positive; a Not prefix means
+                    # we cannot narrow reliably, so give up on Not.
+                    if isinstance(item, Not):
+                        continue
+                    if fs.chars is None:
+                        return _UNKNOWN
+                    continue
+                if fs.chars is None:
+                    return _UNKNOWN
+                chars |= fs.chars
+                if not fs.nullable:
+                    return FirstSet(frozenset(chars), False)
+            return FirstSet(frozenset(chars), True)
+        if isinstance(expr, Choice):
+            chars = set()
+            nullable = False
+            for alternative in expr.alternatives:
+                fs = self.first(alternative)
+                if fs.chars is None:
+                    return FirstSet(None, fs.nullable or nullable)
+                chars |= fs.chars
+                nullable = nullable or fs.nullable
+            return FirstSet(frozenset(chars), nullable)
+        if isinstance(expr, Repetition):
+            fs = self.first(expr.expr)
+            return FirstSet(fs.chars, expr.min == 0 or fs.nullable)
+        if isinstance(expr, Option):
+            fs = self.first(expr.expr)
+            return FirstSet(fs.chars, True)
+        if isinstance(expr, (Binding, Voided, Text)):
+            return self.first(expr.expr)
+        if isinstance(expr, And):
+            return FirstSet(None, True)
+        if isinstance(expr, Not):
+            return FirstSet(None, True)
+        if isinstance(expr, CharSwitch):
+            chars = set()
+            nullable = False
+            for case_chars, _ in expr.cases:
+                chars |= case_chars
+            fs = self.first(expr.default)
+            if fs.chars is None:
+                return FirstSet(None, fs.nullable)
+            return FirstSet(frozenset(chars | fs.chars), fs.nullable)
+        raise TypeError(f"first: unhandled {type(expr).__name__}")

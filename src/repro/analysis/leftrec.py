@@ -1,0 +1,145 @@
+"""Left-recursion detection.
+
+``left_calls(expr)`` is the set of productions that can be invoked before
+any input has been consumed; a production is *directly* left-recursive if it
+left-calls itself, and *indirectly* left-recursive if it reaches itself
+through the transitive closure of left calls.
+
+The paper's system transforms **direct** left recursion in generic
+productions into iteration (see :mod:`repro.transform.leftrec`); indirect
+left recursion is rejected.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.nullability import expr_nullable, nullable_productions
+from repro.peg.expr import (
+    And,
+    Binding,
+    CharSwitch,
+    Choice,
+    Expression,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.production import Alternative
+
+
+def left_calls(expr: Expression, nullable_names: set[str]) -> set[str]:
+    """Productions possibly invoked by ``expr`` at its left edge."""
+    if isinstance(expr, Nonterminal):
+        return {expr.name}
+    if isinstance(expr, Sequence):
+        calls: set[str] = set()
+        for item in expr.items:
+            calls |= left_calls(item, nullable_names)
+            if not expr_nullable(item, nullable_names):
+                break
+        return calls
+    if isinstance(expr, Choice):
+        calls = set()
+        for alternative in expr.alternatives:
+            calls |= left_calls(alternative, nullable_names)
+        return calls
+    if isinstance(expr, (Repetition, Option, Binding, Voided, Text, And, Not)):
+        return left_calls(expr.expr, nullable_names)
+    if isinstance(expr, CharSwitch):
+        calls = set()
+        for _, branch in expr.cases:
+            calls |= left_calls(branch, nullable_names)
+        return calls | left_calls(expr.default, nullable_names)
+    return set()
+
+
+def left_call_graph(grammar: Grammar) -> dict[str, set[str]]:
+    """Map every production to the productions it left-calls."""
+    nullable = nullable_productions(grammar)
+    graph: dict[str, set[str]] = {}
+    for production in grammar:
+        calls: set[str] = set()
+        for alternative in production.alternatives:
+            calls |= left_calls(alternative.expr, nullable)
+        graph[production.name] = calls & set(grammar.names())
+    return graph
+
+
+def directly_left_recursive(grammar: Grammar) -> set[str]:
+    """Productions with an alternative that left-calls the production itself."""
+    return {name for name, calls in left_call_graph(grammar).items() if name in calls}
+
+
+def left_recursive_alternatives(
+    production_name: str, alternatives: tuple[Alternative, ...], nullable_names: set[str]
+) -> list[int]:
+    """Indices of the alternatives whose left edge calls the production."""
+    return [
+        index
+        for index, alternative in enumerate(alternatives)
+        if production_name in left_calls(alternative.expr, nullable_names)
+    ]
+
+
+def indirect_left_recursion_cycles(grammar: Grammar) -> list[list[str]]:
+    """Left-recursion cycles involving more than one production.
+
+    Returns one representative cycle (as a name list) per strongly connected
+    component of the left-call graph that has size > 1.
+    """
+    graph = left_call_graph(grammar)
+    # Tarjan's strongly connected components, iteratively.
+    index_counter = 0
+    stack: list[str] = []
+    lowlink: dict[str, int] = {}
+    index: dict[str, int] = {}
+    on_stack: set[str] = set()
+    components: list[list[str]] = []
+
+    def strongconnect(root: str) -> None:
+        nonlocal index_counter
+        work: list[tuple[str, list[str]]] = [(root, sorted(graph.get(root, ())))]
+        index[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            while successors:
+                succ = successors.pop(0)
+                if succ not in index:
+                    index[succ] = lowlink[succ] = index_counter
+                    index_counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, sorted(graph.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    components.append(sorted(component))
+
+    for name in graph:
+        if name not in index:
+            strongconnect(name)
+    return components

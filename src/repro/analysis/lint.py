@@ -1,0 +1,175 @@
+"""Grammar lint: style and hazard checks beyond well-formedness.
+
+The well-formedness checker (:mod:`repro.analysis.wellformed`) rejects
+grammars that cannot work; the linter flags grammars that *work but bite*:
+
+``unused-binding``
+    a ``x:e`` binding never used by any action in its alternative.
+``unknown-action-name``
+    an action references a name that is neither a binding in scope nor an
+    action-library helper — it would raise at parse time.
+``binding-yields-none``
+    binding a repetition/option of a *non-contributing* expression (for
+    example ``x:";"*``): its value is always ``None`` by the value model;
+    the author almost certainly wanted ``text:``.
+``shadowed-literal``
+    in an ordered choice, an earlier literal is a strict prefix of a later
+    one (``"do" / "double"``): the later alternative can never match.
+``nested-option``
+    ``e??`` or an option of a nullable expression — the outer ``?`` can
+    never observe absence.
+
+(Voiding a constant, ``void:"x"``, is deliberately *not* flagged: literals
+contribute nothing anyway, and the shipped grammars use the redundant
+``void:`` to document operator tokens.)
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+from dataclasses import dataclass
+
+from repro.analysis.nullability import expr_nullable, nullable_productions
+from repro.peg.expr import (
+    Action,
+    AnyChar,
+    Binding,
+    CharClass,
+    Choice,
+    Expression,
+    Literal,
+    Option,
+    Repetition,
+    Voided,
+    walk,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.values import binding_names, contributes, kind_lookup
+from repro.runtime.actionlib import ACTION_GLOBALS
+
+
+@dataclass(frozen=True, slots=True)
+class LintFinding:
+    rule: str
+    production: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.production}: [{self.rule}] {self.message}"
+
+
+def _action_names(code: str) -> set[str] | None:
+    """Free identifiers in an action expression, or None if unparsable."""
+    try:
+        tree = python_ast.parse(code, mode="eval")
+    except SyntaxError:
+        return None
+    return {
+        node.id for node in python_ast.walk(tree) if isinstance(node, python_ast.Name)
+    }
+
+
+def lint(grammar: Grammar) -> list[LintFinding]:
+    """Run all lint rules; findings are ordered by production."""
+    findings: list[LintFinding] = []
+    kind_of = kind_lookup(grammar)
+    nullable = nullable_productions(grammar)
+
+    for production in grammar:
+        for alternative in production.alternatives:
+            expr = alternative.expr
+            bound = set(binding_names(expr))
+            used: set[str] = set()
+            actions = [node for node in walk(expr) if isinstance(node, Action)]
+            for action in actions:
+                names = _action_names(action.code)
+                if names is None:
+                    findings.append(
+                        LintFinding(
+                            "unknown-action-name",
+                            production.name,
+                            f"action {{ {action.code} }} is not a valid Python expression",
+                        )
+                    )
+                    continue
+                used |= names
+                unknown = names - bound - set(ACTION_GLOBALS)
+                for name in sorted(unknown):
+                    findings.append(
+                        LintFinding(
+                            "unknown-action-name",
+                            production.name,
+                            f"action references {name!r}, which is neither a binding "
+                            "nor an action helper",
+                        )
+                    )
+            for name in sorted(bound - used):
+                findings.append(
+                    LintFinding(
+                        "unused-binding",
+                        production.name,
+                        f"binding {name!r} is never used by an action",
+                    )
+                )
+            findings.extend(_expression_lints(production.name, expr, kind_of, nullable))
+    findings.sort(key=lambda f: (f.production, f.rule, f.message))
+    return findings
+
+
+def _expression_lints(owner: str, expr: Expression, kind_of, nullable) -> list[LintFinding]:
+    findings: list[LintFinding] = []
+    for node in walk(expr):
+        if isinstance(node, Binding) and isinstance(node.expr, (Repetition, Option)):
+            if not contributes(node.expr.expr, kind_of):
+                findings.append(
+                    LintFinding(
+                        "binding-yields-none",
+                        owner,
+                        f"binding {node.name!r} wraps a repetition/option of a "
+                        "non-contributing expression; its value is always None "
+                        "(capture with text: instead)",
+                    )
+                )
+        if isinstance(node, Choice):
+            findings.extend(_shadowed_literals(owner, node.alternatives))
+        if isinstance(node, Option) and expr_nullable(node.expr, nullable):
+            findings.append(
+                LintFinding(
+                    "nested-option",
+                    owner,
+                    "option of a nullable expression: absence is unobservable",
+                )
+            )
+    return findings
+
+
+def _shadowed_literals(owner: str, alternatives) -> list[LintFinding]:
+    findings = []
+    literals = [
+        (index, alt.text)
+        for index, alt in enumerate(alternatives)
+        if isinstance(alt, Literal) and not alt.ignore_case
+    ]
+    for position, (index_a, text_a) in enumerate(literals):
+        for index_b, text_b in literals[position + 1 :]:
+            if text_b.startswith(text_a) and text_b != text_a:
+                findings.append(
+                    LintFinding(
+                        "shadowed-literal",
+                        owner,
+                        f'"{text_a}" (alternative {index_a + 1}) shadows the later '
+                        f'"{text_b}" (alternative {index_b + 1}); put the longer '
+                        "literal first",
+                    )
+                )
+    return findings
+
+
+def lint_alternatives_of_production(grammar: Grammar) -> list[LintFinding]:
+    """Shadowed-literal analysis across a production's *top-level*
+    alternatives (each alternative being a bare literal)."""
+    findings = []
+    for production in grammar:
+        exprs = [a.expr for a in production.alternatives]
+        findings.extend(_shadowed_literals(production.name, exprs))
+    return findings

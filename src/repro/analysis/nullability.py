@@ -1,0 +1,76 @@
+"""Nullability analysis: which expressions can succeed without consuming input.
+
+Computed as the least fixed point over the grammar's productions (starting
+from "not nullable" everywhere).  Nullability feeds the left-recursion
+detector (a nullable prefix passes left-ness through), the well-formedness
+checker (repetition of a nullable expression loops forever in a naive
+parser), and the terminal optimizer (a nullable alternative defeats
+first-character dispatch).
+"""
+
+from __future__ import annotations
+
+from repro.peg.expr import (
+    Action,
+    And,
+    AnyChar,
+    Binding,
+    CharClass,
+    CharSwitch,
+    Choice,
+    Epsilon,
+    Expression,
+    Fail,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+)
+from repro.peg.grammar import Grammar
+
+
+def expr_nullable(expr: Expression, nullable_names: set[str]) -> bool:
+    """Is ``expr`` nullable, assuming the productions in ``nullable_names``
+    are nullable?"""
+    if isinstance(expr, (Literal, CharClass, AnyChar)):
+        return False
+    if isinstance(expr, (Epsilon, Action, And, Not)):
+        return True
+    if isinstance(expr, Fail):
+        return False
+    if isinstance(expr, Nonterminal):
+        return expr.name in nullable_names
+    if isinstance(expr, Sequence):
+        return all(expr_nullable(item, nullable_names) for item in expr.items)
+    if isinstance(expr, Choice):
+        return any(expr_nullable(alt, nullable_names) for alt in expr.alternatives)
+    if isinstance(expr, Repetition):
+        return expr.min == 0 or expr_nullable(expr.expr, nullable_names)
+    if isinstance(expr, Option):
+        return True
+    if isinstance(expr, (Binding, Voided, Text)):
+        return expr_nullable(expr.expr, nullable_names)
+    if isinstance(expr, CharSwitch):
+        return any(expr_nullable(e, nullable_names) for _, e in expr.cases) or expr_nullable(
+            expr.default, nullable_names
+        )
+    raise TypeError(f"nullability: unhandled {type(expr).__name__}")
+
+
+def nullable_productions(grammar: Grammar) -> set[str]:
+    """The set of production names that can match the empty string."""
+    nullable: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for production in grammar:
+            if production.name in nullable:
+                continue
+            if any(expr_nullable(alt.expr, nullable) for alt in production.alternatives):
+                nullable.add(production.name)
+                changed = True
+    return nullable

@@ -1,0 +1,37 @@
+"""Reachability from the start production (or any root set)."""
+
+from __future__ import annotations
+
+from repro.peg.grammar import Grammar
+
+
+def reachable(grammar: Grammar, roots: set[str] | None = None) -> set[str]:
+    """Production names reachable from ``roots`` (default: the start)."""
+    pending = list(roots) if roots is not None else [grammar.start]
+    seen: set[str] = set()
+    productions = grammar.as_dict()
+    while pending:
+        name = pending.pop()
+        if name in seen or name not in productions:
+            continue
+        seen.add(name)
+        pending.extend(productions[name].referenced_names())
+    return seen
+
+
+def unreachable(grammar: Grammar) -> set[str]:
+    """Productions that can never be invoked from the start production.
+
+    Public productions are treated as additional roots — they are exported
+    entry points, so they (and everything they reach) are not dead.
+    """
+    roots = {grammar.start} | {p.name for p in grammar if p.is_public}
+    return set(grammar.names()) - reachable(grammar, roots)
+
+
+def prune_unreachable(grammar: Grammar) -> Grammar:
+    """Drop unreachable productions (a cleanup run after composition)."""
+    dead = unreachable(grammar)
+    if not dead:
+        return grammar
+    return grammar.remove_productions(dead)

@@ -1,0 +1,116 @@
+"""Grammar and module statistics (experiment E1, "Table 1").
+
+Measures, per module and per composed grammar: production counts by value
+kind, alternative counts, expression node counts, and non-blank non-comment
+lines of grammar source.  These are the modularity figures the paper reports
+for its C and Java grammars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.meta.ast import ModuleAst
+from repro.peg.expr import walk
+from repro.peg.grammar import Grammar
+from repro.peg.production import ValueKind
+
+
+def grammar_loc(source_text: str) -> int:
+    """Non-blank, non-comment lines of ``.mg`` source."""
+    count = 0
+    in_block = False
+    for raw in source_text.splitlines():
+        line = raw.strip()
+        if in_block:
+            if "*/" in line:
+                in_block = False
+                line = line.split("*/", 1)[1].strip()
+            else:
+                continue
+        if line.startswith("/*"):
+            if "*/" not in line:
+                in_block = True
+                continue
+            line = line.split("*/", 1)[1].strip()
+        if line.startswith("//") or not line:
+            continue
+        count += 1
+    return count
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleStats:
+    name: str
+    parameters: int
+    imports: int
+    modifies: int
+    productions: int
+    modifications: int
+    alternatives: int
+    loc: int
+
+
+def module_stats(module: ModuleAst) -> ModuleStats:
+    alternatives = sum(len(p.alternatives) for p in module.productions)
+    return ModuleStats(
+        name=module.name,
+        parameters=len(module.parameters),
+        imports=sum(1 for d in module.dependencies if d.kind in ("import", "instantiate")),
+        modifies=sum(1 for d in module.dependencies if d.kind == "modify"),
+        productions=len(module.productions),
+        modifications=len(module.modifications),
+        alternatives=alternatives,
+        loc=grammar_loc(module.source_text),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class GrammarStats:
+    name: str
+    productions: int
+    by_kind: dict[str, int]
+    alternatives: int
+    expression_nodes: int
+    transient: int
+    public: int
+
+    def row(self) -> dict[str, object]:
+        return {
+            "grammar": self.name,
+            "productions": self.productions,
+            "generic": self.by_kind.get("generic", 0),
+            "text": self.by_kind.get("text", 0),
+            "void": self.by_kind.get("void", 0),
+            "object": self.by_kind.get("object", 0),
+            "alternatives": self.alternatives,
+            "nodes": self.expression_nodes,
+            "transient": self.transient,
+            "public": self.public,
+        }
+
+
+def grammar_stats(grammar: Grammar) -> GrammarStats:
+    by_kind: dict[str, int] = {kind.value: 0 for kind in ValueKind}
+    alternatives = 0
+    nodes = 0
+    transient = 0
+    public = 0
+    for production in grammar:
+        by_kind[production.kind.value] += 1
+        alternatives += len(production.alternatives)
+        for alternative in production.alternatives:
+            nodes += sum(1 for _ in walk(alternative.expr))
+        if production.is_transient:
+            transient += 1
+        if production.is_public:
+            public += 1
+    return GrammarStats(
+        name=grammar.name,
+        productions=len(grammar),
+        by_kind=by_kind,
+        alternatives=alternatives,
+        expression_nodes=nodes,
+        transient=transient,
+        public=public,
+    )

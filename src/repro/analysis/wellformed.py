@@ -1,0 +1,129 @@
+"""Well-formedness checking.
+
+Combines Ford's static WF conditions with the library's own structural
+rules.  ``check`` returns a list of :class:`Diagnostic` (empty = clean);
+``require_wellformed`` raises on any error-severity finding.
+
+Checks performed:
+
+- dangling nonterminal references (error)
+- indirect left recursion (error — the system only transforms direct)
+- direct left recursion in non-generic productions (error — the value
+  fix-up of the transformation is defined for generic productions only)
+- direct left recursion whose recursive alternatives precede no base
+  alternative (error — nothing to seed the iteration)
+- repetition over a nullable expression (error: loops forever in a naive
+  parser; detected statically as in Ford's WF system)
+- productions with no alternatives (error)
+- unreachable productions (warning)
+- alternatives shadowed by an earlier ``Epsilon``-only alternative (warning)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.leftrec import (
+    directly_left_recursive,
+    indirect_left_recursion_cycles,
+    left_recursive_alternatives,
+)
+from repro.analysis.nullability import expr_nullable, nullable_productions
+from repro.analysis.reachability import unreachable
+from repro.errors import AnalysisError
+from repro.peg.expr import Epsilon, Expression, Repetition, walk
+from repro.peg.grammar import Grammar
+from repro.peg.production import ValueKind
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    severity: str  # "error" | "warning"
+    production: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: {self.production}: {self.message}"
+
+
+def check(grammar: Grammar) -> list[Diagnostic]:
+    """Run all checks; returns diagnostics sorted errors-first."""
+    diagnostics: list[Diagnostic] = []
+    nullable = nullable_productions(grammar)
+
+    for name, refs in sorted(grammar.undefined_references().items()):
+        diagnostics.append(
+            Diagnostic("error", name, f"references undefined production(s): {', '.join(sorted(refs))}")
+        )
+
+    for cycle in indirect_left_recursion_cycles(grammar):
+        diagnostics.append(
+            Diagnostic(
+                "error",
+                cycle[0],
+                "indirect left recursion through " + " -> ".join(cycle) + " (only direct left recursion is supported)",
+            )
+        )
+
+    direct = directly_left_recursive(grammar)
+    for name in sorted(direct):
+        production = grammar[name]
+        if production.kind is not ValueKind.GENERIC:
+            diagnostics.append(
+                Diagnostic(
+                    "error",
+                    name,
+                    f"direct left recursion in a {production.kind.value} production "
+                    "(the transformation is defined for generic productions)",
+                )
+            )
+            continue
+        recursive = left_recursive_alternatives(name, production.alternatives, nullable)
+        if len(recursive) == len(production.alternatives):
+            diagnostics.append(
+                Diagnostic("error", name, "left recursion without any base alternative")
+            )
+
+    for production in grammar:
+        if not production.alternatives:
+            diagnostics.append(Diagnostic("error", production.name, "no alternatives"))
+        for alternative in production.alternatives:
+            for node in walk(alternative.expr):
+                if isinstance(node, Repetition) and expr_nullable(node.expr, nullable):
+                    diagnostics.append(
+                        Diagnostic(
+                            "error",
+                            production.name,
+                            "repetition over a nullable expression (would never terminate)",
+                        )
+                    )
+        epsilon_seen = False
+        for index, alternative in enumerate(production.alternatives):
+            if epsilon_seen:
+                diagnostics.append(
+                    Diagnostic(
+                        "warning",
+                        production.name,
+                        f"alternative {index + 1} is unreachable (an earlier alternative always matches)",
+                    )
+                )
+                break
+            if isinstance(alternative.expr, Epsilon):
+                epsilon_seen = True
+
+    for name in sorted(unreachable(grammar)):
+        diagnostics.append(Diagnostic("warning", name, "unreachable from the start production"))
+
+    diagnostics.sort(key=lambda d: (d.severity != "error", d.production))
+    return diagnostics
+
+
+def require_wellformed(grammar: Grammar) -> list[Diagnostic]:
+    """Raise :class:`AnalysisError` on errors; returns remaining warnings."""
+    diagnostics = check(grammar)
+    errors = [d for d in diagnostics if d.severity == "error"]
+    if errors:
+        raise AnalysisError(
+            f"grammar {grammar.name!r} is ill-formed:\n" + "\n".join(f"  {d}" for d in errors)
+        )
+    return [d for d in diagnostics if d.severity == "warning"]

@@ -1,0 +1,148 @@
+"""High-level API: the front door most users need.
+
+.. code-block:: python
+
+    import repro
+
+    # From grammar modules on disk / built in:
+    lang = repro.compile_grammar("jay.Jay", paths=["grammars/"])
+    tree = lang.parse("class C { int f() { return 42; } }")
+
+    # From a programmatically built grammar:
+    from repro.peg.builder import GrammarBuilder, ...
+    lang = repro.compile_grammar(builder.build())
+
+A :class:`Language` bundles everything derived from one grammar under one
+set of optimization options: the composed grammar, the prepared (optimized)
+grammar, the generated parser source, and the ready-to-use parser class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.codegen import generate_parser_source, load_parser
+from repro.interp import BacktrackInterpreter, PackratInterpreter
+from repro.meta import ModuleLoader
+from repro.modules import compose
+from repro.optim import Options, PreparedGrammar, prepare
+from repro.peg.grammar import Grammar
+
+
+@dataclass(frozen=True)
+class Language:
+    """A compiled language: grammar + optimized grammar + generated parser."""
+
+    grammar: Grammar
+    prepared: PreparedGrammar
+    parser_source: str
+    parser_class: type
+
+    # -- parsing ----------------------------------------------------------------
+
+    def parse(self, text: str, start: str | None = None, source: str = "<input>") -> Any:
+        """Parse ``text`` completely with the generated parser."""
+        return self.parser_class(text, source).parse(start)
+
+    def parse_file(self, path: str | Path, start: str | None = None) -> Any:
+        """Parse the contents of a file (its path becomes the source name)."""
+        path = Path(path)
+        return self.parse(path.read_text(), start=start, source=str(path))
+
+    def trace(self, text: str, start: str | None = None, source: str = "<input>"):
+        """Parse with tracing (on the interpreter backend).
+
+        Returns ``(value, events, error)``; see
+        :func:`repro.interp.trace_parse`.
+        """
+        from repro.interp import trace_parse
+
+        return trace_parse(self.interpreter(), text, start=start, source=source)
+
+    def parser(self, text: str, source: str = "<input>"):
+        """A fresh generated-parser instance over ``text``."""
+        return self.parser_class(text, source)
+
+    def recognize(self, text: str, start: str | None = None) -> bool:
+        """Does the whole input match?  (No value construction errors are
+        suppressed — only parse failures.)"""
+        from repro.errors import ParseError
+
+        try:
+            self.parse(text, start)
+        except ParseError:
+            return False
+        return True
+
+    # -- reference backends --------------------------------------------------------
+
+    def interpreter(self, memoize: bool = True) -> PackratInterpreter | BacktrackInterpreter:
+        """A grammar interpreter over the same prepared grammar."""
+        if memoize:
+            return PackratInterpreter(self.prepared.grammar, chunked=self.prepared.chunked_memo)
+        return BacktrackInterpreter(self.prepared.grammar)
+
+    # -- artifacts -----------------------------------------------------------------
+
+    def write_parser(self, path: str | Path) -> Path:
+        """Write the generated parser module to ``path``."""
+        path = Path(path)
+        path.write_text(self.parser_source)
+        return path
+
+    @property
+    def options(self) -> Options:
+        return self.prepared.options
+
+
+def load_grammar(
+    root: str,
+    paths: list[str | Path] | None = None,
+    loader: ModuleLoader | None = None,
+    start: str | None = None,
+) -> Grammar:
+    """Compose the module ``root`` (and everything it reaches) into a grammar."""
+    if loader is None:
+        loader = ModuleLoader(paths=list(paths) if paths else None)
+    return compose(root, loader, start=start)
+
+
+def compile_grammar(
+    grammar: Grammar | str,
+    options: Options | None = None,
+    paths: list[str | Path] | None = None,
+    loader: ModuleLoader | None = None,
+    start: str | None = None,
+    parser_name: str = "Parser",
+) -> Language:
+    """Compose (if needed), optimize, and generate a parser.
+
+    ``grammar`` is either an already-built :class:`Grammar` or the qualified
+    name of a root grammar module to compose.
+    """
+    if isinstance(grammar, str):
+        grammar = load_grammar(grammar, paths=paths, loader=loader, start=start)
+    elif start is not None:
+        grammar = grammar.with_start(start)
+    prepared = prepare(grammar, options)
+    source = generate_parser_source(prepared, parser_name)
+    parser_class = load_parser(source, parser_name)
+    return Language(
+        grammar=grammar,
+        prepared=prepared,
+        parser_source=source,
+        parser_class=parser_class,
+    )
+
+
+def parse(
+    grammar: Grammar | str,
+    text: str,
+    options: Options | None = None,
+    paths: list[str | Path] | None = None,
+    start: str | None = None,
+) -> Any:
+    """One-shot convenience: compile and parse in one call."""
+    return compile_grammar(grammar, options=options, paths=paths, start=start).parse(text)

@@ -1,0 +1,15 @@
+"""Hand-written recursive-descent baseline parsers.
+
+These play the role of the conventional, deterministic parsers the paper
+compares its generated packrat parsers against.  Each produces exactly the
+same :class:`~repro.runtime.node.GNode` trees as the corresponding shipped
+grammar (the test suite cross-checks them), so throughput comparisons are
+apples to apples: same host language, same input, same output values.
+"""
+
+from repro.baselines.calc_rd import CalcParser
+from repro.baselines.json_rd import JsonParser
+from repro.baselines.jay_rd import JayParser
+from repro.baselines.xc_rd import XcParser
+
+__all__ = ["CalcParser", "JsonParser", "JayParser", "XcParser"]

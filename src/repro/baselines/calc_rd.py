@@ -1,0 +1,109 @@
+"""Hand-written recursive-descent parser for the calc.Calculator language.
+
+Produces exactly the trees of the ``calc.Calculator`` grammar:
+``(Add l r)``, ``(Sub l r)``, ``(Mul l r)``, ``(Div l r)``, ``(Neg x)``,
+``(Int 'text')``, ``(Float 'text')``; parentheses pass through.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.locations import line_column
+from repro.runtime.node import GNode
+
+_SPACE = " \t\r\n"
+_DIGITS = "0123456789"
+
+
+class CalcParser:
+    """One instance per input text, like generated parsers."""
+
+    def __init__(self, text: str, source: str = "<input>"):
+        self._text = text
+        self._length = len(text)
+        self._pos = 0
+
+    # -- public ------------------------------------------------------------------
+
+    def parse(self) -> GNode:
+        self._skip_space()
+        value = self._expression()
+        if self._pos != self._length:
+            self._error("trailing input")
+        return value
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _error(self, message: str) -> None:
+        line, column = line_column(self._text, self._pos)
+        raise ParseError(message, self._pos, line, column)
+
+    def _skip_space(self) -> None:
+        pos, text, n = self._pos, self._text, self._length
+        while pos < n and text[pos] in _SPACE:
+            pos += 1
+        self._pos = pos
+
+    def _eat(self, ch: str) -> bool:
+        if self._pos < self._length and self._text[self._pos] == ch:
+            self._pos += 1
+            self._skip_space()
+            return True
+        return False
+
+    def _peek(self) -> str:
+        return self._text[self._pos] if self._pos < self._length else ""
+
+    # -- grammar ------------------------------------------------------------------
+
+    def _expression(self) -> GNode:
+        value = self._term()
+        while True:
+            if self._eat("+"):
+                value = GNode("Add", (value, self._term()))
+            elif self._eat("-"):
+                value = GNode("Sub", (value, self._term()))
+            else:
+                return value
+
+    def _term(self) -> GNode:
+        value = self._factor()
+        while True:
+            if self._eat("*"):
+                value = GNode("Mul", (value, self._factor()))
+            elif self._eat("/"):
+                value = GNode("Div", (value, self._factor()))
+            else:
+                return value
+
+    def _factor(self) -> GNode:
+        if self._eat("-"):
+            return GNode("Neg", (self._factor(),))
+        return self._primary()
+
+    def _primary(self) -> GNode:
+        if self._eat("("):
+            value = self._expression()
+            if not self._eat(")"):
+                self._error("expected ')'")
+            return value
+        return self._number()
+
+    def _number(self) -> GNode:
+        text, n = self._text, self._length
+        start = self._pos
+        pos = start
+        while pos < n and text[pos] in _DIGITS:
+            pos += 1
+        if pos == start:
+            self._error("expected number")
+        kind = "Int"
+        if pos + 1 < n and text[pos] == "." and text[pos + 1] in _DIGITS:
+            kind = "Float"
+            pos += 1
+            while pos < n and text[pos] in _DIGITS:
+                pos += 1
+        value = text[start:pos]
+        self._pos = pos
+        self._skip_space()
+        return GNode(kind, (value,))

@@ -1,0 +1,604 @@
+"""Hand-written recursive-descent parser for the Jay language.
+
+This is the "conventional parser" baseline of the throughput experiment
+(E5): a deterministic, non-memoizing recursive-descent parser of the kind a
+compiler engineer writes by hand, producing exactly the same generic trees
+as the ``jay.Jay`` grammar (cross-checked by the test suite — GNode
+equality ignores source locations).
+
+Structure mirrors the grammar module by module; each token helper consumes
+trailing white space, as the grammar's token productions do.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.locations import line_column
+from repro.runtime.node import GNode
+
+KEYWORDS = frozenset(
+    "protected continue boolean extends private package return public static "
+    "import final break while class false null true void else char this new "
+    "int for if do".split()
+)
+
+MODIFIERS = ("public", "private", "protected", "static", "final")
+PRIMITIVES = ("boolean", "char", "int")
+
+_SPACE = " \t\r\n"
+_DIGITS = "0123456789"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch in "_$"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch in "_$"
+
+
+class JayParser:
+    """One instance per input text."""
+
+    def __init__(self, text: str, source: str = "<input>"):
+        self._text = text
+        self._length = len(text)
+        self._pos = 0
+        self._source = source
+
+    # -- public --------------------------------------------------------------------
+
+    def parse(self) -> GNode:
+        """Parse a compilation unit; returns the (Unit …) tree."""
+        self._skip_space()
+        package = self._package_decl()
+        imports = []
+        while True:
+            imported = self._import_decl()
+            if imported is None:
+                break
+            imports.append(imported)
+        classes = [self._class_decl()]
+        while self._pos < self._length:
+            classes.append(self._class_decl())
+        return GNode("Unit", (package, imports, classes))
+
+    # -- scanning helpers --------------------------------------------------------------
+
+    def _error(self, message: str) -> None:
+        line, column = line_column(self._text, self._pos)
+        raise ParseError(message, self._pos, line, column)
+
+    def _skip_space(self) -> None:
+        text, n = self._text, self._length
+        pos = self._pos
+        while pos < n:
+            ch = text[pos]
+            if ch in _SPACE:
+                pos += 1
+            elif text.startswith("//", pos):
+                end = text.find("\n", pos)
+                pos = n if end == -1 else end + 1
+            elif text.startswith("/*", pos):
+                end = text.find("*/", pos + 2)
+                if end == -1:
+                    self._pos = pos
+                    self._error("unterminated comment")
+                pos = end + 2
+            else:
+                break
+        self._pos = pos
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < self._length else ""
+
+    def _at_word(self, word: str) -> bool:
+        if not self._text.startswith(word, self._pos):
+            return False
+        after = self._pos + len(word)
+        return after >= self._length or not _is_ident_part(self._text[after])
+
+    def _eat_word(self, word: str) -> bool:
+        if self._at_word(word):
+            self._pos += len(word)
+            self._skip_space()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._eat_word(word):
+            self._error(f"expected {word!r}")
+
+    def _eat(self, symbol: str, not_followed_by: str = "") -> bool:
+        if not self._text.startswith(symbol, self._pos):
+            return False
+        after = self._pos + len(symbol)
+        if not_followed_by and after < self._length and self._text[after] in not_followed_by:
+            return False
+        self._pos = after
+        self._skip_space()
+        return True
+
+    def _expect(self, symbol: str) -> None:
+        if not self._eat(symbol):
+            self._error(f"expected {symbol!r}")
+
+    def _identifier(self) -> str | None:
+        text = self._text
+        pos = self._pos
+        if pos >= self._length or not _is_ident_start(text[pos]):
+            return None
+        end = pos + 1
+        while end < self._length and _is_ident_part(text[end]):
+            end += 1
+        word = text[pos:end]
+        if word in KEYWORDS:
+            return None
+        self._pos = end
+        self._skip_space()
+        return word
+
+    def _expect_identifier(self) -> str:
+        name = self._identifier()
+        if name is None:
+            self._error("expected identifier")
+        return name
+
+    def _qualified_name(self):
+        first = self._expect_identifier()
+        rest = []
+        while self._peek() == "." and _is_ident_start(self._peek(1)):
+            saved = self._pos
+            self._pos += 1
+            self._skip_space()
+            name = self._identifier()
+            if name is None:
+                self._pos = saved
+                break
+            rest.append(name)
+        if rest:
+            return GNode("QName", (first, rest))
+        return first
+
+    # -- declarations -----------------------------------------------------------------
+
+    def _package_decl(self):
+        if not self._eat_word("package"):
+            return None
+        name = self._qualified_name()
+        self._expect(";")
+        return GNode("Package", (name,))
+
+    def _import_decl(self):
+        if not self._eat_word("import"):
+            return None
+        name = self._qualified_name()
+        self._expect(";")
+        return GNode("Import", (name,))
+
+    def _modifiers(self) -> list[str]:
+        found: list[str] = []
+        while True:
+            for word in MODIFIERS:
+                if self._eat_word(word):
+                    found.append(word)
+                    break
+            else:
+                return found
+
+    def _class_decl(self) -> GNode:
+        modifiers = self._modifiers()
+        self._expect_word("class")
+        name = self._expect_identifier()
+        parent = self._qualified_name() if self._eat_word("extends") else None
+        self._expect("{")
+        members = []
+        while not self._eat("}"):
+            members.append(self._member())
+        return GNode("Class", (modifiers, name, parent, members))
+
+    def _member(self) -> GNode:
+        saved = self._pos
+        modifiers = self._modifiers()
+        # Try a method first (mirrors the grammar's alternative order).
+        result = self._result_type()
+        if result is not None:
+            name = self._identifier()
+            if name is not None and self._eat("("):
+                parameters = None
+                if not self._eat(")"):
+                    parameters = [self._parameter()]
+                    while self._eat(","):
+                        parameters.append(self._parameter())
+                    self._expect(")")
+                body = self._method_body()
+                return GNode("Method", (modifiers, result, name, parameters, body))
+        # Backtrack and parse a field.
+        self._pos = saved
+        self._skip_space()
+        modifiers = self._modifiers()
+        ftype = self._type()
+        if ftype is None:
+            self._error("expected member declaration")
+        declarators = self._declarators()
+        self._expect(";")
+        return GNode("Field", (modifiers, ftype, declarators))
+
+    def _result_type(self):
+        if self._eat_word("void"):
+            return GNode("Void")
+        return self._type()
+
+    def _method_body(self):
+        if self._eat(";"):
+            return None
+        return self._block()
+
+    def _parameter(self) -> GNode:
+        ptype = self._type()
+        if ptype is None:
+            self._error("expected parameter type")
+        return GNode("Parameter", (ptype, self._expect_identifier()))
+
+    # -- types ---------------------------------------------------------------------------
+
+    def _type(self):
+        base = None
+        for primitive in PRIMITIVES:
+            if self._eat_word(primitive):
+                base = GNode("PrimitiveType", (primitive,))
+                break
+        if base is None:
+            saved = self._pos
+            name = self._identifier()
+            if name is None:
+                return None
+            rest = []
+            while self._peek() == "." and _is_ident_start(self._peek(1)):
+                self._pos += 1
+                self._skip_space()
+                part = self._identifier()
+                if part is None:
+                    self._pos = saved
+                    return None
+                rest.append(part)
+            qname = GNode("QName", (name, rest)) if rest else name
+            base = GNode("ClassType", (qname,))
+        while self._peek() == "[":
+            saved = self._pos
+            self._pos += 1
+            self._skip_space()
+            if not self._eat("]"):
+                self._pos = saved
+                break
+            base = GNode("ArrayType", (base,))
+        return base
+
+    # -- statements -------------------------------------------------------------------------
+
+    def _block(self) -> GNode:
+        self._expect("{")
+        statements = []
+        while not self._eat("}"):
+            statements.append(self._statement())
+        return GNode("Block", (statements,))
+
+    def _statement(self) -> GNode:
+        ch = self._peek()
+        if ch == "{":
+            return self._block()
+        if self._eat_word("if"):
+            self._expect("(")
+            condition = self._expression()
+            self._expect(")")
+            then = self._statement()
+            otherwise = self._statement() if self._eat_word("else") else None
+            return GNode("If", (condition, then, otherwise))
+        if self._eat_word("while"):
+            self._expect("(")
+            condition = self._expression()
+            self._expect(")")
+            return GNode("While", (condition, self._statement()))
+        if self._eat_word("do"):
+            body = self._statement()
+            self._expect_word("while")
+            self._expect("(")
+            condition = self._expression()
+            self._expect(")")
+            self._expect(";")
+            return GNode("DoWhile", (body, condition))
+        if self._eat_word("for"):
+            return self._for_statement()
+        if self._eat_word("return"):
+            value = None if self._peek() == ";" else self._expression()
+            self._expect(";")
+            return GNode("Return", (value,))
+        if self._eat_word("break"):
+            self._expect(";")
+            return GNode("Break")
+        if self._eat_word("continue"):
+            self._expect(";")
+            return GNode("Continue")
+        if self._eat(";"):
+            return GNode("Empty")
+        saved = self._pos
+        declared = self._try_local_declaration()
+        if declared is not None:
+            return declared
+        self._pos = saved
+        self._skip_space()
+        expression = self._expression()
+        self._expect(";")
+        return GNode("ExprStmt", (expression,))
+
+    def _for_statement(self) -> GNode:
+        self._expect("(")
+        init = None
+        if self._peek() != ";":
+            init = self._for_init()
+        self._expect(";")
+        condition = None if self._peek() == ";" else self._expression()
+        self._expect(";")
+        update = None
+        if self._peek() != ")":
+            update = GNode("ForUpdate", (self._expression_list(),))
+        self._expect(")")
+        return GNode("For", (init, condition, update, self._statement()))
+
+    def _for_init(self) -> GNode:
+        saved = self._pos
+        try:
+            dtype = self._type()
+            if dtype is not None:
+                declarators = self._declarators()
+                if self._peek() == ";":
+                    return GNode("ForDecl", (dtype, declarators))
+        except ParseError:
+            pass
+        self._pos = saved
+        self._skip_space()
+        return GNode("ForExpr", (self._expression_list(),))
+
+    def _expression_list(self) -> list[GNode]:
+        expressions = [self._expression()]
+        while self._eat(","):
+            expressions.append(self._expression())
+        return expressions
+
+    def _try_local_declaration(self):
+        """Attempt ``Type Declarators ;`` — mirroring the grammar, any
+        failure inside backtracks to the expression-statement alternative."""
+        saved = self._pos
+        try:
+            dtype = self._type()
+            if dtype is None:
+                return None
+            declarators = self._declarators()
+            if not self._eat(";"):
+                self._pos = saved
+                self._skip_space()
+                return None
+            return GNode("LocalDecl", (dtype, declarators))
+        except ParseError:
+            self._pos = saved
+            self._skip_space()
+            return None
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def _expression(self) -> GNode:
+        saved = self._pos
+        target = self._postfix_expression_or_none()
+        if target is not None:
+            operator = self._assignment_operator()
+            if operator is not None:
+                return GNode("Assign", (target, operator, self._expression()))
+        self._pos = saved
+        self._skip_space()
+        return self._conditional()
+
+    def _assignment_operator(self):
+        for op in ("+=", "-=", "*=", "/=", "%="):
+            if self._eat(op):
+                return op
+        if self._eat("=", not_followed_by="="):
+            return "="
+        return None
+
+    def _conditional(self) -> GNode:
+        condition = self._logical_or()
+        if self._eat("?"):
+            then = self._expression()
+            self._expect(":")
+            return GNode("Conditional", (condition, then, self._conditional()))
+        return condition
+
+    def _logical_or(self) -> GNode:
+        value = self._logical_and()
+        while self._eat("||"):
+            value = GNode("LogicalOr", (value, self._logical_and()))
+        return value
+
+    def _logical_and(self) -> GNode:
+        value = self._equality()
+        while self._eat("&&"):
+            value = GNode("LogicalAnd", (value, self._equality()))
+        return value
+
+    def _equality(self) -> GNode:
+        value = self._relational()
+        while True:
+            if self._eat("=="):
+                value = GNode("Equal", (value, self._relational()))
+            elif self._eat("!="):
+                value = GNode("NotEqual", (value, self._relational()))
+            else:
+                return value
+
+    def _relational(self) -> GNode:
+        value = self._additive()
+        while True:
+            if self._eat("<="):
+                value = GNode("LessEqual", (value, self._additive()))
+            elif self._eat(">="):
+                value = GNode("GreaterEqual", (value, self._additive()))
+            elif self._eat("<"):
+                value = GNode("Less", (value, self._additive()))
+            elif self._eat(">"):
+                value = GNode("Greater", (value, self._additive()))
+            else:
+                return value
+
+    def _additive(self) -> GNode:
+        value = self._multiplicative()
+        while True:
+            if self._eat("+", not_followed_by="+="):
+                value = GNode("Add", (value, self._multiplicative()))
+            elif self._eat("-", not_followed_by="-="):
+                value = GNode("Sub", (value, self._multiplicative()))
+            else:
+                return value
+
+    def _multiplicative(self) -> GNode:
+        value = self._unary()
+        while True:
+            if self._eat("*", not_followed_by="="):
+                value = GNode("Mul", (value, self._unary()))
+            elif self._eat("/", not_followed_by="=/*"):
+                value = GNode("Div", (value, self._unary()))
+            elif self._eat("%", not_followed_by="="):
+                value = GNode("Mod", (value, self._unary()))
+            else:
+                return value
+
+    def _unary(self) -> GNode:
+        if self._eat("-", not_followed_by="-="):
+            return GNode("Neg", (self._unary(),))
+        if self._eat("!", not_followed_by="="):
+            return GNode("Not", (self._unary(),))
+        return self._postfix()
+
+    def _postfix_expression_or_none(self):
+        try:
+            return self._postfix()
+        except ParseError:
+            return None
+
+    def _postfix(self) -> GNode:
+        value = self._primary()
+        while True:
+            if self._eat("("):
+                arguments = None
+                if not self._eat(")"):
+                    arguments = [self._expression()]
+                    while self._eat(","):
+                        arguments.append(self._expression())
+                    self._expect(")")
+                value = GNode("Call", (value, arguments))
+            elif self._eat("["):
+                index = self._expression()
+                self._expect("]")
+                value = GNode("Index", (value, index))
+            elif self._peek() == "." and _is_ident_start(self._peek(1)):
+                self._pos += 1
+                self._skip_space()
+                value = GNode("Field", (value, self._expect_identifier()))
+            else:
+                return value
+
+    def _primary(self) -> GNode:
+        if self._eat_word("new"):
+            ntype = self._type()
+            if ntype is None:
+                self._error("expected type after 'new'")
+            if self._eat("["):
+                size = self._expression()
+                self._expect("]")
+                return GNode("NewArray", (ntype, size))
+            self._expect("(")
+            arguments = None
+            if not self._eat(")"):
+                arguments = [self._expression()]
+                while self._eat(","):
+                    arguments.append(self._expression())
+                self._expect(")")
+            return GNode("New", (ntype, arguments))
+        if self._eat_word("this"):
+            return GNode("This")
+        if self._eat("("):
+            value = self._expression()
+            self._expect(")")
+            return value
+        literal = self._literal()
+        if literal is not None:
+            return literal
+        name = self._identifier()
+        if name is not None:
+            return GNode("Var", (name,))
+        self._error("expected expression")
+
+    def _literal(self):
+        text, n = self._text, self._length
+        pos = self._pos
+        ch = text[pos] if pos < n else ""
+        if ch in _DIGITS:
+            end = pos
+            while end < n and text[end] in _DIGITS:
+                end += 1
+            if end + 1 < n and text[end] == "." and text[end + 1] in _DIGITS:
+                end += 1
+                while end < n and text[end] in _DIGITS:
+                    end += 1
+                value = text[pos:end]
+                self._pos = end
+                self._skip_space()
+                return GNode("FloatLit", (value,))
+            value = text[pos:end]
+            self._pos = end
+            self._skip_space()
+            return GNode("IntLit", (value,))
+        if ch == '"':
+            end = pos + 1
+            while end < n and text[end] != '"':
+                end += 2 if text[end] == "\\" else 1
+            if end >= n:
+                self._error("unterminated string")
+            value = text[pos + 1 : end]
+            self._pos = end + 1
+            self._skip_space()
+            return GNode("StringLit", (value,))
+        if ch == "'":
+            end = pos + 1
+            if end < n and text[end] == "\\":
+                end += 2
+            else:
+                end += 1
+            if end >= n or text[end] != "'":
+                self._error("bad character literal")
+            value = text[pos + 1 : end]
+            self._pos = end + 1
+            self._skip_space()
+            return GNode("CharLit", (value,))
+        if self._eat_word("true"):
+            return GNode("True")
+        if self._eat_word("false"):
+            return GNode("False")
+        if self._eat_word("null"):
+            return GNode("Null")
+        return None
+
+    # -- local declarations (needs two-token lookahead) -------------------------------------
+
+    def _declarators(self) -> list[GNode]:
+        declarators = [self._declarator()]
+        while self._eat(","):
+            declarators.append(self._declarator())
+        return declarators
+
+    def _declarator(self) -> GNode:
+        name = self._expect_identifier()
+        init = None
+        if self._eat("=", not_followed_by="="):
+            init = self._expression()
+        return GNode("Declarator", (name, init))

@@ -1,0 +1,153 @@
+"""Hand-written recursive-descent parser for JSON.
+
+Produces exactly the trees of the ``json.Json`` grammar:
+``(Object [members]|None)``, ``(Array [values]|None)``, ``(String 'raw')``,
+``(Number 'text')``, ``(True)``, ``(False)``, ``(Null)``,
+``(Member 'key' value)``.  String contents stay raw (escapes undecoded),
+matching the grammar's text capture.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.locations import line_column
+from repro.runtime.node import GNode
+
+_SPACE = " \t\r\n"
+_DIGITS = "0123456789"
+
+
+class JsonParser:
+    def __init__(self, text: str, source: str = "<input>"):
+        self._text = text
+        self._length = len(text)
+        self._pos = 0
+
+    def parse(self) -> GNode:
+        self._skip_space()
+        value = self._value()
+        if self._pos != self._length:
+            self._error("trailing input")
+        return value
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _error(self, message: str) -> None:
+        line, column = line_column(self._text, self._pos)
+        raise ParseError(message, self._pos, line, column)
+
+    def _skip_space(self) -> None:
+        pos, text, n = self._pos, self._text, self._length
+        while pos < n and text[pos] in _SPACE:
+            pos += 1
+        self._pos = pos
+
+    def _eat(self, ch: str) -> bool:
+        if self._pos < self._length and self._text[self._pos] == ch:
+            self._pos += 1
+            self._skip_space()
+            return True
+        return False
+
+    def _eat_word(self, word: str) -> bool:
+        if self._text.startswith(word, self._pos):
+            self._pos += len(word)
+            self._skip_space()
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------------
+
+    def _value(self) -> GNode:
+        ch = self._text[self._pos] if self._pos < self._length else ""
+        if ch == "{":
+            return self._object()
+        if ch == "[":
+            return self._array()
+        if ch == '"':
+            return GNode("String", (self._string(),))
+        if ch in "-0123456789":
+            return GNode("Number", (self._number(),))
+        if self._eat_word("true"):
+            return GNode("True")
+        if self._eat_word("false"):
+            return GNode("False")
+        if self._eat_word("null"):
+            return GNode("Null")
+        self._error("expected JSON value")
+
+    def _object(self) -> GNode:
+        self._eat("{")
+        if self._eat("}"):
+            return GNode("Object", (None,))
+        members = [self._member()]
+        while self._eat(","):
+            members.append(self._member())
+        if not self._eat("}"):
+            self._error("expected '}'")
+        return GNode("Object", (members,))
+
+    def _member(self) -> GNode:
+        key = self._string()
+        if not self._eat(":"):
+            self._error("expected ':'")
+        return GNode("Member", (key, self._value()))
+
+    def _array(self) -> GNode:
+        self._eat("[")
+        if self._eat("]"):
+            return GNode("Array", (None,))
+        values = [self._value()]
+        while self._eat(","):
+            values.append(self._value())
+        if not self._eat("]"):
+            self._error("expected ']'")
+        return GNode("Array", (values,))
+
+    def _string(self) -> str:
+        text, n = self._text, self._length
+        if self._pos >= n or text[self._pos] != '"':
+            self._error("expected string")
+        pos = self._pos + 1
+        start = pos
+        while pos < n:
+            ch = text[pos]
+            if ch == '"':
+                raw = text[start:pos]
+                self._pos = pos + 1
+                self._skip_space()
+                return raw
+            if ch == "\\":
+                pos += 2
+            else:
+                pos += 1
+        self._error("unterminated string")
+
+    def _number(self) -> str:
+        text, n = self._text, self._length
+        start = pos = self._pos
+        if pos < n and text[pos] == "-":
+            pos += 1
+        if pos < n and text[pos] == "0":
+            pos += 1
+        else:
+            if pos >= n or text[pos] not in _DIGITS:
+                self._error("expected digit")
+            while pos < n and text[pos] in _DIGITS:
+                pos += 1
+        if pos + 1 < n and text[pos] == "." and text[pos + 1] in _DIGITS:
+            pos += 1
+            while pos < n and text[pos] in _DIGITS:
+                pos += 1
+        if pos < n and text[pos] in "eE":
+            look = pos + 1
+            if look < n and text[look] in "+-":
+                look += 1
+            if look < n and text[look] in _DIGITS:
+                pos = look
+                while pos < n and text[pos] in _DIGITS:
+                    pos += 1
+        value = text[start:pos]
+        self._pos = pos
+        self._skip_space()
+        return value

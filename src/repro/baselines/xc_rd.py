@@ -1,0 +1,663 @@
+"""Hand-written recursive-descent parser for the xC language.
+
+The C-family counterpart of :mod:`repro.baselines.jay_rd`: a conventional
+deterministic parser producing exactly the same generic trees as the
+``xc.XC`` grammar (cross-checked by the tests), used as the second
+hand-written comparator in the throughput experiment.
+
+The operator lookahead rules mirror the grammar's predicates one for one:
+``|`` must not start ``||``/``|=``, ``<`` must not start ``<<``/``<=``,
+``-`` must not start ``--``/``-=``/``->``, and so on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.locations import line_column
+from repro.runtime.node import GNode
+
+KEYWORDS = frozenset(
+    "continue unsigned default typedef double return signed sizeof struct "
+    "switch break float short while case char else goto long void for int "
+    "do if".split()
+)
+
+BASIC_TYPES = ("unsigned", "signed", "double", "float", "short", "char", "long", "void", "int")
+
+_SPACE = " \t\r\n"
+_DIGITS = "0123456789"
+_HEX = "0123456789abcdefABCDEF"
+
+#: Compound assignment operators, longest first.
+ASSIGN_OPS = ("<<=", ">>=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=")
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+class XcParser:
+    """One instance per input text."""
+
+    def __init__(self, text: str, source: str = "<input>"):
+        self._text = text
+        self._length = len(text)
+        self._pos = 0
+        self._source = source
+
+    # -- public --------------------------------------------------------------------
+
+    def parse(self) -> GNode:
+        self._skip_space()
+        declarations = [self._external_declaration()]
+        while self._pos < self._length:
+            declarations.append(self._external_declaration())
+        return GNode("Unit", (declarations,))
+
+    # -- scanning ------------------------------------------------------------------
+
+    def _error(self, message: str) -> None:
+        line, column = line_column(self._text, self._pos)
+        raise ParseError(message, self._pos, line, column)
+
+    def _skip_space(self) -> None:
+        text, n = self._text, self._length
+        pos = self._pos
+        while pos < n:
+            ch = text[pos]
+            if ch in _SPACE:
+                pos += 1
+            elif ch == "#" or text.startswith("//", pos):
+                end = text.find("\n", pos)
+                pos = n if end == -1 else end + 1
+            elif text.startswith("/*", pos):
+                end = text.find("*/", pos + 2)
+                if end == -1:
+                    self._pos = pos
+                    self._error("unterminated comment")
+                pos = end + 2
+            else:
+                break
+        self._pos = pos
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._text[index] if index < self._length else ""
+
+    def _at_word(self, word: str) -> bool:
+        if not self._text.startswith(word, self._pos):
+            return False
+        after = self._pos + len(word)
+        return after >= self._length or not _is_ident_part(self._text[after])
+
+    def _eat_word(self, word: str) -> bool:
+        if self._at_word(word):
+            self._pos += len(word)
+            self._skip_space()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._eat_word(word):
+            self._error(f"expected {word!r}")
+
+    def _eat(self, symbol: str, not_followed_by: str = "") -> bool:
+        if not self._text.startswith(symbol, self._pos):
+            return False
+        after = self._pos + len(symbol)
+        if not_followed_by and after < self._length and self._text[after] in not_followed_by:
+            return False
+        self._pos = after
+        self._skip_space()
+        return True
+
+    def _expect(self, symbol: str) -> None:
+        if not self._eat(symbol):
+            self._error(f"expected {symbol!r}")
+
+    def _identifier(self) -> str | None:
+        text = self._text
+        pos = self._pos
+        if pos >= self._length or not _is_ident_start(text[pos]):
+            return None
+        end = pos + 1
+        while end < self._length and _is_ident_part(text[end]):
+            end += 1
+        word = text[pos:end]
+        if word in KEYWORDS:
+            return None
+        self._pos = end
+        self._skip_space()
+        return word
+
+    def _expect_identifier(self) -> str:
+        name = self._identifier()
+        if name is None:
+            self._error("expected identifier")
+        return name
+
+    # -- external declarations ---------------------------------------------------------
+
+    def _external_declaration(self) -> GNode:
+        saved = self._pos
+        if self._eat_word("struct"):
+            name = self._identifier()
+            if name is not None and self._eat("{"):
+                fields = [self._struct_field()]
+                while not self._eat("}"):
+                    fields.append(self._struct_field())
+                self._expect(";")
+                return GNode("StructDef", (name, fields))
+            self._pos = saved
+            self._skip_space()
+        # Function: specs declarator '(' params? ')' block
+        try:
+            specs = self._declaration_specifiers()
+            if specs is not None:
+                declarator = self._declarator()
+                if declarator is not None and self._eat("("):
+                    parameters = None
+                    if not self._eat(")"):
+                        parameters = self._parameter_list()
+                        self._expect(")")
+                    if self._peek() == "{":
+                        return GNode("Function", (specs, declarator, parameters, self._compound()))
+        except ParseError:
+            pass
+        self._pos = saved
+        self._skip_space()
+        declaration = self._declaration()
+        if declaration is None:
+            self._error("expected external declaration")
+        return GNode("Global", (declaration,))
+
+    def _struct_field(self) -> GNode:
+        specs = self._declaration_specifiers()
+        if specs is None:
+            self._error("expected struct field type")
+        declarator = self._declarator()
+        if declarator is None:
+            self._error("expected struct field declarator")
+        self._expect(";")
+        return GNode("StructField", (specs, declarator))
+
+    def _parameter_list(self):
+        saved = self._pos
+        if self._eat_word("void") and self._peek() == ")":
+            return "void"
+        self._pos = saved
+        self._skip_space()
+        parameters = [self._parameter()]
+        while self._eat(","):
+            parameters.append(self._parameter())
+        return parameters
+
+    def _parameter(self) -> GNode:
+        specs = self._declaration_specifiers()
+        if specs is None:
+            self._error("expected parameter type")
+        declarator = self._declarator()
+        if declarator is None:
+            self._error("expected parameter declarator")
+        return GNode("Parameter", (specs, declarator))
+
+    # -- declarations -----------------------------------------------------------------
+
+    def _declaration_specifiers(self):
+        specifiers = []
+        while True:
+            saved = self._pos
+            if self._eat_word("struct"):
+                name = self._identifier()
+                if name is None:
+                    self._pos = saved
+                    self._skip_space()
+                    break
+                specifiers.append(GNode("StructType", (name,)))
+                continue
+            for basic in BASIC_TYPES:
+                if self._eat_word(basic):
+                    specifiers.append(GNode("BasicType", (basic,)))
+                    break
+            else:
+                break
+        return specifiers or None
+
+    def _declarator(self):
+        if self._eat("*"):
+            inner = self._declarator()
+            if inner is None:
+                self._error("expected declarator after '*'")
+            return GNode("Pointer", (inner,))
+        return self._direct_declarator()
+
+    def _direct_declarator(self):
+        name = self._identifier()
+        if name is None:
+            return None
+        node = GNode("NameDecl", (name,))
+        while self._peek() == "[":
+            saved = self._pos
+            self._pos += 1
+            self._skip_space()
+            size = None
+            start = self._pos
+            while self._pos < self._length and self._text[self._pos] in _DIGITS:
+                self._pos += 1
+            if self._pos > start:
+                size = self._text[start : self._pos]
+                self._skip_space()
+            if not self._eat("]"):
+                self._pos = saved
+                break
+            node = GNode("ArrayDecl", (node, size))
+        return node
+
+    def _declaration(self):
+        saved = self._pos
+        specs = self._declaration_specifiers()
+        if specs is None:
+            return None
+        try:
+            declarators = [self._init_declarator()]
+            while self._eat(","):
+                declarators.append(self._init_declarator())
+            if not self._eat(";"):
+                self._pos = saved
+                self._skip_space()
+                return None
+            return GNode("Declaration", (specs, declarators))
+        except ParseError:
+            self._pos = saved
+            self._skip_space()
+            return None
+
+    def _init_declarator(self) -> GNode:
+        declarator = self._declarator()
+        if declarator is None:
+            self._error("expected declarator")
+        init = None
+        if self._eat("=", not_followed_by="="):
+            init = self._assignment()
+        return GNode("InitDeclarator", (declarator, init))
+
+    # -- statements --------------------------------------------------------------------
+
+    def _compound(self) -> GNode:
+        self._expect("{")
+        statements = []
+        while not self._eat("}"):
+            statements.append(self._statement())
+        return GNode("Block", (statements,))
+
+    def _statement(self) -> GNode:
+        ch = self._peek()
+        if ch == "{":
+            return self._compound()
+        if self._eat_word("if"):
+            self._expect("(")
+            condition = self._expression()
+            self._expect(")")
+            then = self._statement()
+            otherwise = self._statement() if self._eat_word("else") else None
+            return GNode("If", (condition, then, otherwise))
+        if self._eat_word("switch"):
+            self._expect("(")
+            value = self._expression()
+            self._expect(")")
+            return GNode("Switch", (value, self._statement()))
+        if self._eat_word("case"):
+            value = self._conditional()
+            self._expect(":")
+            return GNode("Case", (value,))
+        if self._eat_word("default"):
+            self._expect(":")
+            return GNode("Default")
+        if self._eat_word("while"):
+            self._expect("(")
+            condition = self._expression()
+            self._expect(")")
+            return GNode("While", (condition, self._statement()))
+        if self._eat_word("do"):
+            body = self._statement()
+            self._expect_word("while")
+            self._expect("(")
+            condition = self._expression()
+            self._expect(")")
+            self._expect(";")
+            return GNode("DoWhile", (body, condition))
+        if self._eat_word("for"):
+            return self._for_statement()
+        if self._eat_word("return"):
+            value = None if self._peek() == ";" else self._expression()
+            self._expect(";")
+            return GNode("Return", (value,))
+        if self._eat_word("break"):
+            self._expect(";")
+            return GNode("Break")
+        if self._eat_word("continue"):
+            self._expect(";")
+            return GNode("Continue")
+        if self._eat_word("goto"):
+            name = self._expect_identifier()
+            self._expect(";")
+            return GNode("Goto", (name,))
+        if self._eat(";"):
+            return GNode("Empty")
+        # Label: identifier ':'  (before declarations/expressions, as in
+        # the grammar's alternative order)
+        saved = self._pos
+        name = self._identifier()
+        if name is not None and self._eat(":"):
+            return GNode("Label", (name,))
+        self._pos = saved
+        self._skip_space()
+        declaration = self._declaration()
+        if declaration is not None:
+            return GNode("Decl", (declaration,))
+        expression = self._expression()
+        self._expect(";")
+        return GNode("ExprStmt", (expression,))
+
+    def _for_statement(self) -> GNode:
+        self._expect("(")
+        init = None
+        if self._peek() != ";":
+            init = self._for_init()
+        self._expect(";")
+        condition = None if self._peek() == ";" else self._expression()
+        self._expect(";")
+        update = None if self._peek() == ")" else self._expression()
+        self._expect(")")
+        return GNode("For", (init, condition, update, self._statement()))
+
+    def _for_init(self) -> GNode:
+        saved = self._pos
+        specs = self._declaration_specifiers()
+        if specs is not None:
+            try:
+                declarators = [self._init_declarator()]
+                while self._eat(","):
+                    declarators.append(self._init_declarator())
+                return GNode("ForDecl", (specs, declarators))
+            except ParseError:
+                self._pos = saved
+                self._skip_space()
+        return GNode("ForExpr", (self._expression(),))
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _expression(self) -> GNode:
+        value = self._assignment()
+        while self._eat(","):
+            value = GNode("Comma", (value, self._assignment()))
+        return value
+
+    def _assignment(self) -> GNode:
+        saved = self._pos
+        target = self._unary_or_none()
+        if target is not None:
+            operator = self._assignment_operator()
+            if operator is not None:
+                return GNode("Assign", (target, operator, self._assignment()))
+        self._pos = saved
+        self._skip_space()
+        return self._conditional()
+
+    def _assignment_operator(self):
+        for op in ASSIGN_OPS:
+            if self._eat(op):
+                return op
+        if self._eat("=", not_followed_by="="):
+            return "="
+        return None
+
+    def _conditional(self) -> GNode:
+        condition = self._logical_or()
+        if self._eat("?"):
+            then = self._expression()
+            self._expect(":")
+            return GNode("Conditional", (condition, then, self._conditional()))
+        return condition
+
+    def _logical_or(self) -> GNode:
+        value = self._logical_and()
+        while self._eat("||"):
+            value = GNode("LogicalOr", (value, self._logical_and()))
+        return value
+
+    def _logical_and(self) -> GNode:
+        value = self._bit_or()
+        while self._eat("&&"):
+            value = GNode("LogicalAnd", (value, self._bit_or()))
+        return value
+
+    def _bit_or(self) -> GNode:
+        value = self._bit_xor()
+        while self._eat("|", not_followed_by="|="):
+            value = GNode("BitOr", (value, self._bit_xor()))
+        return value
+
+    def _bit_xor(self) -> GNode:
+        value = self._bit_and()
+        while self._eat("^", not_followed_by="="):
+            value = GNode("BitXor", (value, self._bit_and()))
+        return value
+
+    def _bit_and(self) -> GNode:
+        value = self._equality()
+        while self._eat("&", not_followed_by="&="):
+            value = GNode("BitAnd", (value, self._equality()))
+        return value
+
+    def _equality(self) -> GNode:
+        value = self._relational()
+        while True:
+            if self._eat("=="):
+                value = GNode("Equal", (value, self._relational()))
+            elif self._eat("!="):
+                value = GNode("NotEqual", (value, self._relational()))
+            else:
+                return value
+
+    def _relational(self) -> GNode:
+        value = self._shift()
+        while True:
+            if self._eat("<="):
+                value = GNode("LessEqual", (value, self._shift()))
+            elif self._eat(">="):
+                value = GNode("GreaterEqual", (value, self._shift()))
+            elif self._eat("<", not_followed_by="<"):
+                value = GNode("Less", (value, self._shift()))
+            elif self._eat(">", not_followed_by=">"):
+                value = GNode("Greater", (value, self._shift()))
+            else:
+                return value
+
+    def _shift(self) -> GNode:
+        value = self._additive()
+        while True:
+            if self._eat("<<", not_followed_by="="):
+                value = GNode("ShiftLeft", (value, self._additive()))
+            elif self._eat(">>", not_followed_by="="):
+                value = GNode("ShiftRight", (value, self._additive()))
+            else:
+                return value
+
+    def _additive(self) -> GNode:
+        value = self._multiplicative()
+        while True:
+            if self._eat("+", not_followed_by="+="):
+                value = GNode("Add", (value, self._multiplicative()))
+            elif self._eat("-", not_followed_by="-=>"):
+                value = GNode("Sub", (value, self._multiplicative()))
+            else:
+                return value
+
+    def _multiplicative(self) -> GNode:
+        value = self._unary()
+        while True:
+            if self._eat("*", not_followed_by="="):
+                value = GNode("Mul", (value, self._unary()))
+            elif self._eat("/", not_followed_by="=/*"):
+                value = GNode("Div", (value, self._unary()))
+            elif self._eat("%", not_followed_by="="):
+                value = GNode("Mod", (value, self._unary()))
+            else:
+                return value
+
+    def _unary_or_none(self):
+        try:
+            return self._unary()
+        except ParseError:
+            return None
+
+    def _unary(self) -> GNode:
+        if self._eat("++"):
+            return GNode("PreIncrement", (self._unary(),))
+        if self._eat("--"):
+            return GNode("PreDecrement", (self._unary(),))
+        if self._eat("-", not_followed_by="-="):
+            return GNode("Neg", (self._unary(),))
+        if self._eat("!", not_followed_by="="):
+            return GNode("Not", (self._unary(),))
+        if self._eat("~"):
+            return GNode("BitNot", (self._unary(),))
+        if self._eat("*", not_followed_by="="):
+            return GNode("Deref", (self._unary(),))
+        if self._eat("&", not_followed_by="&="):
+            return GNode("AddrOf", (self._unary(),))
+        return self._postfix()
+
+    def _postfix(self) -> GNode:
+        value = self._primary()
+        while True:
+            if self._eat("("):
+                arguments = None
+                if not self._eat(")"):
+                    arguments = [self._assignment()]
+                    while self._eat(","):
+                        arguments.append(self._assignment())
+                    self._expect(")")
+                value = GNode("Call", (value, arguments))
+            elif self._eat("["):
+                index = self._expression()
+                self._expect("]")
+                value = GNode("Index", (value, index))
+            elif self._eat("->"):
+                value = GNode("Arrow", (value, self._expect_identifier()))
+            elif self._peek() == "." and _is_ident_start(self._peek(1)):
+                self._pos += 1
+                self._skip_space()
+                value = GNode("Member", (value, self._expect_identifier()))
+            elif self._eat("++"):
+                value = GNode("PostIncrement", (value,))
+            elif self._eat("--"):
+                value = GNode("PostDecrement", (value,))
+            else:
+                return value
+
+    def _primary(self) -> GNode:
+        if self._eat("("):
+            value = self._expression()
+            self._expect(")")
+            return value
+        constant = self._constant()
+        if constant is not None:
+            return constant
+        name = self._identifier()
+        if name is not None:
+            return GNode("Var", (name,))
+        self._error("expected expression")
+
+    # -- constants ----------------------------------------------------------------------
+
+    def _constant(self):
+        text, n = self._text, self._length
+        pos = self._pos
+        ch = text[pos] if pos < n else ""
+        if ch in _DIGITS or (ch == "." and pos + 1 < n and text[pos + 1] in _DIGITS):
+            return self._number()
+        if ch == "'":
+            end = pos + 1
+            if end < n and text[end] == "\\":
+                end += 2
+            else:
+                end += 1
+            if end >= n or text[end] != "'":
+                self._error("bad character constant")
+            value = text[pos + 1 : end]
+            self._pos = end + 1
+            self._skip_space()
+            return GNode("CharConst", (value,))
+        if ch == '"':
+            end = pos + 1
+            while end < n and text[end] != '"':
+                end += 2 if text[end] == "\\" else 1
+            if end >= n:
+                self._error("unterminated string")
+            value = text[pos + 1 : end]
+            self._pos = end + 1
+            self._skip_space()
+            return GNode("StringConst", (value,))
+        return None
+
+    def _number(self) -> GNode:
+        text, n = self._text, self._length
+        pos = self._pos
+        # Float: digits '.' digits* suffix?   or   '.' digits suffix?
+        if text[pos] == ".":
+            end = pos + 1
+            while end < n and text[end] in _DIGITS:
+                end += 1
+            if end < n and text[end] in "fFlL":
+                end += 1
+            value = text[pos:end]
+            self._pos = end
+            self._skip_space()
+            return GNode("FloatConst", (value,))
+        digits_end = pos
+        while digits_end < n and text[digits_end] in _DIGITS:
+            digits_end += 1
+        if digits_end < n and text[digits_end] == ".":
+            end = digits_end + 1
+            while end < n and text[end] in _DIGITS:
+                end += 1
+            if end < n and text[end] in "fFlL":
+                end += 1
+            value = text[pos:end]
+            self._pos = end
+            self._skip_space()
+            return GNode("FloatConst", (value,))
+        # Hex: 0x… / 0X… (tried before plain int, as in the grammar)
+        if text[pos] == "0" and pos + 1 < n and text[pos + 1] in "xX" and pos + 2 < n and text[pos + 2] in _HEX:
+            end = pos + 2
+            while end < n and text[end] in _HEX:
+                end += 1
+            value = text[pos:end]
+            self._pos = end
+            self._int_suffix()
+            self._skip_space()
+            return GNode("HexConst", (value,))
+        value = text[pos:digits_end]
+        self._pos = digits_end
+        self._int_suffix()
+        self._skip_space()
+        return GNode("IntConst", (value,))
+
+    def _int_suffix(self) -> None:
+        text, n = self._text, self._length
+        pos = self._pos
+        if pos < n and text[pos] in "uU":
+            pos += 1
+            if pos < n and text[pos] in "lL":
+                pos += 1
+        elif pos < n and text[pos] in "lL":
+            pos += 1
+            if pos < n and text[pos] in "uU":
+                pos += 1
+        self._pos = pos

@@ -1,0 +1,12 @@
+"""Parser generation: prepared grammar → Python source → parser class."""
+
+from repro.codegen.generator import ParserGenerator, generate_parser_source
+from repro.codegen.load import load_parser, load_parser_file, load_parser_module
+
+__all__ = [
+    "ParserGenerator",
+    "generate_parser_source",
+    "load_parser",
+    "load_parser_file",
+    "load_parser_module",
+]

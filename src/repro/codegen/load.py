@@ -1,0 +1,43 @@
+"""Turning generated parser source into a usable parser class."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+from types import ModuleType
+
+from repro.errors import CodegenError
+
+
+def load_parser_module(source: str, module_name: str = "repro_generated_parser") -> ModuleType:
+    """Execute generated parser source and return the module object."""
+    module = ModuleType(module_name)
+    module.__dict__["__name__"] = module_name
+    try:
+        code = compile(source, f"<generated:{module_name}>", "exec")
+        exec(code, module.__dict__)  # noqa: S102 - our own generated code
+    except SyntaxError as exc:  # pragma: no cover - generator bug guard
+        raise CodegenError(f"generated parser does not compile: {exc}") from exc
+    return module
+
+
+def load_parser(source: str, parser_name: str = "Parser"):
+    """Execute generated source and return the parser class."""
+    module = load_parser_module(source)
+    try:
+        return getattr(module, parser_name)
+    except AttributeError as exc:  # pragma: no cover
+        raise CodegenError(f"generated module defines no class {parser_name!r}") from exc
+
+
+def load_parser_file(path: str | Path, parser_name: str = "Parser"):
+    """Import a previously written parser file and return the parser class."""
+    path = Path(path)
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    if spec is None or spec.loader is None:
+        raise CodegenError(f"cannot import parser file {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[path.stem] = module
+    spec.loader.exec_module(module)
+    return getattr(module, parser_name)

@@ -1,0 +1,51 @@
+"""A small indentation-aware code writer used by the parser generator."""
+
+from __future__ import annotations
+
+
+class CodeWriter:
+    """Accumulates Python source lines with managed indentation."""
+
+    INDENT = "    "
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._depth = 0
+
+    def line(self, text: str = "") -> None:
+        if text:
+            self._lines.append(self.INDENT * self._depth + text)
+        else:
+            self._lines.append("")
+
+    def lines(self, *texts: str) -> None:
+        for text in texts:
+            self.line(text)
+
+    def indent(self) -> "CodeWriter":
+        self._depth += 1
+        return self
+
+    def dedent(self) -> "CodeWriter":
+        if self._depth == 0:
+            raise ValueError("dedent below zero")
+        self._depth -= 1
+        return self
+
+    class _Block:
+        def __init__(self, writer: "CodeWriter"):
+            self._writer = writer
+
+        def __enter__(self) -> "CodeWriter":
+            return self._writer.indent()
+
+        def __exit__(self, *exc) -> None:
+            self._writer.dedent()
+
+    def block(self, header: str) -> "_Block":
+        """``with w.block("if ok:"):`` — emit header and indent the body."""
+        self.line(header)
+        return CodeWriter._Block(self)
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"

@@ -1,0 +1,77 @@
+"""Exception hierarchy shared across the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the phase that failed (reading a grammar file, composing
+modules, analysing or optimizing a grammar, generating a parser, or parsing
+input text).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GrammarSyntaxError(ReproError):
+    """A grammar-definition (``.mg``) file is syntactically malformed.
+
+    Carries the source name and position so tools can print a conventional
+    ``file:line:column: message`` diagnostic.
+    """
+
+    def __init__(self, message: str, source: str = "<string>", line: int = 0, column: int = 0):
+        super().__init__(f"{source}:{line}:{column}: {message}")
+        self.message = message
+        self.source = source
+        self.line = line
+        self.column = column
+
+
+class CompositionError(ReproError):
+    """Module composition failed (missing module, bad instantiation,
+    conflicting or dangling modification, duplicate production, ...)."""
+
+
+class AnalysisError(ReproError):
+    """A static analysis rejected the grammar (e.g. ill-formed recursion)."""
+
+
+class CodegenError(ReproError):
+    """Parser generation failed for a structural reason."""
+
+
+class ParseError(ReproError):
+    """Input text could not be parsed by a generated or interpreted parser.
+
+    The position reported is the *farthest failure* observed, which in PEG
+    parsing is the conventional best guess for where the input is wrong.
+    """
+
+    def __init__(self, message: str, offset: int, line: int, column: int, expected: tuple[str, ...] = ()):
+        full = message
+        if expected:
+            full = f"{message} (expected {', '.join(sorted(set(expected)))})"
+        super().__init__(f"{line}:{column}: {full}")
+        self.message = message
+        self.offset = offset
+        self.line = line
+        self.column = column
+        self.expected = expected
+
+    def show(self, text: str, source: str = "<input>") -> str:
+        """A compiler-style diagnostic with the offending line and a caret.
+
+        ``text`` must be the input that was parsed (errors don't retain it).
+        """
+        start = text.rfind("\n", 0, self.offset) + 1
+        end = text.find("\n", self.offset)
+        if end == -1:
+            end = len(text)
+        source_line = text[start:end]
+        caret = " " * (self.offset - start) + "^"
+        header = f"{source}:{self.line}:{self.column}: error: {self.message}"
+        if self.expected:
+            header += f" (expected {', '.join(sorted(set(self.expected)))})"
+        return f"{header}\n  {source_line}\n  {caret}"

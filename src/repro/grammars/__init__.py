@@ -1,0 +1,55 @@
+"""Grammar modules shipped with the library.
+
+These ``.mg`` files are the data for the modularity experiments and the
+demo languages:
+
+``calc.*``
+    a small arithmetic language; ``calc.Calculator`` is the root, with
+    ``calc.Power`` and ``calc.Comparison`` as extension modules.
+``json.*``
+    JSON, split into spacing/number/string/value modules;
+    root ``json.Json``.
+``jay.*``
+    **Jay**, a Java subset modeled on the paper's modular Java grammar
+    (spacing, identifiers, keywords, literals, types, expressions,
+    statements, declarations, compilation unit); root ``jay.Jay``; the
+    extension modules ``jay.ForEach``, ``jay.AssertStmt`` and ``jay.Sql``
+    add an enhanced for loop, an assert statement, and embedded SQL
+    expressions.
+``xc.*``
+    **xC**, a C subset with the same decomposition style; root ``xc.XC``;
+    extension ``xc.Until`` adds an ``until`` loop.
+``sql.*``
+    a mini SQL SELECT grammar, composable into host languages.
+``ml.*``
+    **mini-ML**, an OCaml-flavored functional language (juxtaposition
+    application, pattern matching, cons lists); root ``ml.ML``; see
+    ``examples/miniml_interpreter.py`` for a working evaluator.
+``meta.*``
+    the ``.mg`` grammar-definition language itself (the bootstrap);
+    root ``meta.Module``, consumed by :mod:`repro.meta.selfhost`.
+
+Use :func:`repro.load_grammar` / :func:`repro.compile_grammar` with these
+names — the default :class:`repro.meta.ModuleLoader` finds them
+automatically.
+"""
+
+ROOTS = {
+    "calc": "calc.Calculator",
+    "json": "json.Json",
+    "jay": "jay.Jay",
+    "xc": "xc.XC",
+    "sql": "sql.Sql",
+    "ml": "ml.ML",
+    "meta": "meta.Module",
+}
+
+EXTENSIONS = {
+    "calc": ["calc.Power", "calc.Comparison", "calc.Full"],
+    "jay": [
+        "jay.ForEach", "jay.AssertStmt", "jay.SwitchStmt",
+        "jay.Increments", "jay.Sql", "jay.Extended",
+    ],
+    "xc": ["xc.Until", "xc.Extended"],
+    "ml": ["ml.Pipeline", "ml.Extended"],
+}

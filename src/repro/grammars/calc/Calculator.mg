@@ -1,0 +1,7 @@
+// Root module of the base calculator language.
+module calc.Calculator;
+
+import calc.Core;
+import calc.Spacing;
+
+public Object Calculation = Spacing Expression EndOfInput ;

@@ -1,0 +1,19 @@
+// Extension: comparison operators above arithmetic, and a new root.
+//
+// An independent module written without knowledge of calc.Power; the
+// composition experiment (E6) combines both.
+module calc.Comparison;
+
+import calc.Core;
+import calc.Spacing;
+
+generic Comparison =
+    <Lt> Comparison void:"<"  !( "=" ) Spacing Expression
+  / <Le> Comparison void:"<=" Spacing Expression
+  / <Gt> Comparison void:">"  !( "=" ) Spacing Expression
+  / <Ge> Comparison void:">=" Spacing Expression
+  / <Eq> Comparison void:"==" Spacing Expression
+  / Expression
+  ;
+
+public Object ComparisonCalculation = Spacing Comparison EndOfInput ;

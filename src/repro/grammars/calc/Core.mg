@@ -1,0 +1,31 @@
+// Core arithmetic expressions: +, -, *, /, unary minus, parentheses.
+//
+// Binary operators are written with natural left recursion; the
+// left-recursion transformation turns them into iteration while keeping
+// left-leaning trees ((a - b) - c).
+module calc.Core;
+
+import calc.Spacing;
+import calc.Number;
+
+public generic Expression =
+    <Add> Expression void:"+" Spacing Term
+  / <Sub> Expression void:"-" Spacing Term
+  / Term
+  ;
+
+generic Term =
+    <Mul> Term void:"*" Spacing Factor
+  / <Div> Term void:"/" Spacing Factor
+  / Factor
+  ;
+
+generic Factor =
+    <Neg> void:"-" Spacing Factor
+  / Primary
+  ;
+
+Object Primary =
+    void:"(" Spacing Expression void:")" Spacing
+  / Number
+  ;

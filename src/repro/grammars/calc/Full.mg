@@ -1,0 +1,7 @@
+// Composition of two independently written extensions: power + comparison.
+module calc.Full;
+
+import calc.Power;
+import calc.Comparison;
+
+public Object FullCalculation = Spacing Comparison EndOfInput ;

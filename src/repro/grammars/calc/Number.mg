@@ -1,0 +1,9 @@
+// Numeric literals for the calculator language.
+module calc.Number;
+
+import calc.Spacing;
+
+generic Number =
+    <Float> text:([0-9]+ "." [0-9]+) Spacing
+  / <Int>   text:([0-9]+) Spacing
+  ;

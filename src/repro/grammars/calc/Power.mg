@@ -1,0 +1,9 @@
+// Extension: right-associative exponentiation, binding tighter than * and /.
+//
+// Demonstrates the modification mechanism: Factor gains a new alternative
+// *before* the existing ones, so ``2 ** 3 ** 2`` parses as (Pow 2 (Pow 3 2)).
+module calc.Power;
+
+modify calc.Core;
+
+Factor += <Pow> Primary void:"**" Spacing Factor / ... ;

@@ -1,0 +1,6 @@
+// White space for the calculator language.
+module calc.Spacing;
+
+transient void Spacing = ( " " / "\t" / "\r" / "\n" )* ;
+
+transient void EndOfInput = !_ ;

@@ -1,0 +1,23 @@
+// Extension: the assert statement  ``assert expr ;`` / ``assert expr : expr ;``
+//
+// Besides adding the statement form, "assert" must become a reserved word
+// so it stops parsing as an identifier — demonstrated by modifying the
+// keyword list of jay.Keywords as a second, independent delta.
+module jay.AssertStmt;
+
+modify jay.Statements;
+modify jay.Keywords;
+
+import jay.Characters;
+import jay.Symbols;
+import jay.Expressions;
+import jay.Spacing;
+
+KeywordWord += "assert" / ... ;
+
+Statement +=
+    <Assert> ASSERT Expression ( COLON Expression )? SEMI
+  / ...
+  ;
+
+transient void ASSERT = "assert" !IdentifierPart Spacing ;

@@ -1,0 +1,6 @@
+// Character-level building blocks shared by identifiers and keywords.
+module jay.Characters;
+
+transient void IdentifierStart = [a-zA-Z_$] ;
+
+transient void IdentifierPart = [a-zA-Z0-9_$] ;

@@ -1,0 +1,42 @@
+// Class members and class declarations.
+module jay.Declarations;
+
+import jay.Keywords;
+import jay.Symbols;
+import jay.Identifiers;
+import jay.Types;
+import jay.Statements;
+import jay.Characters;
+import jay.Spacing;
+
+generic ClassDecl =
+    <Class> Modifier* CLASS Identifier ( EXTENDS QualifiedName )? ClassBody
+  ;
+
+Object ClassBody = LBRACE Member* RBRACE ;
+
+generic Member =
+    <Method> Modifier* ResultType Identifier LPAREN Parameters? RPAREN MethodBody
+  / <Field>  Modifier* Type Declarators SEMI
+  ;
+
+Object Modifier =
+    text:( "public" / "private" / "protected" / "static" / "final" )
+    !IdentifierPart Spacing
+  ;
+
+generic ResultType =
+    <Void> VOID
+  / Type
+  ;
+
+Object Parameters =
+    head:Parameter tail:( COMMA Parameter )* { cons(head, tail) }
+  ;
+
+generic Parameter = <Parameter> Type Identifier ;
+
+Object MethodBody =
+    Block
+  / SEMI
+  ;

@@ -1,0 +1,92 @@
+// The expression hierarchy.  Binary operators are written with natural
+// left recursion; precedence is encoded by the conventional layering of
+// productions.  Operator literals carry negative lookahead so that "<="
+// is never split into "<" "=", "+" never swallows the start of "+=", and
+// "/" is never confused with a comment opener.
+module jay.Expressions;
+
+import jay.Characters;
+import jay.Identifiers;
+import jay.Literals;
+import jay.Types;
+import jay.Symbols;
+import jay.Spacing;
+
+public generic Expression =
+    <Assign> PostfixExpression AssignmentOperator Expression
+  / ConditionalExpression
+  ;
+
+Object AssignmentOperator =
+    text:( "+=" / "-=" / "*=" / "/=" / "%=" ) Spacing
+  / text:( "=" ) !( "=" ) Spacing
+  ;
+
+generic ConditionalExpression =
+    <Conditional> LogicalOrExpression void:"?" Spacing Expression
+                  void:":" Spacing ConditionalExpression
+  / LogicalOrExpression
+  ;
+
+generic LogicalOrExpression =
+    <LogicalOr> LogicalOrExpression void:"||" Spacing LogicalAndExpression
+  / LogicalAndExpression
+  ;
+
+generic LogicalAndExpression =
+    <LogicalAnd> LogicalAndExpression void:"&&" Spacing EqualityExpression
+  / EqualityExpression
+  ;
+
+generic EqualityExpression =
+    <Equal>    EqualityExpression void:"==" Spacing RelationalExpression
+  / <NotEqual> EqualityExpression void:"!=" Spacing RelationalExpression
+  / RelationalExpression
+  ;
+
+generic RelationalExpression =
+    <LessEqual>    RelationalExpression void:"<=" Spacing AdditiveExpression
+  / <GreaterEqual> RelationalExpression void:">=" Spacing AdditiveExpression
+  / <Less>    RelationalExpression void:"<" Spacing AdditiveExpression
+  / <Greater> RelationalExpression void:">" Spacing AdditiveExpression
+  / AdditiveExpression
+  ;
+
+generic AdditiveExpression =
+    <Add> AdditiveExpression void:"+" !( [+=] ) Spacing MultiplicativeExpression
+  / <Sub> AdditiveExpression void:"-" !( [\-=] ) Spacing MultiplicativeExpression
+  / MultiplicativeExpression
+  ;
+
+generic MultiplicativeExpression =
+    <Mul> MultiplicativeExpression void:"*" !( "=" ) Spacing UnaryExpression
+  / <Div> MultiplicativeExpression void:"/" !( [=/*] ) Spacing UnaryExpression
+  / <Mod> MultiplicativeExpression void:"%" !( "=" ) Spacing UnaryExpression
+  / UnaryExpression
+  ;
+
+generic UnaryExpression =
+    <Neg> void:"-" !( [\-=] ) Spacing UnaryExpression
+  / <Not> void:"!" !( "=" ) Spacing UnaryExpression
+  / PostfixExpression
+  ;
+
+generic PostfixExpression =
+    <Call>  PostfixExpression void:"(" Spacing Arguments? void:")" Spacing
+  / <Index> PostfixExpression LBRACK Expression RBRACK
+  / <Field> PostfixExpression void:"." Spacing Identifier
+  / PrimaryExpression
+  ;
+
+Object Arguments =
+    head:Expression tail:( COMMA Expression )* { cons(head, tail) }
+  ;
+
+generic PrimaryExpression =
+    <NewArray> NEW Type LBRACK Expression RBRACK
+  / <New>      NEW Type void:"(" Spacing Arguments? void:")" Spacing
+  / <This>     THIS
+  / void:"(" Spacing Expression void:")" Spacing
+  / Literal
+  / <Var> Identifier
+  ;

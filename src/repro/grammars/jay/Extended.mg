@@ -1,0 +1,12 @@
+// Jay with every shipped extension: enhanced for, assert, embedded SQL.
+// The extensions were written independently; this module only aggregates.
+module jay.Extended;
+
+import jay.Jay;
+import jay.ForEach;
+import jay.AssertStmt;
+import jay.SwitchStmt;
+import jay.Increments;
+import jay.Sql;
+
+public Object ExtendedProgram = CompilationUnit ;

@@ -1,0 +1,19 @@
+// Extension: the enhanced for loop  ``for (Type x : expr) stmt``.
+//
+// A pure delta over jay.Statements — the classic example of adding a
+// statement form without touching (or even seeing) the base grammar's
+// source.
+module jay.ForEach;
+
+modify jay.Statements;
+
+import jay.Keywords;
+import jay.Symbols;
+import jay.Types;
+import jay.Identifiers;
+import jay.Expressions;
+
+Statement +=
+    <ForEach> FOR LPAREN Type Identifier COLON Expression RPAREN Statement
+  / ...
+  ;

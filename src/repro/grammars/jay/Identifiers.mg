@@ -1,0 +1,13 @@
+// Identifiers and qualified names.
+module jay.Identifiers;
+
+import jay.Characters;
+import jay.Keywords;
+import jay.Spacing;
+
+Object Identifier = !Keyword text:( IdentifierStart IdentifierPart* ) Spacing ;
+
+generic QualifiedName =
+    <QName> Identifier ( void:"." Spacing Identifier )+
+  / Identifier
+  ;

@@ -1,0 +1,25 @@
+// Extension: ++ and -- in both prefix and postfix form.
+//
+// An *expression-level* delta (ForEach/Assert extend statements): the
+// unary layer gains prefix forms, and the postfix layer gains
+// left-recursive suffix forms — the modification machinery composes with
+// the left-recursion transformation.  The base grammar's "+" and "-"
+// operators already exclude "++"/"--" via lookahead, so no base rules
+// need to change.
+module jay.Increments;
+
+modify jay.Expressions;
+
+import jay.Spacing;
+
+UnaryExpression +=
+    <PreIncrement> void:"++" Spacing UnaryExpression
+  / <PreDecrement> void:"--" Spacing UnaryExpression
+  / ...
+  ;
+
+PostfixExpression +=
+    <PostIncrement> PostfixExpression void:"++" Spacing
+  / <PostDecrement> PostfixExpression void:"--" Spacing
+  / ...
+  ;

@@ -1,0 +1,9 @@
+// Root module of the Jay language (a Java subset), assembled from the
+// module library the way the paper assembles its Java grammar.
+module jay.Jay;
+
+import jay.Unit;
+
+option withLocation;
+
+public Object Program = CompilationUnit ;

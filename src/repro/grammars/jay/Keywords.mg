@@ -1,0 +1,33 @@
+// Reserved words, plus the keyword token productions used by statements
+// and declarations.  Keywords that are prefixes of other keywords must
+// come after them in KeywordWord (PEG choice is ordered), so the list is
+// sorted longest-first.
+module jay.Keywords;
+
+import jay.Characters;
+import jay.Spacing;
+
+transient void Keyword = KeywordWord !IdentifierPart ;
+
+transient void KeywordWord =
+    "protected" / "continue" / "boolean" / "extends" / "private" / "package"
+  / "return" / "public" / "static" / "import" / "final" / "break" / "while"
+  / "class" / "false" / "null" / "true" / "void" / "else" / "char" / "this"
+  / "new" / "int" / "for" / "if" / "do"
+  ;
+
+transient void IF       = "if"       !IdentifierPart Spacing ;
+transient void ELSE     = "else"     !IdentifierPart Spacing ;
+transient void WHILE    = "while"    !IdentifierPart Spacing ;
+transient void DO       = "do"       !IdentifierPart Spacing ;
+transient void FOR      = "for"      !IdentifierPart Spacing ;
+transient void RETURN   = "return"   !IdentifierPart Spacing ;
+transient void BREAK    = "break"    !IdentifierPart Spacing ;
+transient void CONTINUE = "continue" !IdentifierPart Spacing ;
+transient void CLASS    = "class"    !IdentifierPart Spacing ;
+transient void EXTENDS  = "extends"  !IdentifierPart Spacing ;
+transient void PACKAGE  = "package"  !IdentifierPart Spacing ;
+transient void IMPORT   = "import"   !IdentifierPart Spacing ;
+transient void NEW      = "new"      !IdentifierPart Spacing ;
+transient void THIS     = "this"     !IdentifierPart Spacing ;
+transient void VOID     = "void"     !IdentifierPart Spacing ;

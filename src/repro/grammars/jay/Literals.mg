@@ -1,0 +1,17 @@
+// Literal values: numbers, strings, characters, booleans, null.
+module jay.Literals;
+
+import jay.Characters;
+import jay.Spacing;
+
+generic Literal =
+    <FloatLit>  text:( [0-9]+ "." [0-9]+ ) Spacing
+  / <IntLit>    text:( [0-9]+ ) Spacing
+  / <StringLit> void:"\"" text:( StringChar* ) void:"\"" Spacing
+  / <CharLit>   void:"'" text:( "\\" _ / [^'\\] ) void:"'" Spacing
+  / <True>      "true"  !IdentifierPart Spacing
+  / <False>     "false" !IdentifierPart Spacing
+  / <Null>      "null"  !IdentifierPart Spacing
+  ;
+
+transient void StringChar = "\\" _ / [^"\\] ;

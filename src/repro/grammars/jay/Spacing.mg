@@ -1,0 +1,10 @@
+// White space and comments.
+module jay.Spacing;
+
+transient void Spacing = ( [ \t\r\n] / LineComment / BlockComment )* ;
+
+transient void LineComment = "//" [^\n]* ;
+
+transient void BlockComment = "/*" ( !"*/" _ )* "*/" ;
+
+transient void EndOfInput = !_ ;

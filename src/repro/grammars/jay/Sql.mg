@@ -1,0 +1,18 @@
+// Extension: embedded SQL expressions  ``sql { select a, b from t where a < 3 }``.
+//
+// Composes two languages written by different authors: the sql.Core
+// grammar slots into Jay's PrimaryExpression.  Syntax errors inside the
+// query become ordinary Jay parse errors — the point of grammar-level
+// (rather than string-level) embedding.
+module jay.Sql;
+
+modify jay.Expressions;
+
+import sql.Core;
+import jay.Characters;
+import jay.Spacing;
+
+PrimaryExpression +=
+    <SqlQuery> void:"sql" !IdentifierPart Spacing void:"{" Spacing SqlSelect void:"}" Spacing
+  / ...
+  ;

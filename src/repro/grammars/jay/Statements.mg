@@ -1,0 +1,48 @@
+// Statements.  Local declarations come before expression statements so
+// that "int x = 5;" is a declaration, not a parse error — the PEG
+// backtracks into <ExprStmt> only when the declaration shape fails.
+module jay.Statements;
+
+import jay.Keywords;
+import jay.Symbols;
+import jay.Expressions;
+import jay.Types;
+import jay.Identifiers;
+import jay.Spacing;
+
+public generic Statement =
+    Block
+  / <If>        IF LPAREN Expression RPAREN Statement ( ELSE Statement )?
+  / <While>     WHILE LPAREN Expression RPAREN Statement
+  / <DoWhile>   DO Statement WHILE LPAREN Expression RPAREN SEMI
+  / <For>       FOR LPAREN ForInit? SEMI ForCond? SEMI ForUpdate? RPAREN Statement
+  / <Return>    RETURN Expression? SEMI
+  / <Break>     BREAK SEMI
+  / <Continue>  CONTINUE SEMI
+  / <LocalDecl> Type Declarators SEMI
+  / <ExprStmt>  Expression SEMI
+  / <Empty>     SEMI
+  ;
+
+generic Block = <Block> LBRACE Statement* RBRACE ;
+
+generic ForInit =
+    <ForDecl> Type Declarators
+  / <ForExpr> ExpressionList
+  ;
+
+Object ForCond = Expression ;
+
+generic ForUpdate = <ForUpdate> ExpressionList ;
+
+Object ExpressionList =
+    head:Expression tail:( COMMA Expression )* { cons(head, tail) }
+  ;
+
+Object Declarators =
+    head:Declarator tail:( COMMA Declarator )* { cons(head, tail) }
+  ;
+
+generic Declarator =
+    <Declarator> Identifier ( ASSIGN Expression )?
+  ;

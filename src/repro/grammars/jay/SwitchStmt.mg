@@ -1,0 +1,28 @@
+// Extension: switch statements with case/default groups.
+//
+// Unlike xC's label-style cases, this delta gives Jay structured cases:
+// each group owns its statements, so the tree is directly consumable.
+module jay.SwitchStmt;
+
+modify jay.Statements;
+modify jay.Keywords;
+
+import jay.Characters;
+import jay.Symbols;
+import jay.Expressions;
+import jay.Spacing;
+
+KeywordWord += "default" / "switch" / "case" / ... ;
+
+Statement +=
+    <Switch> SWITCH LPAREN Expression RPAREN LBRACE CaseGroup* DefaultGroup? RBRACE
+  / ...
+  ;
+
+generic CaseGroup = <Case> CASE Expression COLON Statement* ;
+
+generic DefaultGroup = <Default> DEFAULT COLON Statement* ;
+
+transient void SWITCH  = "switch"  !IdentifierPart Spacing ;
+transient void CASE    = "case"    !IdentifierPart Spacing ;
+transient void DEFAULT = "default" !IdentifierPart Spacing ;

@@ -1,0 +1,17 @@
+// Punctuation tokens.  Each consumes trailing white space, following the
+// convention that every token production leaves the parser at the start of
+// the next token.  These tiny productions are prime inlining candidates.
+module jay.Symbols;
+
+import jay.Spacing;
+
+transient void LPAREN   = "(" Spacing ;
+transient void RPAREN   = ")" Spacing ;
+transient void LBRACE   = "{" Spacing ;
+transient void RBRACE   = "}" Spacing ;
+transient void LBRACK   = "[" Spacing ;
+transient void RBRACK   = "]" Spacing ;
+transient void SEMI     = ";" Spacing ;
+transient void COMMA    = "," Spacing ;
+transient void COLON    = ":" !( ":" ) Spacing ;
+transient void ASSIGN   = "=" !( "=" ) Spacing ;

@@ -1,0 +1,13 @@
+// Types: primitives, class types, and array types (left recursive).
+module jay.Types;
+
+import jay.Characters;
+import jay.Identifiers;
+import jay.Symbols;
+import jay.Spacing;
+
+generic Type =
+    <ArrayType> Type LBRACK RBRACK
+  / <PrimitiveType> text:( "boolean" / "char" / "int" ) !IdentifierPart Spacing
+  / <ClassType> QualifiedName
+  ;

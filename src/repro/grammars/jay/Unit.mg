@@ -1,0 +1,16 @@
+// Compilation units: package declaration, imports, classes.
+module jay.Unit;
+
+import jay.Keywords;
+import jay.Symbols;
+import jay.Identifiers;
+import jay.Declarations;
+import jay.Spacing;
+
+generic CompilationUnit =
+    <Unit> Spacing PackageDecl? ImportDecl* ClassDecl+ EndOfInput
+  ;
+
+generic PackageDecl = <Package> PACKAGE QualifiedName SEMI ;
+
+generic ImportDecl = <Import> IMPORT QualifiedName SEMI ;

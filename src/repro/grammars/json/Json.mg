@@ -1,0 +1,24 @@
+// JSON values, objects and arrays (RFC 8259).  Root module.
+module json.Json;
+
+import json.Spacing;
+import json.Numbers;
+import json.Strings;
+
+public Object JsonText = Spacing JsonValue EndOfInput ;
+
+generic JsonValue =
+    <Object> void:"{" Spacing ( MemberList )? void:"}" Spacing
+  / <Array>  void:"[" Spacing ( ElementList )? void:"]" Spacing
+  / <String> JsonString
+  / <Number> JsonNumber
+  / <True>   "true" Spacing
+  / <False>  "false" Spacing
+  / <Null>   "null" Spacing
+  ;
+
+Object MemberList = head:Member tail:( void:"," Spacing Member )* { cons(head, tail) } ;
+
+generic Member = <Member> JsonString void:":" Spacing JsonValue ;
+
+Object ElementList = head:JsonValue tail:( void:"," Spacing JsonValue )* { cons(head, tail) } ;

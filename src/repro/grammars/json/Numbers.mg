@@ -1,0 +1,12 @@
+// JSON numbers (RFC 8259 section 6): -? int frac? exp?
+module json.Numbers;
+
+import json.Spacing;
+
+Object JsonNumber = text:( "-"? IntPart FracPart? ExpPart? ) Spacing ;
+
+transient void IntPart = "0" / [1-9] [0-9]* ;
+
+transient void FracPart = "." [0-9]+ ;
+
+transient void ExpPart = ( "e" / "E" ) ( "+" / "-" )? [0-9]+ ;

@@ -1,0 +1,6 @@
+// JSON insignificant white space (RFC 8259 section 2).
+module json.Spacing;
+
+transient void Spacing = ( " " / "\t" / "\r" / "\n" )* ;
+
+transient void EndOfInput = !_ ;

@@ -1,0 +1,18 @@
+// JSON strings with escape sequences (RFC 8259 section 7).
+//
+// The value is the raw text between the quotes (escapes are not decoded —
+// decoding is host-application policy, see examples/json_pipeline.py).
+module json.Strings;
+
+import json.Spacing;
+
+Object JsonString = void:"\"" text:( JsonChar* ) void:"\"" Spacing ;
+
+transient void JsonChar =
+    "\\" ( ["] / "\\" / "/" / "b" / "f" / "n" / "r" / "t" / Unicode )
+  / [^"\\]
+  ;
+
+transient void Unicode = "u" Hex Hex Hex Hex ;
+
+transient void Hex = [0-9a-fA-F] ;

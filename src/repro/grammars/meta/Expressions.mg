@@ -1,0 +1,48 @@
+// Parsing-expression syntax: choices, sequences, prefixes, suffixes,
+// primaries.  The tree mirrors the IR one node per operator; the bridge
+// converts it with no further analysis.
+module meta.Expressions;
+
+import meta.Spacing;
+import meta.Lexical;
+
+Object MChoice =
+    head:MAlternative tail:( void:"/" MSpacing MAlternative )* { cons(head, tail) }
+  ;
+
+generic MAlternative =
+    <Alternative> MLabel? MPrefixed*
+  ;
+
+Object MLabel =
+    void:"<" MSpacing name:MWord void:">" MSpacing { name }
+  ;
+
+generic MPrefixed =
+    <AndPred> void:"&" MSpacing MSuffixed
+  / <NotPred> void:"!" MSpacing MSuffixed
+  / <Voided>  void:"void" MWordBreak MSpacing void:":" MSpacing MSuffixed
+  / <Texted>  void:"text" MWordBreak MSpacing void:":" MSpacing MSuffixed
+  / <Bound>   MWord void:":" !( "=" ) MSpacing MSuffixed
+  / MSuffixed
+  ;
+
+generic MSuffixed =
+    <Suffixed> MPrimary MSuffixOp+
+  / MPrimary
+  ;
+
+Object MSuffixOp = text:( [*+?] ) MSpacing ;
+
+generic MPrimary =
+    <Group> void:"(" MSpacing MChoice void:")" MSpacing
+  / <Any>   void:"_" MWordBreak MSpacing
+  / MLiteral
+  / MClass
+  / MAction
+  / <Reference> MName !MDefOp
+  ;
+
+// A name directly followed by a definition operator belongs to the next
+// definition, not to the current alternative.
+transient void MDefOp = "+=" / ":=" / "-=" / "=" ;

@@ -1,0 +1,44 @@
+// Lexical syntax of .mg: names, string literals, character classes,
+// semantic actions.  Bodies are captured raw; escape decoding is the
+// bridge's job (repro.meta.selfhost), exactly as the hand-written lexer
+// decodes them.
+module meta.Lexical;
+
+import meta.Spacing;
+
+// Possibly dot-qualified name (module names, production references).
+Object MName =
+    text:( MWordPart ( "." MWordPart )* ) MSpacing
+  ;
+
+// A single undotted word (labels, parameters, binding names).
+Object MWord = text:( MWordPart ) MSpacing ;
+
+transient void MWordPart = [a-zA-Z_] [a-zA-Z0-9_]* ;
+
+generic MLiteral =
+    <Literal> void:"\"" text:( MStringChar* ) void:"\"" MCaseFlag? MSpacing
+  ;
+
+Object MCaseFlag = text:( "i" ) MWordBreak ;
+
+transient void MStringChar = "\\" _ / [^"\\] ;
+
+generic MClass =
+    <Class> void:"[" text:( MClassChar* ) void:"]" MSpacing
+  ;
+
+transient void MClassChar = "\\" _ / [^\]\\] ;
+
+generic MAction =
+    <Action> void:"{" text:( MActionText ) void:"}" MSpacing
+  ;
+
+// Brace-balanced action bodies; braces inside string literals don't count.
+transient void MActionText = ( MBraced / MDoubleQuoted / MSingleQuoted / [^{}"'] )* ;
+
+transient void MBraced = "{" MActionText "}" ;
+
+transient void MDoubleQuoted = "\"" ( "\\" _ / [^"\\] )* "\"" ;
+
+transient void MSingleQuoted = "'" ( "\\" _ / [^'\\] )* "'" ;

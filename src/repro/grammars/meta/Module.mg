@@ -1,0 +1,76 @@
+// File-level syntax: the module header, dependencies, options, production
+// definitions, and the three modification forms.  Keywords ("module",
+// "import", "public", "generic", ...) are contextual: when the keyword
+// reading fails — e.g. a production is actually *named* `import` — PEG
+// backtracking falls through to the definition alternatives, exactly like
+// the hand-written parser's lookahead.
+module meta.Module;
+
+import meta.Spacing;
+import meta.Lexical;
+import meta.Expressions;
+
+public generic MModule =
+    <Module> MSpacing void:"module" MWordBreak MSpacing MName MParamList?
+             void:";" MSpacing MDependency* MItem* MEndOfFile
+  ;
+
+Object MParamList =
+    void:"(" MSpacing head:MName tail:( void:"," MSpacing MName )* void:")" MSpacing
+    { cons(head, tail) }
+  ;
+
+generic MDependency =
+    <Import>      void:"import" MWordBreak MSpacing MName void:";" MSpacing
+  / <Instantiate> void:"instantiate" MWordBreak MSpacing MName MArgList? MAlias?
+                  void:";" MSpacing
+  / <Modify>      void:"modify" MWordBreak MSpacing MName void:";" MSpacing
+  ;
+
+Object MArgList =
+    void:"(" MSpacing head:MName tail:( void:"," MSpacing MName )* void:")" MSpacing
+    { cons(head, tail) }
+  ;
+
+Object MAlias = void:"as" MWordBreak MSpacing MName ;
+
+generic MItem =
+    <OptionDecl> void:"option" MWordBreak MSpacing MWord
+                 ( void:"," MSpacing MWord )* void:";" MSpacing
+  / MDefinition
+  ;
+
+generic MDefinition =
+    <Removal>    MName void:"-=" MSpacing MLabelList void:";" MSpacing
+  / <Addition>   MName void:"+=" MSpacing MModChoice void:";" MSpacing
+  / <Override>   MAttribute* MKind? MName void:":=" MSpacing MChoice void:";" MSpacing
+  / <Production> MAttribute* MKind? MName void:"=" !( "=" ) MSpacing MChoice
+                 void:";" MSpacing
+  ;
+
+// An attribute/kind word directly followed by a definition operator is
+// really a production *named* like an attribute — the !MDefOp guard makes
+// these words contextual.
+Object MAttribute =
+    v:( text:( "public" / "transient" / "memo" / "inline" / "noinline"
+             / "withLocation" ) )
+    MWordBreak MSpacing !MDefOp { v }
+  ;
+
+Object MKind =
+    v:( text:( "void" / "String" / "generic" / "Object" ) )
+    MWordBreak MSpacing !MDefOp { v }
+  ;
+
+Object MLabelList =
+    head:MLabel tail:( void:"," MSpacing MLabel )* { cons(head, tail) }
+  ;
+
+Object MModChoice =
+    head:MModAlternative tail:( void:"/" MSpacing MModAlternative )* { cons(head, tail) }
+  ;
+
+generic MModAlternative =
+    <Ellipsis> void:"..." MSpacing
+  / MAlternative
+  ;

@@ -1,0 +1,15 @@
+// White space and comments of the .mg grammar-definition language itself.
+// All meta productions are M-prefixed so the grammar can be composed into
+// other grammars without name clashes.
+module meta.Spacing;
+
+transient void MSpacing = ( [ \t\r\n] / MLineComment / MBlockComment )* ;
+
+transient void MLineComment = "//" [^\n]* ;
+
+transient void MBlockComment = "/*" ( !"*/" _ )* "*/" ;
+
+transient void MEndOfFile = !_ ;
+
+// Word boundary after contextual keywords ("import", "void", ...).
+transient void MWordBreak = ![a-zA-Z0-9_] ;

@@ -1,0 +1,83 @@
+// Mini-ML expressions.  Function application is juxtaposition — a
+// left-recursive generic production ((f x) y) — and :: is right
+// associative, both exercising recursion handling in opposite directions.
+module ml.Expressions;
+
+import ml.Spacing;
+import ml.Lexical;
+import ml.Patterns;
+
+public generic Expression =
+    <Let>   LET Rec? Name PatternAtom* void:"=" !( "=" ) Spacing Expression IN Expression
+  / <Fun>   FUN PatternAtom+ ARROW Expression
+  / <If>    IF Expression THEN Expression ELSE Expression
+  / <Match> MATCH Expression WITH MatchArm+
+  / OrExpression
+  ;
+
+Object Rec = text:( "rec" ) !NamePart Spacing ;
+
+generic MatchArm = <Arm> void:"|" !( "|" ) Spacing Pattern ARROW Expression ;
+
+generic OrExpression =
+    <Or> OrExpression void:"||" Spacing AndExpression
+  / AndExpression
+  ;
+
+generic AndExpression =
+    <And> AndExpression void:"&&" Spacing CompareExpression
+  / CompareExpression
+  ;
+
+// Comparisons are non-associative, as in ML.
+generic CompareExpression =
+    <Equal>        ConsExpression void:"=" !( "=" ) Spacing ConsExpression
+  / <NotEqual>     ConsExpression void:"<>" Spacing ConsExpression
+  / <LessEqual>    ConsExpression void:"<=" Spacing ConsExpression
+  / <GreaterEqual> ConsExpression void:">=" Spacing ConsExpression
+  / <Less>         ConsExpression void:"<" !( [>=] ) Spacing ConsExpression
+  / <Greater>      ConsExpression void:">" !( "=" ) Spacing ConsExpression
+  / ConsExpression
+  ;
+
+// List construction is right associative: 1 :: 2 :: [] = 1 :: (2 :: []).
+generic ConsExpression =
+    <Cons> AddExpression void:"::" Spacing ConsExpression
+  / AddExpression
+  ;
+
+generic AddExpression =
+    <Add>    AddExpression void:"+" Spacing MulExpression
+  / <Sub>    AddExpression void:"-" !( ">" ) Spacing MulExpression
+  / <Concat> AddExpression void:"^" Spacing MulExpression
+  / MulExpression
+  ;
+
+generic MulExpression =
+    <Mul> MulExpression void:"*" !( ")" ) Spacing ApplyExpression
+  / <Div> MulExpression void:"/" Spacing ApplyExpression
+  / <Mod> MulExpression void:"mod" !NamePart Spacing ApplyExpression
+  / ApplyExpression
+  ;
+
+// Application by juxtaposition, binding tighter than any operator:
+//   f x y   parses as   ((f x) y)
+generic ApplyExpression =
+    <Apply> ApplyExpression Atom
+  / Atom
+  ;
+
+generic Atom =
+    <Unit>      void:"(" Spacing void:")" Spacing
+  / void:"(" Spacing Expression void:")" Spacing
+  / <ListLit>   void:"[" Spacing Elements? void:"]" Spacing
+  / <IntLit>    text:( [0-9]+ ) Spacing
+  / <StringLit> void:"\"" text:( ( "\\" _ / [^"\\] )* ) void:"\"" Spacing
+  / <True>      "true"  !NamePart Spacing
+  / <False>     "false" !NamePart Spacing
+  / <Var>       Name
+  ;
+
+Object Elements =
+    head:Expression tail:( void:";" Spacing Expression )* { cons(head, tail) }
+  ;

@@ -1,0 +1,7 @@
+// mini-ML with all shipped extensions.
+module ml.Extended;
+
+import ml.ML;
+import ml.Pipeline;
+
+public generic ExtendedProgram = Program ;

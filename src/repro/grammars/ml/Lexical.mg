@@ -1,0 +1,24 @@
+// Names, keywords, and literals for mini-ML.
+module ml.Lexical;
+
+import ml.Spacing;
+
+transient void NamePart = [a-zA-Z0-9_'] ;
+
+transient void MlKeyword =
+    ( "match" / "else" / "false" / "then" / "true" / "with"
+    / "fun" / "let" / "mod" / "rec" / "if" / "in" ) !NamePart
+  ;
+
+Object Name = !MlKeyword text:( [a-z_] NamePart* ) Spacing ;
+
+transient void LET   = "let"   !NamePart Spacing ;
+transient void IN    = "in"    !NamePart Spacing ;
+transient void FUN   = "fun"   !NamePart Spacing ;
+transient void IF    = "if"    !NamePart Spacing ;
+transient void THEN  = "then"  !NamePart Spacing ;
+transient void ELSE  = "else"  !NamePart Spacing ;
+transient void MATCH = "match" !NamePart Spacing ;
+transient void WITH  = "with"  !NamePart Spacing ;
+
+transient void ARROW = "->" Spacing ;

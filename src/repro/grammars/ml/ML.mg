@@ -1,0 +1,16 @@
+// Root module: a program is a sequence of top-level bindings followed by
+// a result expression.
+module ml.ML;
+
+import ml.Spacing;
+import ml.Lexical;
+import ml.Patterns;
+import ml.Expressions;
+
+public generic Program =
+    <Program> Spacing Binding* Expression EndOfInput
+  ;
+
+generic Binding =
+    <Bind> LET Rec? Name PatternAtom* void:"=" !( "=" ) Spacing Expression void:";;" Spacing
+  ;

@@ -1,0 +1,20 @@
+// Patterns for match expressions and parameters.
+module ml.Patterns;
+
+import ml.Spacing;
+import ml.Lexical;
+
+generic Pattern =
+    <PCons> PatternAtom void:"::" Spacing Pattern
+  / PatternAtom
+  ;
+
+generic PatternAtom =
+    <PWildcard> void:"_" !NamePart Spacing
+  / <PInt>     text:( [0-9]+ ) Spacing
+  / <PNil>     void:"[" Spacing void:"]" Spacing
+  / <PTrue>    "true"  !NamePart Spacing
+  / <PFalse>   "false" !NamePart Spacing
+  / <PVar>     Name
+  / void:"(" Spacing Pattern void:")" Spacing
+  ;

@@ -1,0 +1,21 @@
+// Extension: the pipeline operator  ``x |> f``  (apply f to x), binding
+// looser than comparisons and associating left:  a |> f |> g  is  g (f a).
+//
+// A delta over ml.Expressions: a new precedence layer is spliced between
+// the boolean and comparison layers by overriding AndExpression's operand
+// and adding the new production.
+module ml.Pipeline;
+
+modify ml.Expressions;
+
+import ml.Spacing;
+
+AndExpression :=
+    <And> AndExpression void:"&&" Spacing PipeExpression
+  / PipeExpression
+  ;
+
+generic PipeExpression =
+    <Pipe> PipeExpression void:"|>" Spacing CompareExpression
+  / CompareExpression
+  ;

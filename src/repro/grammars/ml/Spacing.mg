@@ -1,0 +1,9 @@
+// White space and OCaml-style comments for mini-ML.
+module ml.Spacing;
+
+transient void Spacing = ( [ \t\r\n] / MlComment )* ;
+
+// (* nested comments are supported, as in ML *)
+transient void MlComment = "(*" ( MlComment / !"*)" _ )* "*)" ;
+
+transient void EndOfInput = !_ ;

@@ -1,0 +1,40 @@
+// A mini SQL SELECT grammar, written independently of any host language
+// so it can be composed into one (see jay.Sql).  All production names are
+// Sql-prefixed to keep the flat composed namespace conflict-free.
+module sql.Core;
+
+transient void SqlSpacing = [ \t\r\n]* ;
+
+generic SqlSelect =
+    <Select> SELECT SqlColumns FROM SqlTable SqlWhere?
+  ;
+
+Object SqlColumns =
+    head:SqlColumn tail:( void:"," SqlSpacing SqlColumn )* { cons(head, tail) }
+  ;
+
+Object SqlColumn =
+    text:( "*" ) SqlSpacing
+  / SqlName
+  ;
+
+Object SqlTable = SqlName ;
+
+generic SqlWhere = <Where> WHERE SqlComparison ;
+
+generic SqlComparison =
+    <SqlCompare> SqlOperand text:( "<=" / ">=" / "<>" / "=" / "<" / ">" ) SqlSpacing SqlOperand
+  ;
+
+Object SqlOperand =
+    text:( [0-9]+ ) SqlSpacing
+  / SqlName
+  ;
+
+Object SqlName = !SqlKeyword text:( [a-zA-Z_] [a-zA-Z0-9_]* ) SqlSpacing ;
+
+transient void SqlKeyword = ( "select"i / "from"i / "where"i ) ![a-zA-Z0-9_] ;
+
+transient void SELECT = "select"i ![a-zA-Z0-9_] SqlSpacing ;
+transient void FROM   = "from"i   ![a-zA-Z0-9_] SqlSpacing ;
+transient void WHERE  = "where"i  ![a-zA-Z0-9_] SqlSpacing ;

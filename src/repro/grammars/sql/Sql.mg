@@ -1,0 +1,8 @@
+// Standalone root for the mini SQL language.
+module sql.Sql;
+
+import sql.Core;
+
+public Object SqlProgram = SqlSpacing SqlSelect SqlEnd ;
+
+transient void SqlEnd = !_ ;

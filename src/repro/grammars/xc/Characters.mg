@@ -1,0 +1,6 @@
+// Character-level building blocks.
+module xc.Characters;
+
+transient void IdentifierStart = [a-zA-Z_] ;
+
+transient void IdentifierPart = [a-zA-Z0-9_] ;

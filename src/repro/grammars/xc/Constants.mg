@@ -1,0 +1,19 @@
+// Constants: integers (decimal/hex/octal), floats, chars, strings.
+module xc.Constants;
+
+import xc.Characters;
+import xc.Spacing;
+
+generic Constant =
+    <FloatConst>  text:( [0-9]+ "." [0-9]* FloatSuffix? / "." [0-9]+ FloatSuffix? ) Spacing
+  / <HexConst>    text:( "0x" [0-9a-fA-F]+ / "0X" [0-9a-fA-F]+ ) IntSuffix Spacing
+  / <IntConst>    text:( [0-9]+ ) IntSuffix Spacing
+  / <CharConst>   void:"'" text:( "\\" _ / [^'\\] ) void:"'" Spacing
+  / <StringConst> void:"\"" text:( StringChar* ) void:"\"" Spacing
+  ;
+
+transient void FloatSuffix = [fFlL] ;
+
+transient void IntSuffix = ( [uU] [lL]? / [lL] [uU]? )? ;
+
+transient void StringChar = "\\" _ / [^"\\] ;

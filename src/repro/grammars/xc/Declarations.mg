@@ -1,0 +1,25 @@
+// External (file-scope) declarations: functions, globals, struct
+// definitions.
+module xc.Declarations;
+
+import xc.Keywords;
+import xc.Symbols;
+import xc.Identifiers;
+import xc.Types;
+import xc.Statements;
+import xc.Spacing;
+
+generic ExternalDeclaration =
+    <StructDef> STRUCT Identifier LBRACE StructField+ RBRACE SEMI
+  / <Function>  DeclarationSpecifiers Declarator LPAREN ParameterList? RPAREN CompoundStatement
+  / <Global>    Declaration
+  ;
+
+generic StructField = <StructField> DeclarationSpecifiers Declarator SEMI ;
+
+Object ParameterList =
+    head:Parameter tail:( COMMA Parameter )* { cons(head, tail) }
+  / text:( "void" ) !IdentifierPart Spacing
+  ;
+
+generic Parameter = <Parameter> DeclarationSpecifiers Declarator ;

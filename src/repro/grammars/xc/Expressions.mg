@@ -1,0 +1,119 @@
+// The C expression hierarchy, including bitwise and shift layers and the
+// unary pointer operators.
+module xc.Expressions;
+
+import xc.Characters;
+import xc.Identifiers;
+import xc.Constants;
+import xc.Symbols;
+import xc.Spacing;
+
+public generic Expression =
+    <Comma> Expression COMMA AssignmentExpression
+  / AssignmentExpression
+  ;
+
+generic AssignmentExpression =
+    <Assign> UnaryExpression AssignmentOperator AssignmentExpression
+  / ConditionalExpression
+  ;
+
+Object AssignmentOperator =
+    text:( "+=" / "-=" / "*=" / "/=" / "%=" / "&=" / "|=" / "^=" / "<<=" / ">>=" ) Spacing
+  / text:( "=" ) !( "=" ) Spacing
+  ;
+
+generic ConditionalExpression =
+    <Conditional> LogicalOrExpression void:"?" Spacing Expression
+                  void:":" Spacing ConditionalExpression
+  / LogicalOrExpression
+  ;
+
+generic LogicalOrExpression =
+    <LogicalOr> LogicalOrExpression void:"||" Spacing LogicalAndExpression
+  / LogicalAndExpression
+  ;
+
+generic LogicalAndExpression =
+    <LogicalAnd> LogicalAndExpression void:"&&" Spacing BitwiseOrExpression
+  / BitwiseOrExpression
+  ;
+
+generic BitwiseOrExpression =
+    <BitOr> BitwiseOrExpression void:"|" !( [|=] ) Spacing BitwiseXorExpression
+  / BitwiseXorExpression
+  ;
+
+generic BitwiseXorExpression =
+    <BitXor> BitwiseXorExpression void:"^" !( "=" ) Spacing BitwiseAndExpression
+  / BitwiseAndExpression
+  ;
+
+generic BitwiseAndExpression =
+    <BitAnd> BitwiseAndExpression void:"&" !( [&=] ) Spacing EqualityExpression
+  / EqualityExpression
+  ;
+
+generic EqualityExpression =
+    <Equal>    EqualityExpression void:"==" Spacing RelationalExpression
+  / <NotEqual> EqualityExpression void:"!=" Spacing RelationalExpression
+  / RelationalExpression
+  ;
+
+generic RelationalExpression =
+    <LessEqual>    RelationalExpression void:"<=" Spacing ShiftExpression
+  / <GreaterEqual> RelationalExpression void:">=" Spacing ShiftExpression
+  / <Less>    RelationalExpression void:"<" !( "<" ) Spacing ShiftExpression
+  / <Greater> RelationalExpression void:">" !( ">" ) Spacing ShiftExpression
+  / ShiftExpression
+  ;
+
+generic ShiftExpression =
+    <ShiftLeft>  ShiftExpression void:"<<" !( "=" ) Spacing AdditiveExpression
+  / <ShiftRight> ShiftExpression void:">>" !( "=" ) Spacing AdditiveExpression
+  / AdditiveExpression
+  ;
+
+generic AdditiveExpression =
+    <Add> AdditiveExpression void:"+" !( [+=] ) Spacing MultiplicativeExpression
+  / <Sub> AdditiveExpression void:"-" !( [\-=>] ) Spacing MultiplicativeExpression
+  / MultiplicativeExpression
+  ;
+
+generic MultiplicativeExpression =
+    <Mul> MultiplicativeExpression void:"*" !( "=" ) Spacing UnaryExpression
+  / <Div> MultiplicativeExpression void:"/" !( [=/*] ) Spacing UnaryExpression
+  / <Mod> MultiplicativeExpression void:"%" !( "=" ) Spacing UnaryExpression
+  / UnaryExpression
+  ;
+
+generic UnaryExpression =
+    <PreIncrement> void:"++" Spacing UnaryExpression
+  / <PreDecrement> void:"--" Spacing UnaryExpression
+  / <Neg>    void:"-" !( [\-=] ) Spacing UnaryExpression
+  / <Not>    void:"!" !( "=" ) Spacing UnaryExpression
+  / <BitNot> void:"~" Spacing UnaryExpression
+  / <Deref>  void:"*" !( "=" ) Spacing UnaryExpression
+  / <AddrOf> void:"&" !( [&=] ) Spacing UnaryExpression
+  / PostfixExpression
+  ;
+
+generic PostfixExpression =
+    <Call>   PostfixExpression void:"(" Spacing Arguments? void:")" Spacing
+  / <Index>  PostfixExpression LBRACK Expression RBRACK
+  / <Arrow>  PostfixExpression void:"->" Spacing Identifier
+  / <Member> PostfixExpression void:"." Spacing Identifier
+  / <PostIncrement> PostfixExpression void:"++" Spacing
+  / <PostDecrement> PostfixExpression void:"--" Spacing
+  / PrimaryExpression
+  ;
+
+Object Arguments =
+    head:AssignmentExpression tail:( COMMA AssignmentExpression )* { cons(head, tail) }
+  ;
+
+generic PrimaryExpression =
+    void:"(" Spacing Expression void:")" Spacing
+  / Constant
+  / <Var> Identifier
+  ;

@@ -1,0 +1,7 @@
+// xC with all shipped extensions.
+module xc.Extended;
+
+import xc.XC;
+import xc.Until;
+
+public Object ExtendedProgram = TranslationUnit ;

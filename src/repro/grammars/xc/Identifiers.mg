@@ -1,0 +1,8 @@
+// Identifiers (keywords excluded).
+module xc.Identifiers;
+
+import xc.Characters;
+import xc.Keywords;
+import xc.Spacing;
+
+Object Identifier = !Keyword text:( IdentifierStart IdentifierPart* ) Spacing ;

@@ -1,0 +1,29 @@
+// Reserved words and keyword tokens (longest-first where one keyword is a
+// prefix of another — see jay.Keywords for why).
+module xc.Keywords;
+
+import xc.Characters;
+import xc.Spacing;
+
+transient void Keyword = KeywordWord !IdentifierPart ;
+
+transient void KeywordWord =
+    "continue" / "unsigned" / "default" / "typedef" / "double" / "return"
+  / "signed" / "sizeof" / "struct" / "switch" / "break" / "float" / "short"
+  / "while" / "case" / "char" / "else" / "goto" / "long" / "void" / "for"
+  / "int" / "do" / "if"
+  ;
+
+transient void IF       = "if"       !IdentifierPart Spacing ;
+transient void ELSE     = "else"     !IdentifierPart Spacing ;
+transient void WHILE    = "while"    !IdentifierPart Spacing ;
+transient void DO       = "do"       !IdentifierPart Spacing ;
+transient void FOR      = "for"      !IdentifierPart Spacing ;
+transient void RETURN   = "return"   !IdentifierPart Spacing ;
+transient void BREAK    = "break"    !IdentifierPart Spacing ;
+transient void CONTINUE = "continue" !IdentifierPart Spacing ;
+transient void SWITCH   = "switch"   !IdentifierPart Spacing ;
+transient void CASE     = "case"     !IdentifierPart Spacing ;
+transient void DEFAULT  = "default"  !IdentifierPart Spacing ;
+transient void GOTO     = "goto"     !IdentifierPart Spacing ;
+transient void STRUCT   = "struct"   !IdentifierPart Spacing ;

@@ -1,0 +1,15 @@
+// White space, comments, and (skipped) preprocessor directives.
+module xc.Spacing;
+
+transient void Spacing = ( [ \t\r\n] / LineComment / BlockComment / Directive )* ;
+
+transient void LineComment = "//" [^\n]* ;
+
+transient void BlockComment = "/*" ( !"*/" _ )* "*/" ;
+
+// A practical simplification: `#include <...>` etc. are treated as blank
+// lines rather than interpreted (the paper's C grammar sits behind a real
+// preprocessor, which is out of scope here).
+transient void Directive = "#" [^\n]* ;
+
+transient void EndOfInput = !_ ;

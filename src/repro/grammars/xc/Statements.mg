@@ -1,0 +1,52 @@
+// Statements, including switch/case labels, goto/labels, and local
+// declarations.
+module xc.Statements;
+
+import xc.Keywords;
+import xc.Symbols;
+import xc.Expressions;
+import xc.Types;
+import xc.Identifiers;
+import xc.Spacing;
+
+public generic Statement =
+    CompoundStatement
+  / <If>      IF LPAREN Expression RPAREN Statement ( ELSE Statement )?
+  / <Switch>  SWITCH LPAREN Expression RPAREN Statement
+  / <Case>    CASE ConditionalExpression COLON
+  / <Default> DEFAULT COLON
+  / <While>   WHILE LPAREN Expression RPAREN Statement
+  / <DoWhile> DO Statement WHILE LPAREN Expression RPAREN SEMI
+  / <For>     FOR LPAREN ForInit? SEMI ForCond? SEMI ForUpdate? RPAREN Statement
+  / <Return>  RETURN Expression? SEMI
+  / <Break>   BREAK SEMI
+  / <Continue> CONTINUE SEMI
+  / <Goto>    GOTO Identifier SEMI
+  / <Label>   Identifier COLON
+  / <Decl>    Declaration
+  / <ExprStmt> Expression SEMI
+  / <Empty>   SEMI
+  ;
+
+generic CompoundStatement = <Block> LBRACE Statement* RBRACE ;
+
+generic ForInit =
+    <ForDecl> DeclarationSpecifiers InitDeclarators
+  / <ForExpr> Expression
+  ;
+
+Object ForCond = Expression ;
+
+Object ForUpdate = Expression ;
+
+generic Declaration =
+    <Declaration> DeclarationSpecifiers InitDeclarators SEMI
+  ;
+
+Object InitDeclarators =
+    head:InitDeclarator tail:( COMMA InitDeclarator )* { cons(head, tail) }
+  ;
+
+generic InitDeclarator =
+    <InitDeclarator> Declarator ( ASSIGN AssignmentExpression )?
+  ;

@@ -1,0 +1,15 @@
+// Punctuation tokens.
+module xc.Symbols;
+
+import xc.Spacing;
+
+transient void LPAREN = "(" Spacing ;
+transient void RPAREN = ")" Spacing ;
+transient void LBRACE = "{" Spacing ;
+transient void RBRACE = "}" Spacing ;
+transient void LBRACK = "[" Spacing ;
+transient void RBRACK = "]" Spacing ;
+transient void SEMI   = ";" Spacing ;
+transient void COMMA  = "," Spacing ;
+transient void COLON  = ":" Spacing ;
+transient void ASSIGN = "=" !( "=" ) Spacing ;

@@ -1,0 +1,29 @@
+// Type specifiers and declarators.  Direct declarators are left recursive
+// (arrays); pointers nest on the right.
+module xc.Types;
+
+import xc.Characters;
+import xc.Keywords;
+import xc.Identifiers;
+import xc.Symbols;
+import xc.Spacing;
+
+Object DeclarationSpecifiers = TypeSpecifier+ ;
+
+generic TypeSpecifier =
+    <StructType> STRUCT Identifier
+  / <BasicType>  text:( "unsigned" / "signed" / "double" / "float" / "short"
+                      / "char" / "long" / "void" / "int" ) !IdentifierPart Spacing
+  ;
+
+generic Declarator =
+    <Pointer> void:"*" Spacing Declarator
+  / DirectDeclarator
+  ;
+
+generic DirectDeclarator =
+    <ArrayDecl> DirectDeclarator LBRACK ArraySize? RBRACK
+  / <NameDecl>  Identifier
+  ;
+
+Object ArraySize = text:( [0-9]+ ) Spacing ;

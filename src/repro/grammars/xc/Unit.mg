@@ -1,0 +1,9 @@
+// A translation unit.
+module xc.Unit;
+
+import xc.Declarations;
+import xc.Spacing;
+
+generic TranslationUnit =
+    <Unit> Spacing ExternalDeclaration+ EndOfInput
+  ;

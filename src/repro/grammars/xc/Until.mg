@@ -1,0 +1,20 @@
+// Extension: an ``until (cond) stmt`` loop (while-not), added as a delta
+// over xc.Statements, with "until" reserved via a keyword-list delta.
+module xc.Until;
+
+modify xc.Statements;
+modify xc.Keywords;
+
+import xc.Characters;
+import xc.Symbols;
+import xc.Expressions;
+import xc.Spacing;
+
+KeywordWord += "until" / ... ;
+
+Statement +=
+    <Until> UNTIL LPAREN Expression RPAREN Statement
+  / ...
+  ;
+
+transient void UNTIL = "until" !IdentifierPart Spacing ;

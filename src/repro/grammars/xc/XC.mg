@@ -1,0 +1,6 @@
+// Root module of the xC language (a C subset).
+module xc.XC;
+
+import xc.Unit;
+
+public Object Program = TranslationUnit ;

@@ -1,0 +1,369 @@
+"""Grammar interpreters: the executable reference semantics of the PEG IR.
+
+:class:`GrammarInterpreter` walks the grammar data structure node by node to
+parse input — exactly the strategy the paper contrasts with generated
+parsers.  With ``memoize=True`` it is a *packrat* parser (linear time, memo
+table); with ``memoize=False`` it is the naive backtracking recursive-descent
+interpretation of the PEG (worst-case exponential).
+
+The interpreter doubles as the differential-testing oracle: generated
+parsers must produce semantically identical values (see the property tests).
+
+Left-recursive grammars must be transformed before interpretation (see
+:mod:`repro.transform.leftrec`); the interpreter detects untransformed left
+recursion at run time and raises :class:`AnalysisError` rather than looping.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import AnalysisError
+from repro.peg.expr import (
+    Action,
+    And,
+    AnyChar,
+    Binding,
+    CharClass,
+    CharSwitch,
+    Choice,
+    Epsilon,
+    Expression,
+    Fail,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.production import Production, ValueKind
+from repro.peg.values import binding_names, contributes, kind_lookup, node_name, pass_through
+from repro.runtime.actionlib import ACTION_GLOBALS
+from repro.runtime.base import ParserBase
+from repro.runtime.memo import make_memo_table
+from repro.runtime.node import GNode
+
+FAIL = ParserBase.FAIL
+
+
+class _CompiledAlternative:
+    """Per-alternative precomputation: top-level items, contribution flags,
+    binding namespace, and the generic node name."""
+
+    __slots__ = ("items", "contributing", "bindings", "gnode_name", "label")
+
+    def __init__(self, production: Production, label: str | None, expr: Expression, kind_of):
+        self.items: tuple[Expression, ...] = (
+            expr.items if isinstance(expr, Sequence) else (expr,)
+        )
+        self.contributing = tuple(contributes(item, kind_of) for item in self.items)
+        self.bindings = tuple(binding_names(expr))
+        self.gnode_name = node_name(production.name, label)
+        self.label = label
+
+
+class _CompiledProduction:
+    __slots__ = ("name", "kind", "alternatives", "transient", "with_location", "index")
+
+    def __init__(self, production: Production, kind_of, index: int, grammar_with_location: bool):
+        self.name = production.name
+        self.kind = production.kind
+        self.index = index
+        self.transient = production.is_transient
+        self.with_location = grammar_with_location or production.has("withLocation")
+        self.alternatives = tuple(
+            _CompiledAlternative(production, alt.label, alt.expr, kind_of)
+            for alt in production.alternatives
+        )
+
+
+class GrammarInterpreter:
+    """Interpret a grammar directly; construct once, parse many times."""
+
+    def __init__(self, grammar: Grammar, memoize: bool = True, chunked: bool = True):
+        grammar.validate()
+        self.grammar = grammar
+        self.memoize = memoize
+        self.chunked = chunked
+        kind_of = kind_lookup(grammar)
+        with_location = "withLocation" in grammar.options
+        self._productions: dict[str, _CompiledProduction] = {
+            p.name: _CompiledProduction(p, kind_of, i, with_location)
+            for i, p in enumerate(grammar.productions)
+        }
+        self._actions: dict[str, Any] = {}
+        self._source_name = "<input>"
+        self._last_run: _Run | None = None
+        self._kind_of = kind_of
+        self._contrib_cache: dict[Expression, bool] = {}
+
+    def _contributes(self, expr: Expression) -> bool:
+        cached = self._contrib_cache.get(expr)
+        if cached is None:
+            cached = contributes(expr, self._kind_of)
+            self._contrib_cache[expr] = cached
+        return cached
+
+    # -- public API -----------------------------------------------------------
+
+    def parse(self, text: str, start: str | None = None, source: str = "<input>") -> Any:
+        """Parse ``text`` completely from ``start`` and return its value.
+
+        Raises :class:`repro.errors.ParseError` on failure or trailing input.
+        """
+        run = self._run(text, source)
+        pos, value = run.apply(start or self.grammar.start, 0)
+        if pos == FAIL:
+            raise run.parse_error()
+        return run.check_complete(pos, value)
+
+    def match_prefix(self, text: str, start: str | None = None) -> tuple[int, Any]:
+        """Parse a prefix of ``text``; returns ``(consumed, value)`` or
+        ``(-1, None)`` when even a prefix does not match."""
+        run = self._run(text, self._source_name)
+        return run.apply(start or self.grammar.start, 0)
+
+    def recognize(self, text: str, start: str | None = None) -> bool:
+        """Does the whole input match?"""
+        run = self._run(text, self._source_name)
+        pos, _ = run.apply(start or self.grammar.start, 0)
+        return pos == len(text)
+
+    def memo_entry_count(self) -> int:
+        """Memo entries stored during the most recent parse."""
+        return self._last_run.memo_entry_count() if self._last_run else 0
+
+    def memo_size_bytes(self) -> int:
+        """Approximate memo bytes held after the most recent parse."""
+        return self._last_run.memo_size_bytes() if self._last_run else 0
+
+    def _run(self, text: str, source: str) -> "_Run":
+        run = _Run(self, text, source)
+        self._last_run = run
+        return run
+
+    def _compiled_action(self, code: str):
+        compiled = self._actions.get(code)
+        if compiled is None:
+            compiled = compile(code, "<action>", "eval")
+            self._actions[code] = compiled
+        return compiled
+
+
+class _Run(ParserBase):
+    """One parse over one input text."""
+
+    def __init__(self, interpreter: GrammarInterpreter, text: str, source: str):
+        super().__init__(text)
+        self._interp = interpreter
+        self._source = source
+        self._active: set[tuple[str, int]] = set()
+        if interpreter.memoize:
+            names = list(interpreter._productions)
+            self._memo = make_memo_table(names, chunked=interpreter.chunked)
+        else:
+            self._memo = None
+
+    # -- memo accounting -------------------------------------------------------
+
+    def memo_entry_count(self) -> int:
+        return self._memo.entry_count() if self._memo else 0
+
+    def memo_size_bytes(self) -> int:
+        return self._memo.size_bytes() if self._memo else 0
+
+    # -- production application --------------------------------------------------
+
+    def apply(self, name: str, pos: int) -> tuple[int, Any]:
+        prod = self._interp._productions.get(name)
+        if prod is None:
+            raise AnalysisError(f"undefined production {name!r}")
+        memo = self._memo
+        if memo is not None and not prod.transient:
+            entry = memo.get(prod.index, pos)
+            if entry is not None:
+                return entry
+        key = (name, pos)
+        if key in self._active:
+            raise AnalysisError(
+                f"left recursion detected at runtime in production {name!r} "
+                f"(grammar was not transformed; run repro.transform.leftrec first)"
+            )
+        self._active.add(key)
+        try:
+            result = self._apply_uncached(prod, pos)
+        finally:
+            self._active.discard(key)
+        if memo is not None and not prod.transient:
+            memo.put(prod.index, pos, result)
+        return result
+
+    def _apply_uncached(self, prod: _CompiledProduction, pos: int) -> tuple[int, Any]:
+        for alternative in prod.alternatives:
+            result = self._match_alternative(prod, alternative, pos)
+            if result[0] != FAIL:
+                return result
+        if not prod.alternatives:
+            raise AnalysisError(f"production {prod.name!r} has no alternatives")
+        return FAIL, None
+
+    def _match_alternative(
+        self, prod: _CompiledProduction, alternative: _CompiledAlternative, pos: int
+    ) -> tuple[int, Any]:
+        env: dict[str, Any] = dict.fromkeys(alternative.bindings) if alternative.bindings else {}
+        contributions: list[Any] = []
+        explicit: list[Any] = []  # action results, which win for OBJECT kind
+        cur = pos
+        for item, contributing in zip(alternative.items, alternative.contributing):
+            cur, value = self._eval(item, cur, env)
+            if cur == FAIL:
+                return FAIL, None
+            if contributing:
+                contributions.append(value)
+                if isinstance(item, Action):
+                    explicit.append(value)
+        return cur, self._build_value(prod, alternative, pos, cur, contributions, explicit)
+
+    def _build_value(
+        self,
+        prod: _CompiledProduction,
+        alternative: _CompiledAlternative,
+        start: int,
+        end: int,
+        contributions: list[Any],
+        explicit: list[Any],
+    ) -> Any:
+        kind = prod.kind
+        if kind is ValueKind.VOID:
+            return None
+        if kind is ValueKind.TEXT:
+            return self._text[start:end]
+        if kind is ValueKind.GENERIC:
+            if alternative.label is None and len(contributions) == 1:
+                # Pass-through alternative (e.g. ``Sum = <Add> ... / Product``):
+                # don't wrap the single child in a redundant node.
+                return contributions[0]
+            location = self._location(start) if prod.with_location else None
+            return GNode(alternative.gnode_name, tuple(contributions), location)
+        # OBJECT: explicit action result wins; otherwise pass-through.
+        if explicit:
+            return explicit[-1]
+        return pass_through(contributions)
+
+    # -- expression evaluation ------------------------------------------------------
+
+    def _eval(self, expr: Expression, pos: int, env: dict[str, Any]) -> tuple[int, Any]:
+        text = self._text
+        if isinstance(expr, Literal):
+            end = pos + len(expr.text)
+            if expr.ignore_case:
+                if text[pos:end].lower() == expr.text.lower():
+                    return end, text[pos:end]
+            elif text.startswith(expr.text, pos):
+                return end, expr.text
+            self._expected(pos, repr(expr.text))
+            return FAIL, None
+        if isinstance(expr, CharClass):
+            if pos < self._length and expr.matches(text[pos]):
+                return pos + 1, text[pos]
+            self._expected(pos, "character class")
+            return FAIL, None
+        if isinstance(expr, AnyChar):
+            if pos < self._length:
+                return pos + 1, text[pos]
+            self._expected(pos, "any character")
+            return FAIL, None
+        if isinstance(expr, Nonterminal):
+            return self.apply(expr.name, pos)
+        if isinstance(expr, Sequence):
+            contributions: list[Any] = []
+            cur = pos
+            for item in expr.items:
+                cur, value = self._eval(item, cur, env)
+                if cur == FAIL:
+                    return FAIL, None
+                if self._interp._contributes(item):
+                    contributions.append(value)
+            return cur, pass_through(contributions)
+        if isinstance(expr, Choice):
+            # The choice's dynamic value is the matched branch's raw value
+            # (so binding a choice of literals captures the matched text,
+            # consistently with binding a literal or character class).
+            for alternative in expr.alternatives:
+                cur, value = self._eval(alternative, pos, env)
+                if cur != FAIL:
+                    return cur, value
+            return FAIL, None
+        if isinstance(expr, Repetition):
+            item_contributes = self._interp._contributes(expr.expr)
+            values: list[Any] = []
+            cur = pos
+            count = 0
+            while True:
+                nxt, value = self._eval(expr.expr, cur, env)
+                if nxt == FAIL:
+                    break
+                if nxt == cur:
+                    break  # zero-width item: stop rather than loop forever
+                cur = nxt
+                count += 1
+                if item_contributes:
+                    values.append(value)
+            if count < expr.min:
+                return FAIL, None
+            return cur, values if item_contributes else None
+        if isinstance(expr, Option):
+            cur, value = self._eval(expr.expr, pos, env)
+            if cur == FAIL:
+                return pos, None
+            # Non-contributing items (e.g. bare literals) yield None so all
+            # backends and the desugared encoding agree; capture text with
+            # ``text:`` when the matched characters are wanted.
+            return cur, value if self._interp._contributes(expr.expr) else None
+        if isinstance(expr, And):
+            cur, _ = self._eval(expr.expr, pos, env)
+            if cur == FAIL:
+                return FAIL, None
+            return pos, None
+        if isinstance(expr, Not):
+            cur, _ = self._eval(expr.expr, pos, env)
+            if cur == FAIL:
+                return pos, None
+            self._expected(pos, "not-predicate")
+            return FAIL, None
+        if isinstance(expr, Binding):
+            cur, value = self._eval(expr.expr, pos, env)
+            if cur != FAIL:
+                env[expr.name] = value
+            return cur, value
+        if isinstance(expr, Voided):
+            cur, _ = self._eval(expr.expr, pos, env)
+            return cur, None
+        if isinstance(expr, Text):
+            cur, _ = self._eval(expr.expr, pos, env)
+            if cur == FAIL:
+                return FAIL, None
+            return cur, text[pos:cur]
+        if isinstance(expr, Action):
+            compiled = self._interp._compiled_action(expr.code)
+            value = eval(compiled, ACTION_GLOBALS, env)  # noqa: S307 - sandboxed namespace
+            return pos, value
+        if isinstance(expr, Epsilon):
+            return pos, None
+        if isinstance(expr, Fail):
+            self._expected(pos, expr.message or "nothing")
+            return FAIL, None
+        if isinstance(expr, CharSwitch):
+            if pos < self._length:
+                ch = text[pos]
+                for chars, branch in expr.cases:
+                    if ch in chars:
+                        cur, value = self._eval(branch, pos, env)
+                        if cur != FAIL:
+                            return cur, value
+            return self._eval(expr.default, pos, env)
+        raise TypeError(f"cannot evaluate {type(expr).__name__}")

@@ -1,0 +1,122 @@
+"""Parse tracing: watch the packrat parser think.
+
+``trace_parse`` runs the grammar interpreter over an input while recording
+every production application — position, nesting depth, outcome (matched
+span, failure, or memo hit) — and returns the events alongside the parse
+result.  ``format_trace`` renders them as an indented log:
+
+    Expression @0
+      Term @0
+        Number @0            = 0:1
+      Term @0                = 0:1
+      Number @2 (memo)       = fail
+
+This is the grammar author's debugging view: where the parser backtracked,
+which productions were re-asked (memo hits), and where the farthest
+failure came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ParseError
+from repro.interp.evaluator import GrammarInterpreter, _Run
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One production application."""
+
+    depth: int
+    production: str
+    position: int
+    end: int  # -1 on failure
+    from_memo: bool
+
+    @property
+    def matched(self) -> bool:
+        return self.end >= 0
+
+
+class _TracingRun(_Run):
+    """A run that records apply() outcomes."""
+
+    def __init__(self, interpreter, text, source, events: list[TraceEvent], limit: int):
+        super().__init__(interpreter, text, source)
+        self._events = events
+        self._depth = 0
+        self._limit = limit
+
+    def apply(self, name: str, pos: int):
+        from_memo = False
+        if self._memo is not None:
+            production = self._interp._productions.get(name)
+            if production is not None and not production.transient:
+                from_memo = self._memo.get(production.index, pos) is not None
+        self._depth += 1
+        try:
+            result = super().apply(name, pos)
+        finally:
+            self._depth -= 1
+        if len(self._events) < self._limit:
+            self._events.append(
+                TraceEvent(self._depth, name, pos, result[0], from_memo)
+            )
+        return result
+
+
+def trace_parse(
+    interpreter: GrammarInterpreter,
+    text: str,
+    start: str | None = None,
+    source: str = "<input>",
+    limit: int = 100_000,
+) -> tuple[Any, list[TraceEvent], ParseError | None]:
+    """Parse with tracing.
+
+    Returns ``(value, events, error)`` — on failure ``value`` is None and
+    ``error`` carries the usual farthest-failure diagnosis.  ``events`` are
+    in completion order (post-order).  At most ``limit`` events are kept.
+    """
+    events: list[TraceEvent] = []
+    run = _TracingRun(interpreter, text, source, events, limit)
+    interpreter._last_run = run
+    start_name = start or interpreter.grammar.start
+    pos, value = run.apply(start_name, 0)
+    if pos < 0 or pos < len(text):
+        return None, events, run.parse_error()
+    return value, events, None
+
+
+def format_trace(events: list[TraceEvent], max_events: int = 200) -> str:
+    """Indented, human-readable rendering of a trace."""
+    lines = []
+    for event in events[:max_events]:
+        indent = "  " * event.depth
+        outcome = f"= {event.position}:{event.end}" if event.matched else "= fail"
+        memo = " (memo)" if event.from_memo else ""
+        lines.append(f"{indent}{event.production} @{event.position}{memo}  {outcome}")
+    if len(events) > max_events:
+        lines.append(f"... {len(events) - max_events} more events")
+    return "\n".join(lines)
+
+
+def trace_statistics(events: list[TraceEvent]) -> dict[str, Any]:
+    """Aggregate statistics: applications, memo hits, failures, re-asks."""
+    applications = len(events)
+    memo_hits = sum(1 for e in events if e.from_memo)
+    failures = sum(1 for e in events if not e.matched)
+    asked: dict[tuple[str, int], int] = {}
+    for event in events:
+        key = (event.production, event.position)
+        asked[key] = asked.get(key, 0) + 1
+    reasked = sum(1 for count in asked.values() if count > 1)
+    return {
+        "applications": applications,
+        "memo_hits": memo_hits,
+        "failures": failures,
+        "distinct_questions": len(asked),
+        "reasked_questions": reasked,
+    }

@@ -1,0 +1,40 @@
+"""Source locations.
+
+A :class:`Location` identifies a point in some named source text.  Locations
+are attached to grammar constructs by the ``.mg`` reader (so composition
+errors can point at the offending line) and to generic AST nodes by parsers
+generated with the ``withLocation`` attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """An absolute position in a named source."""
+
+    source: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.source}:{self.line}:{self.column}"
+
+
+UNKNOWN = Location("<unknown>", 0, 0)
+
+
+def line_column(text: str, offset: int) -> tuple[int, int]:
+    """Return 1-based ``(line, column)`` for ``offset`` into ``text``.
+
+    ``offset`` may equal ``len(text)`` (end-of-input position).
+    """
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    offset = min(offset, len(text))
+    line = text.count("\n", 0, offset) + 1
+    last_newline = text.rfind("\n", 0, offset)
+    column = offset - last_newline  # works for -1 too: offset + 1
+    return line, column

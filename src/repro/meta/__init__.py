@@ -1,0 +1,18 @@
+"""The ``.mg`` grammar-definition language: AST, lexer, parser, loader."""
+
+from repro.meta.ast import (
+    Addition,
+    Dependency,
+    Modification,
+    ModuleAst,
+    Override,
+    ProductionDef,
+    Removal,
+)
+from repro.meta.loader import ModuleLoader
+from repro.meta.parser import parse_module
+
+__all__ = [
+    "Addition", "Dependency", "Modification", "ModuleAst", "Override",
+    "ProductionDef", "Removal", "ModuleLoader", "parse_module",
+]

@@ -1,0 +1,123 @@
+"""Syntax tree for ``.mg`` grammar-module files.
+
+A module file contains, in order: a ``module`` declaration (optionally with
+*parameters* — placeholders for module names bound at instantiation time), a
+list of dependencies (``import`` / ``instantiate … as …`` / ``modify``),
+grammar-wide ``option`` clauses, and a list of production definitions and/or
+production *modifications*:
+
+.. code-block:: text
+
+    module demo.Extension(Base);
+
+    modify Base;
+
+    option withLocation;
+
+    Expression += <Pow> Primary "**" Expression / ... ;
+    Statement  -= <Goto> ;
+    Comment    := "//" [^\\n]* ;
+
+Modification forms (the paper's extension mechanism):
+
+``+=``  add alternatives; a ``...`` alternative marks where the existing
+        alternatives go (omitted ⇒ the new ones are appended).
+``:=``  override the production's body (and optionally attributes/kind).
+``-=``  remove the named (labeled) alternatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.locations import Location, UNKNOWN
+from repro.peg.production import Alternative, ValueKind
+
+
+@dataclass(frozen=True, slots=True)
+class Dependency:
+    """One ``import`` / ``instantiate`` / ``modify`` clause."""
+
+    kind: str  # "import" | "instantiate" | "modify"
+    module: str  # target module or parameter name
+    arguments: tuple[str, ...] = ()
+    alias: str | None = None
+    location: Location = field(default=UNKNOWN, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("import", "instantiate", "modify"):
+            raise ValueError(f"bad dependency kind {self.kind!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class ProductionDef:
+    """A full production definition."""
+
+    name: str
+    kind: ValueKind
+    alternatives: tuple[Alternative, ...]
+    attributes: frozenset[str] = frozenset()
+    location: Location = field(default=UNKNOWN, compare=False)
+
+
+#: Sentinel label marking the ``...`` placeholder inside ``+=`` bodies.
+ELLIPSIS_MARKER = "..."
+
+
+@dataclass(frozen=True, slots=True)
+class Addition:
+    """``Name += alts ;`` — insert alternatives around the existing ones."""
+
+    name: str
+    before: tuple[Alternative, ...]  # alternatives listed before `...`
+    after: tuple[Alternative, ...]  # alternatives listed after `...`
+    location: Location = field(default=UNKNOWN, compare=False)
+
+
+@dataclass(frozen=True, slots=True)
+class Override:
+    """``Name := alts ;`` — replace the production body.
+
+    ``kind``/``attributes`` are ``None`` when the override keeps the
+    original declaration's value kind and attributes.
+    """
+
+    name: str
+    alternatives: tuple[Alternative, ...]
+    kind: ValueKind | None = None
+    attributes: frozenset[str] | None = None
+    location: Location = field(default=UNKNOWN, compare=False)
+
+
+@dataclass(frozen=True, slots=True)
+class Removal:
+    """``Name -= <Label>, <Label> ;`` — delete labeled alternatives."""
+
+    name: str
+    labels: tuple[str, ...]
+    location: Location = field(default=UNKNOWN, compare=False)
+
+
+Modification = Addition | Override | Removal
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleAst:
+    """A parsed ``.mg`` module file."""
+
+    name: str
+    parameters: tuple[str, ...] = ()
+    dependencies: tuple[Dependency, ...] = ()
+    options: frozenset[str] = frozenset()
+    productions: tuple[ProductionDef, ...] = ()
+    modifications: tuple[Modification, ...] = ()
+    location: Location = field(default=UNKNOWN, compare=False)
+    source_text: str = field(default="", compare=False)
+
+    @property
+    def is_modifier(self) -> bool:
+        """Does this module modify another module (contain ``modify`` deps)?"""
+        return any(dep.kind == "modify" for dep in self.dependencies)
+
+    def modified_targets(self) -> list[str]:
+        return [dep.module for dep in self.dependencies if dep.kind == "modify"]

@@ -1,0 +1,238 @@
+"""Tokenizer for ``.mg`` grammar-module files.
+
+Token kinds:
+
+``ident``     identifiers and keywords, possibly dot-qualified (``jay.Core``)
+``literal``   double-quoted string, value already unescaped; a trailing ``i``
+              flag (case-insensitive) is reported via the ``flag`` field
+``class``     character class body between ``[`` and ``]`` (raw, unescaped —
+              :func:`repro.peg.expr.char_class` interprets it)
+``action``    brace-balanced action code between ``{`` and ``}``
+``punct``     one of  ; = += := -= / < > ( ) * + ? & ! : , _ ...
+``eof``       end of input
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GrammarSyntaxError
+from repro.locations import line_column
+
+_PUNCT_MULTI = ("+=", ":=", "-=", "...")
+_PUNCT_SINGLE = set(";=/<>()*+?&!:,_")
+
+_STRING_ESCAPES = {
+    "n": "\n", "r": "\r", "t": "\t", "f": "\f", "v": "\v",
+    "\\": "\\", '"': '"', "'": "'", "0": "\0",
+}
+
+
+def decode_string_body(raw: str) -> str:
+    """Decode the escapes of a raw (still-escaped) string-literal body.
+
+    Mirrors exactly what :class:`Lexer` does while scanning a literal; used
+    by the self-hosted meta grammar's bridge, which captures bodies raw.
+    Raises :class:`ValueError` on malformed escapes.
+    """
+    out: list[str] = []
+    index = 0
+    while index < len(raw):
+        ch = raw[index]
+        if ch != "\\":
+            out.append(ch)
+            index += 1
+            continue
+        if index + 1 >= len(raw):
+            raise ValueError("dangling escape in string literal")
+        escape = raw[index + 1]
+        if escape == "u":
+            if index + 6 > len(raw):
+                raise ValueError("truncated \\u escape")
+            out.append(chr(int(raw[index + 2 : index + 6], 16)))
+            index += 6
+            continue
+        if escape not in _STRING_ESCAPES:
+            raise ValueError(f"unknown escape \\{escape}")
+        out.append(_STRING_ESCAPES[escape])
+        index += 2
+    return "".join(out)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str
+    value: str
+    offset: int
+    line: int
+    column: int
+    flag: str = ""
+
+    def is_punct(self, value: str) -> bool:
+        return self.kind == "punct" and self.value == value
+
+    def is_word(self, value: str) -> bool:
+        return self.kind == "ident" and self.value == value
+
+
+class Lexer:
+    """Tokenize one source string; raises :class:`GrammarSyntaxError`."""
+
+    def __init__(self, text: str, source: str = "<string>"):
+        self._text = text
+        self._source = source
+        self._pos = 0
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            token = self._next()
+            out.append(token)
+            if token.kind == "eof":
+                return out
+
+    # -- internals -----------------------------------------------------------
+
+    def _error(self, message: str, offset: int | None = None) -> GrammarSyntaxError:
+        at = self._pos if offset is None else offset
+        line, column = line_column(self._text, at)
+        return GrammarSyntaxError(message, self._source, line, column)
+
+    def _skip_trivia(self) -> None:
+        text, n = self._text, len(self._text)
+        while self._pos < n:
+            ch = text[self._pos]
+            if ch in " \t\r\n":
+                self._pos += 1
+            elif text.startswith("//", self._pos):
+                end = text.find("\n", self._pos)
+                self._pos = n if end == -1 else end + 1
+            elif text.startswith("/*", self._pos):
+                end = text.find("*/", self._pos + 2)
+                if end == -1:
+                    raise self._error("unterminated block comment")
+                self._pos = end + 2
+            else:
+                return
+
+    def _make(self, kind: str, value: str, offset: int, flag: str = "") -> Token:
+        line, column = line_column(self._text, offset)
+        return Token(kind, value, offset, line, column, flag)
+
+    def _next(self) -> Token:
+        self._skip_trivia()
+        text, n = self._text, len(self._text)
+        start = self._pos
+        if start >= n:
+            return self._make("eof", "", start)
+        ch = text[start]
+
+        if ch.isalpha() or ch == "_" and start + 1 < n and (text[start + 1].isalnum() or text[start + 1] == "_"):
+            return self._lex_ident(start)
+        if ch == '"':
+            return self._lex_string(start)
+        if ch == "[":
+            return self._lex_class(start)
+        if ch == "{":
+            return self._lex_action(start)
+        for multi in _PUNCT_MULTI:
+            if text.startswith(multi, start):
+                self._pos = start + len(multi)
+                return self._make("punct", multi, start)
+        if ch in _PUNCT_SINGLE:
+            self._pos = start + 1
+            return self._make("punct", ch, start)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_ident(self, start: int) -> Token:
+        text, n = self._text, len(self._text)
+        pos = start
+        while pos < n and (text[pos].isalnum() or text[pos] in "_"):
+            pos += 1
+        # dot-qualified segments (module names): ident(.ident)*
+        while pos < n and text[pos] == "." and pos + 1 < n and (text[pos + 1].isalpha() or text[pos + 1] == "_"):
+            pos += 1
+            while pos < n and (text[pos].isalnum() or text[pos] in "_"):
+                pos += 1
+        self._pos = pos
+        word = text[start:pos]
+        # literal case-insensitivity flag is handled in _lex_string
+        return self._make("ident", word, start)
+
+    def _lex_string(self, start: int) -> Token:
+        text, n = self._text, len(self._text)
+        pos = start + 1
+        out: list[str] = []
+        while True:
+            if pos >= n:
+                raise self._error("unterminated string literal", start)
+            ch = text[pos]
+            if ch == '"':
+                pos += 1
+                break
+            if ch == "\n":
+                raise self._error("newline in string literal", pos)
+            if ch == "\\":
+                if pos + 1 >= n:
+                    raise self._error("dangling escape in string literal", pos)
+                esc = text[pos + 1]
+                if esc == "u":
+                    if pos + 6 > n:
+                        raise self._error("truncated \\u escape", pos)
+                    out.append(chr(int(text[pos + 2 : pos + 6], 16)))
+                    pos += 6
+                    continue
+                if esc not in _STRING_ESCAPES:
+                    raise self._error(f"unknown escape \\{esc}", pos)
+                out.append(_STRING_ESCAPES[esc])
+                pos += 2
+                continue
+            out.append(ch)
+            pos += 1
+        flag = ""
+        if pos < n and text[pos] == "i" and (pos + 1 >= n or not (text[pos + 1].isalnum() or text[pos + 1] == "_")):
+            flag = "i"
+            pos += 1
+        self._pos = pos
+        return self._make("literal", "".join(out), start, flag)
+
+    def _lex_class(self, start: int) -> Token:
+        text, n = self._text, len(self._text)
+        pos = start + 1
+        while pos < n:
+            ch = text[pos]
+            if ch == "\\":
+                pos += 2
+                continue
+            if ch == "]":
+                body = text[start + 1 : pos]
+                self._pos = pos + 1
+                return self._make("class", body, start)
+            pos += 1
+        raise self._error("unterminated character class", start)
+
+    def _lex_action(self, start: int) -> Token:
+        text, n = self._text, len(self._text)
+        pos = start + 1
+        depth = 1
+        while pos < n:
+            ch = text[pos]
+            if ch == "{":
+                depth += 1
+            elif ch == "}":
+                depth -= 1
+                if depth == 0:
+                    body = text[start + 1 : pos].strip()
+                    self._pos = pos + 1
+                    return self._make("action", body, start)
+            elif ch in "\"'":
+                quote = ch
+                pos += 1
+                while pos < n and text[pos] != quote:
+                    if text[pos] == "\\":
+                        pos += 1
+                    pos += 1
+                if pos >= n:
+                    raise self._error("unterminated string inside action", start)
+            pos += 1
+        raise self._error("unterminated action", start)

@@ -1,0 +1,76 @@
+"""Locating and parsing grammar modules by qualified name.
+
+A :class:`ModuleLoader` resolves module names like ``jay.Expression`` to
+``.mg`` sources, looked up in order:
+
+1. explicitly registered in-memory sources (``register_source``),
+2. files under the loader's search paths (``jay/Expression.mg``),
+3. the grammars shipped with the library (:mod:`repro.grammars`).
+
+Parsed modules are cached; a module name always denotes one template.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from pathlib import Path
+
+from repro.errors import CompositionError
+from repro.meta.ast import ModuleAst
+from repro.meta.parser import parse_module
+
+
+class ModuleLoader:
+    """Load grammar-module templates by qualified name."""
+
+    def __init__(self, paths: list[str | Path] | None = None, include_builtin: bool = True):
+        self._paths = [Path(p) for p in (paths or [])]
+        self._sources: dict[str, str] = {}
+        self._cache: dict[str, ModuleAst] = {}
+        self._include_builtin = include_builtin
+
+    # -- registration -----------------------------------------------------------
+
+    def register_source(self, name: str, text: str) -> None:
+        """Register in-memory ``.mg`` source for module ``name``."""
+        self._sources[name] = text
+        self._cache.pop(name, None)
+
+    def register_module(self, module: ModuleAst) -> None:
+        """Register an already-parsed module template."""
+        self._cache[module.name] = module
+
+    def add_path(self, path: str | Path) -> None:
+        self._paths.append(Path(path))
+
+    # -- lookup --------------------------------------------------------------------
+
+    def load(self, name: str) -> ModuleAst:
+        """Load, parse, and cache the module template called ``name``."""
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        text, source = self._find_source(name)
+        module = parse_module(text, source)
+        if module.name != name:
+            raise CompositionError(
+                f"module file for {name!r} declares itself as {module.name!r} ({source})"
+            )
+        self._cache[name] = module
+        return module
+
+    def _find_source(self, name: str) -> tuple[str, str]:
+        if name in self._sources:
+            return self._sources[name], f"<registered:{name}>"
+        relative = Path(*name.split(".")).with_suffix(".mg")
+        for base in self._paths:
+            candidate = base / relative
+            if candidate.is_file():
+                return candidate.read_text(), str(candidate)
+        if self._include_builtin:
+            builtin = importlib.resources.files("repro.grammars") / str(relative)
+            try:
+                return builtin.read_text(), f"<builtin:{name}>"
+            except (FileNotFoundError, ModuleNotFoundError, NotADirectoryError):
+                pass
+        raise CompositionError(f"cannot find grammar module {name!r} (searched {len(self._paths)} paths)")

@@ -1,0 +1,394 @@
+"""Recursive-descent parser for ``.mg`` grammar-module files.
+
+Surface grammar (see :mod:`repro.meta.ast` for the semantic description)::
+
+    File         <- ModuleDecl Dependency* (OptionDecl / Definition)* EOF
+    ModuleDecl   <- "module" QName Params? ";"
+    Params       <- "(" QName ("," QName)* ")"
+    Dependency   <- ("import" / "instantiate" / "modify") QName Args?
+                    ("as" QName)? ";"
+    OptionDecl   <- "option" Ident ("," Ident)* ";"
+    Definition   <- Production / Addition / Override / Removal
+    Production   <- Attr* Kind? Name "=" Choice ";"
+    Addition     <- Name "+=" Choice ";"          -- "..." marks the old body
+    Override     <- Attr* Kind? Name ":=" Choice ";"
+    Removal      <- Name "-=" "<" Label ">" ("," "<" Label ">")* ";"
+    Choice       <- Alternative ("/" Alternative)*
+    Alternative  <- ("<" Label ">")? Prefixed*    -- or "..." (in += bodies)
+    Prefixed     <- ("&" / "!") Suffixed
+                  / ("void" / "text" / Name) ":" Suffixed
+                  / Suffixed
+    Suffixed     <- Primary ("*" / "+" / "?")*
+    Primary      <- Name / Literal / Class / "_" / "(" Choice ")" / Action
+
+``Kind`` is one of ``void | String | generic | Object`` (default ``Object``),
+``Attr`` one of the production attributes.  Keywords are contextual — any
+identifier can still name a production.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GrammarSyntaxError
+from repro.locations import Location
+from repro.meta.ast import (
+    Addition,
+    Dependency,
+    ModuleAst,
+    Override,
+    ProductionDef,
+    Removal,
+)
+from repro.meta.lexer import Lexer, Token
+from repro.peg.expr import (
+    Action,
+    And,
+    AnyChar,
+    Binding,
+    Expression,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Text,
+    Voided,
+    char_class,
+    choice,
+    literal,
+    seq,
+)
+from repro.peg.production import KNOWN_ATTRIBUTES, Alternative, ValueKind
+
+_KINDS = {
+    "void": ValueKind.VOID,
+    "String": ValueKind.TEXT,
+    "generic": ValueKind.GENERIC,
+    "Object": ValueKind.OBJECT,
+}
+
+#: An Alternative with this label stands for the ``...`` placeholder.
+_ELLIPSIS_ALT = object()
+
+
+class ModuleParser:
+    """Parse one module file into a :class:`ModuleAst`."""
+
+    def __init__(self, text: str, source: str = "<string>"):
+        self._text = text
+        self._source = source
+        self._tokens = Lexer(text, source).tokens()
+        self._index = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _location(self, token: Token | None = None) -> Location:
+        tok = token or self._current
+        return Location(self._source, tok.line, tok.column)
+
+    def _error(self, message: str, token: Token | None = None) -> GrammarSyntaxError:
+        tok = token or self._current
+        return GrammarSyntaxError(message, self._source, tok.line, tok.column)
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _at_punct(self, value: str) -> bool:
+        return self._current.is_punct(value)
+
+    def _at_word(self, value: str) -> bool:
+        return self._current.is_word(value)
+
+    def _eat_punct(self, value: str) -> Token:
+        if not self._at_punct(value):
+            raise self._error(f"expected {value!r}, found {self._describe(self._current)}")
+        return self._advance()
+
+    def _eat_word(self, value: str) -> Token:
+        if not self._at_word(value):
+            raise self._error(f"expected keyword {value!r}, found {self._describe(self._current)}")
+        return self._advance()
+
+    def _eat_name(self, what: str = "name") -> str:
+        if self._current.kind != "ident":
+            raise self._error(f"expected {what}, found {self._describe(self._current)}")
+        return self._advance().value
+
+    @staticmethod
+    def _describe(token: Token) -> str:
+        if token.kind == "eof":
+            return "end of file"
+        return repr(token.value)
+
+    # -- file structure -----------------------------------------------------------
+
+    def parse_module(self) -> ModuleAst:
+        header = self._eat_word("module")
+        name = self._eat_name("module name")
+        parameters: tuple[str, ...] = ()
+        if self._at_punct("("):
+            parameters = self._name_list()
+        self._eat_punct(";")
+
+        dependencies: list[Dependency] = []
+        while self._current.kind == "ident" and self._current.value in ("import", "instantiate", "modify"):
+            dependencies.append(self._dependency())
+
+        options: set[str] = set()
+        productions: list[ProductionDef] = []
+        modifications: list[Addition | Override | Removal] = []
+        while self._current.kind != "eof":
+            if self._at_word("option"):
+                options |= self._option_decl()
+            else:
+                item = self._definition()
+                if isinstance(item, ProductionDef):
+                    productions.append(item)
+                else:
+                    modifications.append(item)
+
+        return ModuleAst(
+            name=name,
+            parameters=parameters,
+            dependencies=tuple(dependencies),
+            options=frozenset(options),
+            productions=tuple(productions),
+            modifications=tuple(modifications),
+            location=self._location(header),
+            source_text=self._text,
+        )
+
+    def _name_list(self) -> tuple[str, ...]:
+        self._eat_punct("(")
+        names = [self._eat_name()]
+        while self._at_punct(","):
+            self._advance()
+            names.append(self._eat_name())
+        self._eat_punct(")")
+        return tuple(names)
+
+    def _dependency(self) -> Dependency:
+        keyword = self._advance()
+        module = self._eat_name("module name")
+        arguments: tuple[str, ...] = ()
+        if self._at_punct("("):
+            arguments = self._name_list()
+        alias = None
+        if self._at_word("as"):
+            self._advance()
+            alias = self._eat_name("alias")
+        self._eat_punct(";")
+        if keyword.value != "instantiate" and arguments:
+            raise self._error(f"{keyword.value} does not take arguments", keyword)
+        return Dependency(keyword.value, module, arguments, alias, self._location(keyword))
+
+    def _option_decl(self) -> set[str]:
+        self._eat_word("option")
+        names = {self._eat_name("option name")}
+        while self._at_punct(","):
+            self._advance()
+            names.add(self._eat_name("option name"))
+        self._eat_punct(";")
+        return names
+
+    # -- productions and modifications -----------------------------------------------
+
+    def _definition(self) -> ProductionDef | Addition | Override | Removal:
+        start = self._current
+        attributes: set[str] = set()
+        while self._current.kind == "ident" and self._current.value in KNOWN_ATTRIBUTES:
+            # Lookahead: an attribute word directly followed by = += := -= is
+            # actually a production *named* like an attribute.
+            nxt = self._tokens[self._index + 1]
+            if nxt.kind == "punct" and nxt.value in ("=", "+=", ":=", "-="):
+                break
+            attributes.add(self._advance().value)
+
+        kind: ValueKind | None = None
+        if self._current.kind == "ident" and self._current.value in _KINDS:
+            nxt = self._tokens[self._index + 1]
+            if not (nxt.kind == "punct" and nxt.value in ("=", "+=", ":=", "-=")):
+                kind = _KINDS[self._advance().value]
+
+        name = self._eat_name("production name")
+        location = self._location(start)
+
+        if self._at_punct("="):
+            self._advance()
+            alternatives, has_ellipsis = self._choice(allow_ellipsis=False)
+            self._eat_punct(";")
+            return ProductionDef(
+                name=name,
+                kind=kind or ValueKind.OBJECT,
+                alternatives=alternatives,
+                attributes=frozenset(attributes),
+                location=location,
+            )
+
+        if self._at_punct("+="):
+            if attributes or kind is not None:
+                raise self._error("+= cannot change attributes or value kind", start)
+            self._advance()
+            alternatives, parts = self._choice_with_ellipsis()
+            self._eat_punct(";")
+            before, after = parts
+            return Addition(name=name, before=before, after=after, location=location)
+
+        if self._at_punct(":="):
+            self._advance()
+            alternatives, _ = self._choice(allow_ellipsis=False)
+            self._eat_punct(";")
+            return Override(
+                name=name,
+                alternatives=alternatives,
+                kind=kind,
+                attributes=frozenset(attributes) if attributes else None,
+                location=location,
+            )
+
+        if self._at_punct("-="):
+            self._advance()
+            labels = [self._label()]
+            while self._at_punct(","):
+                self._advance()
+                labels.append(self._label())
+            self._eat_punct(";")
+            if attributes or kind is not None:
+                raise self._error("-= cannot change attributes or value kind", start)
+            return Removal(name=name, labels=tuple(labels), location=location)
+
+        raise self._error(f"expected one of = += := -= after {name!r}")
+
+    def _label(self) -> str:
+        self._eat_punct("<")
+        name = self._eat_name("alternative label")
+        self._eat_punct(">")
+        return name
+
+    # -- expressions --------------------------------------------------------------
+
+    def _choice(self, allow_ellipsis: bool) -> tuple[tuple[Alternative, ...], bool]:
+        alternatives: list[Alternative] = []
+        saw_ellipsis = False
+        while True:
+            if allow_ellipsis and self._at_punct("..."):
+                self._advance()
+                saw_ellipsis = True
+                alternatives.append(_ELLIPSIS_ALT)  # type: ignore[arg-type]
+            else:
+                alternatives.append(self._alternative())
+            if not self._at_punct("/"):
+                break
+            self._advance()
+        return tuple(alternatives), saw_ellipsis
+
+    def _choice_with_ellipsis(
+        self,
+    ) -> tuple[tuple[Alternative, ...], tuple[tuple[Alternative, ...], tuple[Alternative, ...]]]:
+        alternatives, saw = self._choice(allow_ellipsis=True)
+        if not saw:
+            # No placeholder: new alternatives are appended after the old body.
+            return alternatives, ((), tuple(a for a in alternatives if a is not _ELLIPSIS_ALT))
+        split = [i for i, a in enumerate(alternatives) if a is _ELLIPSIS_ALT]
+        if len(split) > 1:
+            raise self._error("at most one '...' allowed in a += body")
+        index = split[0]
+        before = tuple(a for a in alternatives[:index])
+        after = tuple(a for a in alternatives[index + 1 :])
+        return alternatives, (before, after)
+
+    def _alternative(self) -> Alternative:
+        token = self._current
+        label = None
+        if self._at_punct("<"):
+            label = self._label()
+        items: list[Expression] = []
+        while self._starts_prefixed():
+            items.append(self._prefixed())
+        return Alternative(seq(*items), label, self._location(token))
+
+    def _starts_prefixed(self) -> bool:
+        token = self._current
+        if token.kind in ("literal", "class", "action"):
+            return True
+        if token.kind == "ident":
+            # An identifier followed by a definition operator belongs to the
+            # *next* definition, not this alternative.
+            nxt = self._tokens[self._index + 1]
+            return not (nxt.kind == "punct" and nxt.value in ("=", "+=", ":=", "-="))
+        if token.kind == "punct":
+            return token.value in ("&", "!", "(", "_")
+        return False
+
+    def _prefixed(self) -> Expression:
+        if self._at_punct("&"):
+            self._advance()
+            return And(self._suffixed())
+        if self._at_punct("!"):
+            self._advance()
+            return Not(self._suffixed())
+        if self._current.kind == "ident":
+            nxt = self._tokens[self._index + 1]
+            if nxt.kind == "punct" and nxt.value == ":":
+                name = self._advance().value
+                self._advance()  # ':'
+                body = self._suffixed()
+                if name == "void":
+                    return Voided(body)
+                if name == "text":
+                    return Text(body)
+                return Binding(name, body)
+        return self._suffixed()
+
+    def _suffixed(self) -> Expression:
+        expr = self._primary()
+        while self._current.kind == "punct" and self._current.value in ("*", "+", "?"):
+            op = self._advance().value
+            if op == "*":
+                expr = Repetition(expr, 0)
+            elif op == "+":
+                expr = Repetition(expr, 1)
+            else:
+                expr = Option(expr)
+        return expr
+
+    def _primary(self) -> Expression:
+        token = self._current
+        if token.kind == "ident":
+            self._advance()
+            return Nonterminal(token.value)
+        if token.kind == "literal":
+            self._advance()
+            if not token.value:
+                raise self._error("empty string literal matches nothing; use ()? instead", token)
+            return literal(token.value, ignore_case=token.flag == "i")
+        if token.kind == "class":
+            self._advance()
+            try:
+                return char_class(token.value)
+            except ValueError as exc:
+                raise self._error(str(exc), token) from exc
+        if token.kind == "action":
+            self._advance()
+            return Action(token.value)
+        if token.is_punct("_"):
+            self._advance()
+            return AnyChar()
+        if token.is_punct("("):
+            self._advance()
+            alternatives, _ = self._choice(allow_ellipsis=False)
+            self._eat_punct(")")
+            exprs = [a.expr for a in alternatives]
+            return choice(*exprs)
+        raise self._error(f"expected expression, found {self._describe(token)}")
+
+
+def parse_module(text: str, source: str = "<string>") -> ModuleAst:
+    """Parse ``.mg`` source text into a :class:`ModuleAst`."""
+    return ModuleParser(text, source).parse_module()

@@ -1,0 +1,212 @@
+"""The self-hosted ``.mg`` reader.
+
+The surface language of this system is itself defined as a modular PEG —
+the ``meta.*`` grammar modules shipped with the library — just as the
+original Rats! grammar is written in Rats!.  This module compiles that
+grammar (with the library's own pipeline) and converts the resulting
+generic syntax trees into the same :class:`~repro.meta.ast.ModuleAst`
+values the hand-written reader produces.
+
+``parse_module_selfhosted`` is a drop-in replacement for
+:func:`repro.meta.parser.parse_module`; the test suite checks the two
+agree structurally on every shipped grammar module (the bootstrap
+fixpoint).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any
+
+from repro.errors import GrammarSyntaxError, ParseError
+from repro.meta.ast import Addition, Dependency, ModuleAst, Override, ProductionDef, Removal
+from repro.meta.lexer import decode_string_body
+from repro.peg.expr import (
+    Action,
+    And,
+    AnyChar,
+    Binding,
+    Expression,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Text,
+    Voided,
+    char_class,
+    choice,
+    literal,
+    seq,
+)
+from repro.peg.production import Alternative, ValueKind
+from repro.runtime.node import GNode
+
+_KINDS = {
+    "void": ValueKind.VOID,
+    "String": ValueKind.TEXT,
+    "generic": ValueKind.GENERIC,
+    "Object": ValueKind.OBJECT,
+}
+
+#: Sentinel standing for the ``...`` placeholder in ``+=`` bodies.
+_ELLIPSIS = object()
+
+
+@lru_cache(maxsize=1)
+def meta_language():
+    """The compiled self-hosted ``.mg`` parser (built once, lazily)."""
+    # Imported here to avoid a circular import at package load time.
+    from repro.api import compile_grammar
+
+    return compile_grammar("meta.Module")
+
+
+def parse_module_selfhosted(text: str, source: str = "<string>") -> ModuleAst:
+    """Parse ``.mg`` source with the self-hosted grammar."""
+    language = meta_language()
+    try:
+        tree = language.parse(text, source=source)
+    except ParseError as exc:
+        raise GrammarSyntaxError(exc.message, source, exc.line, exc.column) from exc
+    return _build_module(tree, text)
+
+
+# ---------------------------------------------------------------------------
+# Tree -> ModuleAst conversion
+# ---------------------------------------------------------------------------
+
+def _build_module(tree: GNode, source_text: str) -> ModuleAst:
+    assert tree.name == "Module", tree
+    name, parameters, dependencies, items = tree.children
+    productions: list[ProductionDef] = []
+    modifications: list[Addition | Override | Removal] = []
+    options: set[str] = set()
+    for item in items:
+        if item.name == "OptionDecl":
+            head, rest = item.children
+            options.add(head)
+            options.update(rest)
+        elif isinstance(item, GNode) and item.name == "Production":
+            productions.append(_build_production(item))
+        else:
+            modifications.append(_build_modification(item))
+    return ModuleAst(
+        name=name,
+        parameters=tuple(parameters or ()),
+        dependencies=tuple(_build_dependency(d) for d in dependencies),
+        options=frozenset(options),
+        productions=tuple(productions),
+        modifications=tuple(modifications),
+        source_text=source_text,
+    )
+
+
+def _build_dependency(node: GNode) -> Dependency:
+    if node.name == "Import":
+        return Dependency("import", node[0])
+    if node.name == "Modify":
+        return Dependency("modify", node[0])
+    assert node.name == "Instantiate", node
+    name, arguments, alias = node.children
+    return Dependency("instantiate", name, tuple(arguments or ()), alias)
+
+
+def _build_production(node: GNode) -> ProductionDef:
+    attributes, kind, name, alternatives = node.children
+    return ProductionDef(
+        name=name,
+        kind=_KINDS[kind] if kind else ValueKind.OBJECT,
+        alternatives=tuple(_build_alternative(a) for a in alternatives),
+        attributes=frozenset(attributes),
+    )
+
+
+def _build_modification(node: GNode):
+    if node.name == "Removal":
+        name, labels = node.children
+        return Removal(name=name, labels=tuple(labels))
+    if node.name == "Override":
+        attributes, kind, name, alternatives = node.children
+        return Override(
+            name=name,
+            alternatives=tuple(_build_alternative(a) for a in alternatives),
+            kind=_KINDS[kind] if kind else None,
+            attributes=frozenset(attributes) if attributes else None,
+        )
+    assert node.name == "Addition", node
+    name, alternatives = node.children
+    built = [
+        _ELLIPSIS if a.name == "Ellipsis" else _build_alternative(a) for a in alternatives
+    ]
+    splits = [i for i, a in enumerate(built) if a is _ELLIPSIS]
+    if len(splits) > 1:
+        raise GrammarSyntaxError("at most one '...' allowed in a += body")
+    if not splits:
+        return Addition(name=name, before=(), after=tuple(built))
+    index = splits[0]
+    return Addition(
+        name=name,
+        before=tuple(built[:index]),
+        after=tuple(built[index + 1 :]),
+    )
+
+
+def _build_alternative(node: GNode) -> Alternative:
+    assert node.name == "Alternative", node
+    label, items = node.children
+    return Alternative(seq(*(_build_expression(i) for i in items)), label)
+
+
+def _build_expression(node: GNode) -> Expression:
+    name = node.name
+    if name == "Reference":
+        return Nonterminal(node[0])
+    if name == "Literal":
+        body, flag = node.children
+        try:
+            decoded = decode_string_body(body)
+        except ValueError as exc:
+            raise GrammarSyntaxError(str(exc)) from exc
+        if not decoded:
+            raise GrammarSyntaxError("empty string literal matches nothing")
+        return literal(decoded, ignore_case=flag == "i")
+    if name == "Class":
+        try:
+            return char_class(node[0])
+        except ValueError as exc:
+            raise GrammarSyntaxError(str(exc)) from exc
+    if name == "Action":
+        return Action(node[0].strip())
+    if name == "Any":
+        return AnyChar()
+    if name == "Group":
+        return choice(*(_group_alternative(a) for a in node[0]))
+    if name == "AndPred":
+        return And(_build_expression(node[0]))
+    if name == "NotPred":
+        return Not(_build_expression(node[0]))
+    if name == "Voided":
+        return Voided(_build_expression(node[0]))
+    if name == "Texted":
+        return Text(_build_expression(node[0]))
+    if name == "Bound":
+        return Binding(node[0], _build_expression(node[1]))
+    if name == "Suffixed":
+        expr = _build_expression(node[0])
+        for op in node[1]:
+            if op == "*":
+                expr = Repetition(expr, 0)
+            elif op == "+":
+                expr = Repetition(expr, 1)
+            else:
+                expr = Option(expr)
+        return expr
+    raise GrammarSyntaxError(f"unexpected meta node {name!r}")
+
+
+def _group_alternative(node: GNode) -> Expression:
+    # Nested groups parse as full alternatives; labels are not meaningful
+    # there (matching the hand-written reader, which discards none because
+    # its nested choice rule never produces them).
+    alternative = _build_alternative(node)
+    return alternative.expr

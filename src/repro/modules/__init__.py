@@ -1,0 +1,5 @@
+"""Grammar-module composition (the paper's extensibility mechanism)."""
+
+from repro.modules.compose import Composer, compose
+
+__all__ = ["Composer", "compose"]

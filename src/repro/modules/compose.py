@@ -1,0 +1,302 @@
+"""Module composition: turning a graph of grammar modules into one grammar.
+
+This is the paper's central mechanism.  Starting from a *root* module, the
+composer
+
+1. **resolves** the instance graph — ``import`` and ``modify`` clauses pull
+   in other modules; ``instantiate M(Args) as N`` creates a named instance of
+   a *parameterized* module template with its parameters bound to concrete
+   module names (parameters may be forwarded through several levels);
+2. **orders** the instances topologically (a module is processed after
+   everything it imports or modifies; circular dependencies are rejected
+   with the cycle in the error message);
+3. **collects** all production definitions into a single flat namespace
+   (duplicate names across modules are a composition error — modules that
+   want to change an existing production must say ``modify`` and use
+   ``+= / := / -=``);
+4. **applies** each module's modifications, in instance order:
+   ``+=`` splices new alternatives around the existing body (the ``...``
+   placeholder), ``:=`` replaces the body, ``-=`` deletes labeled
+   alternatives;
+5. picks the **start symbol** — the root module's first ``public``
+   production (or its first production when none is marked public).
+
+The result is a validated :class:`repro.peg.grammar.Grammar`, ready for
+analysis, transformation, interpretation or code generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompositionError
+from repro.meta.ast import Addition, Dependency, ModuleAst, Override, ProductionDef, Removal
+from repro.meta.loader import ModuleLoader
+from repro.peg.grammar import Grammar
+from repro.peg.production import Alternative, Production
+
+
+@dataclass
+class _Instance:
+    """One instantiated module: a template plus parameter bindings."""
+
+    name: str
+    template: ModuleAst
+    bindings: dict[str, str] = field(default_factory=dict)
+    imports: list[str] = field(default_factory=list)  # instance names
+    modifies: list[str] = field(default_factory=list)
+
+    def resolve(self, target: str) -> str:
+        """Substitute module parameters in a dependency target."""
+        return self.bindings.get(target, target)
+
+
+class Composer:
+    """Compose a root module (and everything it reaches) into a grammar."""
+
+    def __init__(self, loader: ModuleLoader):
+        self._loader = loader
+        self._instances: dict[str, _Instance] = {}
+
+    # -- public entry -------------------------------------------------------------
+
+    def compose(self, root: str, start: str | None = None) -> Grammar:
+        """Compose starting from module ``root``; returns a flat grammar."""
+        self._instances = {}
+        root_instance = self._instantiate(root, chain=())
+        order = self._topological_order()
+        grammar = self._collect_and_modify(order, root_instance, start)
+        grammar.validate()
+        return grammar
+
+    def instance_names(self) -> list[str]:
+        """Instance names from the most recent composition."""
+        return list(self._instances)
+
+    def instance_modules(self) -> list[tuple[str, ModuleAst]]:
+        """(instance name, module template) pairs from the last composition."""
+        return [(name, inst.template) for name, inst in self._instances.items()]
+
+    # -- instance graph ----------------------------------------------------------------
+
+    def _instantiate(self, name: str, chain: tuple[str, ...]) -> _Instance:
+        """Create the plain (argument-free) instance of module ``name``."""
+        if name in chain:
+            cycle = " -> ".join(chain + (name,))
+            raise CompositionError(f"circular module instantiation: {cycle}")
+        existing = self._instances.get(name)
+        if existing is not None:
+            if existing.bindings:
+                raise CompositionError(
+                    f"module instance {name!r} created twice with different arguments"
+                )
+            return existing
+        template = self._loader.load(name)
+        return self._build_instance(name, template, {}, chain)
+
+    def _build_instance(
+        self, name: str, template: ModuleAst, bindings: dict[str, str], chain: tuple[str, ...]
+    ) -> _Instance:
+        params = dict(bindings)
+        params.pop("", None)
+        if set(params) != set(template.parameters):
+            if template.parameters and not params:
+                raise CompositionError(
+                    f"module {template.name!r} is parameterized "
+                    f"({', '.join(template.parameters)}); use 'instantiate ... as ...'"
+                )
+            raise CompositionError(
+                f"module {template.name!r} expects parameters ({', '.join(template.parameters)}), "
+                f"got ({', '.join(params)})"
+            )
+        instance = _Instance(name=name, template=template, bindings=params)
+        self._instances[name] = instance
+        for dep in template.dependencies:
+            self._resolve_dependency(instance, dep, chain + (name,))
+        return instance
+
+    def _resolve_dependency(self, instance: _Instance, dep: Dependency, chain: tuple[str, ...]) -> None:
+        target = instance.resolve(dep.module)
+        if dep.kind == "instantiate":
+            args = tuple(instance.resolve(a) for a in dep.arguments)
+            alias = dep.alias or target
+            template = self._loader.load(target)
+            if len(args) != len(template.parameters):
+                raise CompositionError(
+                    f"{instance.name}: instantiate {target} expects "
+                    f"{len(template.parameters)} argument(s), got {len(args)}"
+                )
+            bindings = dict(zip(template.parameters, args))
+            child = self._instances.get(alias)
+            if child is not None:
+                if child.template.name != target or child.bindings != bindings:
+                    raise CompositionError(f"conflicting definitions of module instance {alias!r}")
+            else:
+                # Arguments must exist as instances before the child can import them.
+                for arg in args:
+                    self._require_instance(arg, chain)
+                child = self._build_instance(alias, template, bindings, chain)
+            instance.imports.append(alias)
+            return
+        self._require_instance(target, chain)
+        if dep.kind == "import":
+            instance.imports.append(target)
+        else:  # modify
+            instance.modifies.append(target)
+
+    def _require_instance(self, name: str, chain: tuple[str, ...]) -> _Instance:
+        existing = self._instances.get(name)
+        if existing is not None:
+            return existing
+        return self._instantiate(name, chain=chain)
+
+    # -- ordering -----------------------------------------------------------------------
+
+    def _topological_order(self) -> list[_Instance]:
+        state: dict[str, int] = {}  # 0 visiting, 1 done
+        order: list[_Instance] = []
+
+        def visit(name: str, chain: tuple[str, ...]) -> None:
+            mark = state.get(name)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle_start = chain.index(name)
+                cycle = " -> ".join(chain[cycle_start:] + (name,))
+                raise CompositionError(f"circular module dependency: {cycle}")
+            state[name] = 0
+            instance = self._instances[name]
+            for dep in instance.imports + instance.modifies:
+                visit(dep, chain + (name,))
+            state[name] = 1
+            order.append(instance)
+
+        for name in list(self._instances):
+            visit(name, ())
+        return order
+
+    # -- collection and modification ----------------------------------------------------------
+
+    def _collect_and_modify(
+        self, order: list[_Instance], root: _Instance, start: str | None
+    ) -> Grammar:
+        namespace: dict[str, Production] = {}
+        sequence: list[str] = []  # insertion order of production names
+        defined_by: dict[str, str] = {}
+        options: set[str] = set()
+
+        for instance in order:
+            options |= instance.template.options
+            for definition in instance.template.productions:
+                if definition.name in namespace:
+                    raise CompositionError(
+                        f"production {definition.name!r} defined in both "
+                        f"{defined_by[definition.name]!r} and {instance.name!r}; "
+                        f"use 'modify' and ':=' to override"
+                    )
+                namespace[definition.name] = Production(
+                    name=definition.name,
+                    kind=definition.kind,
+                    alternatives=definition.alternatives,
+                    attributes=definition.attributes,
+                    location=definition.location,
+                )
+                defined_by[definition.name] = instance.name
+                sequence.append(definition.name)
+            for modification in instance.template.modifications:
+                if not instance.modifies:
+                    raise CompositionError(
+                        f"module {instance.name!r} contains modifications but no 'modify' clause"
+                    )
+                self._apply_modification(namespace, instance, modification)
+
+        start_name = start or self._pick_start(root, namespace)
+        productions = tuple(namespace[name] for name in sequence)
+        return Grammar(
+            productions=productions,
+            start=start_name,
+            name=root.name,
+            options=frozenset(options),
+        )
+
+    @staticmethod
+    def _pick_start(root: _Instance, namespace: dict[str, Production]) -> str:
+        own = [p.name for p in root.template.productions]
+        for name in own:
+            if namespace[name].is_public:
+                return name
+        if own:
+            return own[0]
+        # A pure modifier/aggregator module: fall back to the first public
+        # production anywhere, then the first production.
+        for name, production in namespace.items():
+            if production.is_public:
+                return name
+        if namespace:
+            return next(iter(namespace))
+        raise CompositionError(f"composition from {root.name!r} produced no productions")
+
+    def _apply_modification(
+        self, namespace: dict[str, Production], instance: _Instance, modification
+    ) -> None:
+        target = namespace.get(modification.name)
+        if target is None:
+            raise CompositionError(
+                f"{instance.name}: modification of undefined production {modification.name!r}"
+            )
+        if isinstance(modification, Addition):
+            namespace[modification.name] = self._apply_addition(target, modification, instance)
+        elif isinstance(modification, Override):
+            attributes = modification.attributes if modification.attributes is not None else target.attributes
+            kind = modification.kind if modification.kind is not None else target.kind
+            namespace[modification.name] = Production(
+                name=target.name,
+                kind=kind,
+                alternatives=modification.alternatives,
+                attributes=attributes,
+                location=modification.location,
+            )
+        elif isinstance(modification, Removal):
+            namespace[modification.name] = self._apply_removal(target, modification, instance)
+        else:  # pragma: no cover - parser only produces the three kinds
+            raise CompositionError(f"unknown modification {modification!r}")
+
+    @staticmethod
+    def _apply_addition(target: Production, addition: Addition, instance: _Instance) -> Production:
+        existing_labels = {a.label for a in target.alternatives if a.label}
+        for alt in addition.before + addition.after:
+            if alt.label and alt.label in existing_labels:
+                raise CompositionError(
+                    f"{instance.name}: production {target.name!r} already has an "
+                    f"alternative labeled <{alt.label}>"
+                )
+        alternatives = addition.before + target.alternatives + addition.after
+        return target.with_alternatives(alternatives)
+
+    @staticmethod
+    def _apply_removal(target: Production, removal: Removal, instance: _Instance) -> Production:
+        labels = {a.label for a in target.alternatives if a.label}
+        missing = [lbl for lbl in removal.labels if lbl not in labels]
+        if missing:
+            raise CompositionError(
+                f"{instance.name}: production {target.name!r} has no alternative(s) "
+                f"labeled {', '.join(missing)}"
+            )
+        kept = tuple(a for a in target.alternatives if a.label not in removal.labels)
+        if not kept:
+            raise CompositionError(
+                f"{instance.name}: removal leaves production {target.name!r} without alternatives"
+            )
+        return target.with_alternatives(kept)
+
+
+def compose(
+    root: str,
+    loader: ModuleLoader | None = None,
+    paths: list[str] | None = None,
+    start: str | None = None,
+) -> Grammar:
+    """Convenience wrapper: compose ``root`` with a fresh loader."""
+    if loader is None:
+        loader = ModuleLoader(paths=paths)
+    return Composer(loader).compose(root, start=start)

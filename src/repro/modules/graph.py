@@ -1,0 +1,65 @@
+"""Module dependency graphs.
+
+Builds the instance-level dependency graph of a composition (import and
+modify edges) and renders it as GraphViz DOT — handy for documenting how a
+language is assembled, and used by ``repro-stats --dot``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.meta.loader import ModuleLoader
+from repro.modules.compose import Composer
+
+
+@dataclass(frozen=True)
+class ModuleGraph:
+    """Nodes are instance names; edges carry their dependency kind."""
+
+    root: str
+    nodes: tuple[str, ...]
+    imports: tuple[tuple[str, str], ...]  # (importer, imported)
+    modifies: tuple[tuple[str, str], ...]  # (modifier, modified)
+
+    def edge_count(self) -> int:
+        return len(self.imports) + len(self.modifies)
+
+    def to_dot(self) -> str:
+        """Render as a GraphViz digraph (modify edges dashed)."""
+        lines = [
+            f'digraph "{self.root}" {{',
+            "  rankdir=BT;",
+            '  node [shape=box, fontname="monospace"];',
+        ]
+        for node in self.nodes:
+            if node == self.root:
+                lines.append(f'  "{node}" [style=bold];')
+            else:
+                lines.append(f'  "{node}";')
+        for source, target in self.imports:
+            lines.append(f'  "{source}" -> "{target}";')
+        for source, target in self.modifies:
+            lines.append(f'  "{source}" -> "{target}" [style=dashed, label="modify"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def module_graph(root: str, loader: ModuleLoader | None = None) -> ModuleGraph:
+    """Compose ``root`` and return its instance dependency graph."""
+    composer = Composer(loader or ModuleLoader())
+    composer.compose(root)
+    instances = composer._instances  # noqa: SLF001 - graph is a composer view
+    imports: list[tuple[str, str]] = []
+    modifies: list[tuple[str, str]] = []
+    for name, instance in instances.items():
+        for target in dict.fromkeys(instance.imports):
+            imports.append((name, target))
+        for target in dict.fromkeys(instance.modifies):
+            modifies.append((name, target))
+    return ModuleGraph(
+        root=root,
+        nodes=tuple(instances),
+        imports=tuple(imports),
+        modifies=tuple(modifies),
+    )

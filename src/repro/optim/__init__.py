@@ -1,0 +1,15 @@
+"""Optimization passes and the prepare pipeline."""
+
+from repro.optim.dedup import fold_duplicate_alternatives, fold_duplicate_productions, fold_grammar
+from repro.optim.inline import inline_cheap_productions
+from repro.optim.options import Options
+from repro.optim.pipeline import PreparedGrammar, prepare
+from repro.optim.prefixes import fold_prefixes
+from repro.optim.terminals import specialize_terminals
+from repro.optim.transient import infer_transient, strip_transient
+
+__all__ = [
+    "fold_duplicate_alternatives", "fold_duplicate_productions", "fold_grammar",
+    "inline_cheap_productions", "Options", "PreparedGrammar", "prepare",
+    "fold_prefixes", "specialize_terminals", "infer_transient", "strip_transient",
+]

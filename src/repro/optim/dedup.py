@@ -1,0 +1,126 @@
+"""Grammar folding: merge duplicate productions and alternatives.
+
+Composed grammars accumulate structurally identical productions (several
+modules defining the same space/terminator helpers, desugaring producing
+identical repetition helpers).  Matching a duplicate wastes both time and —
+worse for packrat parsing — memo-table space, since each copy is memoized
+separately.
+
+Two productions fold when they have the same value kind, the same
+alternatives, and merging cannot change semantic values:  ``generic``
+productions are folded only when every alternative is labeled (an unlabeled
+alternative's node is named after the production itself).  The start
+production and ``public`` productions are kept as fold representatives but
+never removed.
+
+Within one production, an alternative that exactly repeats an earlier one
+(same label, same expression) can never match when the earlier one failed —
+PEG choices are deterministic — so it is dropped.
+"""
+
+from __future__ import annotations
+
+from repro.peg.expr import Nonterminal, transform
+from repro.peg.grammar import Grammar
+from repro.peg.production import Production, ValueKind
+
+
+def _fold_key(production: Production):
+    return (
+        production.kind,
+        tuple((a.label, a.expr) for a in production.alternatives),
+        production.attributes - {"public"},
+    )
+
+
+def _foldable(production: Production) -> bool:
+    if production.kind is ValueKind.GENERIC:
+        return all(a.label is not None for a in production.alternatives)
+    return True
+
+
+def fold_duplicate_productions(grammar: Grammar) -> Grammar:
+    """Merge structurally identical productions; rewrite references."""
+    representatives: dict[object, str] = {}
+    renames: dict[str, str] = {}
+    pinned = {grammar.start} | {p.name for p in grammar if p.is_public}
+
+    for production in grammar:
+        if not _foldable(production):
+            continue
+        key = _fold_key(production)
+        existing = representatives.get(key)
+        if existing is None:
+            representatives[key] = production.name
+        elif production.name not in pinned:
+            renames[production.name] = existing
+        elif existing not in pinned:
+            # Prefer the pinned production as representative; re-point the
+            # earlier (unpinned) one at it instead.
+            renames[existing] = production.name
+            representatives[key] = production.name
+
+    if not renames:
+        return grammar
+
+    # Resolve chains (a -> b -> c).
+    def resolve(name: str) -> str:
+        seen = set()
+        while name in renames and name not in seen:
+            seen.add(name)
+            name = renames[name]
+        return name
+
+    final = {old: resolve(old) for old in renames}
+
+    def rewrite(expr):
+        if isinstance(expr, Nonterminal) and expr.name in final:
+            return Nonterminal(final[expr.name])
+        return expr
+
+    updated = []
+    for production in grammar:
+        if production.name in final:
+            continue
+        updated.append(
+            production.with_alternatives(
+                tuple(
+                    alternative.with_expr(transform(alternative.expr, rewrite))
+                    for alternative in production.alternatives
+                )
+            )
+        )
+    kept = grammar.remove_productions(final.keys())
+    return kept.replace_productions(
+        p for p in updated if p.name in {q.name for q in kept}
+    )
+
+
+def fold_duplicate_alternatives(grammar: Grammar) -> Grammar:
+    """Drop exact-duplicate alternatives within each production."""
+    changed = []
+    for production in grammar:
+        seen: set = set()
+        kept = []
+        for alternative in production.alternatives:
+            key = (alternative.label, alternative.expr)
+            if key in seen:
+                continue
+            seen.add(key)
+            kept.append(alternative)
+        if len(kept) != len(production.alternatives):
+            changed.append(production.with_alternatives(tuple(kept)))
+    if not changed:
+        return grammar
+    return grammar.replace_productions(changed)
+
+
+def fold_grammar(grammar: Grammar) -> Grammar:
+    """Run both foldings to a fixpoint (folding can expose more folding)."""
+    while True:
+        folded = fold_duplicate_alternatives(fold_duplicate_productions(grammar))
+        if folded.names() == grammar.names() and all(
+            folded[n] == grammar[n] for n in folded.names()
+        ):
+            return folded
+        grammar = folded

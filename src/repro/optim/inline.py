@@ -1,0 +1,140 @@
+"""Cost-based inlining of cheap productions.
+
+Calling a production costs a method call plus (for memoized productions) a
+table access; for one-liner helpers — a semicolon, one character class, a
+short keyword — that overhead dwarfs the matching work.  The pass replaces
+references to cheap productions with their bodies.
+
+Value preservation dictates which productions are candidates:
+
+- ``void`` bodies are wrapped in ``Voided(...)`` — contributes nothing,
+  exactly like a reference to a void production;
+- ``text`` bodies are wrapped in ``Text(...)`` — value is the matched text,
+  exactly the production's value;
+- ``object`` productions qualify only with a single unlabeled alternative
+  whose body has exactly one contributing element — splicing then adds the
+  same single value the call contributed (``generic`` productions are never
+  inlined: their value construction is tied to the production identity).
+
+Further conditions: the body must be free of bindings and actions (they
+would leak into the caller's namespace), the production must not be
+(mutually) recursive, must not be ``noinline``, and must either be marked
+``inline`` or cost at most ``threshold`` units.  Inlined-away productions
+that are no longer referenced (and aren't public or the start) are pruned.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cost import production_cost
+from repro.analysis.reachability import reachable
+from repro.peg.expr import (
+    Action,
+    Binding,
+    Expression,
+    Nonterminal,
+    Text,
+    Voided,
+    choice,
+    transform,
+    walk,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.production import Production, ValueKind
+from repro.peg.values import contributes, kind_lookup
+
+
+def _body_clean(production: Production) -> bool:
+    for alternative in production.alternatives:
+        for node in walk(alternative.expr):
+            if isinstance(node, (Binding, Action)):
+                return False
+    return True
+
+
+def _replacement(production: Production, kind_of) -> Expression | None:
+    """The expression a call to ``production`` can be replaced with."""
+    if production.kind is ValueKind.GENERIC:
+        return None
+    if not production.alternatives or not _body_clean(production):
+        return None
+    body = choice(*(alternative.expr for alternative in production.alternatives))
+    if production.kind is ValueKind.VOID:
+        return Voided(body)
+    if production.kind is ValueKind.TEXT:
+        return Text(body)
+    # OBJECT: single unlabeled alternative with exactly one contribution.
+    if len(production.alternatives) != 1 or production.alternatives[0].label is not None:
+        return None
+    expr = production.alternatives[0].expr
+    from repro.peg.expr import Sequence
+
+    items = expr.items if isinstance(expr, Sequence) else (expr,)
+    contributing = [item for item in items if contributes(item, kind_of)]
+    if len(contributing) != 1:
+        return None
+    return expr
+
+
+def _recursive_names(grammar: Grammar) -> set[str]:
+    names = set()
+    for production in grammar:
+        if production.name in reachable(grammar, roots=set(production.referenced_names())):
+            names.add(production.name)
+    return names
+
+
+def inline_cheap_productions(grammar: Grammar, threshold: int = 12) -> Grammar:
+    """Inline qualifying productions; prune the ones left unreferenced."""
+    kind_of = kind_lookup(grammar)
+    recursive = _recursive_names(grammar)
+    replacements: dict[str, Expression] = {}
+    for production in grammar:
+        if production.has("noinline") or production.name in recursive:
+            continue
+        forced = production.has("inline")
+        if not forced and production_cost(production) > threshold:
+            continue
+        replacement = _replacement(production, kind_of)
+        if replacement is not None:
+            replacements[production.name] = replacement
+
+    if not replacements:
+        return grammar
+
+    # Resolve replacement chains: a body may itself reference an inlinee.
+    def expand(expr: Expression, pending: frozenset[str]) -> Expression:
+        def rewrite(node: Expression) -> Expression:
+            if isinstance(node, Nonterminal):
+                target = replacements.get(node.name)
+                if target is not None and node.name not in pending:
+                    return expand(target, pending | {node.name})
+            return node
+
+        return transform(expr, rewrite)
+
+    updated = []
+    for production in grammar:
+        alternatives = tuple(
+            alternative.with_expr(expand(alternative.expr, frozenset({production.name})))
+            for alternative in production.alternatives
+        )
+        if alternatives != production.alternatives:
+            production = production.with_alternatives(alternatives)
+        updated.append(production)
+    grammar = grammar.replace_productions(updated)
+
+    # Prune inlinees that are now dead (not public, not the start,
+    # no remaining references).
+    still_referenced: set[str] = set()
+    for production in grammar:
+        still_referenced |= production.referenced_names()
+    dead = {
+        name
+        for name in replacements
+        if name not in still_referenced
+        and name != grammar.start
+        and not grammar[name].is_public
+    }
+    if dead:
+        grammar = grammar.remove_productions(dead)
+    return grammar

@@ -1,0 +1,84 @@
+"""Optimization options.
+
+Mirrors the paper's individually toggleable optimizations (Rats! exposes
+them as ``-Ono-…`` command-line flags).  :class:`Options` is consumed by the
+optimization pipeline (grammar-rewriting flags) and by the code generator /
+interpreter configuration (runtime flags ``chunks`` and ``errors``).
+
+=============  ================================================================
+``chunks``     memo table organized as per-position columns of chunk objects
+               instead of one dict entry per ⟨production, position⟩
+``grammar``    grammar folding: merge structurally identical productions and
+               drop duplicate alternatives
+``terminals``  first-character dispatch for choices over terminals, and
+               first-set guards on production alternatives
+``transient``  honor and infer ``transient`` (unmemoized) productions
+``repeated``   compile repetitions to loops instead of the textbook
+               recursive helper productions
+``optional``   compile options inline instead of helper productions
+``leftrec``    iterate transformed left recursion in place (helpers
+               transient) instead of through memoized helper productions
+``inline``     cost-based inlining of cheap productions
+``errors``     constant-table farthest-failure tracking instead of building
+               expected-message strings at every failure site
+``prefixes``   fold common prefixes of adjacent alternatives
+=============  ================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+
+@dataclass(frozen=True, slots=True)
+class Options:
+    """Which optimizations are enabled.  Default: all on."""
+
+    chunks: bool = True
+    grammar: bool = True
+    terminals: bool = True
+    transient: bool = True
+    repeated: bool = True
+    optional: bool = True
+    leftrec: bool = True
+    inline: bool = True
+    errors: bool = True
+    prefixes: bool = True
+
+    #: Cost threshold for inlining (see :mod:`repro.analysis.cost`).
+    inline_threshold: int = 12
+
+    @classmethod
+    def all(cls) -> "Options":
+        return cls()
+
+    @classmethod
+    def none(cls) -> "Options":
+        values = {f.name: False for f in fields(cls) if f.type == "bool"}
+        return cls(**values)
+
+    @classmethod
+    def flag_names(cls) -> list[str]:
+        """The toggleable flags, in the canonical (ablation) order."""
+        return [f.name for f in fields(cls) if f.type == "bool"]
+
+    def with_flags(self, **flags: bool) -> "Options":
+        return replace(self, **flags)
+
+    def without(self, *names: str) -> "Options":
+        return replace(self, **{name: False for name in names})
+
+    def enabled(self) -> list[str]:
+        return [name for name in self.flag_names() if getattr(self, name)]
+
+    @classmethod
+    def cumulative(cls) -> list[tuple[str, "Options"]]:
+        """The ablation ladder for experiment E3: start from nothing and
+        enable one optimization at a time, in canonical order.  Returns
+        ``[("none", none), ("+chunks", …), …, ("+prefixes", all)]``."""
+        ladder: list[tuple[str, Options]] = [("none", cls.none())]
+        current = cls.none()
+        for name in cls.flag_names():
+            current = current.with_flags(**{name: True})
+            ladder.append((f"+{name}", current))
+        return ladder

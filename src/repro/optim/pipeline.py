@@ -1,0 +1,77 @@
+"""The optimization pipeline: from composed grammar to codegen-ready grammar.
+
+``prepare`` runs, in order:
+
+1. well-formedness checking (rejects indirect left recursion, nullable
+   repetition, dangling references …)
+2. the direct left-recursion transformation — always, for correctness; the
+   ``leftrec`` flag chooses iterated-in-place vs. memoized-helper form
+3. the textbook desugarings of repetitions/options when ``repeated`` /
+   ``optional`` are **off** (the optimized pipeline keeps them native)
+4. grammar folding (``grammar``)
+5. common-prefix folding (``prefixes``)
+6. terminal dispatch specialization (``terminals``)
+7. cost-based inlining (``inline``)
+8. transient handling: infer when ``transient`` is on, strip when off
+
+The remaining two flags — ``chunks`` and ``errors`` — don't rewrite the
+grammar; they configure the memo-table organization and failure tracking of
+the parser backends, and are carried to them via the returned
+:class:`PreparedGrammar`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.wellformed import Diagnostic, require_wellformed
+from repro.optim.dedup import fold_grammar
+from repro.optim.inline import inline_cheap_productions
+from repro.optim.options import Options
+from repro.optim.prefixes import fold_prefixes
+from repro.optim.terminals import specialize_terminals
+from repro.optim.transient import infer_transient, strip_transient
+from repro.peg.grammar import Grammar
+from repro.transform.desugar import desugar
+from repro.transform.leftrec import transform_left_recursion
+
+
+@dataclass(frozen=True)
+class PreparedGrammar:
+    """An optimized grammar plus the runtime configuration flags."""
+
+    grammar: Grammar
+    options: Options
+    warnings: tuple[Diagnostic, ...] = ()
+
+    @property
+    def chunked_memo(self) -> bool:
+        return self.options.chunks
+
+    @property
+    def fast_errors(self) -> bool:
+        return self.options.errors
+
+
+def prepare(grammar: Grammar, options: Options | None = None, check: bool = True) -> PreparedGrammar:
+    """Run the full pipeline under ``options`` (default: all optimizations)."""
+    opts = options or Options.all()
+    warnings: tuple[Diagnostic, ...] = ()
+    if check:
+        warnings = tuple(require_wellformed(grammar))
+    grammar = transform_left_recursion(grammar, optimize=opts.leftrec)
+    if not opts.repeated or not opts.optional:
+        grammar = desugar(
+            grammar, repetitions=not opts.repeated, options=not opts.optional
+        )
+    if opts.grammar:
+        grammar = fold_grammar(grammar)
+    if opts.prefixes:
+        grammar = fold_prefixes(grammar)
+    if opts.terminals:
+        grammar = specialize_terminals(grammar)
+    if opts.inline:
+        grammar = inline_cheap_productions(grammar, threshold=opts.inline_threshold)
+    grammar = infer_transient(grammar) if opts.transient else strip_transient(grammar)
+    grammar.validate()
+    return PreparedGrammar(grammar=grammar, options=opts, warnings=warnings)

@@ -1,0 +1,160 @@
+"""Common-prefix folding.
+
+``"interface" / "int" / "if"`` makes a backtracking parser re-scan the same
+characters once per alternative.  Folding shared prefixes turns the choice
+into a trie-shaped expression — ``"i" ("nt" ("erface" / ()) / "f")`` — that
+scans each character once.  This matters most for keyword and operator
+recognition, exactly where the paper applies it.
+
+Soundness: in a PEG, ``A x / A y ≡ A (x / y)`` because a production applied
+at one position always yields the same result (choices are deterministic),
+so factoring never changes the language.  Values are a different matter:
+splicing items under a nested choice changes how contributions reach a
+generic node, so folding is restricted to *value-free* regions — every
+affected alternative must contribute nothing and contain no bindings or
+actions.  Literal-heavy terminal rules qualify; expression grammars don't,
+and are left untouched.
+
+The pass rewrites (1) every nested choice expression and (2) the top-level
+alternative lists of ``void`` and ``text`` productions with unlabeled
+alternatives (where values cannot be observed anyway).
+"""
+
+from __future__ import annotations
+
+from repro.peg.expr import (
+    Action,
+    Binding,
+    Choice,
+    Expression,
+    Literal,
+    Sequence,
+    choice,
+    seq,
+    transform,
+    walk,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.production import Alternative, Production, ValueKind
+from repro.peg.values import contributes, kind_lookup
+
+
+def _value_free(expr: Expression, kind_of) -> bool:
+    if contributes(expr, kind_of):
+        return False
+    return not any(isinstance(node, (Binding, Action)) for node in walk(expr))
+
+
+def _items(expr: Expression) -> tuple[Expression, ...]:
+    if isinstance(expr, Sequence):
+        return expr.items
+    return (expr,)
+
+
+def _common_prefix_len(a: tuple[Expression, ...], b: tuple[Expression, ...]) -> int:
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            # Literal prefixes can still share leading characters.
+            break
+        n += 1
+    return n
+
+
+def _split_literal_prefix(a: Expression, b: Expression) -> tuple[str, str, str] | None:
+    """If both are literals sharing a leading string, return
+    (shared, rest_a, rest_b)."""
+    if not (isinstance(a, Literal) and isinstance(b, Literal)):
+        return None
+    if a.ignore_case != b.ignore_case:
+        return None
+    shared = 0
+    for ca, cb in zip(a.text, b.text):
+        if ca != cb:
+            break
+        shared += 1
+    if shared == 0:
+        return None
+    return a.text[:shared], a.text[shared:], b.text[shared:]
+
+
+def fold_choice(expr: Choice, kind_of) -> Expression:
+    """Fold shared prefixes of adjacent, value-free alternatives."""
+    alternatives = list(expr.alternatives)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(alternatives) - 1):
+            merged = _try_merge(alternatives[i], alternatives[i + 1], kind_of)
+            if merged is not None:
+                alternatives[i : i + 2] = [merged]
+                changed = True
+                break
+    return choice(*alternatives)
+
+
+def _try_merge(a: Expression, b: Expression, kind_of) -> Expression | None:
+    if not (_value_free(a, kind_of) and _value_free(b, kind_of)):
+        return None
+    items_a, items_b = _items(a), _items(b)
+    shared = _common_prefix_len(items_a, items_b)
+    if shared:
+        rest_a = seq(*items_a[shared:])
+        rest_b = seq(*items_b[shared:])
+        return seq(*items_a[:shared], fold_or_pair(rest_a, rest_b, kind_of))
+    literal_split = _split_literal_prefix(items_a[0], items_b[0]) if items_a and items_b else None
+    if literal_split:
+        head, rest_a_text, rest_b_text = literal_split
+        ignore_case = items_a[0].ignore_case  # type: ignore[union-attr]
+        rest_a = seq(*(_maybe_literal(rest_a_text, ignore_case) + list(items_a[1:])))
+        rest_b = seq(*(_maybe_literal(rest_b_text, ignore_case) + list(items_b[1:])))
+        return seq(Literal(head, ignore_case), fold_or_pair(rest_a, rest_b, kind_of))
+    return None
+
+
+def _maybe_literal(text: str, ignore_case: bool) -> list[Expression]:
+    if not text:
+        return []
+    return [Literal(text, ignore_case)]
+
+
+def fold_or_pair(a: Expression, b: Expression, kind_of) -> Expression:
+    """Build ``a / b``, folding recursively when both are still foldable."""
+    combined = choice(a, b)
+    if isinstance(combined, Choice):
+        return fold_choice(combined, kind_of)
+    return combined
+
+
+def fold_prefixes(grammar: Grammar) -> Grammar:
+    """Apply prefix folding across the grammar."""
+    kind_of = kind_lookup(grammar)
+
+    def rewrite(expr: Expression) -> Expression:
+        if isinstance(expr, Choice):
+            return fold_choice(expr, kind_of)
+        return expr
+
+    updated: list[Production] = []
+    for production in grammar:
+        alternatives = tuple(
+            alternative.with_expr(transform(alternative.expr, rewrite))
+            for alternative in production.alternatives
+        )
+        production = production.with_alternatives(alternatives)
+        # Top-level folding for value-kinds where values are unobservable.
+        if (
+            production.kind in (ValueKind.VOID, ValueKind.TEXT)
+            and len(production.alternatives) > 1
+            and all(a.label is None for a in production.alternatives)
+        ):
+            folded = fold_choice(
+                Choice(tuple(a.expr for a in production.alternatives)), kind_of
+            )
+            new_exprs = folded.alternatives if isinstance(folded, Choice) else (folded,)
+            if len(new_exprs) != len(production.alternatives):
+                production = production.with_alternatives(
+                    tuple(Alternative(e) for e in new_exprs)
+                )
+        updated.append(production)
+    return grammar.replace_productions(updated)

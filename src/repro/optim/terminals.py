@@ -1,0 +1,131 @@
+"""Terminal optimization: first-character dispatch.
+
+A choice whose alternatives all start with *known* characters — keywords,
+operators, literal-led rules — can dispatch on the next input character
+instead of trying each alternative in turn.  The pass rewrites such nested
+:class:`Choice` expressions into :class:`CharSwitch` nodes.
+
+A ``CharSwitch`` preserves observational behavior exactly: characters that
+select several alternatives get a case containing those alternatives in the
+original order; characters outside every first set fail immediately (there
+is provably no alternative that could match).  Because the alternatives'
+expressions are kept intact, semantic values are unchanged, so the rewrite
+is safe in any context.
+
+Choices with a nullable or unknown-first alternative are left alone (any
+character could begin a match).  Dispatch is also skipped when the combined
+character set is large (> ``max_chars``) or the choice is trivially small.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.first import FirstAnalysis
+from repro.peg.expr import (
+    CharClass,
+    CharSwitch,
+    Choice,
+    Expression,
+    Fail,
+    Literal,
+    choice,
+    transform,
+)
+from repro.peg.grammar import Grammar
+
+#: Don't build dispatch tables over huge character sets.
+MAX_DISPATCH_CHARS = 128
+#: Dispatch pays off only with at least this many alternatives.
+MIN_ALTERNATIVES = 3
+
+
+def build_char_switch(expr: Choice, first: FirstAnalysis) -> Expression | None:
+    """Return an equivalent :class:`CharSwitch`, or None if not applicable."""
+    if len(expr.alternatives) < MIN_ALTERNATIVES:
+        return None
+    first_sets: list[frozenset[str]] = []
+    for alternative in expr.alternatives:
+        fs = first.first(alternative)
+        if not fs.known or not fs.chars:
+            return None
+        first_sets.append(fs.chars)
+    all_chars = frozenset().union(*first_sets)
+    if len(all_chars) > MAX_DISPATCH_CHARS:
+        return None
+    # Group characters by the ordered tuple of alternatives they can start.
+    groups: dict[tuple[int, ...], set[str]] = {}
+    for ch in all_chars:
+        selected = tuple(i for i, chars in enumerate(first_sets) if ch in chars)
+        groups.setdefault(selected, set()).add(ch)
+    cases = []
+    for selected, chars in sorted(groups.items(), key=lambda kv: min(kv[1])):
+        branch = choice(*(expr.alternatives[i] for i in selected))
+        cases.append((frozenset(chars), branch))
+    shown = "".join(sorted(all_chars))
+    if len(shown) > 16:
+        shown = shown[:16] + "…"
+    return CharSwitch(tuple(cases), Fail(f"one of {shown!r}"))
+
+
+def _single_chars(expr: Expression) -> frozenset[str] | None:
+    """The character set of a one-character terminal, else None."""
+    if isinstance(expr, Literal) and len(expr.text) == 1:
+        ch = expr.text
+        return frozenset({ch.lower(), ch.upper()}) if expr.ignore_case else frozenset(ch)
+    if isinstance(expr, CharClass) and not expr.negated:
+        return expr.first_chars()
+    return None
+
+
+def merge_single_char_alternatives(expr: Choice) -> Expression:
+    """Merge runs of adjacent one-character alternatives into one class.
+
+    ``"+" / "-" / [0-9]`` becomes ``[+\\-0-9]``.  Sound because every merged
+    alternative consumes exactly one character and yields that character as
+    its value, so ordered choice over them is order-independent.
+    """
+    merged: list[Expression] = []
+    run: set[str] = set()
+
+    def flush() -> None:
+        if not run:
+            return
+        ranges = tuple((ch, ch) for ch in sorted(run))
+        merged.append(CharClass(ranges))
+        run.clear()
+
+    for alternative in expr.alternatives:
+        chars = _single_chars(alternative)
+        if chars is not None:
+            run.update(chars)
+        else:
+            flush()
+            merged.append(alternative)
+    flush()
+    return choice(*merged)
+
+
+def specialize_terminals(grammar: Grammar) -> Grammar:
+    """Merge single-character alternatives, then rewrite eligible nested
+    choices into character switches."""
+    first = FirstAnalysis(grammar)
+
+    def rewrite(expr: Expression) -> Expression:
+        if isinstance(expr, Choice):
+            expr = merge_single_char_alternatives(expr)
+        if isinstance(expr, Choice):
+            switched = build_char_switch(expr, first)
+            if switched is not None:
+                return switched
+        return expr
+
+    updated = []
+    for production in grammar:
+        alternatives = tuple(
+            alternative.with_expr(transform(alternative.expr, rewrite))
+            for alternative in production.alternatives
+        )
+        if alternatives != production.alternatives:
+            updated.append(production.with_alternatives(alternatives))
+    if not updated:
+        return grammar
+    return grammar.replace_productions(updated)

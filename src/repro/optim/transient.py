@@ -1,0 +1,54 @@
+"""Transient productions: dropping useless memoization.
+
+Memoizing a result only pays off when the production may be re-applied at
+the same input position — which requires at least two syntactic call sites
+(or a surrounding choice that backtracks over it).  The paper lets grammar
+writers mark such productions ``transient`` and the generator additionally
+infers transience; the memo table then skips them, saving both the lookup
+and the stored entry.
+
+With the optimization **on**, explicit ``transient`` attributes are honored
+and every production with at most one call site in the whole grammar is
+inferred transient (unless it carries ``memo``, which always wins).  With
+the optimization **off**, all ``transient`` attributes are stripped —
+everything is memoized, the textbook packrat behavior.
+
+Inference is always semantics-preserving (memoization never changes PEG
+results); single-call-site inference is the paper's time/space heuristic —
+a production invoked from one place can still be re-applied at one position
+when an *enclosing* production backtracks, so pathological grammars may
+re-parse; the benchmarks quantify the trade.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cost import reference_counts
+from repro.peg.grammar import Grammar
+
+
+def infer_transient(grammar: Grammar) -> Grammar:
+    """Mark single-call-site productions transient (honoring ``memo``)."""
+    counts = reference_counts(grammar)
+    updated = []
+    for production in grammar:
+        if production.is_transient or production.has("memo"):
+            continue
+        if counts.get(production.name, 0) <= 1 and production.name != grammar.start:
+            updated.append(
+                production.with_attributes(production.attributes | {"transient"})
+            )
+    if not updated:
+        return grammar
+    return grammar.replace_productions(updated)
+
+
+def strip_transient(grammar: Grammar) -> Grammar:
+    """Remove all transient marks (memoize everything)."""
+    updated = [
+        production.with_attributes(production.attributes - {"transient"})
+        for production in grammar
+        if production.is_transient
+    ]
+    if not updated:
+        return grammar
+    return grammar.replace_productions(updated)

@@ -1,0 +1,53 @@
+"""Parsing-expression-grammar intermediate representation.
+
+Public surface:
+
+- :mod:`repro.peg.expr` — expression forms and traversal helpers
+- :mod:`repro.peg.production` — productions, value kinds, attributes
+- :mod:`repro.peg.grammar` — flat grammars
+- :mod:`repro.peg.builder` — programmatic construction combinators
+- :mod:`repro.peg.pretty` — rendering back to ``.mg`` surface syntax
+"""
+
+from repro.peg.expr import (
+    Action,
+    And,
+    AnyChar,
+    Binding,
+    CharClass,
+    CharSwitch,
+    Choice,
+    Epsilon,
+    Expression,
+    Fail,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+    char_class,
+    children,
+    choice,
+    literal,
+    rebuild,
+    referenced_names,
+    seq,
+    transform,
+    walk,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.production import Alternative, Production, ValueKind
+from repro.peg.pretty import format_expression, format_grammar, format_production
+
+__all__ = [
+    "Action", "And", "AnyChar", "Binding", "CharClass", "CharSwitch", "Choice",
+    "Epsilon", "Expression", "Fail", "Literal", "Nonterminal", "Not", "Option",
+    "Repetition", "Sequence", "Text", "Voided",
+    "char_class", "children", "choice", "literal", "rebuild",
+    "referenced_names", "seq", "transform", "walk",
+    "Grammar", "Alternative", "Production", "ValueKind",
+    "format_expression", "format_grammar", "format_production",
+]

@@ -1,0 +1,215 @@
+"""Programmatic grammar construction.
+
+The builder is the Pythonic front door for users who want to define grammars
+in code rather than in ``.mg`` files:
+
+.. code-block:: python
+
+    from repro.peg.builder import GrammarBuilder, ref, lit, cc, star, alt
+
+    b = GrammarBuilder("calc", start="Sum")
+    b.generic("Sum",
+              alt("Add", ref("Sum"), lit("+"), ref("Product")),
+              alt("Base", ref("Product")))
+    b.text("Number", [cc("0-9"), star(cc("0-9"))], transient=True)
+    grammar = b.build()
+
+Short combinator aliases (``ref``, ``lit``, ``cc``, ``star``, ``plus``,
+``opt``, ``amp``, ``bang``, ``bind``, ``void``, ``text``, ``act``, ``any_``)
+mirror the surface operators one for one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence as TypingSequence
+
+from repro.errors import AnalysisError
+from repro.peg.expr import (
+    Action,
+    AnyChar,
+    And,
+    Binding,
+    CharClass,
+    Epsilon,
+    Expression,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Text,
+    Voided,
+    char_class,
+    choice,
+    literal,
+    seq,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.production import Alternative, Production, ValueKind
+
+
+# -- combinators -------------------------------------------------------------
+
+def ref(name: str) -> Nonterminal:
+    """Reference the production called ``name``."""
+    return Nonterminal(name)
+
+
+def lit(text: str, ignore_case: bool = False) -> Expression:
+    """Match literal ``text``."""
+    return literal(text, ignore_case)
+
+
+def cc(spec: str) -> CharClass:
+    """Character class from a regex-like body, e.g. ``cc("a-zA-Z_")``."""
+    return char_class(spec)
+
+
+def any_() -> AnyChar:
+    """Match any one character."""
+    return AnyChar()
+
+
+def star(*items: Expression) -> Repetition:
+    """Zero-or-more repetition of the sequence ``items``."""
+    return Repetition(seq(*items), 0)
+
+
+def plus(*items: Expression) -> Repetition:
+    """One-or-more repetition of the sequence ``items``."""
+    return Repetition(seq(*items), 1)
+
+
+def opt(*items: Expression) -> Option:
+    """Optional sequence."""
+    return Option(seq(*items))
+
+
+def amp(*items: Expression) -> And:
+    """Positive lookahead ``&e``."""
+    return And(seq(*items))
+
+
+def bang(*items: Expression) -> Not:
+    """Negative lookahead ``!e``."""
+    return Not(seq(*items))
+
+
+def bind(name: str, *items: Expression) -> Binding:
+    """Bind the sequence's value to ``name`` for use in actions."""
+    return Binding(name, seq(*items))
+
+
+def void(*items: Expression) -> Voided:
+    """Match but discard the value."""
+    return Voided(seq(*items))
+
+
+def text(*items: Expression) -> Text:
+    """Capture the exact matched text."""
+    return Text(seq(*items))
+
+
+def act(code: str) -> Action:
+    """Semantic action: a Python expression over the alternative's bindings."""
+    return Action(code)
+
+
+def eps() -> Epsilon:
+    """The empty match."""
+    return Epsilon()
+
+
+def alt(label: str | None, *items: Expression) -> Alternative:
+    """A labeled alternative (pass ``None`` for no label)."""
+    return Alternative(seq(*items), label)
+
+
+AltSpec = Alternative | Expression | TypingSequence[Expression]
+
+
+def _coerce_alternative(spec: AltSpec) -> Alternative:
+    if isinstance(spec, Alternative):
+        return spec
+    if isinstance(spec, Expression):
+        return Alternative(spec)
+    return Alternative(seq(*spec))
+
+
+# -- the builder --------------------------------------------------------------
+
+_FLAG_NAMES = ("public", "transient", "memo", "inline", "noinline")
+
+
+class GrammarBuilder:
+    """Accumulate productions and build an immutable :class:`Grammar`."""
+
+    def __init__(self, name: str, start: str, with_location: bool = False):
+        self._name = name
+        self._start = start
+        self._with_location = with_location
+        self._productions: list[Production] = []
+        self._names: set[str] = set()
+
+    def rule(
+        self,
+        name: str,
+        *alternatives: AltSpec,
+        kind: ValueKind = ValueKind.OBJECT,
+        public: bool = False,
+        transient: bool = False,
+        memo: bool = False,
+        inline: bool = False,
+        noinline: bool = False,
+    ) -> "GrammarBuilder":
+        """Define a production; returns self for chaining."""
+        if name in self._names:
+            raise AnalysisError(f"production {name!r} already defined in builder")
+        flags = {
+            "public": public,
+            "transient": transient,
+            "memo": memo,
+            "inline": inline,
+            "noinline": noinline,
+        }
+        attributes = frozenset(flag for flag, on in flags.items() if on)
+        if self._with_location and kind is ValueKind.GENERIC:
+            attributes |= {"withLocation"}
+        production = Production(
+            name=name,
+            kind=kind,
+            alternatives=tuple(_coerce_alternative(a) for a in alternatives),
+            attributes=attributes,
+        )
+        self._names.add(name)
+        self._productions.append(production)
+        return self
+
+    def generic(self, name: str, *alternatives: AltSpec, **flags) -> "GrammarBuilder":
+        """Define a production whose value is an automatic ``GNode``."""
+        return self.rule(name, *alternatives, kind=ValueKind.GENERIC, **flags)
+
+    def text(self, name: str, *alternatives: AltSpec, **flags) -> "GrammarBuilder":
+        """Define a production whose value is the matched text."""
+        return self.rule(name, *alternatives, kind=ValueKind.TEXT, **flags)
+
+    def void(self, name: str, *alternatives: AltSpec, **flags) -> "GrammarBuilder":
+        """Define a valueless production (whitespace, punctuation, ...)."""
+        return self.rule(name, *alternatives, kind=ValueKind.VOID, **flags)
+
+    def object(self, name: str, *alternatives: AltSpec, **flags) -> "GrammarBuilder":
+        """Define a production with action / pass-through value semantics."""
+        return self.rule(name, *alternatives, kind=ValueKind.OBJECT, **flags)
+
+    def build(self, validate: bool = True) -> Grammar:
+        """Freeze into a :class:`Grammar`; checks for dangling references."""
+        options = frozenset({"withLocation"} if self._with_location else set())
+        grammar = Grammar(
+            productions=tuple(self._productions),
+            start=self._start,
+            name=self._name,
+            options=options,
+        )
+        if validate:
+            grammar.validate()
+        return grammar

@@ -1,0 +1,397 @@
+"""Parsing-expression intermediate representation.
+
+This module defines the expression forms of a parsing expression grammar
+(PEG) as immutable dataclasses.  All analyses, optimizations, interpreters,
+and the code generator operate on this IR; the surface ``.mg`` language is
+translated into it by :mod:`repro.meta`.
+
+Expression forms
+----------------
+
+===================  ===========================================================
+``Literal``          match exact text (``"for"``)
+``CharClass``        match one character from a set of ranges (``[a-zA-Z_]``)
+``AnyChar``          match any single character (``_``)
+``Nonterminal``      invoke another production by name
+``Sequence``         match sub-expressions one after another
+``Choice``           *ordered* choice: first matching alternative wins
+``Repetition``       ``e*`` (``min=0``) or ``e+`` (``min=1``)
+``Option``           ``e?``
+``And``              ``&e``: succeed iff ``e`` matches, consume nothing
+``Not``              ``!e``: succeed iff ``e`` fails, consume nothing
+``Binding``          ``x:e``: bind the value of ``e`` to name ``x``
+``Voided``           ``void:e``: match ``e`` but discard its value
+``Text``             ``text:e`` capture the exact text matched by ``e``
+``Action``           ``{ expr }``: compute the semantic value from bindings
+``Epsilon``          match the empty string (always succeeds)
+``Fail``             never match (used by analyses/optimizers)
+``CharSwitch``       internal: first-character dispatch produced by the
+                     terminal optimization; never written by users
+===================  ===========================================================
+
+The constructors :func:`seq` and :func:`choice` perform the obvious
+flattening normalizations and should be preferred over instantiating
+``Sequence``/``Choice`` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class Expression:
+    """Abstract base class for parsing expressions.
+
+    Expressions are immutable and hashable; structural equality is the
+    dataclass-generated field equality.
+    """
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Literal(Expression):
+    """Match the exact text ``text`` (must be non-empty)."""
+
+    text: str
+    ignore_case: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            raise ValueError("Literal text must be non-empty; use Epsilon() for the empty match")
+
+
+@dataclass(frozen=True, slots=True)
+class CharClass(Expression):
+    """Match a single character belonging to ``ranges``.
+
+    ``ranges`` is a sorted tuple of inclusive ``(lo, hi)`` single-character
+    pairs.  A negated class matches any character *not* in the ranges (but
+    still exactly one character, so it fails at end of input).
+    """
+
+    ranges: tuple[tuple[str, str], ...]
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        for lo, hi in self.ranges:
+            if len(lo) != 1 or len(hi) != 1:
+                raise ValueError(f"range bounds must be single characters: {(lo, hi)!r}")
+            if lo > hi:
+                raise ValueError(f"empty character range: {(lo, hi)!r}")
+        normalized = tuple(sorted(self.ranges))
+        object.__setattr__(self, "ranges", normalized)
+
+    def matches(self, ch: str) -> bool:
+        """Decide membership of a single character."""
+        inside = any(lo <= ch <= hi for lo, hi in self.ranges)
+        return inside != self.negated
+
+    def first_chars(self) -> frozenset[str] | None:
+        """The exact set of characters matched, or None if impractically big."""
+        if self.negated:
+            return None
+        total = sum(ord(hi) - ord(lo) + 1 for lo, hi in self.ranges)
+        if total > 256:
+            return None
+        chars: set[str] = set()
+        for lo, hi in self.ranges:
+            chars.update(chr(c) for c in range(ord(lo), ord(hi) + 1))
+        return frozenset(chars)
+
+
+@dataclass(frozen=True, slots=True)
+class AnyChar(Expression):
+    """Match any single character; fails only at end of input."""
+
+
+@dataclass(frozen=True, slots=True)
+class Nonterminal(Expression):
+    """Invoke the production called ``name``."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Sequence(Expression):
+    """Match each item in order; fail (rewinding) if any item fails."""
+
+    items: tuple[Expression, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Choice(Expression):
+    """Ordered choice: try alternatives left to right, commit to the first
+    that matches."""
+
+    alternatives: tuple[Expression, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Repetition(Expression):
+    """Greedy repetition: ``min=0`` is ``e*``, ``min=1`` is ``e+``.
+
+    The semantic value is the list of the item's values (``None`` values from
+    void items are dropped).
+    """
+
+    expr: Expression
+    min: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min not in (0, 1):
+            raise ValueError("Repetition.min must be 0 (star) or 1 (plus)")
+
+
+@dataclass(frozen=True, slots=True)
+class Option(Expression):
+    """``e?``: match ``e`` if possible; value is the item's value or None."""
+
+    expr: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class And(Expression):
+    """``&e``: positive syntactic predicate; consumes nothing, value None."""
+
+    expr: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Expression):
+    """``!e``: negative syntactic predicate; consumes nothing, value None."""
+
+    expr: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class Binding(Expression):
+    """``name:e``: match ``e`` and bind its value to ``name`` for actions."""
+
+    name: str
+    expr: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class Voided(Expression):
+    """``void:e``: match ``e`` but contribute no semantic value."""
+
+    expr: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class Text(Expression):
+    """``text:e`` (the paper's *token* operator): value is the exact source
+    text consumed by ``e``."""
+
+    expr: Expression
+
+
+@dataclass(frozen=True, slots=True)
+class Action(Expression):
+    """``{ code }``: evaluate a restricted Python expression over the
+    alternative's bindings; its result becomes the alternative's value.
+
+    Consumes no input and always succeeds.
+    """
+
+    code: str
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Expression):
+    """Match the empty string; always succeeds with value None."""
+
+
+@dataclass(frozen=True, slots=True)
+class Fail(Expression):
+    """Never match.  Useful as an identity for choice construction."""
+
+    message: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class CharSwitch(Expression):
+    """First-character dispatch (internal, built by the terminal optimizer).
+
+    ``cases`` maps sets of possible first characters to the expression to try
+    when the next input character is in that set; ``default`` (may be
+    ``Fail()``) is tried when no case applies.  Cases preserve the original
+    choice order within each character set, so a ``CharSwitch`` is
+    observationally equivalent to the ``Choice`` it replaced.
+    """
+
+    cases: tuple[tuple[frozenset[str], Expression], ...]
+    default: Expression = field(default_factory=Fail)
+
+
+# ---------------------------------------------------------------------------
+# Normalizing constructors
+# ---------------------------------------------------------------------------
+
+def seq(*items: Expression) -> Expression:
+    """Build a sequence, flattening nested sequences and dropping Epsilon.
+
+    Returns ``Epsilon()`` for zero items and the item itself for one item.
+    """
+    flat: list[Expression] = []
+    for item in items:
+        if isinstance(item, Sequence):
+            flat.extend(item.items)
+        elif isinstance(item, Epsilon):
+            continue
+        else:
+            flat.append(item)
+    if not flat:
+        return Epsilon()
+    if len(flat) == 1:
+        return flat[0]
+    return Sequence(tuple(flat))
+
+
+def choice(*alternatives: Expression) -> Expression:
+    """Build an ordered choice, flattening nested choices and dropping Fail.
+
+    Returns ``Fail()`` for zero alternatives and the alternative itself for
+    one.  Alternatives *after* an ``Epsilon`` are unreachable and dropped.
+    """
+    flat: list[Expression] = []
+    for alt in alternatives:
+        if isinstance(alt, Choice):
+            flat.extend(alt.alternatives)
+        elif isinstance(alt, Fail):
+            continue
+        else:
+            flat.append(alt)
+    pruned: list[Expression] = []
+    for alt in flat:
+        pruned.append(alt)
+        if isinstance(alt, Epsilon):
+            break  # everything after an empty match is dead
+    if not pruned:
+        return Fail()
+    if len(pruned) == 1:
+        return pruned[0]
+    return Choice(tuple(pruned))
+
+
+def literal(text: str, ignore_case: bool = False) -> Expression:
+    """Literal constructor that maps the empty string to Epsilon."""
+    if text == "":
+        return Epsilon()
+    return Literal(text, ignore_case)
+
+
+def char_class(spec: str) -> CharClass:
+    """Build a character class from a regex-like body, e.g. ``"a-zA-Z_"``.
+
+    A leading ``^`` negates.  ``\\`` escapes the next character (supporting
+    ``\\n \\r \\t \\\\ \\- \\] \\^``).
+    """
+    negated = spec.startswith("^")
+    if negated:
+        spec = spec[1:]
+    chars: list[str] = []
+    i = 0
+    escapes = {"n": "\n", "r": "\r", "t": "\t", "f": "\f", "v": "\v", "0": "\0"}
+    while i < len(spec):
+        ch = spec[i]
+        if ch == "\\":
+            if i + 1 >= len(spec):
+                raise ValueError("dangling backslash in character class")
+            nxt = spec[i + 1]
+            chars.append(escapes.get(nxt, nxt))
+            i += 2
+        else:
+            chars.append(ch)
+            i += 1
+    ranges: list[tuple[str, str]] = []
+    i = 0
+    while i < len(chars):
+        if i + 2 < len(chars) and chars[i + 1] == "-":
+            ranges.append((chars[i], chars[i + 2]))
+            i += 3
+        else:
+            ranges.append((chars[i], chars[i]))
+            i += 1
+    return CharClass(tuple(ranges), negated)
+
+
+# ---------------------------------------------------------------------------
+# Generic traversal
+# ---------------------------------------------------------------------------
+
+def children(expr: Expression) -> tuple[Expression, ...]:
+    """The direct sub-expressions of ``expr`` in source order."""
+    if isinstance(expr, Sequence):
+        return expr.items
+    if isinstance(expr, Choice):
+        return expr.alternatives
+    if isinstance(expr, (Repetition, Option, And, Not, Voided, Text)):
+        return (expr.expr,)
+    if isinstance(expr, Binding):
+        return (expr.expr,)
+    if isinstance(expr, CharSwitch):
+        return tuple(e for _, e in expr.cases) + (expr.default,)
+    return ()
+
+
+def rebuild(expr: Expression, new_children: tuple[Expression, ...]) -> Expression:
+    """Reconstruct ``expr`` with ``new_children`` replacing its children.
+
+    ``new_children`` must have the same length as ``children(expr)``.
+    Leaf expressions are returned unchanged (and require zero children).
+    """
+    old = children(expr)
+    if len(old) != len(new_children):
+        raise ValueError(f"child count mismatch for {type(expr).__name__}: {len(old)} != {len(new_children)}")
+    if not old:
+        return expr
+    if isinstance(expr, Sequence):
+        return seq(*new_children)
+    if isinstance(expr, Choice):
+        return choice(*new_children)
+    if isinstance(expr, Repetition):
+        return Repetition(new_children[0], expr.min)
+    if isinstance(expr, Option):
+        return Option(new_children[0])
+    if isinstance(expr, And):
+        return And(new_children[0])
+    if isinstance(expr, Not):
+        return Not(new_children[0])
+    if isinstance(expr, Binding):
+        return Binding(expr.name, new_children[0])
+    if isinstance(expr, Voided):
+        return Voided(new_children[0])
+    if isinstance(expr, Text):
+        return Text(new_children[0])
+    if isinstance(expr, CharSwitch):
+        *case_exprs, default = new_children
+        cases = tuple((chars, e) for (chars, _), e in zip(expr.cases, case_exprs))
+        return CharSwitch(cases, default)
+    raise TypeError(f"cannot rebuild {type(expr).__name__}")
+
+
+def walk(expr: Expression) -> Iterator[Expression]:
+    """Yield ``expr`` and every descendant, pre-order."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(children(node)))
+
+
+def transform(expr: Expression, fn) -> Expression:
+    """Bottom-up rewrite: apply ``fn`` to every node after its children."""
+    kids = children(expr)
+    if kids:
+        new_kids = tuple(transform(k, fn) for k in kids)
+        if new_kids != kids:
+            expr = rebuild(expr, new_kids)
+    return fn(expr)
+
+
+def referenced_names(expr: Expression) -> set[str]:
+    """All nonterminal names referenced anywhere inside ``expr``."""
+    return {node.name for node in walk(expr) if isinstance(node, Nonterminal)}

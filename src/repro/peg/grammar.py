@@ -1,0 +1,121 @@
+"""Flat grammars: the unit consumed by analyses, optimizers and codegen.
+
+A :class:`Grammar` is an ordered mapping from production names to
+:class:`~repro.peg.production.Production` objects plus a designated start
+production and grammar-wide options.  Grammars are produced either directly
+through the builder API (:mod:`repro.peg.builder`) or by composing ``.mg``
+modules (:mod:`repro.modules.compose`).
+
+Grammars are *logically* immutable: mutating helpers return new grammars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.errors import AnalysisError
+from repro.peg.production import Production
+
+
+@dataclass(frozen=True)
+class Grammar:
+    """An ordered collection of productions with a start symbol."""
+
+    productions: tuple[Production, ...]
+    start: str
+    name: str = "grammar"
+    options: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for prod in self.productions:
+            if prod.name in seen:
+                raise AnalysisError(f"duplicate production {prod.name!r} in grammar {self.name!r}")
+            seen.add(prod.name)
+        if self.start not in seen:
+            raise AnalysisError(f"start production {self.start!r} not defined in grammar {self.name!r}")
+
+    # -- mapping protocol ---------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return any(p.name == name for p in self.productions)
+
+    def __getitem__(self, name: str) -> Production:
+        for prod in self.productions:
+            if prod.name == name:
+                return prod
+        raise KeyError(name)
+
+    def __iter__(self) -> Iterator[Production]:
+        return iter(self.productions)
+
+    def __len__(self) -> int:
+        return len(self.productions)
+
+    def get(self, name: str) -> Production | None:
+        for prod in self.productions:
+            if prod.name == name:
+                return prod
+        return None
+
+    def names(self) -> list[str]:
+        return [p.name for p in self.productions]
+
+    def as_dict(self) -> dict[str, Production]:
+        return {p.name: p for p in self.productions}
+
+    # -- functional updates --------------------------------------------------
+
+    def replace_production(self, production: Production) -> "Grammar":
+        """Return a grammar with the same-named production replaced."""
+        if production.name not in self:
+            raise KeyError(production.name)
+        updated = tuple(production if p.name == production.name else p for p in self.productions)
+        return replace(self, productions=updated)
+
+    def replace_productions(self, productions: Iterable[Production]) -> "Grammar":
+        """Replace several productions at once (all must already exist)."""
+        by_name = {p.name: p for p in productions}
+        missing = set(by_name) - set(self.names())
+        if missing:
+            raise KeyError(sorted(missing))
+        updated = tuple(by_name.get(p.name, p) for p in self.productions)
+        return replace(self, productions=updated)
+
+    def add_production(self, production: Production) -> "Grammar":
+        if production.name in self:
+            raise AnalysisError(f"production {production.name!r} already defined")
+        return replace(self, productions=self.productions + (production,))
+
+    def remove_productions(self, names: Iterable[str]) -> "Grammar":
+        drop = set(names)
+        if self.start in drop:
+            raise AnalysisError(f"cannot remove start production {self.start!r}")
+        kept = tuple(p for p in self.productions if p.name not in drop)
+        return replace(self, productions=kept)
+
+    def with_start(self, start: str) -> "Grammar":
+        return replace(self, start=start)
+
+    # -- integrity -----------------------------------------------------------
+
+    def undefined_references(self) -> dict[str, set[str]]:
+        """Map each production name to the names it references but which are
+        not defined — empty dict for a closed grammar."""
+        defined = set(self.names())
+        dangling: dict[str, set[str]] = {}
+        for prod in self.productions:
+            missing = prod.referenced_names() - defined
+            if missing:
+                dangling[prod.name] = missing
+        return dangling
+
+    def validate(self) -> None:
+        """Raise :class:`AnalysisError` if any reference is dangling."""
+        dangling = self.undefined_references()
+        if dangling:
+            details = "; ".join(
+                f"{name} -> {', '.join(sorted(refs))}" for name, refs in sorted(dangling.items())
+            )
+            raise AnalysisError(f"grammar {self.name!r} has undefined references: {details}")

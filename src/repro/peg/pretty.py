@@ -1,0 +1,148 @@
+"""Pretty-printer: render the IR back to ``.mg`` surface syntax.
+
+The printer is the inverse of :mod:`repro.meta.parser` up to normalization:
+``parse(print(g))`` composes to a grammar structurally equal to ``g`` (this
+round-trip is exercised by the property tests).  It is also how grammar
+statistics measure "lines of grammar" uniformly for composed grammars.
+"""
+
+from __future__ import annotations
+
+from repro.peg.expr import (
+    Action,
+    AnyChar,
+    Binding,
+    CharClass,
+    CharSwitch,
+    Choice,
+    Epsilon,
+    Expression,
+    Fail,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+    And,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.production import Production, ValueKind
+
+# Precedence levels, loosest to tightest.
+_CHOICE, _SEQUENCE, _PREFIX, _SUFFIX, _PRIMARY = range(5)
+
+_ESCAPES = {"\n": "\\n", "\r": "\\r", "\t": "\\t", "\f": "\\f", "\v": "\\v", "\\": "\\\\", '"': '\\"', "\0": "\\0"}
+_CLASS_ESCAPES = {"\n": "\\n", "\r": "\\r", "\t": "\\t", "\f": "\\f", "\v": "\\v",
+                  "\\": "\\\\", "-": "\\-", "]": "\\]", "^": "\\^", "\0": "\\0"}
+
+
+def quote_literal(text: str) -> str:
+    """Render ``text`` as a double-quoted ``.mg`` literal."""
+    return '"' + "".join(_ESCAPES.get(ch, ch) for ch in text) + '"'
+
+
+def format_char_class(expr: CharClass) -> str:
+    parts: list[str] = []
+    for lo, hi in expr.ranges:
+        lo_s = _CLASS_ESCAPES.get(lo, lo)
+        hi_s = _CLASS_ESCAPES.get(hi, hi)
+        parts.append(lo_s if lo == hi else f"{lo_s}-{hi_s}")
+    prefix = "^" if expr.negated else ""
+    return f"[{prefix}{''.join(parts)}]"
+
+
+def format_expression(expr: Expression, precedence: int = _CHOICE) -> str:
+    """Render ``expr``; parenthesize when its own precedence is looser than
+    the context's."""
+    text, own = _format(expr)
+    if own < precedence:
+        return f"({text})"
+    return text
+
+
+def _format(expr: Expression) -> tuple[str, int]:
+    if isinstance(expr, Literal):
+        rendered = quote_literal(expr.text)
+        if expr.ignore_case:
+            rendered += "i"
+        return rendered, _PRIMARY
+    if isinstance(expr, CharClass):
+        return format_char_class(expr), _PRIMARY
+    if isinstance(expr, AnyChar):
+        return "_", _PRIMARY
+    if isinstance(expr, Nonterminal):
+        return expr.name, _PRIMARY
+    if isinstance(expr, Epsilon):
+        return "/* empty */ \"\"?", _PRIMARY  # epsilon has no literal form; print as optional empty
+    if isinstance(expr, Fail):
+        return "![]" if not expr.message else f"![] /* {expr.message} */", _PRIMARY
+    if isinstance(expr, Sequence):
+        rendered = " ".join(format_expression(item, _PREFIX) for item in expr.items)
+        return rendered, _SEQUENCE
+    if isinstance(expr, Choice):
+        rendered = " / ".join(format_expression(alt, _SEQUENCE) for alt in expr.alternatives)
+        return rendered, _CHOICE
+    if isinstance(expr, Repetition):
+        suffix = "+" if expr.min == 1 else "*"
+        return format_expression(expr.expr, _PRIMARY) + suffix, _SUFFIX
+    if isinstance(expr, Option):
+        return format_expression(expr.expr, _PRIMARY) + "?", _SUFFIX
+    if isinstance(expr, And):
+        return "&" + format_expression(expr.expr, _SUFFIX), _PREFIX
+    if isinstance(expr, Not):
+        return "!" + format_expression(expr.expr, _SUFFIX), _PREFIX
+    if isinstance(expr, Binding):
+        return f"{expr.name}:" + format_expression(expr.expr, _SUFFIX), _PREFIX
+    if isinstance(expr, Voided):
+        return "void:" + format_expression(expr.expr, _SUFFIX), _PREFIX
+    if isinstance(expr, Text):
+        return "text:" + format_expression(expr.expr, _SUFFIX), _PREFIX
+    if isinstance(expr, Action):
+        return "{ " + expr.code + " }", _PRIMARY
+    if isinstance(expr, CharSwitch):
+        # CharSwitch is internal; print as the equivalent choice.
+        alts = [format_expression(e, _SEQUENCE) for _, e in expr.cases]
+        if not isinstance(expr.default, Fail):
+            alts.append(format_expression(expr.default, _SEQUENCE))
+        return " / ".join(alts), _CHOICE
+    raise TypeError(f"cannot format {type(expr).__name__}")
+
+
+_KIND_KEYWORD = {
+    ValueKind.VOID: "void",
+    ValueKind.TEXT: "String",
+    ValueKind.GENERIC: "generic",
+    ValueKind.OBJECT: "Object",
+}
+
+# Attribute order mirrors conventional .mg style.
+_ATTRIBUTE_ORDER = ("public", "transient", "memo", "inline", "noinline", "withLocation")
+
+
+def format_production(prod: Production) -> str:
+    """Render one production as ``.mg`` text, one alternative per line."""
+    attrs = [a for a in _ATTRIBUTE_ORDER if a in prod.attributes]
+    header = " ".join(attrs + [_KIND_KEYWORD[prod.kind], prod.name, "="])
+    lines = [header]
+    for index, alt in enumerate(prod.alternatives):
+        lead = "    " if index == 0 else "  / "
+        label = f"<{alt.label}> " if alt.label else ""
+        lines.append(f"{lead}{label}{format_expression(alt.expr, _SEQUENCE)}")
+    lines.append("  ;")
+    return "\n".join(lines)
+
+
+def format_grammar(grammar: Grammar) -> str:
+    """Render a whole (flat) grammar as a single pseudo-module."""
+    lines = [f"module {grammar.name};", ""]
+    for option in sorted(grammar.options):
+        lines.append(f"option {option};")
+    if grammar.options:
+        lines.append("")
+    for prod in grammar:
+        lines.append(format_production(prod))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""Productions: named parsing expressions with value kinds and attributes.
+
+A production associates a name with an ordered list of *alternatives* (each
+optionally labeled, as in the surface syntax ``<Label> e1 e2 …``), a *value
+kind* describing how its semantic value is built, and a set of attributes
+that steer composition and optimization.
+
+Value kinds
+-----------
+
+``void``
+    the production has no semantic value (``None``); void results are
+    dropped from enclosing generic nodes.
+``text``
+    the value is the exact text matched (the surface keyword is ``String``).
+``generic``
+    the value is a :class:`repro.runtime.node.GNode` built automatically from
+    the alternative's non-void component values; a labeled alternative
+    ``<Label>`` names its node after the label, an unlabeled one after the
+    production.  An *unlabeled* alternative with exactly one contributing
+    component is a pass-through: its value is used directly, unwrapped
+    (so ``Sum = <Add> Sum "+" Prod / Prod`` does not wrap plain products).
+``object``
+    the default: the value is computed by an explicit ``{ action }``, or, in
+    its absence, by the *pass-through rule* — the single component value if
+    there is exactly one, ``None`` if there are none, and a tuple otherwise.
+
+Attributes
+----------
+
+``public``      exported entry point of the grammar
+``transient``   never memoized (result is used from only one context)
+``memo``        force memoization even where the optimizer would drop it
+``inline``      always inline into callers (cost model override)
+``noinline``    never inline
+``withLocation`` attach source locations to the production's generic nodes
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.locations import Location, UNKNOWN
+from repro.peg.expr import Expression, referenced_names
+
+
+class ValueKind(enum.Enum):
+    """How a production's semantic value is computed."""
+
+    VOID = "void"
+    TEXT = "text"
+    GENERIC = "generic"
+    OBJECT = "object"
+
+
+#: Attributes accepted on productions in ``.mg`` files.
+KNOWN_ATTRIBUTES = frozenset(
+    {"public", "transient", "memo", "inline", "noinline", "withLocation"}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Alternative:
+    """One top-level alternative of a production, optionally labeled.
+
+    Locations are provenance, not structure: equality ignores them (as it
+    does for :class:`repro.runtime.node.GNode`).
+    """
+
+    expr: Expression
+    label: str | None = None
+    location: Location = field(default=UNKNOWN, compare=False)
+
+    def with_expr(self, expr: Expression) -> "Alternative":
+        return replace(self, expr=expr)
+
+
+@dataclass(frozen=True, slots=True)
+class Production:
+    """A named production.
+
+    ``name`` is the fully qualified name once a grammar has been composed
+    (module-local names are qualified by the composition engine).
+    """
+
+    name: str
+    kind: ValueKind = ValueKind.OBJECT
+    alternatives: tuple[Alternative, ...] = ()
+    attributes: frozenset[str] = frozenset()
+    location: Location = field(default=UNKNOWN, compare=False)
+
+    def __post_init__(self) -> None:
+        unknown = self.attributes - KNOWN_ATTRIBUTES
+        if unknown:
+            raise ValueError(f"unknown production attributes: {sorted(unknown)}")
+        if "inline" in self.attributes and "noinline" in self.attributes:
+            raise ValueError(f"production {self.name}: both inline and noinline")
+        if "transient" in self.attributes and "memo" in self.attributes:
+            raise ValueError(f"production {self.name}: both transient and memo")
+
+    # -- convenience -------------------------------------------------------
+
+    def has(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    @property
+    def is_public(self) -> bool:
+        return "public" in self.attributes
+
+    @property
+    def is_transient(self) -> bool:
+        return "transient" in self.attributes
+
+    def referenced_names(self) -> set[str]:
+        """All nonterminals referenced by any alternative."""
+        names: set[str] = set()
+        for alt in self.alternatives:
+            names |= referenced_names(alt.expr)
+        return names
+
+    def with_alternatives(self, alternatives: tuple[Alternative, ...]) -> "Production":
+        return replace(self, alternatives=alternatives)
+
+    def with_attributes(self, attributes: frozenset[str]) -> "Production":
+        return replace(self, attributes=attributes)
+
+    def label_names(self) -> list[str]:
+        return [alt.label for alt in self.alternatives if alt.label is not None]

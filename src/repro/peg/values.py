@@ -1,0 +1,112 @@
+"""Static value semantics shared by interpreters and the code generator.
+
+Semantic values must come out *identically* from the packrat interpreter,
+the backtracking interpreter, and generated parsers (the property tests
+enforce this).  To make that possible, the rules for which expressions
+*contribute* a value to their context are decided statically, here, from the
+expression shape and the value kinds of referenced productions:
+
+- ``Literal`` / ``CharClass`` / ``AnyChar`` match text but do **not**
+  contribute (constants carry no information the node name doesn't already);
+  they can still be bound or captured with ``text:``.
+- ``Nonterminal`` contributes unless the referenced production is ``void``.
+- ``Voided``, ``And``, ``Not``, ``Epsilon``, ``Fail`` never contribute.
+- ``Text`` and ``Action`` always contribute.
+- ``Binding`` contributes iff its body does.
+- ``Sequence`` contributes iff any item does; its own value follows the
+  *pass-through rule* (0 contributions → None, 1 → that value, n → tuple).
+- ``Choice`` contributes iff any alternative does.
+- ``Repetition`` contributes iff its item does (value: list of item values).
+- ``Option`` contributes iff its item does (value: item value or None).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.peg.expr import (
+    Action,
+    And,
+    AnyChar,
+    Binding,
+    CharClass,
+    CharSwitch,
+    Choice,
+    Epsilon,
+    Expression,
+    Fail,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+    walk,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.production import ValueKind
+
+
+def contributes(expr: Expression, kind_of: Callable[[str], ValueKind]) -> bool:
+    """Does ``expr`` contribute a semantic value to its enclosing context?
+
+    ``kind_of`` maps a production name to its :class:`ValueKind`.
+    """
+    if isinstance(expr, (Literal, CharClass, AnyChar, Voided, And, Not, Epsilon, Fail)):
+        return False
+    if isinstance(expr, (Text, Action)):
+        return True
+    if isinstance(expr, Nonterminal):
+        return kind_of(expr.name) is not ValueKind.VOID
+    if isinstance(expr, Binding):
+        return contributes(expr.expr, kind_of)
+    if isinstance(expr, (Repetition, Option)):
+        return contributes(expr.expr, kind_of)
+    if isinstance(expr, Sequence):
+        return any(contributes(item, kind_of) for item in expr.items)
+    if isinstance(expr, Choice):
+        return any(contributes(alt, kind_of) for alt in expr.alternatives)
+    if isinstance(expr, CharSwitch):
+        branches = [e for _, e in expr.cases] + [expr.default]
+        return any(contributes(b, kind_of) for b in branches)
+    raise TypeError(f"contributes: unhandled {type(expr).__name__}")
+
+
+def kind_lookup(grammar: Grammar) -> Callable[[str], ValueKind]:
+    """A ``kind_of`` function over a grammar (unknown names → OBJECT)."""
+    kinds = {p.name: p.kind for p in grammar.productions}
+
+    def kind_of(name: str) -> ValueKind:
+        return kinds.get(name, ValueKind.OBJECT)
+
+    return kind_of
+
+
+def pass_through(contributions: list[Any]) -> Any:
+    """The pass-through rule for sequence values."""
+    if not contributions:
+        return None
+    if len(contributions) == 1:
+        return contributions[0]
+    return tuple(contributions)
+
+
+def binding_names(expr: Expression) -> list[str]:
+    """All binding names occurring anywhere in ``expr``, in source order,
+    without duplicates.  These become the alternative's action namespace."""
+    names: list[str] = []
+    seen: set[str] = set()
+    for node in walk(expr):
+        if isinstance(node, Binding) and node.name not in seen:
+            seen.add(node.name)
+            names.append(node.name)
+    return names
+
+
+def node_name(production_name: str, label: str | None) -> str:
+    """The GNode name for an alternative of a generic production."""
+    if label:
+        return label
+    return production_name.rsplit(".", 1)[-1]

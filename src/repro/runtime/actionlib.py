@@ -1,0 +1,75 @@
+"""The environment available to ``{ action }`` code.
+
+Semantic actions in ``.mg`` grammars are restricted Python expressions.  They
+are evaluated — identically by the grammar interpreters and by generated
+parsers — in a namespace containing the alternative's bindings plus the
+helpers defined here.  Nothing else (no builtins) is visible, which keeps
+grammar files declarative and portable.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.node import GNode, fold_left
+
+
+def make_node(name: str, *children: Any) -> GNode:
+    """Explicitly build a generic node from an action."""
+    return GNode(name, children)
+
+
+def cons(head: Any, tail: list) -> list:
+    """Prepend ``head`` to ``tail`` (classic list construction)."""
+    return [head] + list(tail)
+
+
+def append(items: list, last: Any) -> list:
+    """Append ``last`` to ``items``."""
+    return list(items) + [last]
+
+
+def concat(*parts: Any) -> str:
+    """Concatenate string fragments, skipping ``None``."""
+    return "".join(p for p in parts if p is not None)
+
+
+def flatten(values: Any) -> list:
+    """Flatten nested lists/tuples into one list, dropping ``None``."""
+    out: list = []
+    stack = [values]
+    while stack:
+        item = stack.pop()
+        if item is None:
+            continue
+        if isinstance(item, (list, tuple)):
+            stack.extend(reversed(item))
+        else:
+            out.append(item)
+    return out
+
+
+#: Names injected into every action evaluation, in addition to bindings.
+ACTION_GLOBALS: dict[str, Any] = {
+    "__builtins__": {},
+    "GNode": GNode,
+    "make_node": make_node,
+    "fold_left": fold_left,
+    "__fold_left__": fold_left,  # used by the left-recursion transformation
+    "cons": cons,
+    "append": append,
+    "concat": concat,
+    "flatten": flatten,
+    "null": None,
+    "true": True,
+    "false": False,
+    # a few safe builtins grammar actions legitimately want
+    "len": len,
+    "int": int,
+    "float": float,
+    "str": str,
+    "tuple": tuple,
+    "list": list,
+    "ord": ord,
+    "chr": chr,
+}

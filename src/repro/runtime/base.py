@@ -1,0 +1,119 @@
+"""Shared machinery for parser backends.
+
+:class:`ParserBase` provides what every backend (interpreters and generated
+parsers) needs: the input text, farthest-failure tracking for error messages,
+and accounting hooks used by the benchmarks to measure memoization cost.
+
+The farthest-failure heuristic is the standard one for PEG parsing: because
+ordered choice backtracks silently, the most useful error position is the
+rightmost offset any expression failed at, together with the set of
+human-readable descriptions of what was expected there.
+"""
+
+from __future__ import annotations
+
+import sys
+from bisect import bisect_right
+from typing import Any
+
+from repro.errors import ParseError
+from repro.locations import Location, line_column
+
+
+class ParserBase:
+    """Base class holding input text and failure bookkeeping."""
+
+    #: Failure sentinel used in ``(pos, value)`` result pairs.
+    FAIL = -1
+
+    def __init__(self, text: str):
+        self._text = text
+        self._length = len(text)
+        self._fail_pos = -1
+        self._fail_expected: list[str] = []
+        self._line_starts: list[int] | None = None
+        self._source = "<input>"
+
+    # -- location tracking -----------------------------------------------------
+
+    def _location(self, pos: int) -> Location:
+        """Line/column location of ``pos``, O(log lines) via a cached index."""
+        starts = self._line_starts
+        if starts is None:
+            starts = [0]
+            find = self._text.find
+            offset = find("\n")
+            while offset != -1:
+                starts.append(offset + 1)
+                offset = find("\n", offset + 1)
+            self._line_starts = starts
+        line = bisect_right(starts, pos)
+        return Location(self._source, line, pos - starts[line - 1] + 1)
+
+    # -- error tracking ------------------------------------------------------
+
+    def _expected(self, pos: int, what: str) -> None:
+        """Record a failed expectation at ``pos`` (keeps only the farthest)."""
+        if pos > self._fail_pos:
+            self._fail_pos = pos
+            self._fail_expected = [what]
+        elif pos == self._fail_pos:
+            self._fail_expected.append(what)
+
+    def parse_error(self) -> ParseError:
+        """Build a :class:`ParseError` at the farthest failure position."""
+        pos = max(self._fail_pos, 0)
+        line, column = line_column(self._text, pos)
+        found = repr(self._text[pos]) if pos < self._length else "end of input"
+        return ParseError(
+            f"syntax error at {found}",
+            offset=pos,
+            line=line,
+            column=column,
+            expected=tuple(self._fail_expected[:12]),
+        )
+
+    def check_complete(self, pos: int, value: Any) -> Any:
+        """Raise unless ``pos`` consumed the whole input; else return value."""
+        if pos == self.FAIL or pos < self._length:
+            raise self.parse_error()
+        return value
+
+    # -- memoization accounting (overridden by memoizing backends) -----------
+
+    def memo_entry_count(self) -> int:
+        """Number of memoized results currently stored."""
+        return 0
+
+    def memo_size_bytes(self) -> int:
+        """Approximate bytes held by memoization structures."""
+        return 0
+
+
+def sizeof_deep(obj: Any, _seen: set[int] | None = None) -> int:
+    """Approximate deep ``sys.getsizeof`` for memo-table measurement.
+
+    Follows dicts, lists, tuples and objects with ``__dict__``/``__slots__``;
+    shared objects are counted once.
+    """
+    seen = _seen if _seen is not None else set()
+    oid = id(obj)
+    if oid in seen or obj is None:
+        return 0
+    seen.add(oid)
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        for key, val in obj.items():
+            size += sizeof_deep(key, seen) + sizeof_deep(val, seen)
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            size += sizeof_deep(item, seen)
+    else:
+        attrs = getattr(obj, "__dict__", None)
+        if attrs is not None:
+            size += sizeof_deep(attrs, seen)
+        slots = getattr(type(obj), "__slots__", ())
+        for slot in slots:
+            if hasattr(obj, slot):
+                size += sizeof_deep(getattr(obj, slot), seen)
+    return size

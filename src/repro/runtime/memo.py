@@ -1,0 +1,130 @@
+"""Memoization table organizations.
+
+The paper's *chunks* optimization replaces the textbook packrat organization
+(one hash-table entry per ⟨production, position⟩) with per-position *column*
+objects whose memo fields are grouped into lazily allocated *chunk* objects.
+A parse that touches a position allocates one column; only the chunks whose
+productions are actually tried get allocated, and each memo access is two
+attribute loads instead of a hash lookup of a tuple key.
+
+Two interchangeable table implementations are provided so the effect can be
+measured (experiment E3):
+
+- :class:`DictMemoTable` — the textbook baseline: ``dict[(rule, pos)] → entry``
+- :class:`ChunkedMemoTable` — columns of chunks, built for a specific list of
+  production names partitioned ``chunk_size`` fields at a time.
+
+Entries are ``(next_pos, value)`` pairs; failures store ``(-1, None)``.
+Both tables present the same ``get(rule_index, pos)`` / ``put`` interface;
+the production *index* (dense int) is assigned by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.base import sizeof_deep
+
+#: Number of memo fields per chunk.  Rats! groups ~10 fields per chunk; the
+#: exact figure only shifts constants, and 8 keeps chunk objects small.
+DEFAULT_CHUNK_SIZE = 8
+
+_ABSENT = None  # absent entries are represented by None slots
+
+
+class DictMemoTable:
+    """Baseline packrat memo table: one dict keyed by (rule_index, pos)."""
+
+    def __init__(self, rule_names: list[str], chunk_size: int = DEFAULT_CHUNK_SIZE):
+        self._table: dict[tuple[int, int], tuple[int, Any]] = {}
+        self.rule_names = list(rule_names)
+
+    def get(self, rule: int, pos: int) -> tuple[int, Any] | None:
+        return self._table.get((rule, pos))
+
+    def put(self, rule: int, pos: int, entry: tuple[int, Any]) -> None:
+        self._table[(rule, pos)] = entry
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def entry_count(self) -> int:
+        return len(self._table)
+
+    def size_bytes(self) -> int:
+        return sizeof_deep(self._table)
+
+
+class _Column:
+    """Per-position holder of lazily allocated chunks."""
+
+    __slots__ = ("chunks",)
+
+    def __init__(self, n_chunks: int):
+        self.chunks: list[list | None] = [None] * n_chunks
+
+
+class ChunkedMemoTable:
+    """Column/chunk memo organization (the paper's *chunks* optimization).
+
+    Chunks are fixed-size lists here (Python's closest cheap analogue of a
+    field group); a chunk is allocated the first time any of its rules is
+    memoized at that position.
+    """
+
+    def __init__(self, rule_names: list[str], chunk_size: int = DEFAULT_CHUNK_SIZE):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.rule_names = list(rule_names)
+        self._chunk_size = chunk_size
+        self._n_chunks = (len(rule_names) + chunk_size - 1) // chunk_size or 1
+        self._columns: dict[int, _Column] = {}
+
+    def get(self, rule: int, pos: int) -> tuple[int, Any] | None:
+        column = self._columns.get(pos)
+        if column is None:
+            return None
+        chunk = column.chunks[rule // self._chunk_size]
+        if chunk is None:
+            return None
+        return chunk[rule % self._chunk_size]
+
+    def put(self, rule: int, pos: int, entry: tuple[int, Any]) -> None:
+        column = self._columns.get(pos)
+        if column is None:
+            column = self._columns[pos] = _Column(self._n_chunks)
+        index = rule // self._chunk_size
+        chunk = column.chunks[index]
+        if chunk is None:
+            chunk = column.chunks[index] = [_ABSENT] * self._chunk_size
+        chunk[rule % self._chunk_size] = entry
+
+    def clear(self) -> None:
+        self._columns.clear()
+
+    def entry_count(self) -> int:
+        count = 0
+        for column in self._columns.values():
+            for chunk in column.chunks:
+                if chunk is not None:
+                    count += sum(1 for slot in chunk if slot is not None)
+        return count
+
+    def chunk_count(self) -> int:
+        """Number of allocated chunk objects (the paper's space metric)."""
+        return sum(
+            sum(1 for chunk in column.chunks if chunk is not None)
+            for column in self._columns.values()
+        )
+
+    def column_count(self) -> int:
+        return len(self._columns)
+
+    def size_bytes(self) -> int:
+        return sizeof_deep(self._columns)
+
+
+def make_memo_table(rule_names: list[str], chunked: bool, chunk_size: int = DEFAULT_CHUNK_SIZE):
+    """Factory selecting the table organization for a parser run."""
+    cls = ChunkedMemoTable if chunked else DictMemoTable
+    return cls(rule_names, chunk_size)

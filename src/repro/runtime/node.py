@@ -1,0 +1,131 @@
+"""Generic abstract-syntax-tree nodes.
+
+*Generic* productions build their semantic values automatically as
+:class:`GNode` instances: the node name is the alternative's label (or the
+production's name), and the children are the semantic values of the
+alternative's contributing components.  This is the paper's key convenience
+for keeping grammars declarative — no per-production AST classes and no
+hand-written tree-building actions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.locations import Location
+
+
+class GNode:
+    """An immutable generic AST node: a name plus a children tuple.
+
+    Children may be strings (from text productions), other nodes, ``None``
+    (absent optionals), lists (from repetitions), or arbitrary action
+    results.  Equality and hashing are structural but *ignore locations*, so
+    parse results can be compared across parser backends that do or do not
+    track locations.
+    """
+
+    __slots__ = ("name", "children", "location")
+
+    def __init__(self, name: str, children: tuple[Any, ...] = (), location: Location | None = None):
+        self.name = name
+        self.children = tuple(children)
+        self.location = location
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def __getitem__(self, index: int) -> Any:
+        return self.children[index]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.children)
+
+    # -- equality (structural, location-insensitive) --------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GNode):
+            return NotImplemented
+        return self.name == other.name and _children_equal(self.children, other.children)
+
+    def __hash__(self) -> int:
+        return hash((self.name, _hashable(self.children)))
+
+    def __repr__(self) -> str:
+        if not self.children:
+            return f"({self.name})"
+        inner = " ".join(_repr_child(c) for c in self.children)
+        return f"({self.name} {inner})"
+
+    # -- convenience -----------------------------------------------------------
+
+    def size(self) -> int:
+        """Total number of GNode descendants including this node."""
+        total = 1
+        stack: list[Any] = list(self.children)
+        while stack:
+            item = stack.pop()
+            if isinstance(item, GNode):
+                total += 1
+                stack.extend(item.children)
+            elif isinstance(item, (list, tuple)):
+                stack.extend(item)
+        return total
+
+    def find_all(self, name: str) -> list["GNode"]:
+        """All descendant nodes (including self) with the given name."""
+        found: list[GNode] = []
+        stack: list[Any] = [self]
+        while stack:
+            item = stack.pop()
+            if isinstance(item, GNode):
+                if item.name == name:
+                    found.append(item)
+                stack.extend(reversed(item.children))
+            elif isinstance(item, (list, tuple)):
+                stack.extend(reversed(item))
+        return found
+
+
+def _children_equal(a: tuple[Any, ...], b: tuple[Any, ...]) -> bool:
+    if len(a) != len(b):
+        return False
+    return all(x == y for x, y in zip(a, b))
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, GNode):
+        return (value.name, _hashable(value.children))
+    try:
+        hash(value)
+    except TypeError:
+        return repr(value)
+    return value
+
+
+def _repr_child(child: Any) -> str:
+    if isinstance(child, str):
+        return repr(child)
+    if isinstance(child, list):
+        return "[" + " ".join(_repr_child(c) for c in child) + "]"
+    return repr(child)
+
+
+def fold_left(seed: Any, suffixes: list[GNode]) -> Any:
+    """Rebuild a left-leaning tree from a seed and parsed operator suffixes.
+
+    This is the semantic-value fix-up of the direct-left-recursion
+    transformation: each suffix node ``(Label c1 … cN)`` becomes
+    ``(Label acc c1 … cN)`` with the accumulated tree as first child, so
+    ``a - b - c`` folds to ``(Sub (Sub a b) c)`` exactly as the original
+    left-recursive grammar specifies.
+    """
+    acc = seed
+    for suffix in suffixes:
+        location = acc.location if isinstance(acc, GNode) else suffix.location
+        acc = GNode(suffix.name, (acc,) + suffix.children, location)
+    return acc

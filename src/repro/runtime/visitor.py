@@ -1,0 +1,147 @@
+"""Working with generic ASTs: visitors, transformers, dumping, JSON.
+
+Generic productions give every language a uniform tree type
+(:class:`~repro.runtime.node.GNode`), so one set of tools serves all of
+them:
+
+- :class:`Visitor` — dispatch on node names via ``visit_<Name>`` methods
+  (``visit_default`` catches the rest); non-node children are passed
+  through unvisited.
+- :class:`Transformer` — like Visitor but rebuilds: each method returns the
+  replacement value for its node; the default rebuilds the node with
+  transformed children.
+- :func:`dump_tree` — human-readable indented rendering.
+- :func:`node_to_json` / :func:`node_from_json` — lossless (up to
+  locations) serialization of trees whose leaves are strings/None.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.locations import Location
+from repro.runtime.node import GNode
+
+
+class Visitor:
+    """Name-dispatched read-only traversal.
+
+    Subclass and define ``visit_Add(self, node)`` etc.; call ``visit`` on
+    the root.  Unhandled nodes go to ``visit_default``, which by default
+    visits the children and returns None.
+    """
+
+    def visit(self, value: Any) -> Any:
+        if isinstance(value, GNode):
+            method = getattr(self, f"visit_{value.name}", None)
+            if method is not None:
+                return method(value)
+            return self.visit_default(value)
+        if isinstance(value, (list, tuple)):
+            for item in value:
+                self.visit(item)
+            return None
+        return None
+
+    def visit_default(self, node: GNode) -> Any:
+        self.visit_children(node)
+        return None
+
+    def visit_children(self, node: GNode) -> None:
+        for child in node.children:
+            self.visit(child)
+
+
+class Transformer:
+    """Name-dispatched rebuilding traversal (bottom-up).
+
+    ``transform_<Name>`` methods receive a node whose children have already
+    been transformed and return its replacement (any value).  The default
+    rebuilds the node unchanged.
+    """
+
+    def transform(self, value: Any) -> Any:
+        if isinstance(value, GNode):
+            rebuilt = GNode(
+                value.name,
+                tuple(self.transform(child) for child in value.children),
+                value.location,
+            )
+            method = getattr(self, f"transform_{value.name}", None)
+            if method is not None:
+                return method(rebuilt)
+            return self.transform_default(rebuilt)
+        if isinstance(value, list):
+            return [self.transform(item) for item in value]
+        if isinstance(value, tuple):
+            return tuple(self.transform(item) for item in value)
+        return value
+
+    def transform_default(self, node: GNode) -> Any:
+        return node
+
+
+def dump_tree(value: Any, indent: int = 0, max_depth: int | None = None) -> str:
+    """Indented, one-node-per-line rendering of a tree."""
+    pad = "  " * indent
+    if max_depth is not None and indent >= max_depth:
+        return f"{pad}..."
+    if isinstance(value, GNode):
+        location = f"  @{value.location}" if value.location else ""
+        if not value.children:
+            return f"{pad}{value.name}{location}"
+        lines = [f"{pad}{value.name}{location}"]
+        for child in value.children:
+            lines.append(dump_tree(child, indent + 1, max_depth))
+        return "\n".join(lines)
+    if isinstance(value, (list, tuple)):
+        if not value:
+            return f"{pad}[]"
+        lines = [f"{pad}["]
+        for item in value:
+            lines.append(dump_tree(item, indent + 1, max_depth))
+        lines.append(f"{pad}]")
+        return "\n".join(lines)
+    return f"{pad}{value!r}"
+
+
+def node_to_json(value: Any) -> Any:
+    """Convert a tree to JSON-serializable structures.
+
+    Nodes become ``{"$node": name, "children": […], "location": […]?}``;
+    lists/tuples become lists; strings, numbers, bools and None pass
+    through.
+    """
+    if isinstance(value, GNode):
+        encoded: dict[str, Any] = {
+            "$node": value.name,
+            "children": [node_to_json(child) for child in value.children],
+        }
+        if value.location is not None:
+            loc = value.location
+            encoded["location"] = [loc.source, loc.line, loc.column]
+        return encoded
+    if isinstance(value, (list, tuple)):
+        return [node_to_json(item) for item in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise TypeError(f"cannot serialize {type(value).__name__} to JSON")
+
+
+def node_from_json(value: Any) -> Any:
+    """Inverse of :func:`node_to_json` (tuples come back as lists)."""
+    if isinstance(value, dict):
+        if "$node" not in value:
+            raise ValueError("not a serialized GNode: missing $node")
+        location = None
+        if "location" in value:
+            source, line, column = value["location"]
+            location = Location(source, line, column)
+        return GNode(
+            value["$node"],
+            tuple(node_from_json(child) for child in value["children"]),
+            location,
+        )
+    if isinstance(value, list):
+        return [node_from_json(item) for item in value]
+    return value

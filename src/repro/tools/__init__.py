@@ -1,0 +1,1 @@
+"""Command-line tools: ``repro-pgen`` and ``repro-stats``."""

@@ -1,0 +1,58 @@
+"""``repro-lint`` — well-formedness + lint for grammar modules.
+
+Usage::
+
+    repro-lint jay.Jay
+    repro-lint my.Lang --path grammars/ --strict   # lint findings fail too
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.lint import lint, lint_alternatives_of_production
+from repro.analysis.wellformed import check
+from repro.api import load_grammar
+from repro.errors import ReproError
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint", description="Check grammar modules for errors and hazards."
+    )
+    parser.add_argument("root", help="qualified root module name")
+    parser.add_argument("--path", action="append", default=[], metavar="DIR")
+    parser.add_argument(
+        "--strict", action="store_true", help="treat lint findings as failures"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        grammar = load_grammar(args.root, paths=args.path or None)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    diagnostics = check(grammar)
+    findings = lint(grammar) + lint_alternatives_of_production(grammar)
+
+    errors = [d for d in diagnostics if d.severity == "error"]
+    warnings = [d for d in diagnostics if d.severity == "warning"]
+    for diagnostic in errors + warnings:
+        print(diagnostic)
+    for finding in findings:
+        print(f"lint: {finding}")
+
+    total = len(errors) + len(warnings) + len(findings)
+    if total == 0:
+        print(f"{args.root}: clean ({len(grammar)} productions)")
+    if errors:
+        return 1
+    if args.strict and findings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""``repro-pgen`` — generate a Python packrat parser from grammar modules.
+
+Usage::
+
+    repro-pgen jay.Jay -o jay_parser.py
+    repro-pgen my.Lang --path grammars/ --start Program -Ono-chunks -Ono-inline
+    repro-pgen calc.Calculator --print-grammar   # show the composed grammar
+
+The ``-Ono-<flag>`` options mirror the paper's per-optimization switches
+(see ``repro.optim.Options``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import load_grammar
+from repro.codegen import generate_parser_source
+from repro.errors import ReproError
+from repro.optim import Options, prepare
+from repro.peg.pretty import format_grammar
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pgen",
+        description="Generate a packrat parser from modular PEG grammar files.",
+    )
+    parser.add_argument("root", help="qualified name of the root grammar module (e.g. jay.Jay)")
+    parser.add_argument("-o", "--output", help="output file (default: stdout)")
+    parser.add_argument(
+        "--path",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="directory to search for .mg files (repeatable; built-in grammars are always available)",
+    )
+    parser.add_argument("--start", help="override the start production")
+    parser.add_argument("--parser-name", default="Parser", help="generated class name")
+    parser.add_argument(
+        "--print-grammar",
+        action="store_true",
+        help="print the composed (pre-optimization) grammar instead of generating",
+    )
+    for flag in Options.flag_names():
+        parser.add_argument(
+            f"-Ono-{flag}",
+            dest=f"no_{flag}",
+            action="store_true",
+            help=f"disable the {flag} optimization",
+        )
+    return parser
+
+
+def options_from_args(args: argparse.Namespace) -> Options:
+    disabled = [flag for flag in Options.flag_names() if getattr(args, f"no_{flag}")]
+    return Options.all().without(*disabled)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    try:
+        grammar = load_grammar(args.root, paths=args.path or None, start=args.start)
+        if args.print_grammar:
+            output = format_grammar(grammar)
+        else:
+            prepared = prepare(grammar, options_from_args(args))
+            for warning in prepared.warnings:
+                print(f"warning: {warning}", file=sys.stderr)
+            output = generate_parser_source(prepared, args.parser_name)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

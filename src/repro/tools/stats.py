@@ -1,0 +1,101 @@
+"""``repro-stats`` — modularity statistics for a grammar (experiment E1).
+
+Usage::
+
+    repro-stats jay.Jay
+    repro-stats my.Lang --path grammars/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.stats import grammar_stats, module_stats
+from repro.errors import ReproError
+from repro.meta import ModuleLoader
+from repro.modules import Composer
+
+
+def collect(root: str, paths: list[str] | None = None):
+    """Compose ``root`` and return (grammar stats, per-module stats list)."""
+    loader = ModuleLoader(paths=paths)
+    composer = Composer(loader)
+    grammar = composer.compose(root)
+    modules = [module_stats(template) for _, template in composer.instance_modules()]
+    return grammar_stats(grammar), modules
+
+
+def format_table(rows: list[dict], columns: list[str]) -> str:
+    widths = {c: max(len(c), *(len(str(r.get(c, ""))) for r in rows)) for c in columns}
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, sep]
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-stats", description="Grammar modularity statistics."
+    )
+    parser.add_argument("root", help="qualified root module name")
+    parser.add_argument("--path", action="append", default=[], metavar="DIR")
+    parser.add_argument(
+        "--dot", action="store_true", help="print the module dependency graph as GraphViz DOT"
+    )
+    args = parser.parse_args(argv)
+    if args.dot:
+        from repro.modules.graph import module_graph
+
+        try:
+            graph = module_graph(args.root, ModuleLoader(paths=args.path or None))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(graph.to_dot())
+        return 0
+    try:
+        gstats, modules = collect(args.root, args.path or None)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    module_rows = [
+        {
+            "module": m.name,
+            "params": m.parameters,
+            "imports": m.imports,
+            "modifies": m.modifies,
+            "productions": m.productions,
+            "mods": m.modifications,
+            "alts": m.alternatives,
+            "loc": m.loc,
+        }
+        for m in sorted(modules, key=lambda m: m.name)
+    ]
+    total = {
+        "module": "TOTAL",
+        "params": sum(r["params"] for r in module_rows),
+        "imports": sum(r["imports"] for r in module_rows),
+        "modifies": sum(r["modifies"] for r in module_rows),
+        "productions": sum(r["productions"] for r in module_rows),
+        "mods": sum(r["mods"] for r in module_rows),
+        "alts": sum(r["alts"] for r in module_rows),
+        "loc": sum(r["loc"] for r in module_rows),
+    }
+    print(f"Grammar {args.root}: {len(module_rows)} modules")
+    print()
+    print(format_table(module_rows + [total],
+                       ["module", "params", "imports", "modifies", "productions", "mods", "alts", "loc"]))
+    print()
+    print("Composed grammar:")
+    print(format_table([gstats.row()],
+                       ["grammar", "productions", "generic", "text", "void", "object",
+                        "alternatives", "nodes", "transient", "public"]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

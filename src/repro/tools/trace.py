@@ -1,0 +1,74 @@
+"""``repro-trace`` — parse a file and show what the parser did.
+
+Usage::
+
+    repro-trace jay.Jay program.jay            # stats + result/diagnostic
+    repro-trace jay.Jay program.jay --events   # full indented trace
+    repro-trace calc.Calculator - <<< "1 + *"  # read input from stdin
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import load_grammar
+from repro.errors import ReproError
+from repro.interp import PackratInterpreter, format_trace, trace_parse, trace_statistics
+from repro.optim import prepare
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Trace a packrat parse: production applications, memo hits, failures.",
+    )
+    parser.add_argument("root", help="qualified root grammar module (e.g. jay.Jay)")
+    parser.add_argument("input", help="input file to parse, or '-' for stdin")
+    parser.add_argument("--path", action="append", default=[], metavar="DIR")
+    parser.add_argument("--start", help="override the start production")
+    parser.add_argument("--events", action="store_true", help="print the full event log")
+    parser.add_argument("--max-events", type=int, default=200, metavar="N")
+    args = parser.parse_args(argv)
+
+    try:
+        grammar = load_grammar(args.root, paths=args.path or None)
+        prepared = prepare(grammar)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.input == "-":
+        text = sys.stdin.read()
+        source = "<stdin>"
+    else:
+        try:
+            with open(args.input) as handle:
+                text = handle.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        source = args.input
+
+    interpreter = PackratInterpreter(prepared.grammar, chunked=prepared.chunked_memo)
+    value, events, error = trace_parse(interpreter, text, start=args.start, source=source)
+
+    if args.events:
+        print(format_trace(events, max_events=args.max_events))
+        print()
+    stats = trace_statistics(events)
+    print(
+        f"{stats['applications']} applications, {stats['memo_hits']} memo hits, "
+        f"{stats['failures']} failed, {stats['distinct_questions']} distinct "
+        f"(production, position) questions, {stats['reasked_questions']} re-asked"
+    )
+    if error is not None:
+        print()
+        print(error.show(text, source))
+        return 1
+    print(f"parse OK: {value!r}"[:400])
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,6 @@
+"""Semantics-preserving grammar transformations."""
+
+from repro.transform.desugar import desugar
+from repro.transform.leftrec import transform_left_recursion
+
+__all__ = ["desugar", "transform_left_recursion"]

@@ -1,0 +1,184 @@
+"""Textbook desugarings of repetitions and options into helper productions.
+
+A pure packrat parser (Ford's formulation) has no loops: ``e*``, ``e+`` and
+``e?`` are encoded as memoized recursive helper productions.  The paper's
+*repeated* and *optional* optimizations keep these constructs native —
+compiled to loops and inline conditionals with no helper productions and no
+memoization.
+
+This module implements the **baseline** encoding, used when those
+optimizations are turned off (experiment E3): every repetition/option in
+the grammar is replaced by a reference to a generated helper production::
+
+    e*   →  Rep__N      Rep__N = h:e t:Rep__N { cons(h, t) }  /  { [] }
+    e+   →  Plus__N     Plus__N = h:e t:Rep__N { cons(h, t) }
+    e?   →  Opt__N      Opt__N = e  /  { null }
+
+Value semantics are preserved exactly: when the repeated expression
+contributes no value, the helpers are ``void`` productions without actions,
+so they contribute nothing either.
+
+Limitation (documented): a binding made *inside* a repetition is scoped to
+the helper after desugaring, so grammars must not reference such bindings
+from actions outside the repetition.  The shipped grammars and the property
+tests respect this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.peg.expr import (
+    Action,
+    Binding,
+    Epsilon,
+    Expression,
+    Nonterminal,
+    Option,
+    Repetition,
+    seq,
+    transform,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.production import Alternative, Production, ValueKind
+from repro.peg.values import contributes, kind_lookup
+
+_HEAD = "head__"
+_TAIL = "tail__"
+
+
+@dataclass
+class _Desugarer:
+    grammar: Grammar
+    desugar_repetitions: bool
+    desugar_options: bool
+    new_productions: list[Production] = field(default_factory=list)
+    cache: dict[tuple, str] = field(default_factory=dict)
+    counter: int = 0
+
+    def __post_init__(self) -> None:
+        self.kind_of = kind_lookup(self.grammar)
+        self.names = set(self.grammar.names())
+
+    def fresh_name(self, prefix: str) -> str:
+        while True:
+            self.counter += 1
+            name = f"{prefix}__{self.counter}"
+            if name not in self.names:
+                self.names.add(name)
+                return name
+
+    def run(self) -> Grammar:
+        rewritten = [
+            production.with_alternatives(
+                tuple(
+                    alternative.with_expr(transform(alternative.expr, self._rewrite))
+                    for alternative in production.alternatives
+                )
+            )
+            for production in self.grammar.productions
+        ]
+        grammar = self.grammar.replace_productions(rewritten)
+        for helper in self.new_productions:
+            grammar = grammar.add_production(helper)
+        return grammar
+
+    # -- node rewriting (bottom-up via transform) ---------------------------------
+
+    def _rewrite(self, expr: Expression) -> Expression:
+        if isinstance(expr, Repetition) and self.desugar_repetitions:
+            return Nonterminal(self._repetition_helper(expr))
+        if isinstance(expr, Option) and self.desugar_options:
+            return Nonterminal(self._option_helper(expr))
+        return expr
+
+    def _repetition_helper(self, expr: Repetition) -> str:
+        contributing = contributes(expr.expr, self.kind_of)
+        key = ("rep", expr.expr, expr.min, contributing)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        star_name = self._star_helper(expr.expr, contributing)
+        if expr.min == 0:
+            self.cache[key] = star_name
+            return star_name
+        plus_name = self.fresh_name("Plus")
+        if contributing:
+            body = Alternative(
+                seq(
+                    Binding(_HEAD, expr.expr),
+                    Binding(_TAIL, Nonterminal(star_name)),
+                    Action(f"cons({_HEAD}, {_TAIL})"),
+                )
+            )
+            kind = ValueKind.OBJECT
+        else:
+            body = Alternative(seq(expr.expr, Nonterminal(star_name)))
+            kind = ValueKind.VOID
+        self.new_productions.append(
+            Production(name=plus_name, kind=kind, alternatives=(body,))
+        )
+        self.cache[key] = plus_name
+        return plus_name
+
+    def _star_helper(self, item: Expression, contributing: bool) -> str:
+        key = ("star", item, contributing)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        name = self.fresh_name("Rep")
+        self.cache[key] = name
+        if contributing:
+            alternatives = (
+                Alternative(
+                    seq(
+                        Binding(_HEAD, item),
+                        Binding(_TAIL, Nonterminal(name)),
+                        Action(f"cons({_HEAD}, {_TAIL})"),
+                    )
+                ),
+                Alternative(Action("[]")),
+            )
+            kind = ValueKind.OBJECT
+        else:
+            alternatives = (
+                Alternative(seq(item, Nonterminal(name))),
+                Alternative(Epsilon()),
+            )
+            kind = ValueKind.VOID
+        self.new_productions.append(
+            Production(name=name, kind=kind, alternatives=alternatives)
+        )
+        return name
+
+    def _option_helper(self, expr: Option) -> str:
+        contributing = contributes(expr.expr, self.kind_of)
+        key = ("opt", expr.expr, contributing)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        name = self.fresh_name("Opt")
+        self.cache[key] = name
+        if contributing:
+            alternatives = (
+                Alternative(expr.expr),
+                Alternative(Action("null")),
+            )
+            kind = ValueKind.OBJECT
+        else:
+            alternatives = (
+                Alternative(expr.expr),
+                Alternative(Epsilon()),
+            )
+            kind = ValueKind.VOID
+        self.new_productions.append(
+            Production(name=name, kind=kind, alternatives=alternatives)
+        )
+        return name
+
+
+def desugar(grammar: Grammar, repetitions: bool = True, options: bool = True) -> Grammar:
+    """Replace native repetitions and/or options with helper productions."""
+    if not repetitions and not options:
+        return grammar
+    return _Desugarer(grammar, repetitions, options).run()

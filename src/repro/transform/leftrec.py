@@ -1,0 +1,181 @@
+"""Direct left-recursion transformation.
+
+PEG parsers loop forever on left-recursive productions, yet left recursion
+is the natural way to write left-associative operators.  Following the
+paper, *directly* left-recursive **generic** productions are mechanically
+rewritten into iteration with a semantic-value fix-up that still produces
+the left-leaning tree the grammar writer specified.
+
+``Expr = <Sub> Expr "-" Term / <Base> Term`` becomes::
+
+    Expr       =  seed__:Expr__Base tail__:Expr__Tail*
+                  { __fold_left__(seed__, tail__) }       (object kind)
+    Expr__Base =  <Base> Term                              (generic)
+    Expr__Tail =  <Sub> "-" Term                           (generic)
+
+``__fold_left__`` (see :func:`repro.runtime.node.fold_left`) folds each
+suffix node over the accumulated value: ``a - b - c`` parses to
+``(Sub (Sub a b) c)``.
+
+The original order among recursive alternatives and among base alternatives
+is preserved; what is necessarily lost is interleaving between the two
+groups (recursive alternatives are all tried at each iteration step).
+
+The rewrite itself is a *correctness* requirement and always runs; the
+``leftrec`` optimization flag only controls whether the two helper
+productions are marked ``transient inline`` (iterated in place without
+memoization) or left as plain memoized productions — the textbook encoding
+used as the ablation baseline in experiment E3.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.leftrec import directly_left_recursive
+from repro.errors import AnalysisError
+from repro.peg.expr import Action, Binding, Nonterminal, Repetition, Sequence, seq
+from repro.peg.grammar import Grammar
+from repro.peg.production import Alternative, Production, ValueKind
+from repro.peg.values import node_name
+
+#: Binding names used by the generated fold action (double underscores keep
+#: them out of the way of user bindings, which are plain identifiers).
+_SEED = "seed__"
+_TAIL = "tail__"
+_FOLD_ACTION = f"__fold_left__({_SEED}, {_TAIL})"
+
+
+def transform_left_recursion(grammar: Grammar, optimize: bool = True) -> Grammar:
+    """Rewrite all directly left-recursive generic productions.
+
+    ``optimize`` marks the generated helpers ``transient`` (+ base also
+    ``inline``), reflecting the paper's optimized treatment; pass ``False``
+    for the memoized-helper baseline.
+    """
+    recursive = directly_left_recursive(grammar)
+    if not recursive:
+        return grammar
+    result = grammar
+    for name in grammar.names():
+        if name in recursive:
+            result = _transform_production(result, name, optimize)
+    return result
+
+
+def _is_direct_head(alternative: Alternative, name: str) -> bool:
+    """Is the alternative's first element exactly a self-reference?"""
+    expr = alternative.expr
+    head = expr.items[0] if isinstance(expr, Sequence) else expr
+    if isinstance(head, Binding) and isinstance(head.expr, Nonterminal) and head.expr.name == name:
+        raise AnalysisError(
+            f"production {name!r}: cannot bind the left-recursive occurrence "
+            f"({head.name}:{name}); the transformation provides the value implicitly"
+        )
+    return isinstance(head, Nonterminal) and head.name == name
+
+
+def _transform_production(grammar: Grammar, name: str, optimize: bool) -> Grammar:
+    production = grammar[name]
+    if production.kind is not ValueKind.GENERIC:
+        raise AnalysisError(
+            f"production {name!r} is left recursive but not generic; "
+            "only generic productions can be transformed"
+        )
+
+    recursive_alts: list[Alternative] = []
+    base_alts: list[Alternative] = []
+    for alternative in production.alternatives:
+        if _is_direct_head(alternative, name):
+            if not isinstance(alternative.expr, Sequence):
+                raise AnalysisError(f"production {name!r}: a bare self-reference alternative is useless")
+            recursive_alts.append(alternative)
+        else:
+            if name in _left_names(alternative, grammar, name):
+                raise AnalysisError(
+                    f"production {name!r}: left recursion hidden behind a nullable prefix "
+                    "is not supported; make the self-reference the first element"
+                )
+            base_alts.append(alternative)
+    if not base_alts:
+        raise AnalysisError(f"production {name!r}: left recursion without a base alternative")
+
+    base_name = f"{name}__Base"
+    tail_name = f"{name}__Tail"
+    for helper in (base_name, tail_name):
+        if helper in grammar:
+            raise AnalysisError(f"cannot transform {name!r}: helper name {helper!r} already taken")
+
+    helper_attrs = frozenset({"transient"}) if optimize else frozenset()
+    inherited = production.attributes & {"withLocation"}
+
+    # Unlabeled base alternatives that are NOT single-contribution
+    # pass-throughs would build nodes named after the helper; relabel them
+    # with the original production's name so values are unchanged.
+    from repro.peg.values import contributes, kind_lookup
+    from repro.peg.expr import Sequence as _Sequence
+
+    kind_of = kind_lookup(grammar)
+    relabeled_base: list[Alternative] = []
+    for alternative in base_alts:
+        if alternative.label is None:
+            items = (
+                alternative.expr.items
+                if isinstance(alternative.expr, _Sequence)
+                else (alternative.expr,)
+            )
+            contributing = sum(1 for item in items if contributes(item, kind_of))
+            if contributing != 1:
+                alternative = Alternative(
+                    alternative.expr, node_name(name, None), alternative.location
+                )
+        relabeled_base.append(alternative)
+
+    base = Production(
+        name=base_name,
+        kind=ValueKind.GENERIC,
+        alternatives=tuple(relabeled_base),
+        attributes=helper_attrs | inherited,
+        location=production.location,
+    )
+    tail = Production(
+        name=tail_name,
+        kind=ValueKind.GENERIC,
+        alternatives=tuple(
+            Alternative(
+                seq(*alt.expr.items[1:]),
+                alt.label or node_name(name, None),
+                alt.location,
+            )
+            for alt in recursive_alts
+        ),
+        attributes=helper_attrs | inherited,
+        location=production.location,
+    )
+    driver = Production(
+        name=name,
+        kind=ValueKind.OBJECT,
+        alternatives=(
+            Alternative(
+                seq(
+                    Binding(_SEED, Nonterminal(base_name)),
+                    Binding(_TAIL, Repetition(Nonterminal(tail_name), 0)),
+                    Action(_FOLD_ACTION),
+                ),
+                None,
+                production.location,
+            ),
+        ),
+        attributes=production.attributes - {"withLocation"},
+        location=production.location,
+    )
+    return (
+        grammar.replace_production(driver)
+        .add_production(base)
+        .add_production(tail)
+    )
+
+
+def _left_names(alternative: Alternative, grammar: Grammar, name: str) -> set[str]:
+    from repro.analysis.leftrec import left_calls
+    from repro.analysis.nullability import nullable_productions
+
+    return left_calls(alternative.expr, nullable_productions(grammar))

@@ -1,0 +1,20 @@
+"""Deterministic synthetic workload generators.
+
+The paper evaluates on corpora of real Java and C sources; offline we
+substitute seeded pseudo-random program generators with realistic token
+mixes and nesting (documented in DESIGN.md).  All generators take a
+``seed`` so every benchmark run sees exactly the same inputs.
+"""
+
+from repro.workloads.jaygen import generate_jay_program
+from repro.workloads.cgen import generate_c_program
+from repro.workloads.jsongen import generate_json_document
+from repro.workloads.pathological import backtracking_grammar, backtracking_input
+
+__all__ = [
+    "generate_jay_program",
+    "generate_c_program",
+    "generate_json_document",
+    "backtracking_grammar",
+    "backtracking_input",
+]

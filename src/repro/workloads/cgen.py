@@ -1,0 +1,98 @@
+"""Random xC program generator (see jaygen for the conventions)."""
+
+from __future__ import annotations
+
+import random
+
+_TYPES = ("int", "char", "float", "double", "unsigned int", "long")
+_NAMES = ("acc", "buf", "cnt", "idx", "len", "ptr", "tmp", "val", "mask", "bits")
+_BINOPS = ("+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "!=", "&&", "||", "&", "|", "^", "<<", ">>")
+
+
+def generate_c_program(size: int = 10, seed: int = 42) -> str:
+    """Generate an xC translation unit of roughly ``size`` functions."""
+    rng = random.Random(seed)
+    out: list[str] = ["#include <stdlib.h>", ""]
+    out.append("struct node { int key; struct node *next; };")
+    out.append("")
+    for global_index in range(max(1, size // 5)):
+        out.append(f"{rng.choice(_TYPES)} g{global_index} = {rng.randint(0, 1 << 16)};")
+    for function_index in range(max(1, size)):
+        out.append("")
+        out.extend(_function(rng, function_index))
+    return "\n".join(out) + "\n"
+
+
+def _function(rng: random.Random, index: int) -> list[str]:
+    params = ", ".join(
+        f"{rng.choice(_TYPES)} {'*' if rng.random() < 0.25 else ''}a{i}"
+        for i in range(rng.randint(0, 3))
+    ) or "void"
+    lines = [f"int fn{index}({params}) {{"]
+    for statement in [_statement(rng, 0) for _ in range(rng.randint(3, 8))]:
+        lines.append("    " + statement)
+    lines.append(f"    return {_expression(rng, 1)};")
+    lines.append("}")
+    return lines
+
+
+def _statement(rng: random.Random, depth: int) -> str:
+    roll = rng.random()
+    name = rng.choice(_NAMES)
+    if depth < 2 and roll < 0.14:
+        inner = " ".join(_statement(rng, depth + 1) for _ in range(rng.randint(1, 2)))
+        tail = f" else {{ {_statement(rng, depth + 1)} }}" if rng.random() < 0.35 else ""
+        return f"if ({_expression(rng, depth + 1)}) {{ {inner} }}{tail}"
+    if depth < 2 and roll < 0.24:
+        inner = " ".join(_statement(rng, depth + 1) for _ in range(rng.randint(1, 2)))
+        return (
+            f"for ({name} = 0; {name} < {rng.randint(2, 64)}; {name} += 1) {{ {inner} }}"
+        )
+    if depth < 2 and roll < 0.30:
+        return f"while ({_expression(rng, depth + 1)}) {{ {_statement(rng, depth + 1)} }}"
+    if depth < 2 and roll < 0.34:
+        return f"do {{ {_statement(rng, depth + 1)} }} while ({_expression(rng, depth + 1)});"
+    if roll < 0.48:
+        pointer = "*" if rng.random() < 0.2 else ""
+        return f"{rng.choice(_TYPES)} {pointer}{name} = {_expression(rng, depth + 1)};"
+    if roll < 0.58:
+        args = ", ".join(_expression(rng, depth + 2) for _ in range(rng.randint(0, 3)))
+        return f"fn{rng.randint(0, 9)}({args});"
+    op = rng.choice(("=", "+=", "-=", "*=", "&=", "|="))
+    return f"{name} {op} {_expression(rng, depth + 1)};"
+
+
+def _expression(rng: random.Random, depth: int) -> str:
+    if depth >= 4 or rng.random() < 0.35:
+        return _primary(rng, depth)
+    roll = rng.random()
+    if roll < 0.55:
+        op = rng.choice(_BINOPS)
+        return f"{_expression(rng, depth + 1)} {op} {_expression(rng, depth + 1)}"
+    if roll < 0.62:
+        return f"({_expression(rng, depth + 1)} ? {_expression(rng, depth + 1)} : {_expression(rng, depth + 1)})"
+    if roll < 0.72:
+        args = ", ".join(_expression(rng, depth + 2) for _ in range(rng.randint(0, 2)))
+        return f"fn{rng.randint(0, 9)}({args})"
+    if roll < 0.80:
+        return f"{rng.choice(_NAMES)}[{_expression(rng, depth + 1)}]"
+    if roll < 0.88:
+        return f"(* {rng.choice(_NAMES)})"
+    return f"(~ {_primary(rng, depth)})"
+
+
+def _primary(rng: random.Random, depth: int) -> str:
+    roll = rng.random()
+    if roll < 0.30:
+        return str(rng.randint(0, 1 << 20))
+    if roll < 0.38:
+        return f"0x{rng.randint(0, 1 << 16):x}"
+    if roll < 0.46:
+        return f"{rng.randint(0, 99)}.{rng.randint(0, 99)}"
+    if roll < 0.72:
+        return rng.choice(_NAMES)
+    if roll < 0.80:
+        return f"{rng.choice(_NAMES)}->next"
+    if roll < 0.88:
+        return f'"c{rng.randint(0, 999)}"'
+    return f"'{chr(rng.randint(97, 122))}'"

@@ -1,0 +1,114 @@
+"""Random Jay program generator.
+
+Produces syntactically valid Jay source with a realistic mix of
+declarations, control flow and expressions.  ``size`` scales the number of
+classes/methods/statements roughly linearly with output length.  The
+output stays inside the subset shared by the grammar and the hand-written
+baseline parser, so all backends can be benchmarked on identical inputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+_TYPES = ("int", "boolean", "char", "int[]", "Widget", "Point")
+_NAMES = ("alpha", "beta", "gamma", "delta", "count", "total", "index", "value", "result", "flag")
+_FIELDS = ("size", "next", "data", "left", "right")
+_BINOPS = ("+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "!=", "&&", "||")
+
+
+def generate_jay_program(size: int = 10, seed: int = 42) -> str:
+    """Generate a Jay compilation unit of roughly ``size`` methods."""
+    rng = random.Random(seed)
+    out: list[str] = []
+    out.append("package bench.generated;")
+    out.append("import java.util.List;")
+    classes = max(1, size // 4)
+    methods_left = max(1, size)
+    for class_index in range(classes):
+        out.append("")
+        extends = " extends Base" if rng.random() < 0.3 else ""
+        out.append(f"public class Gen{class_index}{extends} {{")
+        for field_index in range(rng.randint(1, 3)):
+            ftype = rng.choice(_TYPES)
+            out.append(f"    static {ftype} field{field_index} = {_expression(rng, 1)};")
+        per_class = max(1, methods_left // (classes - class_index))
+        methods_left -= per_class
+        for method_index in range(per_class):
+            out.extend(_method(rng, method_index))
+        out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def _method(rng: random.Random, index: int) -> list[str]:
+    params = ", ".join(
+        f"{rng.choice(_TYPES)} p{i}" for i in range(rng.randint(0, 3))
+    )
+    rtype = rng.choice(("void",) + _TYPES)
+    lines = [f"    public {rtype} method{index}({params}) {{"]
+    for statement in _statements(rng, rng.randint(3, 8), depth=0):
+        lines.append("        " + statement)
+    if rtype != "void":
+        lines.append(f"        return {_expression(rng, 1)};")
+    lines.append("    }")
+    return lines
+
+
+def _statements(rng: random.Random, count: int, depth: int) -> list[str]:
+    return [_statement(rng, depth) for _ in range(count)]
+
+
+def _statement(rng: random.Random, depth: int) -> str:
+    roll = rng.random()
+    name = rng.choice(_NAMES)
+    if depth < 2 and roll < 0.15:
+        body = " ".join(_statements(rng, rng.randint(1, 2), depth + 1))
+        return f"if ({_expression(rng, depth + 1)}) {{ {body} }}" + (
+            f" else {{ {_statement(rng, depth + 1)} }}" if rng.random() < 0.4 else ""
+        )
+    if depth < 2 and roll < 0.25:
+        body = " ".join(_statements(rng, rng.randint(1, 2), depth + 1))
+        return (
+            f"for (int {name} = 0; {name} < {rng.randint(2, 100)}; "
+            f"{name} = {name} + 1) {{ {body} }}"
+        )
+    if depth < 2 and roll < 0.32:
+        return f"while ({_expression(rng, depth + 1)}) {{ {_statement(rng, depth + 1)} }}"
+    if roll < 0.45:
+        return f"{rng.choice(_TYPES)} {name} = {_expression(rng, depth + 1)};"
+    if roll < 0.55:
+        args = ", ".join(_expression(rng, depth + 2) for _ in range(rng.randint(0, 3)))
+        return f"this.process{rng.randint(0, 9)}({args});"
+    return f"{name} = {_expression(rng, depth + 1)};"
+
+
+def _expression(rng: random.Random, depth: int) -> str:
+    if depth >= 4 or rng.random() < 0.35:
+        return _primary(rng, depth)
+    roll = rng.random()
+    if roll < 0.55:
+        op = rng.choice(_BINOPS)
+        return f"{_expression(rng, depth + 1)} {op} {_expression(rng, depth + 1)}"
+    if roll < 0.65:
+        return f"(able ? {_expression(rng, depth + 1)} : {_expression(rng, depth + 1)})"
+    if roll < 0.75:
+        args = ", ".join(_expression(rng, depth + 2) for _ in range(rng.randint(0, 2)))
+        return f"{rng.choice(_NAMES)}.compute({args})"
+    if roll < 0.85:
+        return f"{rng.choice(_NAMES)}[{_expression(rng, depth + 1)}]"
+    return f"(- {_primary(rng, depth)})"
+
+
+def _primary(rng: random.Random, depth: int) -> str:
+    roll = rng.random()
+    if roll < 0.35:
+        return str(rng.randint(0, 9999))
+    if roll < 0.45:
+        return f"{rng.randint(1, 99)}.{rng.randint(0, 99)}"
+    if roll < 0.70:
+        return rng.choice(_NAMES)
+    if roll < 0.80:
+        return f"{rng.choice(_NAMES)}.{rng.choice(_FIELDS)}"
+    if roll < 0.88:
+        return f'"s{rng.randint(0, 999)}"'
+    return rng.choice(("true", "false", "null", "this", "new Widget()", "new int[8]"))

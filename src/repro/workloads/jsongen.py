@@ -1,0 +1,45 @@
+"""Random JSON document generator."""
+
+from __future__ import annotations
+
+import random
+
+_WORDS = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta")
+
+
+def generate_json_document(size: int = 10, seed: int = 42, max_depth: int = 5) -> str:
+    """Generate a JSON document with roughly ``size`` top-level members."""
+    rng = random.Random(seed)
+    members = ", ".join(
+        f'"{rng.choice(_WORDS)}{i}": {_value(rng, 1, max_depth)}' for i in range(max(1, size))
+    )
+    return "{" + members + "}"
+
+
+def _value(rng: random.Random, depth: int, max_depth: int) -> str:
+    roll = rng.random()
+    if depth >= max_depth or roll < 0.45:
+        return _scalar(rng)
+    if roll < 0.75:
+        items = ", ".join(
+            _value(rng, depth + 1, max_depth) for _ in range(rng.randint(0, 4))
+        )
+        return f"[{items}]"
+    members = ", ".join(
+        f'"{rng.choice(_WORDS)}{i}": {_value(rng, depth + 1, max_depth)}'
+        for i in range(rng.randint(0, 4))
+    )
+    return "{" + members + "}"
+
+
+def _scalar(rng: random.Random) -> str:
+    roll = rng.random()
+    if roll < 0.3:
+        return str(rng.randint(-10000, 10000))
+    if roll < 0.5:
+        return f"{rng.uniform(-100, 100):.4f}"
+    if roll < 0.55:
+        return f"{rng.randint(1, 9)}e{rng.randint(-8, 8)}"
+    if roll < 0.8:
+        return f'"{rng.choice(_WORDS)} {rng.randint(0, 99)}"'
+    return rng.choice(("true", "false", "null"))

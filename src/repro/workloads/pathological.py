@@ -1,0 +1,48 @@
+"""Pathological backtracking workloads (experiment E4).
+
+The witness grammar makes a naive (non-memoizing) PEG parser exponential
+while a packrat parser stays linear::
+
+    Expr ← Term "+" Expr / Term "-" Expr / Term
+    Term ← "(" Expr ")" / [0-9]
+
+On the input ``(((…(1)…)))`` — ``depth`` nested parentheses and no
+operators — every ``Expr`` application parses its ``Term`` three times
+(once per alternative, since "+" and "-" always fail after it), and each
+``Term`` recursively contains another ``Expr``: T(d) ≈ 3·T(d−1), i.e.
+Θ(3^d) without memoization.  A packrat parser computes each
+⟨production, position⟩ pair once and is Θ(d).
+
+This is exactly Ford's motivating example for packrat parsing, which the
+paper's parsers inherit.
+"""
+
+from __future__ import annotations
+
+from repro.peg.builder import GrammarBuilder, cc, lit, ref, alt, bang, any_
+from repro.peg.grammar import Grammar
+
+
+def backtracking_grammar() -> Grammar:
+    """``Expr ← Term "+" Expr / Term "-" Expr / Term`` with EOF anchor."""
+    builder = GrammarBuilder("pathological", start="Start")
+    builder.void("Start", [ref("Expr"), bang(any_())])
+    builder.void(
+        "Expr",
+        [ref("Term"), lit("+"), ref("Expr")],
+        [ref("Term"), lit("-"), ref("Expr")],
+        [ref("Term")],
+    )
+    builder.void(
+        "Term",
+        [lit("("), ref("Expr"), lit(")")],
+        [cc("0-9")],
+    )
+    return builder.build()
+
+
+def backtracking_input(depth: int) -> str:
+    """``depth`` nested parentheses around a single digit."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    return "(" * depth + "1" + ")" * depth

@@ -1,0 +1,81 @@
+"""Shared fixtures.
+
+Compiled languages are session-scoped: composing + optimizing + generating
+a parser for Jay takes real time, and the grammar objects are immutable, so
+sharing them across tests is safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.meta import ModuleLoader
+
+CALC_CORE = """
+module t.Core;
+import t.Spacing;
+public generic Expr =
+    <Add> Expr void:"+" Spacing Term
+  / <Sub> Expr void:"-" Spacing Term
+  / Term
+  ;
+generic Term =
+    <Mul> Term void:"*" Spacing Atom
+  / Atom
+  ;
+Object Atom =
+    void:"(" Spacing Expr void:")" Spacing
+  / Number
+  ;
+Object Number = text:( [0-9]+ ) Spacing ;
+"""
+
+CALC_SPACING = """
+module t.Spacing;
+transient void Spacing = ( " " / "\\t" / "\\n" )* ;
+"""
+
+
+@pytest.fixture()
+def tiny_loader() -> ModuleLoader:
+    """A loader with a small self-contained calculator grammar."""
+    loader = ModuleLoader(include_builtin=False)
+    loader.register_source("t.Core", CALC_CORE)
+    loader.register_source("t.Spacing", CALC_SPACING)
+    return loader
+
+
+@pytest.fixture()
+def tiny_grammar(tiny_loader):
+    return repro.load_grammar("t.Core", loader=tiny_loader)
+
+
+@pytest.fixture(scope="session")
+def calc_lang():
+    return repro.compile_grammar("calc.Calculator")
+
+
+@pytest.fixture(scope="session")
+def json_lang():
+    return repro.compile_grammar("json.Json")
+
+
+@pytest.fixture(scope="session")
+def jay_lang():
+    return repro.compile_grammar("jay.Jay")
+
+
+@pytest.fixture(scope="session")
+def jay_extended_lang():
+    return repro.compile_grammar("jay.Extended")
+
+
+@pytest.fixture(scope="session")
+def xc_lang():
+    return repro.compile_grammar("xc.XC")
+
+
+@pytest.fixture(scope="session")
+def xc_extended_lang():
+    return repro.compile_grammar("xc.Extended")

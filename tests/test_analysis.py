@@ -1,0 +1,241 @@
+"""Unit tests for the static analyses."""
+
+import pytest
+
+from repro.analysis import (
+    FirstAnalysis,
+    check,
+    directly_left_recursive,
+    expr_cost,
+    expr_nullable,
+    grammar_loc,
+    grammar_stats,
+    indirect_left_recursion_cycles,
+    left_call_graph,
+    left_calls,
+    nullable_productions,
+    prune_unreachable,
+    reachable,
+    reference_counts,
+    require_wellformed,
+    unreachable,
+)
+from repro.errors import AnalysisError
+from repro.peg.builder import (
+    GrammarBuilder,
+    act,
+    alt,
+    amp,
+    any_,
+    bang,
+    bind,
+    cc,
+    lit,
+    opt,
+    plus,
+    ref,
+    star,
+    text,
+    void,
+)
+from repro.peg.expr import Epsilon
+
+
+def grammar(**rules):
+    """Build a quick grammar: rules map name -> list of alternatives."""
+    builder = GrammarBuilder("t", start=next(iter(rules)))
+    for name, alternatives in rules.items():
+        builder.object(name, *alternatives)
+    return builder.build(validate=False)
+
+
+class TestNullability:
+    def test_literals_not_nullable(self):
+        assert not expr_nullable(lit("a"), set())
+        assert not expr_nullable(cc("a-z"), set())
+        assert not expr_nullable(any_(), set())
+
+    def test_trivially_nullable(self):
+        assert expr_nullable(Epsilon(), set())
+        assert expr_nullable(opt(lit("a")), set())
+        assert expr_nullable(star(lit("a")), set())
+        assert expr_nullable(amp(lit("a")), set())
+        assert expr_nullable(bang(lit("a")), set())
+        assert expr_nullable(act("1"), set())
+
+    def test_plus_nullable_iff_item(self):
+        assert not expr_nullable(plus(lit("a")), set())
+        assert expr_nullable(plus(opt(lit("a"))), set())
+
+    def test_fixpoint_through_productions(self):
+        g = grammar(
+            S=[[ref("A"), ref("B")]],
+            A=[[opt(lit("a"))]],
+            B=[[star(lit("b"))]],
+        )
+        assert nullable_productions(g) == {"S", "A", "B"}
+
+    def test_non_nullable_production(self):
+        g = grammar(S=[[ref("A")]], A=[[lit("a")]])
+        assert nullable_productions(g) == set()
+
+    def test_mutual_recursion_terminates(self):
+        g = grammar(S=[[ref("A")], [lit("s")]], A=[[ref("S"), lit("a")]])
+        assert nullable_productions(g) == set()
+
+
+class TestLeftRecursion:
+    def test_direct(self):
+        g = grammar(E=[[ref("E"), lit("+"), ref("T")], [ref("T")]], T=[[lit("t")]])
+        assert directly_left_recursive(g) == {"E"}
+
+    def test_through_nullable_prefix(self):
+        g = grammar(
+            E=[[ref("Sp"), ref("E"), lit("x")], [lit("e")]],
+            Sp=[[star(lit(" "))]],
+        )
+        assert "E" in directly_left_recursive(g)
+
+    def test_predicates_are_transparent(self):
+        g = grammar(E=[[bang(lit("!")), ref("E"), lit("x")], [lit("e")]])
+        assert "E" in directly_left_recursive(g)
+
+    def test_indirect_cycle_found(self):
+        g = grammar(A=[[ref("B"), lit("a")]], B=[[ref("A"), lit("b")], [lit("b")]])
+        cycles = indirect_left_recursion_cycles(g)
+        assert cycles == [["A", "B"]]
+
+    def test_no_false_positives(self):
+        g = grammar(E=[[ref("T"), lit("+"), ref("E")], [ref("T")]], T=[[lit("t")]])
+        assert directly_left_recursive(g) == set()
+        assert indirect_left_recursion_cycles(g) == []
+
+    def test_left_call_graph(self):
+        g = grammar(E=[[ref("T"), ref("E")]], T=[[opt(lit("t")), ref("U")]], U=[[lit("u")]])
+        graph = left_call_graph(g)
+        assert graph["E"] == {"T"}
+        assert graph["T"] == {"U"}
+
+
+class TestReachability:
+    def test_reachable_closure(self):
+        g = grammar(S=[[ref("A")]], A=[[ref("B")]], B=[[lit("b")]], Dead=[[lit("d")]])
+        assert reachable(g) == {"S", "A", "B"}
+        assert unreachable(g) == {"Dead"}
+
+    def test_public_counts_as_root(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [lit("s")])
+        builder.object("Exported", [lit("e")], public=True)
+        g = builder.build()
+        assert unreachable(g) == set()
+
+    def test_prune(self):
+        g = grammar(S=[[lit("s")]], Dead=[[lit("d")]])
+        assert prune_unreachable(g).names() == ["S"]
+
+
+class TestFirstSets:
+    def analysis(self, **rules):
+        return FirstAnalysis(grammar(**rules))
+
+    def test_literal_and_class(self):
+        first = self.analysis(S=[[lit("abc")]])
+        assert first.first(lit("abc")).chars == frozenset("a")
+        assert first.first(cc("0-9")).chars == frozenset("0123456789")
+
+    def test_ignore_case_literal(self):
+        first = self.analysis(S=[[lit("k", ignore_case=True)]])
+        assert first.first(lit("k", ignore_case=True)).chars == frozenset("kK")
+
+    def test_sequence_skips_nullable_heads(self):
+        first = self.analysis(S=[[opt(lit("a")), lit("b")]])
+        fs = first.first(grammar(S=[[opt(lit("a")), lit("b")]])["S"].alternatives[0].expr)
+        assert fs.chars == frozenset("ab")
+        assert not fs.nullable
+
+    def test_production_fixpoint(self):
+        first = self.analysis(S=[[ref("A")], [lit("z")]], A=[[lit("a")]])
+        assert first.production_first("S").chars == frozenset("az")
+
+    def test_negated_class_is_unknown(self):
+        first = self.analysis(S=[[cc("^a")]])
+        assert first.first(cc("^a")).chars is None
+
+    def test_any_char_unknown(self):
+        first = self.analysis(S=[[any_()]])
+        assert first.first(any_()).chars is None
+
+
+class TestCost:
+    def test_monotone_structure(self):
+        assert expr_cost(lit("a")) < expr_cost(ref("A"))
+        assert expr_cost(star(ref("A"))) > expr_cost(ref("A"))
+
+    def test_reference_counts(self):
+        g = grammar(S=[[ref("A"), ref("A"), ref("B")]], A=[[lit("a")]], B=[[lit("b")]])
+        counts = reference_counts(g)
+        assert counts == {"S": 0, "A": 2, "B": 1}
+
+
+class TestWellFormedness:
+    def test_clean_grammar(self):
+        g = grammar(S=[[lit("s")]])
+        assert require_wellformed(g) == []
+
+    def test_nullable_repetition_rejected(self):
+        g = grammar(S=[[star(opt(lit("a")))]])
+        with pytest.raises(AnalysisError, match="repetition over a nullable"):
+            require_wellformed(g)
+
+    def test_indirect_left_recursion_rejected(self):
+        g = grammar(A=[[ref("B"), lit("a")], [lit("x")]], B=[[ref("A"), lit("b")], [lit("y")]])
+        with pytest.raises(AnalysisError, match="indirect left recursion"):
+            require_wellformed(g)
+
+    def test_non_generic_left_recursion_rejected(self):
+        g = grammar(E=[[ref("E"), lit("+")], [lit("e")]])
+        with pytest.raises(AnalysisError, match="not.*generic|generic"):
+            require_wellformed(g)
+
+    def test_left_recursion_without_base_rejected(self):
+        builder = GrammarBuilder("t", start="E")
+        builder.generic("E", alt("X", ref("E"), lit("+")))
+        g = builder.build()
+        with pytest.raises(AnalysisError, match="base alternative"):
+            require_wellformed(g)
+
+    def test_unreachable_is_warning_not_error(self):
+        g = grammar(S=[[lit("s")]], Dead=[[lit("d")]])
+        warnings = require_wellformed(g)
+        assert any("unreachable" in w.message for w in warnings)
+
+    def test_shadowed_alternative_warning(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [Epsilon()], [lit("never")])
+        g = builder.build()
+        diagnostics = check(g)
+        assert any("unreachable" in d.message and d.severity == "warning" for d in diagnostics)
+
+
+class TestStats:
+    def test_grammar_loc_strips_comments(self):
+        source = """
+        // comment
+        module m.M;
+        /* block
+           comment */
+        A = "a" ;  // trailing
+        """
+        assert grammar_loc(source) == 2
+
+    def test_grammar_stats_counts(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.generic("S", alt("X", ref("T")), public=True)
+        builder.text("T", [lit("t")], transient=True)
+        stats = grammar_stats(builder.build())
+        assert stats.productions == 2
+        assert stats.by_kind["generic"] == 1
+        assert stats.by_kind["text"] == 1
+        assert stats.transient == 1
+        assert stats.public == 1

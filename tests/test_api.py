@@ -1,0 +1,108 @@
+"""Tests for the high-level API (repro.api) and the package surface."""
+
+import pytest
+
+import repro
+from repro.errors import ParseError
+from repro.interp import BacktrackInterpreter, PackratInterpreter
+from repro.optim import Options
+
+
+class TestCompileGrammar:
+    def test_from_builtin_name(self):
+        lang = repro.compile_grammar("calc.Calculator")
+        assert lang.parse("1+1") is not None
+
+    def test_from_grammar_object(self, tiny_grammar):
+        lang = repro.compile_grammar(tiny_grammar)
+        assert lang.parse("1+2") is not None
+
+    def test_start_override_on_object(self, tiny_grammar):
+        lang = repro.compile_grammar(tiny_grammar, start="Number")
+        assert lang.parse("42") == "42"
+
+    def test_from_files_on_disk(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "Top.mg").write_text(
+            'module pkg.Top;\npublic Object S = text:( [a-z]+ ) ;\n'
+        )
+        lang = repro.compile_grammar("pkg.Top", paths=[tmp_path])
+        assert lang.parse("abc") == "abc"
+
+    def test_options_respected(self, tiny_grammar):
+        lang = repro.compile_grammar(tiny_grammar, options=Options.none())
+        assert lang.options == Options.none()
+        assert lang.parse("1+2") is not None
+
+    def test_parse_convenience(self):
+        assert repro.parse("calc.Calculator", "2*3") is not None
+
+
+class TestLanguage:
+    @pytest.fixture(scope="class")
+    def lang(self):
+        return repro.compile_grammar("calc.Calculator")
+
+    def test_recognize(self, lang):
+        assert lang.recognize("1+1")
+        assert not lang.recognize("1+")
+
+    def test_parser_instance(self, lang):
+        parser = lang.parser("1+1")
+        assert parser.parse() is not None
+
+    def test_interpreters(self, lang):
+        assert isinstance(lang.interpreter(), PackratInterpreter)
+        assert isinstance(lang.interpreter(memoize=False), BacktrackInterpreter)
+        assert lang.interpreter().parse("1+2") == lang.parse("1+2")
+
+    def test_write_parser(self, lang, tmp_path):
+        path = lang.write_parser(tmp_path / "calc_parser.py")
+        from repro.codegen import load_parser_file
+
+        parser_cls = load_parser_file(path)
+        assert parser_cls("3*4").parse() == lang.parse("3*4")
+
+    def test_source_mentions_grammar(self, lang):
+        assert "calc.Calculator" in lang.parser_source
+
+    def test_parse_error_type(self, lang):
+        with pytest.raises(ParseError):
+            lang.parse("((")
+
+
+class TestPackageSurface:
+    def test_exports(self):
+        for name in ("compile_grammar", "load_grammar", "parse", "Options",
+                     "GNode", "Grammar", "ModuleLoader", "ParseError"):
+            assert hasattr(repro, name)
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestLanguageExtras:
+    @pytest.fixture(scope="class")
+    def lang(self):
+        return repro.compile_grammar("calc.Calculator")
+
+    def test_parse_file(self, lang, tmp_path):
+        path = tmp_path / "input.calc"
+        path.write_text("2*(3+4)")
+        assert lang.parse_file(path) == lang.parse("2*(3+4)")
+
+    def test_parse_file_source_in_locations(self, tmp_path):
+        jay = repro.compile_grammar("jay.Jay")
+        path = tmp_path / "prog.jay"
+        path.write_text("class A { }")
+        tree = jay.parse_file(path)
+        assert tree.find_all("Class")[0].location.source == str(path)
+
+    def test_trace_success(self, lang):
+        value, events, error = lang.trace("1+2")
+        assert error is None and value is not None
+        assert events
+
+    def test_trace_failure(self, lang):
+        value, events, error = lang.trace("1+")
+        assert value is None and error is not None

@@ -1,0 +1,91 @@
+"""Cross-checks: hand-written baselines must produce exactly the trees of
+the corresponding grammars, on targeted cases and generated corpora."""
+
+import pytest
+
+from repro.baselines import CalcParser, JayParser, JsonParser, XcParser
+from repro.errors import ParseError
+from repro.workloads import generate_c_program, generate_jay_program, generate_json_document
+
+
+class TestCalcBaseline:
+    @pytest.mark.parametrize(
+        "text",
+        ["1", "1+2", "1-2-3", "2*3+4", "8/2/2", "-5", "- -5", "(1+2)*3",
+         "1.5*2", " 1 + 2 ", "((((7))))", "3*-2"],
+    )
+    def test_matches_grammar(self, calc_lang, text):
+        assert CalcParser(text).parse() == calc_lang.parse(text)
+
+    @pytest.mark.parametrize("bad", ["", "1+", "(", "1 2", "abc"])
+    def test_rejects_like_grammar(self, calc_lang, bad):
+        with pytest.raises(ParseError):
+            CalcParser(bad).parse()
+        assert not calc_lang.recognize(bad)
+
+
+class TestJsonBaseline:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_corpus(self, json_lang, seed):
+        document = generate_json_document(size=5, seed=seed)
+        assert JsonParser(document).parse() == json_lang.parse(document)
+
+    @pytest.mark.parametrize(
+        "text",
+        ['{"a": "b\\nc"}', "[[[[1]]]]", '{"empty": {}, "list": []}', "-0.5e-7"],
+    )
+    def test_targeted(self, json_lang, text):
+        assert JsonParser(text).parse() == json_lang.parse(text)
+
+
+class TestJayBaseline:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_corpus(self, jay_lang, seed):
+        program = generate_jay_program(size=5, seed=seed)
+        assert JayParser(program).parse() == jay_lang.parse(program)
+
+    @pytest.mark.parametrize(
+        "program",
+        [
+            "class A { int x = 1 + 2 * 3; }",
+            "package p; import q.r; class A extends B { void m(int a) { a = a ? 1 : 2; } }",
+            "class A { void m() { x.y(1,2)[3] = new T[n]; } }",
+            "class A { void m() { for (int i = 0; i < 3; i = i + 1) do ; while (false); } }",
+        ],
+    )
+    def test_targeted(self, jay_lang, program):
+        assert JayParser(program).parse() == jay_lang.parse(program)
+
+    def test_error_raised_on_garbage(self):
+        with pytest.raises(ParseError):
+            JayParser("class {").parse()
+
+
+class TestXcBaseline:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_corpus(self, xc_lang, seed):
+        program = generate_c_program(size=5, seed=seed)
+        assert XcParser(program).parse() == xc_lang.parse(program)
+
+    @pytest.mark.parametrize(
+        "program",
+        [
+            "int x = 1;",
+            "struct point { int x; int y; };",
+            "unsigned long big = 0x1fUL;",
+            "int main(void) { return 0; }",
+            "int f(int *p, char **q) { return *p + q[0][1]; }",
+            "int f(void) { g = a << 2 | b & ~c ^ d; return g >> 1; }",
+            "int f(void) { loop: for (int i = 0; i < 9; i++) goto loop; return 0; }",
+            "int f(void) { switch (x) { case 1: break; default: ; } return 0; }",
+            "int f(void) { x = a ? b, c : d; return x++ + --y; }",
+            "float g0 = .5f;",
+            "int f(void) { s.m = t->n; return 'q' + \"str\"[0]; }",
+        ],
+    )
+    def test_targeted(self, xc_lang, program):
+        assert XcParser(program).parse() == xc_lang.parse(program)
+
+    def test_error_on_garbage(self):
+        with pytest.raises(ParseError):
+            XcParser("int {").parse()

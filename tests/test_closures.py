@@ -1,0 +1,152 @@
+"""Tests for the closure-compiled backend: full agreement with the
+reference interpreter and the generated parser."""
+
+import pytest
+
+import repro
+from repro.errors import ParseError
+from repro.interp import ClosureParser, PackratInterpreter
+from repro.optim import Options, prepare
+from repro.peg.builder import (
+    GrammarBuilder,
+    act,
+    alt,
+    amp,
+    any_,
+    bang,
+    bind,
+    cc,
+    lit,
+    opt,
+    plus,
+    ref,
+    star,
+    text,
+    void,
+)
+from repro.workloads import generate_c_program, generate_jay_program, generate_json_document
+
+
+def closure_and_reference(builder_fn, options=None):
+    builder = GrammarBuilder("t", start="S")
+    builder_fn(builder)
+    prepared = prepare(builder.build(), options, check=False)
+    return ClosureParser(prepared.grammar), PackratInterpreter(prepared.grammar)
+
+
+class TestExpressionAgreement:
+    CASES = [
+        (lambda b: b.void("S", [lit("abc")]), ["abc", "ab", "abcd"]),
+        (lambda b: b.object("S", [text(lit("se", ignore_case=True))]), ["SE", "se", "sx"]),
+        (lambda b: b.object("S", [text(star(cc("a-z")))]), ["", "xyz"]),
+        (lambda b: b.object("S", [text(plus(cc("0-9"))), opt(text(lit("!")))]), ["1!", "22", "!"]),
+        (lambda b: b.object("S", [bang(lit("0")), text(any_())]), ["5", "0"]),
+        (lambda b: b.object("S", [amp(lit("ab")), text(any_()), text(any_())]), ["ab", "ax"]),
+        (
+            lambda b: b.object(
+                "S", [bind("a", text(cc("0-9"))), bind("b", text(cc("0-9"))), act("int(a) - int(b)")]
+            ),
+            ["94", "9"],
+        ),
+        (
+            lambda b: (
+                b.generic("S", alt("Pair", ref("N"), void(lit(",")), ref("N")), alt(None, ref("N"))),
+                b.object("N", [text(plus(cc("0-9")))]),
+            ),
+            ["1,2", "7", ","],
+        ),
+    ]
+
+    @pytest.mark.parametrize("case_index", range(len(CASES)))
+    def test_case(self, case_index):
+        builder_fn, inputs = self.CASES[case_index]
+        closure, reference = closure_and_reference(builder_fn)
+        for sample in inputs:
+            try:
+                expected = reference.parse(sample)
+                ok = True
+            except ParseError:
+                ok = False
+            if ok:
+                assert closure.parse(sample) == expected, sample
+            else:
+                with pytest.raises(ParseError):
+                    closure.parse(sample)
+
+
+class TestOnShippedLanguages:
+    @pytest.mark.parametrize(
+        "root,workload",
+        [
+            ("jay.Jay", lambda: generate_jay_program(size=5, seed=3)),
+            ("xc.XC", lambda: generate_c_program(size=5, seed=3)),
+            ("json.Json", lambda: generate_json_document(size=8, seed=3)),
+        ],
+    )
+    def test_full_language(self, root, workload):
+        lang = repro.compile_grammar(root)
+        closure = ClosureParser(lang.prepared.grammar)
+        source = workload()
+        assert closure.parse(source) == lang.parse(source)
+
+    def test_left_recursion_through_prepare(self):
+        lang = repro.compile_grammar("calc.Calculator")
+        closure = ClosureParser(lang.prepared.grammar)
+        assert closure.parse("1-2-3") == lang.parse("1-2-3")
+
+    def test_locations_tracked(self):
+        lang = repro.compile_grammar("jay.Jay")
+        closure = ClosureParser(lang.prepared.grammar)
+        tree = closure.parse("class A {\n int f() { return 1; }\n}", source="d.jay")
+        method = tree.find_all("Method")[0]
+        assert method.location is not None and method.location.line == 2
+
+
+class TestParserApi:
+    def make(self):
+        lang = repro.compile_grammar("calc.Calculator")
+        return ClosureParser(lang.prepared.grammar), lang
+
+    def test_match_prefix(self):
+        closure, _ = self.make()
+        # the Calculation start is EOF-anchored, so use the expression level
+        consumed, _ = closure.match_prefix("1+2 trailing", start="Expression")
+        assert consumed == 4  # includes the trailing-space run
+
+    def test_recognize(self):
+        closure, _ = self.make()
+        assert closure.recognize("1*2")
+        assert not closure.recognize("1*")
+
+    def test_error_reporting(self):
+        closure, _ = self.make()
+        with pytest.raises(ParseError) as err:
+            closure.parse("1 + * 2")
+        assert err.value.offset == 4
+
+    def test_memo_accounting(self):
+        closure, _ = self.make()
+        closure.parse("1+2*3")
+        assert closure.memo_entry_count() > 0
+
+    def test_unchunked_mode(self):
+        lang = repro.compile_grammar("calc.Calculator")
+        closure = ClosureParser(lang.prepared.grammar, chunked=False)
+        assert closure.parse("1+2") == lang.parse("1+2")
+
+    def test_undefined_start(self):
+        closure, _ = self.make()
+        from repro.errors import AnalysisError
+
+        with pytest.raises(AnalysisError):
+            closure.parse("1", start="Nope")
+
+    def test_transient_productions_not_memoized(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [ref("A"), lit("x")], [ref("A"), lit("y")])
+        builder.void("A", [plus(lit("a"))], transient=True)
+        prepared = prepare(builder.build(), Options.all().without("inline"), check=False)
+        closure = ClosureParser(prepared.grammar)
+        closure.recognize("aay")
+        # only S can have entries; A is transient
+        assert closure.memo_entry_count() <= 2

@@ -1,0 +1,208 @@
+"""Tests for the parser generator: structure of emitted code and, above
+all, behavioral agreement with the reference interpreter."""
+
+import pytest
+
+from repro.codegen import generate_parser_source, load_parser, load_parser_file
+from repro.errors import ParseError
+from repro.interp import PackratInterpreter
+from repro.optim import Options, prepare
+from repro.peg.builder import (
+    GrammarBuilder,
+    act,
+    alt,
+    amp,
+    any_,
+    bang,
+    bind,
+    cc,
+    lit,
+    opt,
+    plus,
+    ref,
+    star,
+    text,
+    void,
+)
+from repro.runtime.node import GNode
+
+
+def language(build, start="S", options=None):
+    builder = GrammarBuilder("t", start=start)
+    build(builder)
+    grammar = builder.build()
+    prepared = prepare(grammar, options)
+    source = generate_parser_source(prepared)
+    return load_parser(source), PackratInterpreter(prepared.grammar), source
+
+
+class TestAgreementWithInterpreter:
+    CASES = [
+        # (builder function, inputs)
+        (lambda b: b.void("S", [lit("abc")]), ["abc", "ab", "abcd", ""]),
+        (lambda b: b.object("S", [text(star(cc("a-z")))]), ["", "abc", "ABC"]),
+        (lambda b: b.object("S", [text(plus(cc("0-9"))), opt(text(lit("!")))]), ["1", "12!", "!"]),
+        (lambda b: b.object("S", [bang(lit("0")), text(cc("0-9"))]), ["5", "0"]),
+        (lambda b: b.object("S", [amp(lit("ab")), text(any_()), text(any_())]), ["ab", "ax"]),
+        (
+            lambda b: b.object(
+                "S", [bind("a", text(cc("0-9"))), bind("b", text(cc("0-9"))), act("int(a) * int(b)")]
+            ),
+            ["34", "3"],
+        ),
+        (
+            lambda b: (
+                b.generic("S", alt("Pair", ref("T"), void(lit(",")), ref("T")), alt(None, ref("T"))),
+                b.text("T", [plus(cc("0-9"))], memo=True),
+            ),
+            ["1,2", "42", ","],
+        ),
+        (
+            lambda b: b.object("S", [opt(text(lit("x"))), text(lit("y"))]),
+            ["xy", "y", "x"],
+        ),
+    ]
+
+    @pytest.mark.parametrize("case_index", range(len(CASES)))
+    @pytest.mark.parametrize("opts", [Options.all(), Options.none()])
+    def test_case(self, case_index, opts):
+        build, inputs = self.CASES[case_index]
+        parser_cls, interp, _ = language(build, options=opts)
+        for sample in inputs:
+            try:
+                expected = interp.parse(sample)
+                ok = True
+            except ParseError:
+                ok = False
+            if ok:
+                assert parser_cls(sample).parse() == expected, sample
+            else:
+                with pytest.raises(ParseError):
+                    parser_cls(sample).parse()
+
+
+class TestLeftRecursionEndToEnd:
+    def make(self, options=None):
+        def build(builder):
+            builder.generic(
+                "E",
+                alt("Add", ref("E"), void(lit("+")), ref("N")),
+                alt(None, ref("N")),
+            )
+            builder.object("N", [text(plus(cc("0-9")))])
+
+        return language(build, start="E", options=options)
+
+    @pytest.mark.parametrize("opts", [Options.all(), Options.none(), Options.all().without("leftrec")])
+    def test_left_leaning(self, opts):
+        parser_cls, _, _ = self.make(opts)
+        value = parser_cls("1+2+3").parse()
+        assert value == GNode("Add", (GNode("Add", ("1", "2")), "3"))
+
+
+class TestEmittedStructure:
+    def test_chunked_memo_code(self):
+        _, _, source = language(lambda b: (b.void("S", [ref("A"), ref("A")]), b.void("A", [lit("a")], memo=True)))
+        assert "self._columns" in source
+
+    def test_dict_memo_code(self):
+        parser_cls, _, source = language(
+            lambda b: (b.void("S", [ref("A"), ref("A")]), b.void("A", [lit("a")], memo=True)),
+            options=Options.all().without("chunks"),
+        )
+        assert "self._memo" in source and "_columns" not in source
+        parser = parser_cls("aa")
+        parser.parse()
+        assert parser.memo_entry_count() > 0
+
+    def test_transient_produces_no_memo_method_code(self):
+        _, _, source = language(
+            lambda b: (b.void("S", [ref("A"), ref("A")]), b.void("A", [lit("a")], transient=True)),
+            options=Options.all().without("inline"),  # keep A as a method
+        )
+        # A is transient: its method must not contain a memo store.
+        method = source.split("def _p_A")[1].split("def ")[0]
+        assert "chunk[" not in method and "_memo[" not in method
+
+    def test_error_tables_when_fast_errors(self):
+        _, _, source = language(lambda b: b.void("S", [lit("kw")]))
+        assert "_E0" in source
+
+    def test_expected_calls_when_slow_errors(self):
+        _, _, source = language(
+            lambda b: b.void("S", [lit("kw")]), options=Options.all().without("errors")
+        )
+        assert "self._expected(" in source
+
+    def test_guards_emitted_with_terminals(self):
+        def build(builder):
+            builder.void("S", [lit("alpha")], [lit("beta")], [lit("gamma")])
+
+        _, _, source = language(build)
+        assert "text[pos] in _CS" in source
+
+    def test_source_is_deterministic(self):
+        def build(builder):
+            builder.void("S", [lit("x")], [lit("y")], [lit("z")])
+
+        _, _, a = language(build)
+        _, _, b = language(build)
+        assert a == b
+
+
+class TestParserApi:
+    def make(self):
+        return language(
+            lambda b: (
+                b.object("S", [ref("N"), void(star(lit(" "))), opt(ref("N"))], public=True),
+                b.object("N", [text(plus(cc("0-9")))], public=True),
+            )
+        )
+
+    def test_parse_requires_full_input(self):
+        parser_cls, _, _ = self.make()
+        with pytest.raises(ParseError):
+            parser_cls("12 !").parse()
+
+    def test_match_prefix(self):
+        parser_cls, _, _ = self.make()
+        consumed, value = parser_cls("12 x").match_prefix()
+        assert consumed == 3
+
+    def test_start_override(self):
+        parser_cls, _, _ = self.make()
+        assert parser_cls("7").parse("N") == "7"
+
+    def test_error_position(self):
+        parser_cls, _, _ = self.make()
+        with pytest.raises(ParseError) as err:
+            parser_cls("x").parse()
+        assert err.value.offset == 0
+
+    def test_memo_accounting(self):
+        parser_cls, _, _ = self.make()
+        parser = parser_cls("12 12")
+        parser.parse()
+        assert parser.memo_entry_count() >= 0
+        assert parser.memo_size_bytes() >= 0
+
+
+class TestLoadParserFile:
+    def test_roundtrip_through_file(self, tmp_path):
+        parser_cls, _, source = language(lambda b: b.object("S", [text(plus(cc("a")))]))
+        path = tmp_path / "gen_parser.py"
+        path.write_text(source)
+        loaded = load_parser_file(path)
+        assert loaded("aaa").parse() == "aaa"
+
+
+class TestGeneratedWithLocation:
+    def test_locations_attached(self):
+        builder = GrammarBuilder("t", start="S", with_location=True)
+        builder.generic("S", alt("Node", void(lit("\n\n")), text(cc("a-z"))))
+        prepared = prepare(builder.build())
+        parser_cls = load_parser(generate_parser_source(prepared))
+        node = parser_cls("\n\nx", source="demo.src").parse()
+        assert node.location is not None
+        assert node.location.source == "demo.src"
+        assert node.location.line == 1  # location of the alternative's start

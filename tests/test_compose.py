@@ -1,0 +1,269 @@
+"""Integration tests for module composition (the paper's core mechanism)."""
+
+import pytest
+
+from repro.errors import CompositionError
+from repro.meta import ModuleLoader
+from repro.modules import Composer, compose
+from repro.peg.production import ValueKind
+
+
+def loader_with(**sources):
+    loader = ModuleLoader(include_builtin=False)
+    for name, text in sources.items():
+        loader.register_source(name.replace("_", "."), text)
+    return loader
+
+
+class TestBasicComposition:
+    def test_import_merges_namespaces(self):
+        loader = loader_with(
+            a_A='module a.A; import a.B; S = T "x" ;',
+            a_B='module a.B; T = "t" ;',
+        )
+        grammar = compose("a.A", loader)
+        assert grammar.names() == ["T", "S"]  # dependency first
+        assert grammar.start == "S"
+
+    def test_duplicate_production_rejected(self):
+        loader = loader_with(
+            a_A='module a.A; import a.B; S = "s" ;',
+            a_B='module a.B; S = "other" ;',
+        )
+        with pytest.raises(CompositionError, match="defined in both"):
+            compose("a.A", loader)
+
+    def test_missing_module(self):
+        loader = loader_with(a_A="module a.A; import a.Gone; S = \"s\" ;")
+        with pytest.raises(CompositionError, match="cannot find"):
+            compose("a.A", loader)
+
+    def test_name_mismatch_rejected(self):
+        loader = loader_with(a_A="module a.WRONG; S = \"s\" ;")
+        with pytest.raises(CompositionError, match="declares itself"):
+            compose("a.A", loader)
+
+    def test_circular_import_rejected(self):
+        loader = loader_with(
+            a_A='module a.A; import a.B; S = "s" ;',
+            a_B='module a.B; import a.A; T = "t" ;',
+        )
+        with pytest.raises(CompositionError, match="circular"):
+            compose("a.A", loader)
+
+    def test_diamond_import_ok(self):
+        loader = loader_with(
+            a_Top='module a.Top; import a.L; import a.R; S = L R ;',
+            a_L='module a.L; import a.Base; L = Base "l" ;',
+            a_R='module a.R; import a.Base; R = Base "r" ;',
+            a_Base='module a.Base; Base = "b" ;',
+        )
+        grammar = compose("a.Top", loader)
+        assert set(grammar.names()) == {"S", "L", "R", "Base"}
+
+    def test_options_united(self):
+        loader = loader_with(
+            a_A='module a.A; import a.B; option withLocation; S = T ;',
+            a_B='module a.B; option verbose; T = "t" ;',
+        )
+        grammar = compose("a.A", loader)
+        assert grammar.options == frozenset({"withLocation", "verbose"})
+
+    def test_explicit_start_override(self):
+        loader = loader_with(a_A='module a.A; S = T ; T = "t" ;')
+        grammar = compose("a.A", loader, start="T")
+        assert grammar.start == "T"
+
+    def test_start_prefers_public(self):
+        loader = loader_with(a_A='module a.A; Helper = "h" ; public S = Helper ;')
+        assert compose("a.A", loader).start == "S"
+
+    def test_dangling_reference_rejected_at_composition(self):
+        loader = loader_with(a_A='module a.A; S = Ghost ;')
+        with pytest.raises(Exception, match="undefined references"):
+            compose("a.A", loader)
+
+
+class TestModifications:
+    BASE = """
+    module b.Base;
+    generic S = <One> "1" / <Two> "2" ;
+    """
+
+    def test_addition_prepend_and_append(self):
+        loader = loader_with(
+            b_Base=self.BASE,
+            b_Ext="""
+            module b.Ext;
+            modify b.Base;
+            S += <Zero> "0" / ... / <Three> "3" ;
+            """,
+        )
+        grammar = compose("b.Ext", loader)
+        assert grammar["S"].label_names() == ["Zero", "One", "Two", "Three"]
+
+    def test_addition_duplicate_label_rejected(self):
+        loader = loader_with(
+            b_Base=self.BASE,
+            b_Ext='module b.Ext; modify b.Base; S += <One> "x" / ... ;',
+        )
+        with pytest.raises(CompositionError, match="already has an alternative"):
+            compose("b.Ext", loader)
+
+    def test_removal(self):
+        loader = loader_with(
+            b_Base=self.BASE,
+            b_Ext="module b.Ext; modify b.Base; S -= <One> ;",
+        )
+        grammar = compose("b.Ext", loader)
+        assert grammar["S"].label_names() == ["Two"]
+
+    def test_removal_of_missing_label_rejected(self):
+        loader = loader_with(
+            b_Base=self.BASE,
+            b_Ext="module b.Ext; modify b.Base; S -= <Nine> ;",
+        )
+        with pytest.raises(CompositionError, match="no alternative"):
+            compose("b.Ext", loader)
+
+    def test_removal_of_everything_rejected(self):
+        loader = loader_with(
+            b_Base=self.BASE,
+            b_Ext="module b.Ext; modify b.Base; S -= <One>, <Two> ;",
+        )
+        with pytest.raises(CompositionError, match="without alternatives"):
+            compose("b.Ext", loader)
+
+    def test_override_keeps_kind_by_default(self):
+        loader = loader_with(
+            b_Base=self.BASE,
+            b_Ext='module b.Ext; modify b.Base; S := <Only> "x" ;',
+        )
+        grammar = compose("b.Ext", loader)
+        assert grammar["S"].kind is ValueKind.GENERIC
+        assert grammar["S"].label_names() == ["Only"]
+
+    def test_override_changes_kind_when_stated(self):
+        loader = loader_with(
+            b_Base=self.BASE,
+            b_Ext='module b.Ext; modify b.Base; void S := "x" ;',
+        )
+        assert compose("b.Ext", loader)["S"].kind is ValueKind.VOID
+
+    def test_modification_without_modify_clause_rejected(self):
+        loader = loader_with(
+            b_Base=self.BASE,
+            b_Ext='module b.Ext; import b.Base; S += <X> "x" ;',
+        )
+        with pytest.raises(CompositionError, match="no 'modify'"):
+            compose("b.Ext", loader)
+
+    def test_modification_of_unknown_production_rejected(self):
+        loader = loader_with(
+            b_Base=self.BASE,
+            b_Ext='module b.Ext; modify b.Base; Ghost += <X> "x" ;',
+        )
+        with pytest.raises(CompositionError, match="undefined production"):
+            compose("b.Ext", loader)
+
+    def test_two_independent_modifiers_compose(self):
+        loader = loader_with(
+            b_Base=self.BASE,
+            b_E1='module b.E1; modify b.Base; S += ... / <Three> "3" ;',
+            b_E2='module b.E2; modify b.Base; S += ... / <Four> "4" ;',
+            b_All="module b.All; import b.E1; import b.E2; public Top = S ;",
+        )
+        grammar = compose("b.All", loader)
+        assert set(grammar["S"].label_names()) == {"One", "Two", "Three", "Four"}
+
+
+class TestParameterizedModules:
+    LIST = """
+    module util.List(Element);
+    import Element;
+    Object List = head:Item tail:( "," Item )* { cons(head, tail) } ;
+    """
+
+    def test_instantiate(self):
+        loader = loader_with(
+            util_List=self.LIST,
+            m_Num='module m.Num; Item = text:( [0-9]+ ) ;',
+            m_Top="""
+            module m.Top;
+            import m.Num;
+            instantiate util.List(m.Num) as m.NumList;
+            public S = List ;
+            """,
+        )
+        grammar = compose("m.Top", loader)
+        assert "List" in grammar and "Item" in grammar
+
+    def test_parameterized_requires_instantiation(self):
+        loader = loader_with(
+            util_List=self.LIST,
+            m_Top="module m.Top; import util.List; public S = List ;",
+        )
+        with pytest.raises(CompositionError, match="parameterized"):
+            compose("m.Top", loader)
+
+    def test_wrong_arity(self):
+        loader = loader_with(
+            util_List=self.LIST,
+            m_Num="module m.Num; Item = [0-9] ;",
+            m_Top="""
+            module m.Top;
+            import m.Num;
+            instantiate util.List(m.Num, m.Num) as m.L;
+            public S = List ;
+            """,
+        )
+        with pytest.raises(CompositionError, match="argument"):
+            compose("m.Top", loader)
+
+    def test_parameter_forwarding(self):
+        loader = loader_with(
+            util_Wrap="""
+            module util.Wrap(Inner);
+            instantiate util.List(Inner) as util.WrapList;
+            Wrapped = "[" List "]" ;
+            """,
+            util_List=self.LIST,
+            m_Num='module m.Num; Item = text:( [0-9]+ ) ;',
+            m_Top="""
+            module m.Top;
+            import m.Num;
+            instantiate util.Wrap(m.Num) as m.W;
+            public S = Wrapped ;
+            """,
+        )
+        grammar = compose("m.Top", loader)
+        assert {"Wrapped", "List", "Item"} <= set(grammar.names())
+
+    def test_conflicting_instances_rejected(self):
+        loader = loader_with(
+            util_List=self.LIST,
+            m_A="module m.A; Item = [0-9] ;",
+            m_B="module m.B; Item2 = [a-z] ;",
+            m_Top="""
+            module m.Top;
+            import m.A;
+            import m.B;
+            instantiate util.List(m.A) as m.L;
+            instantiate util.List(m.B) as m.L;
+            public S = List ;
+            """,
+        )
+        with pytest.raises(CompositionError, match="conflicting"):
+            compose("m.Top", loader)
+
+
+class TestComposerIntrospection:
+    def test_instance_listing(self):
+        loader = loader_with(
+            a_A='module a.A; import a.B; S = T ;',
+            a_B='module a.B; T = "t" ;',
+        )
+        composer = Composer(loader)
+        composer.compose("a.A")
+        assert set(composer.instance_names()) == {"a.A", "a.B"}
+        assert dict(composer.instance_modules())["a.B"].name == "a.B"

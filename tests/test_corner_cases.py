@@ -1,0 +1,205 @@
+"""Corner-case differential tests: interpreter vs generated parser on
+constructs that are easy to get subtly wrong in one backend."""
+
+import pytest
+
+from repro.codegen import generate_parser_source, load_parser
+from repro.errors import ParseError
+from repro.interp import PackratInterpreter
+from repro.optim import Options, prepare
+from repro.peg.builder import (
+    GrammarBuilder,
+    act,
+    alt,
+    amp,
+    any_,
+    bang,
+    bind,
+    cc,
+    lit,
+    opt,
+    plus,
+    ref,
+    star,
+    text,
+    void,
+)
+from repro.peg.expr import CharSwitch, Choice, Fail, Literal
+from repro.peg.grammar import Grammar
+from repro.peg.production import Alternative, Production, ValueKind
+from repro.runtime.node import GNode
+
+
+def both(grammar, options=None):
+    prepared = prepare(grammar, options, check=False)
+    parser_cls = load_parser(generate_parser_source(prepared))
+    interp = PackratInterpreter(prepared.grammar)
+    return parser_cls, interp
+
+
+def agree(grammar, inputs, options=None):
+    parser_cls, interp = both(grammar, options)
+    for sample in inputs:
+        try:
+            expected = interp.parse(sample)
+            ok = True
+        except ParseError:
+            ok = False
+        if ok:
+            assert parser_cls(sample).parse() == expected, sample
+        else:
+            with pytest.raises(ParseError):
+                parser_cls(sample).parse()
+
+
+class TestUnicodeInput:
+    def test_any_char_matches_unicode(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [text(plus(any_()))])
+        agree(builder.build(), ["héllo wörld ☺", "日本語"])
+
+    def test_negated_class_spans_unicode(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [text(plus(cc("^,")))])
+        agree(builder.build(), ["αβγ", "a,b"])
+
+    def test_unicode_literal(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [lit("π≈3")])
+        agree(builder.build(), ["π≈3", "pi"])
+
+
+class TestPredicatesAndBindings:
+    def test_binding_inside_failed_predicate_is_harmless(self):
+        # The Not rewinds; the binding may linger but must do so identically
+        # in both backends (documented env-sharing semantics).
+        builder = GrammarBuilder("t", start="S")
+        builder.object(
+            "S",
+            [bang(bind("x", text(lit("no")))), bind("x", text(lit("yes"))), act("x")],
+        )
+        agree(builder.build(), ["yes", "no"])
+
+    def test_binding_in_and_predicate(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [amp(bind("peek", text(cc("0-9")))), text(plus(cc("0-9"))), act("peek")])
+        agree(builder.build(), ["123", "x"])
+
+    def test_rebinding_in_repetition_keeps_last(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [star(bind("last", text(cc("0-9")))), act("last")])
+        agree(builder.build(), ["123", ""])
+
+    def test_action_sees_none_for_untaken_binding(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [opt(bind("x", text(lit("a")))), act("x")])
+        agree(builder.build(), ["a", ""])
+
+
+class TestCharSwitchFallThrough:
+    def grammar(self, default):
+        switch = CharSwitch(
+            (
+                (frozenset("a"), Literal("ax")),
+                (frozenset("b"), Literal("b")),
+            ),
+            default,
+        )
+        return Grammar(
+            (Production("S", ValueKind.TEXT, (Alternative(switch),)),),
+            start="S",
+            name="t",
+        )
+
+    def test_case_branch_failure_tries_default(self):
+        # 'a' selects the "ax" branch; on "ay" it fails and the default
+        # ("a") must be tried — both backends must agree.
+        grammar = self.grammar(Literal("a"))
+        parser_cls, interp = both(grammar, Options.none())
+        assert interp.match_prefix("ay")[1] == "a"
+        assert parser_cls("ay").match_prefix()[1] == "a"
+
+    def test_fail_default(self):
+        grammar = self.grammar(Fail("nope"))
+        parser_cls, interp = both(grammar, Options.none())
+        assert interp.match_prefix("zz")[0] == -1
+        assert parser_cls("zz").match_prefix()[0] == -1
+
+    def test_eof_goes_to_default(self):
+        grammar = self.grammar(Literal("a"))
+        parser_cls, interp = both(grammar, Options.none())
+        assert interp.match_prefix("")[0] == -1
+        assert parser_cls("").match_prefix()[0] == -1
+
+
+class TestGreedyAndEmpty:
+    def test_star_of_option_like_sequence(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [text(star(cc("a"), opt(cc("b"))))])
+        agree(builder.build(), ["ababa", "aa", "b", ""])
+
+    def test_plus_boundary(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [text(plus(lit("ab")))])
+        agree(builder.build(), ["ab", "abab", "aba", ""])
+
+    def test_choice_backtracks_across_sequence(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [ref("A"), lit("c")])
+        builder.void("A", [lit("ab")], [lit("a")])
+        agree(builder.build(), ["ac", "abc"])
+
+    def test_longest_literal_does_not_win_automatically(self):
+        # PEG ordered choice: "a" first means "ab" never matches via S.
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [Choice((Literal("a"), Literal("ab"))), lit("!")])
+        agree(builder.build(), ["a!", "ab!"])
+
+
+class TestActionsAcrossBackends:
+    def test_tuple_and_list_results(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object(
+            "S",
+            [bind("a", text(cc("0-9"))), bind("b", star(text(cc("0-9")))), act("(a, b, len(b))")],
+        )
+        agree(builder.build(), ["1234", "5"])
+
+    def test_make_node_helper(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [bind("x", text(cc("a-z"))), act("make_node('Custom', x, 42)")])
+        parser_cls, interp = both(builder.build())
+        assert parser_cls("q").parse() == GNode("Custom", ("q", 42))
+        assert interp.parse("q") == parser_cls("q").parse()
+
+    def test_action_error_surfaces_in_both(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [act("1 // 0")])
+        parser_cls, interp = both(builder.build())
+        with pytest.raises(ZeroDivisionError):
+            interp.parse("")
+        with pytest.raises(ZeroDivisionError):
+            parser_cls("").parse()
+
+
+class TestFuzzRobustness:
+    """Random bytes must produce ParseError or a value — never crash."""
+
+    @pytest.mark.parametrize("lang_fixture", ["calc_lang", "json_lang", "jay_lang", "xc_lang"])
+    def test_garbage_inputs(self, request, lang_fixture):
+        import random
+
+        lang = request.getfixturevalue(lang_fixture)
+        rng = random.Random(99)
+        alphabet = "{}()[];=+-*/<>!&|\"' \n\tabcXYZ0123456789._,:%^~?#"
+        for _ in range(60):
+            junk = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, 40)))
+            try:
+                lang.parse(junk)
+            except ParseError:
+                pass
+
+    def test_null_bytes_and_controls(self, json_lang):
+        for junk in ["\x00", "\x00[1]", "[1\x00]", "\x7f\x01"]:
+            with pytest.raises(ParseError):
+                json_lang.parse(junk)

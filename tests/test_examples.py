@@ -1,0 +1,73 @@
+"""Smoke tests that the shipped examples run and their claims hold.
+
+Examples are documentation that must not rot; each is executed (or its
+core asserted) here.  The Jay unparser gets its own round-trip tests.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.workloads import generate_jay_program
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+sys.path.insert(0, str(EXAMPLES))
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "extend_language.py", "compose_languages.py", "selfhosted_meta.py"],
+)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    # They print progress; no exception == pass.
+    assert capsys.readouterr().out
+
+
+def test_json_pipeline_core(capsys):
+    # The pipeline example includes benchmarking; run it fully but don't
+    # assert timing, only that the correctness section passed.
+    runpy.run_path(str(EXAMPLES / "json_pipeline.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "decode identically to json.loads" in out
+
+
+class TestJayUnparser:
+    @pytest.fixture(scope="class")
+    def unparser(self):
+        from unparse_jay import JayUnparser
+
+        return JayUnparser()
+
+    @pytest.fixture(scope="class")
+    def jay(self):
+        return repro.compile_grammar("jay.Jay")
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_roundtrip_generated(self, unparser, jay, seed):
+        source = generate_jay_program(size=4, seed=seed)
+        tree = jay.parse(source)
+        assert jay.parse(unparser.render(tree)) == tree
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "package a.b; import c.d; class A extends B { }",
+            "class A { static int[] xs; void m(); }",
+            "class A { int f(int n) { return n > 0 ? f(n - 1) : 0; } }",
+            "class A { void m() { do { x = x + 1; } while (x < 9); for (;;) break; } }",
+            "class A { void m() { this.go(new A(), new int[3])[1].field = 'c'; } }",
+        ],
+    )
+    def test_roundtrip_targeted(self, unparser, jay, source):
+        tree = jay.parse(source)
+        assert jay.parse(unparser.render(tree)) == tree
+
+    def test_output_is_plain_text(self, unparser, jay):
+        rendered = unparser.render(jay.parse("class A { int x = 1; }"))
+        assert "class A {" in rendered
+        assert rendered.endswith("}\n")

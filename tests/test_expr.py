@@ -1,0 +1,190 @@
+"""Unit tests for the PEG expression IR (repro.peg.expr)."""
+
+import pytest
+
+from repro.peg.expr import (
+    Action,
+    And,
+    AnyChar,
+    Binding,
+    CharClass,
+    CharSwitch,
+    Choice,
+    Epsilon,
+    Fail,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+    char_class,
+    children,
+    choice,
+    literal,
+    rebuild,
+    referenced_names,
+    seq,
+    transform,
+    walk,
+)
+
+
+class TestLiteral:
+    def test_basic(self):
+        lit = Literal("abc")
+        assert lit.text == "abc"
+        assert not lit.ignore_case
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Literal("")
+
+    def test_literal_helper_maps_empty_to_epsilon(self):
+        assert literal("") == Epsilon()
+        assert literal("x") == Literal("x")
+
+    def test_equality_and_hash(self):
+        assert Literal("a") == Literal("a")
+        assert Literal("a") != Literal("a", ignore_case=True)
+        assert hash(Literal("a")) == hash(Literal("a"))
+
+
+class TestCharClass:
+    def test_matches_ranges(self):
+        cls = CharClass((("a", "z"), ("0", "9")))
+        assert cls.matches("m")
+        assert cls.matches("5")
+        assert not cls.matches("A")
+
+    def test_negated(self):
+        cls = CharClass((("a", "z"),), negated=True)
+        assert cls.matches("A")
+        assert not cls.matches("q")
+
+    def test_ranges_normalized_sorted(self):
+        a = CharClass((("x", "z"), ("a", "c")))
+        b = CharClass((("a", "c"), ("x", "z")))
+        assert a == b
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            CharClass((("z", "a"),))
+        with pytest.raises(ValueError):
+            CharClass((("ab", "c"),))
+
+    def test_first_chars(self):
+        assert char_class("ab").first_chars() == frozenset("ab")
+        assert char_class("^a").first_chars() is None
+
+    def test_parse_spec_ranges_and_escapes(self):
+        cls = char_class("a-c_\\n")
+        assert cls.matches("b")
+        assert cls.matches("_")
+        assert cls.matches("\n")
+        assert not cls.matches("d")
+
+    def test_parse_spec_negation(self):
+        cls = char_class("^0-9")
+        assert cls.negated
+        assert cls.matches("x")
+        assert not cls.matches("3")
+
+    def test_dangling_backslash(self):
+        with pytest.raises(ValueError):
+            char_class("ab\\")
+
+
+class TestNormalizingConstructors:
+    def test_seq_flattens(self):
+        inner = seq(Literal("a"), Literal("b"))
+        outer = seq(inner, Literal("c"))
+        assert isinstance(outer, Sequence)
+        assert len(outer.items) == 3
+
+    def test_seq_drops_epsilon(self):
+        assert seq(Epsilon(), Literal("a"), Epsilon()) == Literal("a")
+
+    def test_seq_empty_is_epsilon(self):
+        assert seq() == Epsilon()
+
+    def test_choice_flattens(self):
+        inner = choice(Literal("a"), Literal("b"))
+        outer = choice(inner, Literal("c"))
+        assert isinstance(outer, Choice)
+        assert len(outer.alternatives) == 3
+
+    def test_choice_drops_fail(self):
+        assert choice(Fail(), Literal("a")) == Literal("a")
+
+    def test_choice_empty_is_fail(self):
+        assert choice() == Fail()
+
+    def test_choice_prunes_after_epsilon(self):
+        pruned = choice(Literal("a"), Epsilon(), Literal("b"))
+        assert isinstance(pruned, Choice)
+        assert pruned.alternatives == (Literal("a"), Epsilon())
+
+
+class TestRepetition:
+    def test_min_validation(self):
+        Repetition(Literal("a"), 0)
+        Repetition(Literal("a"), 1)
+        with pytest.raises(ValueError):
+            Repetition(Literal("a"), 2)
+
+
+class TestTraversal:
+    def setup_method(self):
+        self.expr = seq(
+            Binding("x", Nonterminal("A")),
+            choice(Literal("b"), Voided(Nonterminal("C"))),
+            Repetition(Text(Nonterminal("D")), 1),
+        )
+
+    def test_children_roundtrip(self):
+        kids = children(self.expr)
+        assert rebuild(self.expr, kids) == self.expr
+
+    def test_rebuild_arity_checked(self):
+        with pytest.raises(ValueError):
+            rebuild(self.expr, ())
+
+    def test_rebuild_leaf_unchanged(self):
+        assert rebuild(Literal("a"), ()) == Literal("a")
+
+    def test_walk_visits_everything(self):
+        names = {type(node).__name__ for node in walk(self.expr)}
+        assert {"Sequence", "Binding", "Nonterminal", "Choice", "Literal",
+                "Voided", "Repetition", "Text"} <= names
+
+    def test_referenced_names(self):
+        assert referenced_names(self.expr) == {"A", "C", "D"}
+
+    def test_transform_bottom_up(self):
+        def rename(node):
+            if isinstance(node, Nonterminal):
+                return Nonterminal(node.name.lower())
+            return node
+
+        renamed = transform(self.expr, rename)
+        assert referenced_names(renamed) == {"a", "c", "d"}
+        # original untouched (immutability)
+        assert referenced_names(self.expr) == {"A", "C", "D"}
+
+    def test_transform_identity_preserves_structure(self):
+        assert transform(self.expr, lambda e: e) == self.expr
+
+
+class TestCharSwitch:
+    def test_children_and_rebuild(self):
+        switch = CharSwitch(
+            ((frozenset("a"), Literal("a")), (frozenset("b"), Literal("b"))),
+            Fail("x"),
+        )
+        kids = children(switch)
+        assert len(kids) == 3
+        rebuilt = rebuild(switch, kids)
+        assert rebuilt == switch

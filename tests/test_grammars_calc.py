@@ -1,0 +1,102 @@
+"""Feature tests for the shipped calculator grammar family."""
+
+import pytest
+
+import repro
+from repro.errors import ParseError
+from repro.runtime.node import GNode
+
+
+def node(name, *children):
+    return GNode(name, children)
+
+
+def i(text):
+    return node("Int", text)
+
+
+class TestBaseCalculator:
+    def test_single_number(self, calc_lang):
+        assert calc_lang.parse("42") == i("42")
+
+    def test_float(self, calc_lang):
+        assert calc_lang.parse("3.14") == node("Float", "3.14")
+
+    def test_left_associativity(self, calc_lang):
+        assert calc_lang.parse("1-2-3") == node("Sub", node("Sub", i("1"), i("2")), i("3"))
+
+    def test_precedence(self, calc_lang):
+        assert calc_lang.parse("1+2*3") == node("Add", i("1"), node("Mul", i("2"), i("3")))
+
+    def test_parentheses(self, calc_lang):
+        assert calc_lang.parse("(1+2)*3") == node("Mul", node("Add", i("1"), i("2")), i("3"))
+
+    def test_unary_minus_nests(self, calc_lang):
+        assert calc_lang.parse("- - 5") == node("Neg", node("Neg", i("5")))
+
+    def test_whitespace_everywhere(self, calc_lang):
+        assert calc_lang.parse("  1 +\n\t2  ") == node("Add", i("1"), i("2"))
+
+    def test_div_mul_left_assoc(self, calc_lang):
+        assert calc_lang.parse("8/4/2") == node("Div", node("Div", i("8"), i("4")), i("2"))
+
+    @pytest.mark.parametrize("bad", ["", "1+", "*3", "(1", "1 2", "a"])
+    def test_rejections(self, calc_lang, bad):
+        with pytest.raises(ParseError):
+            calc_lang.parse(bad)
+
+
+class TestPowerExtension:
+    @pytest.fixture(scope="class")
+    def lang(self):
+        loader = repro.ModuleLoader()
+        loader.register_source(
+            "t.PowerCalc",
+            """
+            module t.PowerCalc;
+            import calc.Power;
+            import calc.Spacing;
+            public Object Top = Spacing Expression EndOfInput ;
+            """,
+        )
+        return repro.compile_grammar("t.PowerCalc", loader=loader)
+
+    def test_right_associative(self, lang):
+        assert lang.parse("2**3**2") == node("Pow", i("2"), node("Pow", i("3"), i("2")))
+
+    def test_binds_tighter_than_mul(self, lang):
+        assert lang.parse("2**3*4") == node("Mul", node("Pow", i("2"), i("3")), i("4"))
+
+    def test_base_language_unchanged(self, lang):
+        assert lang.parse("1+2") == node("Add", i("1"), i("2"))
+
+
+class TestComparisonExtension:
+    @pytest.fixture(scope="class")
+    def lang(self):
+        return repro.compile_grammar("calc.Comparison")
+
+    def test_comparison_above_arithmetic(self, lang):
+        assert lang.parse("1+2<4") == node("Lt", node("Add", i("1"), i("2")), i("4"))
+
+    def test_le_not_split(self, lang):
+        assert lang.parse("1<=2") == node("Le", i("1"), i("2"))
+
+    def test_chained_left_assoc(self, lang):
+        assert lang.parse("1<2==3") == node("Eq", node("Lt", i("1"), i("2")), i("3"))
+
+
+class TestFullComposition:
+    @pytest.fixture(scope="class")
+    def lang(self):
+        return repro.compile_grammar("calc.Full")
+
+    def test_both_extensions_active(self, lang):
+        value = lang.parse("2**2 <= 4 * 1")
+        assert value == node("Le", node("Pow", i("2"), i("2")), node("Mul", i("4"), i("1")))
+
+    def test_grammar_counts(self, lang):
+        # Full = Core + Number + Spacing + Power delta + Comparison
+        assert "Comparison" in lang.grammar.names()
+        labels = lang.grammar["Factor"].label_names()
+        assert "Pow" in labels and "Neg" in labels

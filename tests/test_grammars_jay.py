@@ -1,0 +1,174 @@
+"""Feature tests for the Jay grammar family (base + extensions)."""
+
+import pytest
+
+import repro
+from repro.errors import ParseError
+
+
+def wrap(statement_or_member):
+    return f"class T {{ void m() {{ {statement_or_member} }} }}"
+
+
+class TestBaseJay:
+    @pytest.mark.parametrize(
+        "program",
+        [
+            "class A { }",
+            "package p.q; class A { }",
+            "import a.b; import c.d; class A { } class B { }",
+            "public final class A extends base.B { }",
+            "class A { int x; }",
+            "class A { static int[] data; }",
+            "class A { int f(int a, boolean b) { return a; } }",
+            "class A { void f() ; }",  # abstract-style body
+            wrap("int x = 1, y = 2;"),
+            wrap("x = y = 3;"),  # right-assoc assignment
+            wrap("x += 1; x -= 2; x *= 3; x /= 4; x %= 5;"),
+            wrap("if (a) b = 1; else { b = 2; }"),
+            wrap("while (i < 10) i = i + 1;"),
+            wrap("do { i = i + 1; } while (i < 10);"),
+            wrap("for (;;) break;"),
+            wrap("for (int i = 0, j = 9; i < j; i = i + 1, j = j - 1) continue;"),
+            wrap("for (i = 0; ; ) { }"),
+            wrap("return;"),
+            wrap("return a ? b : c;"),
+            wrap(";"),
+            wrap("int c = 'x'; char d = '\\n';"),
+            wrap('String s = "a\\"b";'),
+            wrap("boolean t = true && false || !null;"),
+            wrap("x = a.b.c(1)[2].d;"),
+            wrap("obj.call(new T(), new int[3]);"),
+            wrap("// comment\n x = 1; /* block */ y = 2;"),
+            wrap("x = forty + iffy;"),  # keyword-prefixed identifiers
+        ],
+    )
+    def test_accepts(self, jay_lang, program):
+        assert jay_lang.recognize(program)
+
+    @pytest.mark.parametrize(
+        "program",
+        [
+            "",
+            "class { }",
+            "class A { ",
+            "klass A { }",
+            wrap("int = 5;"),        # keyword as identifier
+            wrap("x = 1"),           # missing semicolon
+            wrap("if a then b;"),
+            wrap("for (int x : xs) { }"),  # extension syntax in base
+            # note: "assert x;" is NOT rejected by base Jay — it parses as a
+            # local declaration of type `assert`; only the extension reserves it
+            wrap("x = /* unterminated"),
+        ],
+    )
+    def test_rejects(self, jay_lang, program):
+        assert not jay_lang.recognize(program)
+
+    def test_associativity_of_field_chain(self, jay_lang):
+        tree = jay_lang.parse(wrap("x = a.b.c;"))
+        field = tree.find_all("Field")
+        # (Field (Field (Var a) 'b') 'c') — left leaning
+        assert field[0][1] == "c"
+        assert field[0][0][1] == "b"
+
+    def test_precedence_shape(self, jay_lang):
+        tree = jay_lang.parse(wrap("x = 1 + 2 * 3 == 7 && flag;"))
+        assert tree.find_all("LogicalAnd")
+        and_node = tree.find_all("LogicalAnd")[0]
+        assert and_node[0].name == "Equal"
+
+    def test_locations_tracked(self, jay_lang):
+        tree = jay_lang.parse("class A {\n  int f() { return 1; }\n}")
+        method = tree.find_all("Method")[0]
+        assert method.location is not None
+        assert method.location.line == 2
+
+    def test_error_points_into_program(self, jay_lang):
+        with pytest.raises(ParseError) as err:
+            jay_lang.parse("class A { void m() { x = ; } }")
+        assert err.value.line == 1
+        assert err.value.column >= 26
+
+
+class TestExtensions:
+    def test_foreach(self, jay_extended_lang):
+        tree = jay_extended_lang.parse(wrap("for (int v : values) { use(v); }"))
+        foreach = tree.find_all("ForEach")[0]
+        assert foreach[0].name == "PrimitiveType"
+        assert foreach[1] == "v"
+
+    def test_assert_with_message(self, jay_extended_lang):
+        tree = jay_extended_lang.parse(wrap('assert x > 0 : "bad";'))
+        node = tree.find_all("Assert")[0]
+        assert node[0].name == "Greater"
+        assert node[1].name == "StringLit"
+
+    def test_assert_without_message(self, jay_extended_lang):
+        tree = jay_extended_lang.parse(wrap("assert ready;"))
+        assert tree.find_all("Assert")[0][1] is None
+
+    def test_assert_reserved_as_keyword(self, jay_extended_lang):
+        # "assert" can no longer be a plain identifier/variable name.
+        assert not jay_extended_lang.recognize(wrap("int assert = 1;"))
+
+    def test_sql_embedding(self, jay_extended_lang):
+        tree = jay_extended_lang.parse(wrap("rows = sql { select a from t };"))
+        select = tree.find_all("Select")[0]
+        assert select[0] == ["a"] and select[1] == "t"
+
+    def test_sql_where_clause(self, jay_extended_lang):
+        tree = jay_extended_lang.parse(
+            wrap("rows = sql { select a, b from t where a >= 10 };")
+        )
+        where = tree.find_all("Where")[0]
+        assert where[0].name == "SqlCompare"
+
+    def test_sql_case_insensitive_keywords(self, jay_extended_lang):
+        assert jay_extended_lang.recognize(wrap("rows = sql { SELECT * FROM t };"))
+
+    def test_extensions_do_not_break_base(self, jay_lang, jay_extended_lang):
+        program = "class A { int f() { for (int i = 0; i < 3; i = i + 1) { } return 0; } }"
+        assert jay_lang.parse(program) == jay_extended_lang.parse(program)
+
+    def test_malformed_sql_rejected(self, jay_extended_lang):
+        assert not jay_extended_lang.recognize(wrap("rows = sql { select };"))
+
+
+class TestSwitchAndIncrements:
+    def test_switch_structure(self, jay_extended_lang):
+        tree = jay_extended_lang.parse(
+            wrap("switch (n) { case 1: a(); break; case 2: break; default: b(); }")
+        )
+        switch = tree.find_all("Switch")[0]
+        assert len(switch[1]) == 2       # case groups
+        assert switch[2] is not None     # default group
+        assert len(switch[1][0][1]) == 2  # first case holds two statements
+
+    def test_switch_without_default(self, jay_extended_lang):
+        tree = jay_extended_lang.parse(wrap("switch (n) { case 1: break; }"))
+        assert tree.find_all("Switch")[0][2] is None
+
+    def test_case_expression_can_be_complex(self, jay_extended_lang):
+        assert jay_extended_lang.recognize(wrap("switch (n) { case 2 + 1: break; }"))
+
+    def test_switch_keyword_reserved(self, jay_extended_lang):
+        assert not jay_extended_lang.recognize(wrap("int switch = 1;"))
+
+    def test_increment_forms(self, jay_extended_lang):
+        tree = jay_extended_lang.parse(wrap("i++; ++i; i--; --i;"))
+        for name in ("PostIncrement", "PreIncrement", "PostDecrement", "PreDecrement"):
+            assert tree.find_all(name), name
+
+    def test_increment_in_expressions(self, jay_extended_lang):
+        tree = jay_extended_lang.parse(wrap("x = i++ + --j;"))
+        add = tree.find_all("Add")[0]
+        assert add[0].name == "PostIncrement"
+        assert add[1].name == "PreDecrement"
+
+    def test_base_rejects_increments(self, jay_lang):
+        assert not jay_lang.recognize(wrap("i++;"))
+
+    def test_base_add_still_works_in_extended(self, jay_lang, jay_extended_lang):
+        program = wrap("x = a + b - c;")
+        assert jay_lang.parse(program) == jay_extended_lang.parse(program)

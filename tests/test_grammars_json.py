@@ -1,0 +1,88 @@
+"""Feature tests for the shipped JSON grammar, cross-checked against the
+standard library on generated documents."""
+
+import json
+
+import pytest
+
+from repro.errors import ParseError
+from repro.runtime.node import GNode
+from repro.workloads import generate_json_document
+
+from repro.baselines.json_rd import JsonParser  # tree-shape reference
+
+
+def decode(node):
+    """Minimal GNode -> Python decoder (escapes left raw on purpose)."""
+    if node.name == "Object":
+        return {m[0]: decode(m[1]) for m in (node[0] or [])}
+    if node.name == "Array":
+        return [decode(v) for v in (node[0] or [])]
+    if node.name == "String":
+        return node[0]
+    if node.name == "Number":
+        text = node[0]
+        return int(text) if text.lstrip("-").isdigit() else float(text)
+    return {"True": True, "False": False, "Null": None}[node.name]
+
+
+class TestValues:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("true", GNode("True")),
+            ("false", GNode("False")),
+            ("null", GNode("Null")),
+            ("0", GNode("Number", ("0",))),
+            ("-12.5e+3", GNode("Number", ("-12.5e+3",))),
+            ('"hi"', GNode("String", ("hi",))),
+            ("[]", GNode("Array", (None,))),
+            ("{}", GNode("Object", (None,))),
+        ],
+    )
+    def test_scalars(self, json_lang, text, expected):
+        assert json_lang.parse(text) == expected
+
+    def test_nested(self, json_lang):
+        tree = json_lang.parse('{"k": [1, {"n": null}]}')
+        assert decode(tree) == {"k": [1, {"n": None}]}
+
+    def test_string_escapes_kept_raw(self, json_lang):
+        tree = json_lang.parse(r'"a\nbA"')
+        assert tree[0] == r"a\nbA"
+
+    def test_whitespace(self, json_lang):
+        assert decode(json_lang.parse(' { "a" : 1 , "b" : [ 2 ] } ')) == {"a": 1, "b": [2]}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "{",
+            "[1,]",
+            '{"a":}',
+            '{"a" 1}',
+            "01",          # leading zero
+            "+1",          # plus sign
+            "'single'",    # wrong quotes
+            '{"a":1,}',
+            "[1 2]",
+            "tru",
+            '"unterminated',
+        ],
+    )
+    def test_rejections(self, json_lang, bad):
+        with pytest.raises(ParseError):
+            json_lang.parse(bad)
+
+
+class TestAgainstStdlib:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_generated_documents(self, json_lang, seed):
+        document = generate_json_document(size=6, seed=seed)
+        ours = json_lang.parse(document)
+        # structure must match the hand-written parser's tree exactly
+        assert ours == JsonParser(document).parse()
+        # and the decoded numbers/strings structure must match json.loads
+        # for documents without escapes (generator emits none)
+        assert decode(ours) == json.loads(document)

@@ -1,0 +1,229 @@
+"""Feature tests for the mini-ML grammar and its example interpreter."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.runtime.node import GNode
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "examples"))
+
+
+@pytest.fixture(scope="module")
+def ml():
+    return repro.compile_grammar("ml.ML")
+
+
+class TestSyntax:
+    @pytest.mark.parametrize(
+        "program",
+        [
+            "42",
+            "x",
+            "f x y z",
+            "let x = 1 in x + 2",
+            "let rec f n = f (n - 1) in f 9",
+            "fun x y -> x * y",
+            "if a then b else c",
+            "match xs with | [] -> 0 | h :: t -> h",
+            "match x with | 0 -> a | 1 -> b | _ -> c",
+            "[1; 2; 3]",
+            "[]",
+            "1 :: 2 :: []",
+            '"string with \\" escape"',
+            "()",
+            "(* comment *) 1",
+            "(* nested (* comments *) too *) 1",
+            "a || b && c",
+            "a <> b",
+            "x mod 2 = 0",
+            '"a" ^ "b"',
+            "let f (x :: t) = x in f [1]",  # pattern parameter
+            "let main = 1 ;; main",
+            "let a = 1 ;; let b = 2 ;; a + b",
+        ],
+    )
+    def test_accepts(self, ml, program):
+        assert ml.recognize(program), program
+
+    @pytest.mark.parametrize(
+        "program",
+        [
+            "",
+            "let = 3",
+            "let x 1",
+            "fun -> x",
+            "match x with",          # no arms
+            "if a then b",           # no else
+            "let in x",
+            "1 +",
+            "[1; ]",
+            "(* unterminated",
+            "let let = 2 in 3",      # keyword as name
+            "mod",                   # keyword alone
+        ],
+    )
+    def test_rejects(self, ml, program):
+        assert not ml.recognize(program), program
+
+    def test_application_left_associative(self, ml):
+        tree = ml.parse("f a b")
+        assert tree[1] == GNode(
+            "Apply", (GNode("Apply", (GNode("Var", ("f",)), GNode("Var", ("a",)))), GNode("Var", ("b",)))
+        )
+
+    def test_application_binds_tighter_than_operators(self, ml):
+        tree = ml.parse("f x + g y")
+        assert tree[1].name == "Add"
+        assert tree[1][0].name == "Apply"
+
+    def test_cons_right_associative(self, ml):
+        tree = ml.parse("1 :: 2 :: []")
+        cons = tree[1]
+        assert cons.name == "Cons"
+        assert cons[1].name == "Cons"
+
+    def test_subtraction_vs_arrow(self, ml):
+        assert ml.recognize("fun x -> x - 1")
+        tree = ml.parse("a - b - c")
+        assert tree[1] == GNode(
+            "Sub", (GNode("Sub", (GNode("Var", ("a",)), GNode("Var", ("b",)))), GNode("Var", ("c",)))
+        )
+
+    def test_match_arms_attach_to_inner_match(self, ml):
+        tree = ml.parse("match x with | [] -> 0 | h :: t -> h + 1")
+        arms = tree[1][1]
+        assert len(arms) == 2
+
+    def test_backends_agree(self, ml):
+        program = "let rec f n = if n = 0 then [] else n :: f (n - 1) ;; f 5"
+        assert ml.parse(program) == ml.interpreter().parse(program)
+
+    def test_keywords_not_names(self, ml):
+        assert not ml.recognize("let rec = 1 in rec")
+        assert ml.recognize("let record = 1 in record")  # prefix is fine
+
+
+class TestInterpreter:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from miniml_interpreter import run
+
+        return run
+
+    def test_arithmetic(self, run):
+        assert run("1 + 2 * 3 - 4") == 3
+        assert run("7 / 2") == 3
+        assert run("7 mod 2") == 1
+
+    def test_let_and_shadowing(self, run):
+        assert run("let x = 1 in let x = x + 1 in x") == 2
+
+    def test_closures_capture(self, run):
+        assert run("let make = fun n -> fun x -> x + n in let add5 = make 5 in add5 37") == 42
+
+    def test_currying(self, run):
+        assert run("let add a b c = a + b + c ;; add 1 2 3") == 6
+        assert run("let add a b = a + b ;; let inc = add 1 ;; inc 41") == 42
+
+    def test_recursion(self, run):
+        assert run("let rec fact n = if n <= 1 then 1 else n * fact (n - 1) ;; fact 10") == 3628800
+
+    def test_lists_and_matching(self, run):
+        assert run("match [1; 2] with | [] -> 0 | h :: t -> h") == 1
+        assert run("match [] with | [] -> 99 | h :: t -> h") == 99
+        assert run("1 :: 2 :: []") == [1, 2]
+
+    def test_wildcard_and_literal_patterns(self, run):
+        assert run("match 3 with | 0 -> 10 | _ -> 20") == 20
+        assert run("match true with | false -> 0 | true -> 1") == 1
+
+    def test_quicksort_program(self, run):
+        from miniml_interpreter import QUICKSORT
+
+        assert run(QUICKSORT) == [1, 1, 2, 3, 3, 4, 5, 5, 6, 9]
+
+    def test_higher_order(self, run):
+        from miniml_interpreter import CHURCH
+
+        assert run(CHURCH) == 12
+
+    def test_strings(self, run):
+        assert run('"a" ^ "bc"') == "abc"
+
+    def test_unbound_variable(self, run):
+        with pytest.raises(NameError):
+            run("nope")
+
+    def test_match_failure(self, run):
+        from miniml_interpreter import MatchFailure
+
+        with pytest.raises(MatchFailure):
+            run("match 5 with | 0 -> 1")
+
+    def test_recursive_partial_application(self, run):
+        # Regression: a curried recursive function must not shadow itself
+        # with its own partial application.
+        program = """
+        let rec filter p xs =
+          match xs with
+          | [] -> []
+          | h :: t -> if p h then h :: filter p t else filter p t ;;
+        filter (fun x -> x mod 2 = 0) [1; 2; 3; 4; 5; 6]
+        """
+        assert run(program) == [2, 4, 6]
+
+
+class TestPipelineExtension:
+    @pytest.fixture(scope="class")
+    def ext(self):
+        return repro.compile_grammar("ml.Extended")
+
+    def test_pipe_left_associative(self, ext):
+        tree = ext.parse("x |> f |> g")
+        pipe = tree[1]
+        assert pipe.name == "Pipe" and pipe[0].name == "Pipe"
+
+    def test_base_rejects_pipe(self, ml):
+        assert not ml.recognize("x |> f")
+
+    def test_precedence_between_bool_and_compare(self, ext):
+        tree = ext.parse("a |> f = 1 && b")
+        # && is loosest, |> looser than =, so: (a |> (f... wait:
+        # compare layer is the pipe's operand: (a |> (f = 1)) && b
+        and_node = tree[1]
+        assert and_node.name == "And"
+        assert and_node[0].name == "Pipe"
+
+    def test_conservative_over_base(self, ml, ext):
+        program = "let rec len xs = match xs with | [] -> 0 | _ :: t -> 1 + len t ;; len [1; 2]"
+        assert ml.parse(program) == ext.parse(program)
+
+    def test_interpreter_supports_pipe(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).parent.parent / "examples"))
+        from miniml_interpreter import evaluate, BUILTINS
+
+        ext = repro.compile_grammar("ml.Extended")
+        tree = ext.parse("let double x = x * 2 ;; [1; 2; 3] |> length |> double")
+        # Evaluate through the example interpreter extended inline:
+        from miniml_interpreter import run as base_run, make_binding
+        from repro.runtime.node import GNode
+
+        # Desugar (Pipe a f) to (Apply f a) with a tiny Transformer.
+        from repro.runtime.visitor import Transformer
+
+        class Desugar(Transformer):
+            def transform_Pipe(self, node):
+                return GNode("Apply", (node[1], node[0]))
+
+        program = Desugar().transform(tree)
+        env = dict(BUILTINS)
+        for binding in program[0]:
+            rec, name, params, value_expr = binding.children
+            env[name] = make_binding(rec, name, params, value_expr, env)
+        assert evaluate(program[1], env) == 6

@@ -1,0 +1,92 @@
+"""Feature tests for the xC grammar family."""
+
+import pytest
+
+from repro.errors import ParseError
+
+
+def wrap(statements):
+    return f"int main(void) {{ {statements} }}"
+
+
+class TestBaseXC:
+    @pytest.mark.parametrize(
+        "program",
+        [
+            "int main(void) { return 0; }",
+            "int x = 1;",
+            "unsigned long big = 0xffffffff;",
+            "struct point { int x; int y; };",
+            "int add(int a, int b) { return a + b; }",
+            "int deref(int *p) { return *p; }",
+            "#include <stdio.h>\nint main(void) { return 0; }",
+            wrap("int *p; int **pp; p = &x; pp = &p;"),
+            wrap("x = a << 2 | b & 0x0f ^ c;"),
+            wrap("s.field = t->field;"),
+            wrap("x++; ++x; y--; --y;"),
+            wrap("if (a) b = 1; else b = 2;"),
+            wrap("while (n) n = n - 1;"),
+            wrap("do { n--; } while (n > 0);"),
+            wrap("for (i = 0; i < 10; i++) continue;"),
+            wrap("for (int i = 0; i < 10; i++) { }"),
+            wrap("switch (c) { case 1: break; default: break; }"),
+            wrap("goto done; done: return 1;"),
+            wrap("int arr[10]; arr[0] = '\\n';"),
+            wrap("float f = 1.5f; double d = .25;"),
+            wrap('char *s = "hello\\n";'),
+            wrap("x = a, b, c;"),
+            wrap("y = cond ? a : b;"),
+        ],
+    )
+    def test_accepts(self, xc_lang, program):
+        assert xc_lang.recognize(program), program
+
+    @pytest.mark.parametrize(
+        "program",
+        [
+            "",
+            "int main( { }",
+            wrap("int = 3;"),
+            wrap("x = ;"),
+            wrap("until (x) { }"),  # extension-only
+            "struct { int x; };",  # anonymous structs unsupported in subset
+        ],
+    )
+    def test_rejects(self, xc_lang, program):
+        assert not xc_lang.recognize(program), program
+
+    def test_shift_vs_relational(self, xc_lang):
+        tree = xc_lang.parse(wrap("x = a < b << 2;"))
+        less = tree.find_all("Less")[0]
+        assert less[1].name == "ShiftLeft"
+
+    def test_pointer_declarator_nests(self, xc_lang):
+        tree = xc_lang.parse("int **pp = 0;")
+        pointer = tree.find_all("Pointer")[0]
+        assert pointer[0].name == "Pointer"
+
+    def test_array_declarator_left_recursion(self, xc_lang):
+        tree = xc_lang.parse("int grid[3][4];")
+        arrays = tree.find_all("ArrayDecl")
+        assert len(arrays) == 2
+        assert arrays[0][0].name == "ArrayDecl"  # outer wraps inner
+
+
+class TestUntilExtension:
+    def test_until_statement(self, xc_extended_lang):
+        tree = xc_extended_lang.parse(wrap("until (n == 0) { n = n - 1; }"))
+        until = tree.find_all("Until")[0]
+        assert until[0].name == "Equal"
+
+    def test_until_reserved(self, xc_extended_lang):
+        assert not xc_extended_lang.recognize(wrap("int until = 3;"))
+
+    def test_base_programs_still_parse(self, xc_lang, xc_extended_lang):
+        program = "int f(int n) { while (n) n--; return n; }"
+        assert xc_lang.parse(program) == xc_extended_lang.parse(program)
+
+
+class TestInterpreterAgreement:
+    def test_generated_matches_interpreter(self, xc_lang):
+        program = wrap("x = a + b * c - d[2]; if (x) return x;")
+        assert xc_lang.parse(program) == xc_lang.interpreter().parse(program)

@@ -1,0 +1,277 @@
+"""Tests for the grammar interpreters (reference semantics)."""
+
+import pytest
+
+from repro.errors import AnalysisError, ParseError
+from repro.interp import BacktrackInterpreter, PackratInterpreter
+from repro.peg.builder import (
+    GrammarBuilder,
+    act,
+    alt,
+    amp,
+    any_,
+    bang,
+    bind,
+    cc,
+    lit,
+    opt,
+    plus,
+    ref,
+    star,
+    text,
+    void,
+)
+from repro.runtime.node import GNode
+
+
+def interp(build, start="S", **kwargs):
+    builder = GrammarBuilder("t", start=start)
+    build(builder)
+    return PackratInterpreter(builder.build(), **kwargs)
+
+
+class TestMatchingSemantics:
+    def test_literal(self):
+        p = interp(lambda b: b.void("S", [lit("abc")]))
+        assert p.recognize("abc")
+        assert not p.recognize("ab")
+        assert not p.recognize("abcd")  # whole input required
+
+    def test_literal_ignore_case(self):
+        p = interp(lambda b: b.object("S", [text(lit("select", ignore_case=True))]))
+        assert p.parse("SeLeCt") == "SeLeCt"
+
+    def test_char_class_and_any(self):
+        p = interp(lambda b: b.object("S", [text(cc("a-c"), any_())]))
+        assert p.parse("bz") == "bz"
+        assert not p.recognize("dz")
+        assert not p.recognize("b")  # any char fails at EOF
+
+    def test_negated_class(self):
+        p = interp(lambda b: b.object("S", [text(cc("^0-9"))]))
+        assert p.parse("x") == "x"
+        assert not p.recognize("5")
+
+    def test_ordered_choice_commits_to_first(self):
+        p = interp(lambda b: b.object("S", [text(lit("ab") if False else lit("a")), lit("b")]))
+        assert p.recognize("ab")
+
+    def test_prefix_capture_vs_full(self):
+        p = interp(lambda b: b.void("S", [lit("aa")], [lit("a")]))
+        consumed, _ = p.match_prefix("ab")
+        assert consumed == 1
+
+    def test_greedy_repetition(self):
+        p = interp(lambda b: b.object("S", [text(star(cc("a")))]))
+        assert p.parse("aaaa") == "aaaa"
+        assert p.parse("") == ""
+
+    def test_plus_requires_one(self):
+        p = interp(lambda b: b.object("S", [text(plus(cc("a")))]))
+        assert p.recognize("a")
+        assert not p.recognize("")
+
+    def test_zero_width_repetition_terminates(self):
+        # The item matches without consuming; the loop must stop.
+        p = interp(lambda b: b.void("S", [star(amp(lit("a"))), lit("a")]))
+        assert p.recognize("a")
+
+    def test_option(self):
+        p = interp(lambda b: b.void("S", [opt(lit("-")), lit("1")]))
+        assert p.recognize("-1") and p.recognize("1")
+
+    def test_and_predicate(self):
+        p = interp(lambda b: b.object("S", [amp(lit("ab")), text(cc("a"))]))
+        consumed, value = p.match_prefix("ab")
+        assert consumed == 1 and value == "a"
+        assert p.match_prefix("ax")[0] == -1
+
+    def test_not_predicate(self):
+        p = interp(lambda b: b.object("S", [bang(lit("0")), text(cc("0-9"))]))
+        assert p.parse("5") == "5"
+        assert not p.recognize("0")
+
+    def test_not_not_is_and(self):
+        p = interp(lambda b: b.object("S", [bang(bang(lit("a"))), text(any_())]))
+        assert p.parse("a") == "a"
+        assert not p.recognize("b")
+
+
+class TestValueSemantics:
+    def test_void_production_value_none(self):
+        p = interp(lambda b: b.void("S", [lit("x")]))
+        assert p.parse("x") is None
+
+    def test_text_production(self):
+        p = interp(
+            lambda b: b.text("S", [cc("a-z"), cc("a-z")]),
+        )
+        assert p.parse("hi") == "hi"
+
+    def test_object_pass_through_single(self):
+        p = interp(lambda b: (b.object("S", [void(lit("(")), ref("T"), void(lit(")"))]), b.text("T", [cc("0-9")])))
+        assert p.parse("(5)") == "5"
+
+    def test_object_pass_through_none(self):
+        p = interp(lambda b: b.object("S", [lit("x")]))
+        assert p.parse("x") is None
+
+    def test_object_pass_through_tuple(self):
+        p = interp(lambda b: b.object("S", [text(cc("a")), text(cc("b"))]))
+        assert p.parse("ab") == ("a", "b")
+
+    def test_generic_labeled(self):
+        p = interp(lambda b: b.generic("S", alt("Pair", text(cc("a")), text(cc("b")))))
+        assert p.parse("ab") == GNode("Pair", ("a", "b"))
+
+    def test_generic_unlabeled_single_passes_through(self):
+        p = interp(
+            lambda b: (
+                b.generic("S", alt("Wrap", ref("T"), lit("!")), alt(None, ref("T"))),
+                b.text("T", [cc("0-9")]),
+            )
+        )
+        assert p.parse("5") == "5"
+        assert p.parse("5!") == GNode("Wrap", ("5",))
+
+    def test_generic_unlabeled_multi_uses_production_name(self):
+        p = interp(lambda b: b.generic("S", [text(cc("a")), text(cc("b"))]))
+        assert p.parse("ab") == GNode("S", ("a", "b"))
+
+    def test_literals_do_not_contribute(self):
+        p = interp(lambda b: b.generic("S", alt("N", lit("k"), text(cc("0-9")))))
+        assert p.parse("k7") == GNode("N", ("7",))
+
+    def test_repetition_value_list(self):
+        p = interp(lambda b: b.object("S", [star(text(cc("0-9")))]))
+        assert p.parse("123") == ["1", "2", "3"]
+
+    def test_repetition_of_void_is_none(self):
+        p = interp(lambda b: b.object("S", [bind("x", star(lit("a"))), act("x")]))
+        assert p.parse("aaa") is None
+
+    def test_option_value(self):
+        p = interp(lambda b: b.object("S", [opt(text(lit("x"))), lit("y")]))
+        assert p.parse("xy") == "x"
+        assert p.parse("y") is None
+
+    def test_bindings_and_actions(self):
+        p = interp(
+            lambda b: b.object(
+                "S", [bind("a", text(cc("0-9"))), bind("b", text(cc("0-9"))), act("int(a) + int(b)")]
+            )
+        )
+        assert p.parse("34") == 7
+
+    def test_action_helpers_available(self):
+        p = interp(
+            lambda b: b.object(
+                "S", [bind("h", text(cc("a-z"))), bind("t", star(text(cc("a-z")))), act("cons(h, t)")]
+            )
+        )
+        assert p.parse("abc") == ["a", "b", "c"]
+
+    def test_action_cannot_reach_builtins(self):
+        p = interp(lambda b: b.object("S", [act("open('/etc/passwd')")]))
+        with pytest.raises(Exception):
+            p.parse("")
+
+    def test_voided_subexpression(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [void(ref("T")), text(cc("!"))])
+        builder.text("T", [cc("a-z")])
+        p = PackratInterpreter(builder.build())
+        assert p.parse("x!") == "!"
+
+    def test_nested_choice_value(self):
+        from repro.peg.expr import Choice
+
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [bind("v", Choice((text(lit("x")), lit("y")))), act("v")])
+        p = PackratInterpreter(builder.build())
+        assert p.parse("x") == "x"
+        # a choice's dynamic value is the matched branch's raw value, so
+        # binding a literal branch captures its text
+        assert p.parse("y") == "y"
+
+
+class TestErrors:
+    def test_farthest_failure_position(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [lit("let "), cc("a-z"), lit(" = "), cc("0-9")])
+        p = PackratInterpreter(builder.build())
+        with pytest.raises(ParseError) as err:
+            p.parse("let x = y")
+        assert err.value.offset == 8
+        assert err.value.line == 1 and err.value.column == 9
+
+    def test_error_mentions_expectations(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [lit("a")], [lit("b")])
+        with pytest.raises(ParseError) as err:
+            PackratInterpreter(builder.build()).parse("c")
+        message = str(err.value)
+        assert "'a'" in message and "'b'" in message
+
+    def test_multiline_position(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [lit("a\n"), lit("bb\n"), lit("cc"), lit("c")])
+        with pytest.raises(ParseError) as err:
+            PackratInterpreter(builder.build()).parse("a\nbb\nccX")
+        assert err.value.line == 3 and err.value.column == 3
+
+    def test_undefined_start(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [lit("a")])
+        p = PackratInterpreter(builder.build())
+        with pytest.raises(AnalysisError):
+            p.parse("a", start="Nope")
+
+    def test_untransformed_left_recursion_detected(self):
+        builder = GrammarBuilder("t", start="E")
+        builder.generic("E", alt("Add", ref("E"), lit("+"), lit("1")), alt(None, lit("1")))
+        p = PackratInterpreter(builder.build())
+        with pytest.raises(AnalysisError, match="left recursion"):
+            p.parse("1+1")
+
+
+class TestMemoization:
+    def grammar(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [ref("A"), lit("x")], [ref("A"), lit("y")])
+        builder.void("A", [plus(lit("a"))])
+        return builder.build()
+
+    def test_packrat_and_backtrack_agree(self):
+        g = self.grammar()
+        for sample in ["aaax", "ay", "a", "x"]:
+            assert PackratInterpreter(g).recognize(sample) == BacktrackInterpreter(g).recognize(sample)
+
+    def test_memo_entries_recorded(self):
+        p = PackratInterpreter(self.grammar())
+        p.recognize("aaay")
+        assert p.memo_entry_count() > 0
+        assert p.memo_size_bytes() > 0
+
+    def test_backtracker_stores_nothing(self):
+        p = BacktrackInterpreter(self.grammar())
+        p.recognize("aaay")
+        assert p.memo_entry_count() == 0
+
+    def test_transient_not_memoized(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [ref("A"), lit("x")], [ref("A"), lit("y")])
+        builder.void("A", [plus(lit("a"))], transient=True)
+        p = PackratInterpreter(builder.build())
+        p.recognize("ay")
+        # Only S itself could be memoized; A is transient.
+        baseline = PackratInterpreter(self.grammar())
+        baseline.recognize("ay")
+        assert p.memo_entry_count() < baseline.memo_entry_count()
+
+    def test_chunked_flag(self):
+        g = self.grammar()
+        chunked = PackratInterpreter(g, chunked=True)
+        flat = PackratInterpreter(g, chunked=False)
+        assert chunked.recognize("aax") and flat.recognize("aax")
+        assert chunked.memo_entry_count() == flat.memo_entry_count()

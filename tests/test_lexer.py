@@ -1,0 +1,139 @@
+"""Unit tests for the .mg tokenizer."""
+
+import pytest
+
+from repro.errors import GrammarSyntaxError
+from repro.meta.lexer import Lexer
+
+
+def lex(text):
+    return Lexer(text, "test.mg").tokens()
+
+
+def kinds(text):
+    return [t.kind for t in lex(text)]
+
+
+def values(text):
+    return [t.value for t in lex(text)[:-1]]  # drop eof
+
+
+class TestBasics:
+    def test_empty(self):
+        tokens = lex("")
+        assert len(tokens) == 1 and tokens[0].kind == "eof"
+
+    def test_idents_and_punct(self):
+        assert values("module a.B ;") == ["module", "a.B", ";"]
+
+    def test_qualified_names_lex_as_one_token(self):
+        tokens = lex("jay.Expressions")
+        assert tokens[0].kind == "ident"
+        assert tokens[0].value == "jay.Expressions"
+
+    def test_trailing_dot_is_error(self):
+        # The identifier stops before the dangling dot, and a lone '.'
+        # is not a legal token in the surface language.
+        with pytest.raises(GrammarSyntaxError):
+            lex("a.b.")
+
+    def test_multi_char_punct(self):
+        assert values("+= := -= ...") == ["+=", ":=", "-=", "..."]
+
+    def test_single_char_punct(self):
+        assert values("; = / < > ( ) * + ? & ! : , _") == list(
+            "; = / < > ( ) * + ? & ! : , _".split()
+        )
+
+    def test_positions(self):
+        tokens = lex("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block(self):
+        with pytest.raises(GrammarSyntaxError):
+            lex("/* never ends")
+
+
+class TestStrings:
+    def test_plain(self):
+        token = lex('"hello"')[0]
+        assert token.kind == "literal" and token.value == "hello"
+
+    def test_escapes(self):
+        token = lex(r'"a\n\t\\\""')[0]
+        assert token.value == 'a\n\t\\"'
+
+    def test_unicode_escape(self):
+        assert lex(r'"A"')[0].value == "A"
+
+    def test_ignore_case_flag(self):
+        token = lex('"select"i')[0]
+        assert token.flag == "i"
+
+    def test_i_followed_by_ident_is_not_flag(self):
+        tokens = lex('"x"iffy')
+        assert tokens[0].flag == ""
+        assert tokens[1].value == "iffy"
+
+    def test_unterminated(self):
+        with pytest.raises(GrammarSyntaxError):
+            lex('"abc')
+
+    def test_newline_in_string(self):
+        with pytest.raises(GrammarSyntaxError):
+            lex('"ab\ncd"')
+
+    def test_unknown_escape(self):
+        with pytest.raises(GrammarSyntaxError):
+            lex(r'"\q"')
+
+
+class TestCharClasses:
+    def test_body_raw(self):
+        token = lex(r"[a-z0-9\]]")[0]
+        assert token.kind == "class"
+        assert token.value == r"a-z0-9\]"
+
+    def test_unterminated(self):
+        with pytest.raises(GrammarSyntaxError):
+            lex("[abc")
+
+
+class TestActions:
+    def test_simple(self):
+        token = lex("{ cons(a, b) }")[0]
+        assert token.kind == "action"
+        assert token.value == "cons(a, b)"
+
+    def test_nested_braces(self):
+        token = lex("{ {'k': v}['k'] }")[0]
+        assert token.value == "{'k': v}['k']"
+
+    def test_braces_in_strings_ignored(self):
+        token = lex("{ '}' + \"{\" }")[0]
+        assert token.value == "'}' + \"{\""
+
+    def test_unterminated(self):
+        with pytest.raises(GrammarSyntaxError):
+            lex("{ oops")
+
+
+def test_unexpected_character():
+    with pytest.raises(GrammarSyntaxError) as err:
+        lex("a @ b")
+    assert "@" in str(err.value)
+
+
+def test_error_carries_location():
+    with pytest.raises(GrammarSyntaxError) as err:
+        lex('a\n  "unterminated')
+    assert err.value.line == 2

@@ -1,0 +1,123 @@
+"""Tests for the grammar linter and the repro-lint CLI."""
+
+import pytest
+
+from repro.analysis.lint import lint, lint_alternatives_of_production
+from repro.peg.builder import (
+    GrammarBuilder,
+    act,
+    bind,
+    cc,
+    lit,
+    opt,
+    plus,
+    ref,
+    star,
+    text,
+)
+from repro.peg.expr import Choice, Literal
+from repro.tools import lint as lint_cli
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class TestBindingRules:
+    def test_unused_binding(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [bind("x", text(cc("0-9"))), act("1 + 1")])
+        findings = lint(builder.build())
+        assert rules_of(findings) == {"unused-binding"}
+        assert "x" in findings[0].message
+
+    def test_used_binding_clean(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [bind("x", text(cc("0-9"))), act("int(x)")])
+        assert lint(builder.build()) == []
+
+    def test_unknown_action_name(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [act("mystery(42)")])
+        findings = lint(builder.build())
+        assert rules_of(findings) == {"unknown-action-name"}
+
+    def test_action_helpers_allowed(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [bind("h", text(cc("a"))), bind("t", star(text(cc("a")))), act("cons(h, t)")])
+        assert lint(builder.build()) == []
+
+    def test_invalid_python_action(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [act("1 +")])
+        findings = lint(builder.build())
+        assert rules_of(findings) == {"unknown-action-name"}
+        assert "not a valid Python expression" in findings[0].message
+
+    def test_binding_yields_none(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [bind("x", star(lit(";"))), act("x")])
+        findings = lint(builder.build())
+        assert "binding-yields-none" in rules_of(findings)
+
+    def test_binding_of_contributing_repetition_clean(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [bind("x", star(text(cc("0-9")))), act("x")])
+        assert lint(builder.build()) == []
+
+
+class TestStructuralRules:
+    def test_shadowed_literal_in_nested_choice(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [Choice((Literal("do"), Literal("double")))])
+        findings = lint(builder.build())
+        assert "shadowed-literal" in rules_of(findings)
+
+    def test_longest_first_clean(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [Choice((Literal("double"), Literal("do")))])
+        assert lint(builder.build()) == []
+
+    def test_shadowed_literal_across_top_level_alternatives(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [lit("in")], [lit("int")])
+        findings = lint_alternatives_of_production(builder.build())
+        assert "shadowed-literal" in rules_of(findings)
+
+    def test_nested_option(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [opt(opt(lit("x"))), lit("y")])
+        findings = lint(builder.build())
+        assert "nested-option" in rules_of(findings)
+
+    def test_shipped_grammars_are_clean(self):
+        import repro
+
+        for root in ("jay.Extended", "xc.Extended", "calc.Full", "json.Json", "meta.Module"):
+            grammar = repro.load_grammar(root)
+            findings = lint(grammar) + lint_alternatives_of_production(grammar)
+            assert findings == [], (root, findings)
+
+
+class TestCli:
+    def test_clean_grammar(self, capsys):
+        assert lint_cli.main(["json.Json"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_printed_not_fatal(self, tmp_path, capsys):
+        (tmp_path / "bad").mkdir()
+        (tmp_path / "bad" / "G.mg").write_text(
+            'module bad.G;\npublic S = x:( [0-9] ) "u" ;\n'
+        )
+        assert lint_cli.main(["bad.G", "--path", str(tmp_path)]) == 0
+        assert "unused-binding" in capsys.readouterr().out
+
+    def test_strict_mode_fails_on_findings(self, tmp_path):
+        (tmp_path / "bad").mkdir()
+        (tmp_path / "bad" / "G.mg").write_text(
+            'module bad.G;\npublic S = x:( [0-9] ) "u" ;\n'
+        )
+        assert lint_cli.main(["bad.G", "--path", str(tmp_path), "--strict"]) == 1
+
+    def test_missing_module(self, capsys):
+        assert lint_cli.main(["nope.G"]) == 1

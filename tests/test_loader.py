@@ -1,0 +1,110 @@
+"""Tests for module loading: sources, paths, builtins, caching."""
+
+import pytest
+
+from repro.errors import CompositionError
+from repro.meta import ModuleLoader, parse_module
+
+
+class TestRegisteredSources:
+    def test_register_and_load(self):
+        loader = ModuleLoader(include_builtin=False)
+        loader.register_source("a.B", 'module a.B; S = "s" ;')
+        module = loader.load("a.B")
+        assert module.name == "a.B"
+        assert len(module.productions) == 1
+
+    def test_cache_returns_same_object(self):
+        loader = ModuleLoader(include_builtin=False)
+        loader.register_source("a.B", 'module a.B; S = "s" ;')
+        assert loader.load("a.B") is loader.load("a.B")
+
+    def test_reregistering_invalidates_cache(self):
+        loader = ModuleLoader(include_builtin=False)
+        loader.register_source("a.B", 'module a.B; S = "s" ;')
+        first = loader.load("a.B")
+        loader.register_source("a.B", 'module a.B; S = "t" ;')
+        second = loader.load("a.B")
+        assert first is not second
+
+    def test_register_parsed_module(self):
+        loader = ModuleLoader(include_builtin=False)
+        module = parse_module('module a.B; S = "s" ;')
+        loader.register_module(module)
+        assert loader.load("a.B") is module
+
+    def test_declared_name_must_match(self):
+        loader = ModuleLoader(include_builtin=False)
+        loader.register_source("a.B", 'module a.WRONG; S = "s" ;')
+        with pytest.raises(CompositionError, match="declares itself"):
+            loader.load("a.B")
+
+
+class TestPaths:
+    def test_load_from_disk(self, tmp_path):
+        package = tmp_path / "pkg" / "sub"
+        package.mkdir(parents=True)
+        (package / "Mod.mg").write_text('module pkg.sub.Mod; S = "s" ;')
+        loader = ModuleLoader(paths=[tmp_path], include_builtin=False)
+        assert loader.load("pkg.sub.Mod").name == "pkg.sub.Mod"
+
+    def test_registered_source_wins_over_disk(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "a" / "B.mg").write_text('module a.B; Disk = "d" ;')
+        loader = ModuleLoader(paths=[tmp_path], include_builtin=False)
+        loader.register_source("a.B", 'module a.B; Mem = "m" ;')
+        assert loader.load("a.B").productions[0].name == "Mem"
+
+    def test_earlier_path_wins(self, tmp_path):
+        for index in (1, 2):
+            directory = tmp_path / str(index) / "a"
+            directory.mkdir(parents=True)
+            (directory / "B.mg").write_text(f'module a.B; P{index} = "x" ;')
+        loader = ModuleLoader(paths=[tmp_path / "1", tmp_path / "2"], include_builtin=False)
+        assert loader.load("a.B").productions[0].name == "P1"
+
+    def test_add_path(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "a" / "B.mg").write_text('module a.B; S = "s" ;')
+        loader = ModuleLoader(include_builtin=False)
+        with pytest.raises(CompositionError):
+            loader.load("a.B")
+        loader.add_path(tmp_path)
+        assert loader.load("a.B").name == "a.B"
+
+    def test_user_path_wins_over_builtin(self, tmp_path):
+        (tmp_path / "calc").mkdir()
+        (tmp_path / "calc" / "Spacing.mg").write_text(
+            "module calc.Spacing; transient void Spacing = \"~\"* ;\n"
+            "transient void EndOfInput = !_ ;"
+        )
+        loader = ModuleLoader(paths=[tmp_path])
+        module = loader.load("calc.Spacing")
+        # the override defines Spacing over '~' instead of blanks
+        from repro.peg.expr import Literal, walk
+
+        literals = [
+            n.text
+            for p in module.productions
+            for a in p.alternatives
+            for n in walk(a.expr)
+            if isinstance(n, Literal)
+        ]
+        assert literals == ["~"]
+
+
+class TestBuiltins:
+    def test_builtin_grammars_found(self):
+        loader = ModuleLoader()
+        assert loader.load("jay.Expressions").name == "jay.Expressions"
+        assert loader.load("meta.Module").name == "meta.Module"
+
+    def test_builtin_disabled(self):
+        loader = ModuleLoader(include_builtin=False)
+        with pytest.raises(CompositionError, match="cannot find"):
+            loader.load("jay.Expressions")
+
+    def test_missing_module_message_counts_paths(self):
+        loader = ModuleLoader(paths=["/nonexistent"], include_builtin=False)
+        with pytest.raises(CompositionError, match="searched 1 paths"):
+            loader.load("no.Such")

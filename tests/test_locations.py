@@ -1,0 +1,99 @@
+"""Tests for source locations and failure reporting plumbing."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.locations import Location, line_column
+from repro.runtime.base import ParserBase, sizeof_deep
+
+
+class TestLineColumn:
+    def test_start(self):
+        assert line_column("abc", 0) == (1, 1)
+
+    def test_middle(self):
+        assert line_column("ab\ncd\nef", 4) == (2, 2)
+
+    def test_at_newline(self):
+        assert line_column("ab\ncd", 2) == (1, 3)
+
+    def test_after_newline(self):
+        assert line_column("ab\ncd", 3) == (2, 1)
+
+    def test_end_of_text(self):
+        assert line_column("ab\ncd", 5) == (2, 3)
+
+    def test_beyond_end_clamped(self):
+        assert line_column("ab", 99) == (1, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            line_column("ab", -1)
+
+    def test_empty_text(self):
+        assert line_column("", 0) == (1, 1)
+
+
+class TestParserBaseLocation:
+    def test_location_index_matches_line_column(self):
+        text = "one\ntwo\nthree\n"
+        parser = ParserBase(text)
+        for offset in range(len(text) + 1):
+            location = parser._location(offset)
+            assert (location.line, location.column) == line_column(text, offset)
+
+    def test_location_source(self):
+        parser = ParserBase("x")
+        parser._source = "file.jay"
+        assert parser._location(0).source == "file.jay"
+
+
+class TestFailureTracking:
+    def test_farthest_wins(self):
+        parser = ParserBase("abcdef")
+        parser._expected(2, "'x'")
+        parser._expected(5, "'y'")
+        parser._expected(3, "'z'")
+        error = parser.parse_error()
+        assert error.offset == 5
+        assert "'y'" in str(error) and "'z'" not in str(error)
+
+    def test_same_position_accumulates(self):
+        parser = ParserBase("ab")
+        parser._expected(1, "'x'")
+        parser._expected(1, "'y'")
+        error = parser.parse_error()
+        assert "'x'" in str(error) and "'y'" in str(error)
+
+    def test_eof_failure_described(self):
+        parser = ParserBase("ab")
+        parser._expected(2, "'c'")
+        assert "end of input" in str(parser.parse_error())
+
+    def test_check_complete(self):
+        parser = ParserBase("ab")
+        assert parser.check_complete(2, "value") == "value"
+        parser._expected(1, "'x'")
+        with pytest.raises(ParseError):
+            parser.check_complete(1, "value")
+
+
+class TestLocationValue:
+    def test_str(self):
+        assert str(Location("f.mg", 3, 9)) == "f.mg:3:9"
+
+    def test_frozen(self):
+        location = Location("f", 1, 1)
+        with pytest.raises(AttributeError):
+            location.line = 2  # type: ignore[misc]
+
+
+def test_sizeof_deep_counts_nested():
+    flat = sizeof_deep({})
+    nested = sizeof_deep({"k": [1, 2, 3], "j": {"x": (4, 5)}})
+    assert nested > flat
+
+
+def test_sizeof_deep_handles_shared_objects():
+    shared = [1, 2, 3]
+    assert sizeof_deep([shared, shared]) < 2 * sizeof_deep([shared, list(shared)])

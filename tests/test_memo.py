@@ -1,0 +1,83 @@
+"""Unit tests for the memo-table organizations."""
+
+import pytest
+
+from repro.runtime.memo import ChunkedMemoTable, DictMemoTable, make_memo_table
+
+RULES = [f"R{i}" for i in range(20)]
+
+
+@pytest.mark.parametrize("table_cls", [DictMemoTable, ChunkedMemoTable])
+class TestCommonBehavior:
+    def test_miss_then_hit(self, table_cls):
+        table = table_cls(RULES)
+        assert table.get(3, 100) is None
+        table.put(3, 100, (105, "value"))
+        assert table.get(3, 100) == (105, "value")
+
+    def test_rules_independent(self, table_cls):
+        table = table_cls(RULES)
+        table.put(0, 5, (6, "a"))
+        assert table.get(1, 5) is None
+        assert table.get(0, 6) is None
+
+    def test_failure_entries(self, table_cls):
+        table = table_cls(RULES)
+        table.put(2, 0, (-1, None))
+        assert table.get(2, 0) == (-1, None)
+
+    def test_entry_count(self, table_cls):
+        table = table_cls(RULES)
+        for rule in range(10):
+            for pos in range(7):
+                table.put(rule, pos, (pos + 1, None))
+        assert table.entry_count() == 70
+
+    def test_clear(self, table_cls):
+        table = table_cls(RULES)
+        table.put(1, 1, (2, "x"))
+        table.clear()
+        assert table.get(1, 1) is None
+        assert table.entry_count() == 0
+
+    def test_size_bytes_grows(self, table_cls):
+        table = table_cls(RULES)
+        empty = table.size_bytes()
+        for pos in range(50):
+            table.put(0, pos, (pos + 1, "payload"))
+        assert table.size_bytes() > empty
+
+    def test_overwrite(self, table_cls):
+        table = table_cls(RULES)
+        table.put(0, 0, (1, "a"))
+        table.put(0, 0, (2, "b"))
+        assert table.get(0, 0) == (2, "b")
+        assert table.entry_count() == 1
+
+
+class TestChunkedSpecifics:
+    def test_chunks_allocated_lazily(self):
+        table = ChunkedMemoTable(RULES, chunk_size=8)
+        table.put(0, 0, (1, None))  # chunk 0 at column 0
+        assert table.chunk_count() == 1
+        table.put(1, 0, (1, None))  # same chunk
+        assert table.chunk_count() == 1
+        table.put(8, 0, (1, None))  # chunk 1, same column
+        assert table.chunk_count() == 2
+        table.put(0, 9, (10, None))  # new column
+        assert table.chunk_count() == 3
+        assert table.column_count() == 2
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            ChunkedMemoTable(RULES, chunk_size=0)
+
+    def test_single_rule_grammar(self):
+        table = ChunkedMemoTable(["Only"])
+        table.put(0, 0, (1, "v"))
+        assert table.get(0, 0) == (1, "v")
+
+
+def test_factory():
+    assert isinstance(make_memo_table(RULES, chunked=True), ChunkedMemoTable)
+    assert isinstance(make_memo_table(RULES, chunked=False), DictMemoTable)

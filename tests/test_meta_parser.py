@@ -1,0 +1,204 @@
+"""Unit tests for the .mg module parser."""
+
+import pytest
+
+from repro.errors import GrammarSyntaxError
+from repro.meta.ast import Addition, Override, Removal
+from repro.meta.parser import parse_module
+from repro.peg.expr import (
+    Action,
+    And,
+    AnyChar,
+    Binding,
+    CharClass,
+    Choice,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+)
+from repro.peg.production import ValueKind
+
+
+class TestHeaderAndDependencies:
+    def test_minimal_module(self):
+        module = parse_module("module a.B;")
+        assert module.name == "a.B"
+        assert module.parameters == ()
+        assert module.productions == ()
+
+    def test_parameters(self):
+        module = parse_module("module util.Pair(First, Second);")
+        assert module.parameters == ("First", "Second")
+
+    def test_dependencies(self):
+        module = parse_module(
+            """
+            module m.M;
+            import a.A;
+            modify b.B;
+            instantiate util.Pair(a.A, b.B) as m.P;
+            """
+        )
+        kinds = [(d.kind, d.module, d.arguments, d.alias) for d in module.dependencies]
+        assert kinds == [
+            ("import", "a.A", (), None),
+            ("modify", "b.B", (), None),
+            ("instantiate", "util.Pair", ("a.A", "b.B"), "m.P"),
+        ]
+        assert module.is_modifier
+        assert module.modified_targets() == ["b.B"]
+
+    def test_import_with_arguments_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_module("module m.M; import a.A(b.B);")
+
+    def test_options(self):
+        module = parse_module("module m.M; option withLocation, verbose;")
+        assert module.options == frozenset({"withLocation", "verbose"})
+
+    def test_missing_module_keyword(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_module("modul m.M;")
+
+
+class TestProductions:
+    def parse_one(self, text):
+        module = parse_module(f"module m.M;\n{text}")
+        assert len(module.productions) == 1
+        return module.productions[0]
+
+    def test_kinds_and_default(self):
+        assert self.parse_one('void A = "a" ;').kind is ValueKind.VOID
+        assert self.parse_one('String A = "a" ;').kind is ValueKind.TEXT
+        assert self.parse_one('generic A = "a" ;').kind is ValueKind.GENERIC
+        assert self.parse_one('Object A = "a" ;').kind is ValueKind.OBJECT
+        assert self.parse_one('A = "a" ;').kind is ValueKind.OBJECT
+
+    def test_attributes(self):
+        production = self.parse_one('public transient void A = "a" ;')
+        assert production.attributes == frozenset({"public", "transient"})
+
+    def test_production_named_like_attribute(self):
+        production = self.parse_one('inline = "a" ;')
+        assert production.name == "inline"
+        assert production.attributes == frozenset()
+
+    def test_production_named_like_kind(self):
+        production = self.parse_one('generic = "a" ;')
+        assert production.name == "generic"
+        assert production.kind is ValueKind.OBJECT
+
+    def test_labels(self):
+        production = self.parse_one('generic A = <X> "x" / <Y> "y" / "z" ;')
+        assert [a.label for a in production.alternatives] == ["X", "Y", None]
+
+    def test_sequence_and_operators(self):
+        production = self.parse_one('A = &"a" !"b" x:B void:C text:D E* F+ G? _ ;')
+        items = production.alternatives[0].expr.items
+        assert isinstance(items[0], And)
+        assert isinstance(items[1], Not)
+        assert isinstance(items[2], Binding) and items[2].name == "x"
+        assert isinstance(items[3], Voided)
+        assert isinstance(items[4], Text)
+        assert isinstance(items[5], Repetition) and items[5].min == 0
+        assert isinstance(items[6], Repetition) and items[6].min == 1
+        assert isinstance(items[7], Option)
+        assert isinstance(items[8], AnyChar)
+
+    def test_nested_choice_groups(self):
+        production = self.parse_one('A = ( "a" / "b" ) "c" ;')
+        expr = production.alternatives[0].expr
+        assert isinstance(expr, Sequence)
+        assert isinstance(expr.items[0], Choice)
+
+    def test_parenthesized_sequence_splices(self):
+        production = self.parse_one('A = "a" ( "b" "c" ) "d" ;')
+        expr = production.alternatives[0].expr
+        # grouping of a pure sequence splices into the parent (documented)
+        assert len(expr.items) == 4
+
+    def test_action(self):
+        production = self.parse_one("A = x:B { cons(x, []) } ;")
+        action = production.alternatives[0].expr.items[-1]
+        assert isinstance(action, Action) and "cons" in action.code
+
+    def test_char_class_and_literals(self):
+        production = self.parse_one('A = [a-z] "lit" "ci"i ;')
+        items = production.alternatives[0].expr.items
+        assert isinstance(items[0], CharClass)
+        assert items[1] == Literal("lit")
+        assert items[2] == Literal("ci", ignore_case=True)
+
+    def test_empty_literal_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            self.parse_one('A = "" ;')
+
+    def test_missing_semicolon(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_module('module m.M; A = "a"')
+
+    def test_bad_char_class(self):
+        with pytest.raises(GrammarSyntaxError):
+            self.parse_one("A = [z-a] ;")
+
+
+class TestModifications:
+    def parse_mods(self, text):
+        return parse_module(f"module m.M;\nmodify m.Base;\n{text}").modifications
+
+    def test_addition_append_default(self):
+        (mod,) = self.parse_mods('A += <X> "x" ;')
+        assert isinstance(mod, Addition)
+        assert mod.before == ()
+        assert len(mod.after) == 1
+
+    def test_addition_prepend(self):
+        (mod,) = self.parse_mods('A += <X> "x" / ... ;')
+        assert len(mod.before) == 1 and mod.after == ()
+
+    def test_addition_both_sides(self):
+        (mod,) = self.parse_mods('A += <X> "x" / ... / <Y> "y" ;')
+        assert len(mod.before) == 1 and len(mod.after) == 1
+
+    def test_double_ellipsis_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            self.parse_mods('A += ... / "x" / ... ;')
+
+    def test_addition_cannot_change_kind(self):
+        with pytest.raises(GrammarSyntaxError):
+            self.parse_mods('void A += "x" ;')
+
+    def test_override(self):
+        (mod,) = self.parse_mods('A := "x" / "y" ;')
+        assert isinstance(mod, Override)
+        assert mod.kind is None and mod.attributes is None
+        assert len(mod.alternatives) == 2
+
+    def test_override_with_kind_and_attrs(self):
+        (mod,) = self.parse_mods('transient String A := "x" ;')
+        assert mod.kind is ValueKind.TEXT
+        assert mod.attributes == frozenset({"transient"})
+
+    def test_removal(self):
+        (mod,) = self.parse_mods("A -= <X>, <Y> ;")
+        assert isinstance(mod, Removal)
+        assert mod.labels == ("X", "Y")
+
+    def test_ellipsis_rejected_in_plain_production(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_module('module m.M; A = ... / "x" ;')
+
+
+def test_source_text_retained():
+    source = 'module m.M;\nA = "a" ;\n'
+    assert parse_module(source).source_text == source
+
+
+def test_location_reported():
+    module = parse_module('module m.M;\n\nA = "a" ;')
+    assert module.productions[0].location.line == 3

@@ -1,0 +1,75 @@
+"""Unit tests for generic AST nodes and the fold-left fix-up."""
+
+from repro.locations import Location
+from repro.runtime.node import GNode, fold_left
+
+
+class TestGNode:
+    def test_container_protocol(self):
+        node = GNode("N", ("a", "b", "c"))
+        assert len(node) == 3
+        assert node[1] == "b"
+        assert list(node) == ["a", "b", "c"]
+
+    def test_repr(self):
+        assert repr(GNode("Leaf")) == "(Leaf)"
+        assert repr(GNode("N", ("x", GNode("M")))) == "(N 'x' (M))"
+        assert repr(GNode("N", (["a", "b"],))) == "(N ['a' 'b'])"
+
+    def test_equality_ignores_location(self):
+        a = GNode("N", ("x",), Location("f", 1, 1))
+        b = GNode("N", ("x",), Location("g", 9, 9))
+        c = GNode("N", ("x",), None)
+        assert a == b == c
+        assert hash(a) == hash(b) == hash(c)
+
+    def test_inequality(self):
+        assert GNode("N", ("x",)) != GNode("M", ("x",))
+        assert GNode("N", ("x",)) != GNode("N", ("y",))
+        assert GNode("N") != "N"
+
+    def test_nested_list_children_equality(self):
+        a = GNode("N", ([GNode("A"), GNode("B")],))
+        b = GNode("N", ([GNode("A"), GNode("B")],))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_size(self):
+        tree = GNode("R", (GNode("A"), [GNode("B"), GNode("C", (GNode("D"),))]))
+        assert tree.size() == 5
+
+    def test_find_all(self):
+        tree = GNode("Add", (GNode("Add", (GNode("Int", ("1",)), GNode("Int", ("2",)))), GNode("Int", ("3",))))
+        assert len(tree.find_all("Int")) == 3
+        assert len(tree.find_all("Add")) == 2
+        assert tree.find_all("Mul") == []
+
+    def test_find_all_preorder_source_order(self):
+        tree = GNode("R", (GNode("Int", ("1",)), GNode("Int", ("2",))))
+        assert [n[0] for n in tree.find_all("Int")] == ["1", "2"]
+
+
+class TestFoldLeft:
+    def test_empty_suffixes(self):
+        seed = GNode("Int", ("1",))
+        assert fold_left(seed, []) is seed
+
+    def test_left_leaning(self):
+        seed = GNode("Int", ("1",))
+        suffixes = [GNode("Sub", (GNode("Int", ("2",)),)), GNode("Sub", (GNode("Int", ("3",)),))]
+        result = fold_left(seed, suffixes)
+        assert result == GNode(
+            "Sub",
+            (GNode("Sub", (GNode("Int", ("1",)), GNode("Int", ("2",)))), GNode("Int", ("3",))),
+        )
+
+    def test_location_propagates_from_seed(self):
+        loc = Location("f", 3, 7)
+        seed = GNode("Int", ("1",), loc)
+        result = fold_left(seed, [GNode("Neg", ())])
+        assert result.location == loc
+
+    def test_mixed_suffix_arity(self):
+        seed = GNode("X")
+        result = fold_left(seed, [GNode("Call", (["a"],))])
+        assert result == GNode("Call", (GNode("X"), ["a"]))

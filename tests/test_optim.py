@@ -1,0 +1,364 @@
+"""Tests for the optimization passes and the prepare pipeline."""
+
+import pytest
+
+from repro.interp import PackratInterpreter
+from repro.optim import (
+    Options,
+    fold_grammar,
+    fold_prefixes,
+    infer_transient,
+    inline_cheap_productions,
+    prepare,
+    specialize_terminals,
+    strip_transient,
+)
+from repro.peg.builder import (
+    GrammarBuilder,
+    alt,
+    bang,
+    cc,
+    lit,
+    opt,
+    plus,
+    ref,
+    star,
+    text,
+    void,
+)
+from repro.peg.expr import CharSwitch, Choice, Literal, Nonterminal, Sequence, walk
+from repro.runtime.node import GNode
+
+
+class TestOptions:
+    def test_all_and_none(self):
+        assert Options.all().enabled() == Options.flag_names()
+        assert Options.none().enabled() == []
+
+    def test_without(self):
+        options = Options.all().without("chunks", "inline")
+        assert not options.chunks and not options.inline
+        assert options.terminals
+
+    def test_cumulative_ladder(self):
+        ladder = Options.cumulative()
+        assert ladder[0][0] == "none"
+        assert len(ladder) == len(Options.flag_names()) + 1
+        assert ladder[-1][1].enabled() == Options.flag_names()
+        # each rung enables exactly one more flag
+        for (_, before), (_, after) in zip(ladder, ladder[1:]):
+            assert len(after.enabled()) == len(before.enabled()) + 1
+
+    def test_threshold_not_a_flag(self):
+        assert "inline_threshold" not in Options.flag_names()
+
+
+class TestGrammarFolding:
+    def test_duplicate_productions_merged(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("A"), ref("B")])
+        builder.void("A", [star(lit(" "))])
+        builder.void("B", [star(lit(" "))])
+        folded = fold_grammar(builder.build())
+        assert len(folded) == 2
+        refs = folded["S"].referenced_names()
+        assert len(refs) == 1
+
+    def test_pinned_productions_survive(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("A"), ref("B")])
+        builder.void("A", [lit("x")])
+        builder.void("B", [lit("x")], public=True)
+        folded = fold_grammar(builder.build())
+        assert "B" in folded  # public duplicate kept as representative
+
+    def test_generic_with_unlabeled_alternatives_not_merged(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("A"), ref("B")])
+        builder.generic("A", [text(lit("x")), text(lit("y"))])
+        builder.generic("B", [text(lit("x")), text(lit("y"))])
+        folded = fold_grammar(builder.build())
+        assert len(folded) == 3  # node names depend on production names
+
+    def test_duplicate_alternatives_dropped(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [lit("a")], [lit("b")], [lit("a")])
+        folded = fold_grammar(builder.build())
+        assert len(folded["S"].alternatives) == 2
+
+    def test_semantics_preserved(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("A"), text(plus(cc("0-9"))), ref("B")])
+        builder.void("A", [star(lit(" "))])
+        builder.void("B", [star(lit(" "))])
+        grammar = builder.build()
+        folded = fold_grammar(grammar)
+        for sample in [" 42 ", "7"]:
+            assert PackratInterpreter(folded).parse(sample) == PackratInterpreter(grammar).parse(sample)
+
+
+class TestPrefixFolding:
+    def test_keyword_choice_folded(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [lit("interface")], [lit("int")], [lit("if")])
+        folded = fold_prefixes(builder.build())
+        # All three share "i"; the top level should now be a single alternative.
+        assert len(folded["S"].alternatives) == 1
+
+    def test_language_preserved(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [lit("interface")], [lit("int")], [lit("if")], [lit("in")])
+        grammar = builder.build()
+        folded = fold_prefixes(grammar)
+        a, b = PackratInterpreter(grammar), PackratInterpreter(folded)
+        for word in ["interface", "int", "if", "in"]:
+            assert a.recognize(word) and b.recognize(word)
+        for bad in ["i", "inter", "interfac", "x", ""]:
+            assert a.recognize(bad) == b.recognize(bad)
+
+    def test_value_bearing_alternatives_untouched(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("A"), text(lit("x"))], [ref("A"), text(lit("y"))])
+        builder.void("A", [lit("a")])
+        folded = fold_prefixes(builder.build())
+        # Alternatives contribute values, so no top-level folding happened.
+        assert len(folded["S"].alternatives) == 2
+
+    def test_nested_choice_with_value_free_prefix(self):
+        builder = GrammarBuilder("t", start="S")
+        inner = Choice((Sequence((Literal("ab"), Literal("c"))), Sequence((Literal("ab"), Literal("d")))))
+        builder.void("S", [inner])
+        folded = fold_prefixes(builder.build())
+        interp = PackratInterpreter(folded)
+        assert interp.recognize("abc") and interp.recognize("abd")
+        assert not interp.recognize("ab")
+
+
+class TestTerminalSpecialization:
+    def test_char_switch_built(self):
+        builder = GrammarBuilder("t", start="S")
+        inner = Choice((Literal("alpha"), Literal("beta"), Literal("gamma")))
+        builder.void("S", [inner])
+        specialized = specialize_terminals(builder.build())
+        switches = [
+            node
+            for production in specialized
+            for a in production.alternatives
+            for node in walk(a.expr)
+            if isinstance(node, CharSwitch)
+        ]
+        assert switches, "expected a CharSwitch"
+
+    def test_shared_first_chars_keep_order(self):
+        builder = GrammarBuilder("t", start="S")
+        inner = Choice((Literal("ab"), Literal("ac"), Literal("x")))
+        builder.object("S", [text(inner)])
+        grammar = builder.build()
+        specialized = specialize_terminals(grammar)
+        for sample in ["ab", "ac", "x"]:
+            assert PackratInterpreter(specialized).parse(sample) == PackratInterpreter(grammar).parse(sample)
+
+    def test_nullable_alternative_blocks_dispatch(self):
+        builder = GrammarBuilder("t", start="S")
+        inner = Choice((Literal("a"), Literal("b"), opt(lit("c"))))
+        builder.void("S", [inner, lit("!")])
+        specialized = specialize_terminals(builder.build())
+        switches = [
+            node
+            for production in specialized
+            for a in production.alternatives
+            for node in walk(a.expr)
+            if isinstance(node, CharSwitch)
+        ]
+        assert not switches
+
+    def test_small_choices_skipped(self):
+        # Multi-character literals: no single-char merging applies, and two
+        # alternatives are below the dispatch threshold.
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [Choice((Literal("aa"), Literal("bb")))])
+        specialized = specialize_terminals(builder.build())
+        assert specialized == builder.build()
+
+
+class TestTransient:
+    def test_single_call_site_inferred(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("Once"), ref("Twice"), ref("Twice")])
+        builder.void("Once", [lit("1")])
+        builder.void("Twice", [lit("2")])
+        inferred = infer_transient(builder.build())
+        assert inferred["Once"].is_transient
+        assert not inferred["Twice"].is_transient
+
+    def test_memo_attribute_wins(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("Once")])
+        builder.void("Once", [lit("1")], memo=True)
+        inferred = infer_transient(builder.build())
+        assert not inferred["Once"].is_transient
+
+    def test_strip(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("A")])
+        builder.void("A", [lit("a")], transient=True)
+        stripped = strip_transient(builder.build())
+        assert not stripped["A"].is_transient
+
+
+class TestInlining:
+    def test_void_token_inlined(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("SEMI"), text(lit("x"))])
+        builder.void("SEMI", [lit(";"), star(lit(" "))])
+        inlined = inline_cheap_productions(builder.build())
+        assert "SEMI" not in inlined
+        assert PackratInterpreter(inlined).parse(";  x") == "x"
+
+    def test_text_production_inlined(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("Digit")])
+        builder.text("Digit", [cc("0-9")])
+        inlined = inline_cheap_productions(builder.build())
+        assert "Digit" not in inlined
+        assert PackratInterpreter(inlined).parse("7") == "7"
+
+    def test_object_single_contribution_inlined(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("Num"), lit("!")])
+        builder.object("Num", [text(cc("0-9")), void(star(lit(" ")))])
+        inlined = inline_cheap_productions(builder.build())
+        assert "Num" not in inlined
+        assert PackratInterpreter(inlined).parse("7 !") == "7"
+
+    def test_generic_never_inlined(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("G")])
+        builder.generic("G", alt("X", lit("g")))
+        inlined = inline_cheap_productions(builder.build())
+        assert "G" in inlined
+
+    def test_noinline_respected(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("A")])
+        builder.void("A", [lit("a")], noinline=True)
+        assert "A" in inline_cheap_productions(builder.build())
+
+    def test_inline_attribute_forces(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("Big")])
+        # Expensive body, but explicitly marked inline.
+        builder.void("Big", [lit("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")], inline=True)
+        assert "Big" not in inline_cheap_productions(builder.build(), threshold=1)
+
+    def test_recursive_not_inlined(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("R")])
+        builder.void("R", [lit("("), opt(ref("R")), lit(")")])
+        assert "R" in inline_cheap_productions(builder.build())
+
+    def test_bodies_with_actions_not_inlined(self):
+        builder = GrammarBuilder("t", start="S")
+        from repro.peg.builder import act, bind
+
+        builder.object("S", [ref("A")])
+        builder.object("A", [bind("x", text(lit("a"))), act("x")])
+        assert "A" in inline_cheap_productions(builder.build())
+
+    def test_public_inlinee_kept(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("Tok")])
+        builder.void("Tok", [lit("t")], public=True)
+        inlined = inline_cheap_productions(builder.build())
+        assert "Tok" in inlined  # inlined at call site but kept as entry point
+
+
+class TestPipeline:
+    @pytest.fixture()
+    def grammar(self, tiny_grammar):
+        return tiny_grammar
+
+    @pytest.mark.parametrize("flag", Options.flag_names())
+    def test_single_flag_off_preserves_values(self, grammar, flag):
+        reference = PackratInterpreter(prepare(grammar).grammar).parse("1+2*(3-4)")
+        prepared = prepare(grammar, Options.all().without(flag))
+        value = PackratInterpreter(prepared.grammar, chunked=prepared.chunked_memo).parse("1+2*(3-4)")
+        assert value == reference
+
+    def test_none_preserves_values(self, grammar):
+        reference = PackratInterpreter(prepare(grammar).grammar).parse("1+2*(3-4)")
+        prepared = prepare(grammar, Options.none())
+        assert PackratInterpreter(prepared.grammar, chunked=False).parse("1+2*(3-4)") == reference
+
+    def test_warnings_propagated(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [lit("s")])
+        builder.object("Dead", [lit("d")])
+        prepared = prepare(builder.build())
+        assert any("unreachable" in str(w) for w in prepared.warnings)
+
+    def test_runtime_flags_exposed(self, grammar):
+        prepared = prepare(grammar, Options.all().without("chunks", "errors"))
+        assert not prepared.chunked_memo
+        assert not prepared.fast_errors
+
+
+class TestSingleCharMerging:
+    def _switches_and_classes(self, grammar):
+        from repro.optim import specialize_terminals
+
+        specialized = specialize_terminals(grammar)
+        nodes = [
+            node
+            for production in specialized
+            for a in production.alternatives
+            for node in walk(a.expr)
+        ]
+        return specialized, nodes
+
+    def test_adjacent_single_chars_merged(self):
+        from repro.peg.expr import CharClass
+
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [Choice((Literal("+"), Literal("-"), cc("0-9")))])
+        specialized, nodes = self._switches_and_classes(builder.build())
+        classes = [n for n in nodes if isinstance(n, CharClass)]
+        assert len(classes) == 1
+        assert classes[0].matches("+") and classes[0].matches("-") and classes[0].matches("5")
+
+    def test_merge_stops_at_multichar_literal(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [Choice((Literal("a"), Literal("xy"), Literal("b")))])
+        specialized, nodes = self._switches_and_classes(builder.build())
+        # "a" cannot merge across "xy" with "b" — order must be preserved.
+        interp = PackratInterpreter(specialized)
+        for sample in ["a", "xy", "b"]:
+            assert interp.recognize(sample)
+        assert not interp.recognize("x")
+
+    def test_ignore_case_chars_expand(self):
+        from repro.optim.terminals import merge_single_char_alternatives
+        from repro.peg.expr import CharClass, Choice as ChoiceExpr
+
+        merged = merge_single_char_alternatives(
+            ChoiceExpr((Literal("k", ignore_case=True), Literal("j")))
+        )
+        assert isinstance(merged, CharClass)
+        for ch in "kKj":
+            assert merged.matches(ch)
+        assert not merged.matches("J")
+
+    def test_values_preserved(self):
+        from repro.peg.builder import act, bind
+
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [bind("op", Choice((lit("+"), lit("-")))), act("op")])
+        grammar = builder.build()
+        from repro.optim import specialize_terminals
+
+        specialized = specialize_terminals(grammar)
+        for sample in ["+", "-"]:
+            assert (
+                PackratInterpreter(specialized).parse(sample)
+                == PackratInterpreter(grammar).parse(sample)
+            )

@@ -1,0 +1,123 @@
+"""Pretty-printer tests, including the print→parse round-trip."""
+
+import pytest
+
+from repro.meta import ModuleLoader, parse_module
+from repro.modules import compose
+from repro.peg.builder import (
+    GrammarBuilder,
+    act,
+    alt,
+    amp,
+    any_,
+    bang,
+    bind,
+    cc,
+    lit,
+    opt,
+    plus,
+    ref,
+    star,
+    text,
+    void,
+)
+from repro.peg.expr import Choice, Literal, Sequence
+from repro.peg.pretty import format_expression, format_grammar, format_production, quote_literal
+
+
+class TestExpressionFormatting:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            (lit("abc"), '"abc"'),
+            (lit("se", ignore_case=True), '"se"i'),
+            (lit('q"\n'), '"q\\"\\n"'),
+            (cc("a-z0"), "[0a-z]"),
+            (cc("^a"), "[^a]"),
+            (any_(), "_"),
+            (ref("Name"), "Name"),
+            (star(lit("a")), '"a"*'),
+            (plus(ref("A")), "A+"),
+            (opt(ref("A")), "A?"),
+            (amp(ref("A")), "&A"),
+            (bang(ref("A")), "!A"),
+            (bind("x", ref("A")), "x:A"),
+            (void(ref("A")), "void:A"),
+            (text(ref("A")), "text:A"),
+            (act("cons(a, b)"), "{ cons(a, b) }"),
+        ],
+    )
+    def test_atoms(self, expr, expected):
+        assert format_expression(expr) == expected
+
+    def test_sequence_spacing(self):
+        assert format_expression(Sequence((lit("a"), ref("B")))) == '"a" B'
+
+    def test_choice_parenthesized_in_sequence(self):
+        expr = Sequence((Choice((lit("a"), lit("b"))), lit("c")))
+        assert format_expression(expr) == '("a" / "b") "c"'
+
+    def test_suffix_on_group(self):
+        assert format_expression(star(lit("a"), lit("b"))) == '("a" "b")*'
+
+    def test_class_escapes(self):
+        # ranges are normalized into sorted order, '-' < ']'
+        assert format_expression(cc("\\]\\-")) == "[\\-\\]]"
+
+    def test_quote_literal_control_chars(self):
+        assert quote_literal("\t") == '"\\t"'
+
+
+class TestRoundTrip:
+    def grammar(self):
+        builder = GrammarBuilder("demo", start="S")
+        builder.generic(
+            "S",
+            alt("Pair", ref("T"), void(lit(",")), ref("T")),
+            alt(None, ref("T")),
+            public=True,
+        )
+        builder.object("T", [bind("d", text(plus(cc("0-9")))), act("d")])
+        builder.void("Sp", [star(Choice((lit(" "), lit("\t"))))], transient=True)
+        builder.text("Word", [cc("a-z"), star(cc("a-z0-9"))])
+        return builder.build(validate=False)
+
+    def test_print_then_parse_is_identity(self):
+        grammar = self.grammar()
+        printed = format_grammar(grammar)
+        module = parse_module(printed)
+        assert module.name == "demo"
+        reparsed = {p.name: p for p in module.productions}
+        for production in grammar:
+            original = production
+            parsed = reparsed[production.name]
+            assert parsed.kind == original.kind
+            assert parsed.attributes == original.attributes
+            assert [a.label for a in parsed.alternatives] == [
+                a.label for a in original.alternatives
+            ]
+            assert [a.expr for a in parsed.alternatives] == [
+                a.expr for a in original.alternatives
+            ]
+
+    def test_shipped_grammars_round_trip(self):
+        for root in ("calc.Calculator", "json.Json"):
+            grammar = compose(root, ModuleLoader())
+            printed = format_grammar(grammar)
+            module = parse_module(printed)
+            reparsed = {p.name: p for p in module.productions}
+            for production in grammar:
+                assert reparsed[production.name].alternatives == tuple(
+                    a.with_expr(a.expr) for a in production.alternatives
+                ) or [a.expr for a in reparsed[production.name].alternatives] == [
+                    a.expr for a in production.alternatives
+                ]
+
+    def test_production_format_shape(self):
+        production = self.grammar()["S"]
+        rendered = format_production(production)
+        lines = rendered.splitlines()
+        assert lines[0] == "public generic S ="
+        assert lines[1].startswith("    <Pair>")
+        assert lines[2].startswith("  / ")
+        assert lines[-1] == "  ;"

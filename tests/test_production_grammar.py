@@ -1,0 +1,142 @@
+"""Unit tests for productions and flat grammars."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.peg.builder import GrammarBuilder, lit, ref
+from repro.peg.expr import Literal, Nonterminal
+from repro.peg.grammar import Grammar
+from repro.peg.production import Alternative, Production, ValueKind
+
+
+def prod(name, *refs, kind=ValueKind.OBJECT, attrs=()):
+    alternatives = tuple(Alternative(Nonterminal(r)) for r in refs) or (
+        Alternative(Literal(name.lower())),
+    )
+    return Production(name, kind, alternatives, frozenset(attrs))
+
+
+class TestProduction:
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(ValueError):
+            Production("P", attributes=frozenset({"bogus"}))
+
+    def test_conflicting_attributes(self):
+        with pytest.raises(ValueError):
+            Production("P", attributes=frozenset({"inline", "noinline"}))
+        with pytest.raises(ValueError):
+            Production("P", attributes=frozenset({"transient", "memo"}))
+
+    def test_flags(self):
+        production = prod("P", attrs=("public", "transient"))
+        assert production.is_public
+        assert production.is_transient
+        assert production.has("public")
+        assert not production.has("memo")
+
+    def test_referenced_names(self):
+        production = prod("P", "A", "B")
+        assert production.referenced_names() == {"A", "B"}
+
+    def test_label_names(self):
+        production = Production(
+            "P",
+            alternatives=(
+                Alternative(Literal("a"), "First"),
+                Alternative(Literal("b")),
+                Alternative(Literal("c"), "Third"),
+            ),
+        )
+        assert production.label_names() == ["First", "Third"]
+
+    def test_with_helpers_return_new(self):
+        production = prod("P")
+        updated = production.with_attributes(frozenset({"memo"}))
+        assert updated.has("memo") and not production.has("memo")
+
+
+class TestGrammar:
+    def make(self):
+        return Grammar((prod("S", "A"), prod("A", "B"), prod("B")), start="S")
+
+    def test_duplicate_production_rejected(self):
+        with pytest.raises(AnalysisError):
+            Grammar((prod("S"), prod("S")), start="S")
+
+    def test_missing_start_rejected(self):
+        with pytest.raises(AnalysisError):
+            Grammar((prod("A"),), start="S")
+
+    def test_mapping_protocol(self):
+        grammar = self.make()
+        assert "A" in grammar and "Z" not in grammar
+        assert grammar["A"].name == "A"
+        assert grammar.get("Z") is None
+        assert len(grammar) == 3
+        assert grammar.names() == ["S", "A", "B"]
+        with pytest.raises(KeyError):
+            grammar["Z"]
+
+    def test_replace_production(self):
+        grammar = self.make()
+        updated = grammar.replace_production(prod("A", "B", attrs=("transient",)))
+        assert updated["A"].is_transient
+        assert not grammar["A"].is_transient
+        with pytest.raises(KeyError):
+            grammar.replace_production(prod("Z"))
+
+    def test_add_remove(self):
+        grammar = self.make().add_production(prod("C"))
+        assert "C" in grammar
+        with pytest.raises(AnalysisError):
+            grammar.add_production(prod("C"))
+        trimmed = grammar.remove_productions(["C"])
+        assert "C" not in trimmed
+        with pytest.raises(AnalysisError):
+            grammar.remove_productions(["S"])  # can't remove the start
+
+    def test_undefined_references(self):
+        grammar = Grammar((prod("S", "Ghost"),), start="S")
+        assert grammar.undefined_references() == {"S": {"Ghost"}}
+        with pytest.raises(AnalysisError):
+            grammar.validate()
+
+    def test_validate_clean(self):
+        self.make().validate()
+
+    def test_with_start(self):
+        grammar = self.make().with_start("A")
+        assert grammar.start == "A"
+
+
+class TestBuilder:
+    def test_duplicate_rule_rejected(self):
+        builder = GrammarBuilder("g", start="A")
+        builder.object("A", [lit("a")])
+        with pytest.raises(AnalysisError):
+            builder.object("A", [lit("b")])
+
+    def test_kinds(self):
+        builder = GrammarBuilder("g", start="A")
+        builder.generic("A", [ref("B")])
+        builder.text("B", [lit("b")])
+        builder.void("C", [lit("c")])
+        builder.object("D", [lit("d")])
+        grammar = builder.build(validate=False)
+        assert grammar["A"].kind is ValueKind.GENERIC
+        assert grammar["B"].kind is ValueKind.TEXT
+        assert grammar["C"].kind is ValueKind.VOID
+        assert grammar["D"].kind is ValueKind.OBJECT
+
+    def test_validation_on_build(self):
+        builder = GrammarBuilder("g", start="A")
+        builder.object("A", [ref("Missing")])
+        with pytest.raises(AnalysisError):
+            builder.build()
+
+    def test_with_location_marks_generics(self):
+        builder = GrammarBuilder("g", start="A", with_location=True)
+        builder.generic("A", [lit("a")])
+        grammar = builder.build()
+        assert grammar["A"].has("withLocation")
+        assert "withLocation" in grammar.options

@@ -1,0 +1,191 @@
+"""Property tests over the printer/reader chain.
+
+Random well-formed grammars are pretty-printed to ``.mg`` text; the text
+is then read back with BOTH readers (hand-written and self-hosted) and the
+resulting productions must equal the originals:
+
+    grammar --format_grammar--> text --parse_module-----------> g1 == grammar
+                                    --parse_module_selfhosted--> g2 == grammar
+
+This simultaneously exercises the printer (precedence, escaping), both
+readers (one of which is itself a product of the whole pipeline), and the
+structural-equality model.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.meta.parser import parse_module
+from repro.meta.selfhost import parse_module_selfhosted
+from repro.peg.expr import (
+    And,
+    AnyChar,
+    Binding,
+    CharClass,
+    Choice,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.pretty import format_grammar
+from repro.peg.production import Alternative, Production, ValueKind
+
+_NAMES = ["R0", "R1", "R2"]
+_LITERAL_TEXTS = ["a", "ab", "+", "\\", '"', "\n", "\t", "x y", "0", "ü"]
+_CLASS_SPECS = ["a-z", "0-9_", "^a-c", "\\]\\-", "A", " \\t"]
+
+
+@st.composite
+def expressions(draw, depth=0):
+    if depth >= 3:
+        kind = draw(st.sampled_from(["lit", "class", "any", "ref"]))
+    else:
+        kind = draw(
+            st.sampled_from(
+                ["lit", "class", "any", "ref", "seq", "choice",
+                 "star", "plus", "opt", "and", "not", "void", "text", "bind"]
+            )
+        )
+    if kind == "lit":
+        return Literal(draw(st.sampled_from(_LITERAL_TEXTS)), draw(st.booleans()))
+    if kind == "class":
+        from repro.peg.expr import char_class
+
+        return char_class(draw(st.sampled_from(_CLASS_SPECS)))
+    if kind == "any":
+        return AnyChar()
+    if kind == "ref":
+        return Nonterminal(draw(st.sampled_from(_NAMES)))
+    if kind == "seq":
+        # Use the normalizing constructor: the printer/reader round-trip is
+        # specified over *normalized* IR (nested sequences splice — that IS
+        # the grouping semantics of the surface language).
+        from repro.peg.expr import seq
+
+        return seq(
+            *(draw(expressions(depth=depth + 1)) for _ in range(draw(st.integers(2, 3))))
+        )
+    if kind == "choice":
+        from repro.peg.expr import choice
+
+        return choice(
+            *(draw(expressions(depth=depth + 1)) for _ in range(draw(st.integers(2, 3))))
+        )
+    inner = draw(expressions(depth=depth + 1))
+    if kind == "star":
+        return Repetition(inner, 0)
+    if kind == "plus":
+        return Repetition(inner, 1)
+    if kind == "opt":
+        return Option(inner)
+    if kind == "and":
+        return And(inner)
+    if kind == "not":
+        return Not(inner)
+    if kind == "void":
+        return Voided(inner)
+    if kind == "text":
+        return Text(inner)
+    return Binding(draw(st.sampled_from(["x", "y", "val"])), inner)
+
+
+@st.composite
+def grammars(draw) -> Grammar:
+    kinds = st.sampled_from(list(ValueKind))
+    attribute_sets = st.sets(st.sampled_from(["public", "transient", "withLocation"]))
+    productions = []
+    for name in _NAMES:
+        n_alts = draw(st.integers(1, 3))
+        alternatives = []
+        for index in range(n_alts):
+            label = draw(st.one_of(st.none(), st.sampled_from(["A", "B", "Lbl"])))
+            # labels must be unique within a production
+            if label is not None and label in [a.label for a in alternatives]:
+                label = None
+            alternatives.append(Alternative(draw(expressions()), label))
+        productions.append(
+            Production(
+                name,
+                draw(kinds),
+                tuple(alternatives),
+                frozenset(draw(attribute_sets)),
+            )
+        )
+    return Grammar(tuple(productions), start="R0", name="rand.G")
+
+
+@given(grammars())
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_print_then_read_is_identity_for_both_readers(grammar):
+    printed = format_grammar(grammar)
+
+    for reader in (parse_module, parse_module_selfhosted):
+        module = reader(printed, "roundtrip.mg")
+        assert module.name == "rand.G"
+        reparsed = {p.name: p for p in module.productions}
+        assert set(reparsed) == set(grammar.names())
+        for production in grammar:
+            got = reparsed[production.name]
+            assert got.kind == production.kind, (reader.__name__, production.name)
+            assert got.attributes == production.attributes
+            assert list(got.alternatives) == list(production.alternatives), (
+                reader.__name__,
+                production.name,
+                format_grammar(grammar),
+            )
+
+
+@given(grammars())
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+def test_both_readers_always_agree_on_printed_grammars(grammar):
+    printed = format_grammar(grammar)
+    assert parse_module(printed) == parse_module_selfhosted(printed)
+
+
+# ---------------------------------------------------------------------------
+# Reader agreement on arbitrary (mostly invalid) token soup: whatever one
+# reader accepts, the other must accept too, with the same result.
+# ---------------------------------------------------------------------------
+
+from repro.errors import GrammarSyntaxError  # noqa: E402
+
+_TOKENS = [
+    "module", "import", "modify", "instantiate", "option", "as",
+    "public", "transient", "void", "String", "generic", "Object",
+    "Name", "a.B", "x", ";", "=", "+=", ":=", "-=", "/", "<", ">",
+    "(", ")", "*", "+", "?", "&", "!", ":", ",", "_", "...",
+    '"lit"', "[a-z]", "{ x }", "<L>", "text:", "void:",
+]
+
+
+@given(st.lists(st.sampled_from(_TOKENS), max_size=14))
+@settings(max_examples=300, deadline=None)
+def test_readers_agree_on_token_soup(tokens):
+    source = "module t.M;\n" + " ".join(tokens)
+    try:
+        hand = parse_module(source)
+        hand_error = None
+    except GrammarSyntaxError:
+        hand = None
+        hand_error = True
+    try:
+        hosted = parse_module_selfhosted(source)
+        hosted_error = None
+    except GrammarSyntaxError:
+        hosted = None
+        hosted_error = True
+    assert (hand_error is None) == (hosted_error is None), source
+    if hand is not None:
+        assert hand == hosted, source

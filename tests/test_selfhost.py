@@ -1,0 +1,103 @@
+"""The bootstrap: the ``.mg`` language defined in ``.mg``.
+
+``meta.Module`` (plus its imports) is a modular PEG describing the grammar
+definition language itself; :mod:`repro.meta.selfhost` compiles it with the
+library's own pipeline and rebuilds :class:`ModuleAst` values from the
+trees.  These tests close the loop:
+
+- the self-hosted reader agrees with the hand-written reader on every
+  shipped grammar module — *including the meta modules themselves* (the
+  bootstrap fixpoint);
+- it agrees on targeted feature-by-feature inputs;
+- it rejects what the hand-written reader rejects.
+"""
+
+import importlib.resources
+
+import pytest
+
+from repro.errors import GrammarSyntaxError
+from repro.meta.parser import parse_module
+from repro.meta.selfhost import meta_language, parse_module_selfhosted
+
+
+def shipped_module_sources():
+    root = importlib.resources.files("repro.grammars")
+    out = []
+    for family in sorted(p.name for p in root.iterdir() if p.is_dir()):
+        directory = root / family
+        for entry in sorted(p.name for p in directory.iterdir()):
+            if entry.endswith(".mg"):
+                out.append((f"{family}/{entry}", (directory / entry).read_text()))
+    return out
+
+
+SHIPPED = shipped_module_sources()
+
+
+class TestBootstrapFixpoint:
+    @pytest.mark.parametrize("name,source", SHIPPED, ids=[n for n, _ in SHIPPED])
+    def test_agrees_on_shipped_module(self, name, source):
+        assert parse_module_selfhosted(source, name) == parse_module(source, name)
+
+    def test_meta_modules_covered(self):
+        names = [name for name, _ in SHIPPED]
+        assert any(name.startswith("meta/") for name in names), (
+            "the bootstrap test must include the meta grammar itself"
+        )
+
+    def test_language_compiles_once(self):
+        assert meta_language() is meta_language()
+
+
+FEATURES = [
+    "module t.M;\nA = \"x\" ;",
+    "module t.M(P, Q);\nimport P;\nmodify Q;\nA = P1 ;\nP1 = \"p\" ;",
+    'module t.M;\ninstantiate u.L(a.B) as t.L;\nA = "x" ;',
+    "module t.M;\noption withLocation, verbose;\nA = \"x\" ;",
+    'module t.M;\npublic transient generic A = <X> "x" / <Y> "y" / "z" ;',
+    'module t.M;\nA = &"a" !"b" x:C void:D text:E F* G+ H? _ ;',
+    'module t.M;\nA = ( "a" / "b" "c" )+ ;',
+    'module t.M;\nA = [a-z\\]] [^0-9] ;',
+    'module t.M;\nA = "tab\\t" "uni\\u0041"i ;',
+    "module t.M;\nA = x:B { {'k': x}['k'] } ;",
+    'module t.M;\nB += <N> "n" / ... ;',
+    'module t.M;\nB += ... / <N> "n" ;',
+    'module t.M;\nB += <N> "n" ;',
+    "module t.M;\nB -= <X>, <Y> ;",
+    'module t.M;\nvoid B := "replacement" ;',
+    'module t.M;\ninline = "a" ;\ngeneric = "b" ;',  # attr/kind words as names
+    "module t.M;\n// comment\nA = \"x\" ; /* block */",
+    'module t.M;\nimport a.B;\nimport c.D;\nA = "x" ;',
+]
+
+
+class TestFeatureAgreement:
+    @pytest.mark.parametrize("source", FEATURES)
+    def test_feature(self, source):
+        assert parse_module_selfhosted(source) == parse_module(source)
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "module t.M",           # missing semicolon
+            "module t.M;\nA = ;x",  # trailing garbage
+            'module t.M;\nA = "x"', # missing production semicolon
+            "module t.M;\nA -= ;",  # removal without labels
+            'module t.M;\nA += ... / "x" / ... ;',  # double ellipsis
+            'module t.M;\nA = "" ;',  # empty literal
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(GrammarSyntaxError):
+            parse_module_selfhosted(source)
+        with pytest.raises(GrammarSyntaxError):
+            parse_module(source)
+
+    def test_error_carries_position(self):
+        with pytest.raises(GrammarSyntaxError) as err:
+            parse_module_selfhosted("module t.M;\nA = $ ;")
+        assert err.value.line == 2

@@ -1,0 +1,147 @@
+"""Tests for the command-line tools."""
+
+import pytest
+
+from repro.codegen import load_parser_file
+from repro.tools import pgen, stats
+
+
+class TestPgen:
+    def test_generate_to_file(self, tmp_path, capsys):
+        output = tmp_path / "parser.py"
+        code = pgen.main(["calc.Calculator", "-o", str(output)])
+        assert code == 0
+        parser_cls = load_parser_file(output)
+        assert parser_cls("1+2").parse() is not None
+
+    def test_generate_to_stdout(self, capsys):
+        assert pgen.main(["calc.Calculator"]) == 0
+        out = capsys.readouterr().out
+        assert "class Parser(ParserBase)" in out
+
+    def test_disable_flags(self, capsys):
+        assert pgen.main(["calc.Calculator", "-Ono-chunks", "-Ono-errors"]) == 0
+        out = capsys.readouterr().out
+        assert "chunks" not in out.splitlines()[3]
+
+    def test_print_grammar(self, capsys):
+        assert pgen.main(["calc.Calculator", "--print-grammar"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("module calc.Calculator;")
+
+    def test_start_override(self, tmp_path):
+        output = tmp_path / "parser.py"
+        assert pgen.main(["calc.Calculator", "--start", "Number", "-o", str(output)]) == 0
+        parser_cls = load_parser_file(output)
+        from repro.runtime import GNode
+
+        assert parser_cls("42").parse() == GNode("Int", ("42",))
+
+    def test_unknown_module_fails(self, capsys):
+        assert pgen.main(["nope.Nothing"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_paths_option(self, tmp_path):
+        (tmp_path / "x").mkdir()
+        (tmp_path / "x" / "G.mg").write_text("module x.G;\npublic S = \"ok\" ;\n")
+        out = tmp_path / "p.py"
+        assert pgen.main(["x.G", "--path", str(tmp_path), "-o", str(out)]) == 0
+
+
+class TestStats:
+    def test_builtin_grammar(self, capsys):
+        assert stats.main(["jay.Jay"]) == 0
+        out = capsys.readouterr().out
+        assert "jay.Expressions" in out
+        assert "TOTAL" in out
+        assert "Composed grammar" in out
+
+    def test_error_path(self, capsys):
+        assert stats.main(["nope.Nothing"]) == 1
+
+    def test_collect_shape(self):
+        gstats, modules = stats.collect("calc.Full")
+        assert gstats.productions > 5
+        names = {m.name for m in modules}
+        assert "calc.Power" in names and "calc.Comparison" in names
+        power = next(m for m in modules if m.name == "calc.Power")
+        assert power.modifications == 1
+
+
+class TestModuleGraph:
+    def test_dot_output(self, capsys):
+        assert stats.main(["jay.Extended", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "jay.Extended"')
+        assert '"jay.Extended" [style=bold];' in out
+        assert '"jay.ForEach" -> "jay.Statements" [style=dashed, label="modify"];' in out
+        assert out.rstrip().endswith("}")
+
+    def test_graph_structure(self):
+        from repro.modules.graph import module_graph
+
+        graph = module_graph("calc.Full")
+        assert graph.root == "calc.Full"
+        assert ("calc.Power", "calc.Core") in graph.modifies
+        assert ("calc.Core", "calc.Spacing") in graph.imports
+        assert graph.edge_count() >= 6
+        assert set(graph.nodes) >= {"calc.Full", "calc.Power", "calc.Comparison", "calc.Core"}
+
+
+class TestTrace:
+    def test_good_input(self, tmp_path, capsys):
+        from repro.tools import trace as trace_cli
+
+        source = tmp_path / "good.calc"
+        source.write_text("1 + 2")
+        assert trace_cli.main(["calc.Calculator", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "applications" in out and "parse OK" in out
+
+    def test_bad_input_shows_caret(self, tmp_path, capsys):
+        from repro.tools import trace as trace_cli
+
+        source = tmp_path / "bad.calc"
+        source.write_text("1 + * 2")
+        assert trace_cli.main(["calc.Calculator", str(source)]) == 1
+        out = capsys.readouterr().out
+        assert "error: syntax error" in out
+        assert "^" in out
+        # the expected-list must not be duplicated
+        assert out.count("(expected") == 1
+
+    def test_events_flag(self, tmp_path, capsys):
+        from repro.tools import trace as trace_cli
+
+        source = tmp_path / "x.calc"
+        source.write_text("1*2")
+        assert trace_cli.main(["calc.Calculator", str(source), "--events"]) == 0
+        assert "@0" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        from repro.tools import trace as trace_cli
+
+        assert trace_cli.main(["calc.Calculator", "/no/such/file"]) == 1
+
+    def test_unknown_grammar(self, capsys):
+        from repro.tools import trace as trace_cli
+
+        assert trace_cli.main(["nope.G", "/dev/null"]) == 1
+
+
+class TestParseErrorShow:
+    def test_caret_points_at_offset(self):
+        import repro
+
+        calc = repro.compile_grammar("calc.Calculator")
+        text = "1 +\n2 + * 3"
+        try:
+            calc.parse(text)
+        except repro.ParseError as error:
+            rendered = error.show(text, "demo.calc")
+        else:
+            raise AssertionError("expected failure")
+        lines = rendered.splitlines()
+        assert lines[0].startswith("demo.calc:2:")
+        assert lines[1] == "  2 + * 3"
+        assert lines[2].index("^") == 2 + text.splitlines()[1].index("*")

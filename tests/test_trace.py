@@ -1,0 +1,101 @@
+"""Tests for the parse tracer."""
+
+import pytest
+
+import repro
+from repro.interp import (
+    BacktrackInterpreter,
+    PackratInterpreter,
+    format_trace,
+    trace_parse,
+    trace_statistics,
+)
+from repro.peg.builder import GrammarBuilder, cc, lit, plus, ref, text
+
+
+def grammar():
+    builder = GrammarBuilder("t", start="S")
+    builder.void("S", [ref("A"), lit("x")], [ref("A"), lit("y")])
+    builder.void("A", [plus(lit("a"))], memo=True)
+    return builder.build()
+
+
+class TestTraceParse:
+    def test_successful_parse(self):
+        interp = PackratInterpreter(grammar())
+        value, events, error = trace_parse(interp, "aay")
+        assert error is None
+        names = [e.production for e in events]
+        assert names.count("S") == 1
+        assert names.count("A") == 2  # once per S alternative
+
+    def test_memo_hit_recorded(self):
+        interp = PackratInterpreter(grammar())
+        _, events, _ = trace_parse(interp, "aay")
+        a_events = [e for e in events if e.production == "A"]
+        assert [e.from_memo for e in a_events] == [False, True]
+
+    def test_no_memo_hits_without_memoization(self):
+        interp = BacktrackInterpreter(grammar())
+        _, events, _ = trace_parse(interp, "aay")
+        assert not any(e.from_memo for e in events)
+
+    def test_failure_returns_error(self):
+        interp = PackratInterpreter(grammar())
+        value, events, error = trace_parse(interp, "aaz")
+        assert value is None and error is not None
+        assert any(not e.matched for e in events)
+
+    def test_spans(self):
+        interp = PackratInterpreter(grammar())
+        _, events, _ = trace_parse(interp, "ax")
+        a_event = next(e for e in events if e.production == "A" and e.matched)
+        assert (a_event.position, a_event.end) == (0, 1)
+
+    def test_event_limit(self):
+        interp = PackratInterpreter(repro.load_grammar("calc.Calculator"))
+        from repro.optim import prepare
+
+        interp = PackratInterpreter(prepare(repro.load_grammar("calc.Calculator")).grammar)
+        _, events, _ = trace_parse(interp, "1+2*3", limit=5)
+        assert len(events) == 5
+
+
+class TestFormatting:
+    def test_format_contains_positions_and_outcomes(self):
+        interp = PackratInterpreter(grammar())
+        _, events, _ = trace_parse(interp, "ax")
+        rendered = format_trace(events)
+        assert "S @0" in rendered
+        assert "= 0:1" in rendered or "= 0:2" in rendered
+
+    def test_format_truncates(self):
+        interp = PackratInterpreter(grammar())
+        _, events, _ = trace_parse(interp, "aaaaaay")
+        rendered = format_trace(events, max_events=2)
+        assert "more events" in rendered
+
+    def test_memo_marker_shown(self):
+        interp = PackratInterpreter(grammar())
+        _, events, _ = trace_parse(interp, "aay")
+        assert "(memo)" in format_trace(events)
+
+
+class TestStatistics:
+    def test_counts(self):
+        interp = PackratInterpreter(grammar())
+        _, events, _ = trace_parse(interp, "aay")
+        stats = trace_statistics(events)
+        assert stats["applications"] == len(events)
+        assert stats["memo_hits"] == 1
+        assert stats["reasked_questions"] == 1  # A at 0, asked twice
+
+    def test_backtracker_reasks_without_memo(self):
+        g = grammar()
+        _, packrat_events, _ = trace_parse(PackratInterpreter(g), "aaay")
+        _, naive_events, _ = trace_parse(BacktrackInterpreter(g), "aaay")
+        assert trace_statistics(naive_events)["memo_hits"] == 0
+        assert (
+            trace_statistics(naive_events)["reasked_questions"]
+            >= trace_statistics(packrat_events)["reasked_questions"]
+        )

@@ -1,0 +1,191 @@
+"""Tests for the left-recursion transformation and the desugarings."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.interp import PackratInterpreter
+from repro.peg.builder import GrammarBuilder, alt, bind, cc, lit, opt, plus, ref, star, text
+from repro.peg.expr import Nonterminal, Option, Repetition, walk
+from repro.peg.production import ValueKind
+from repro.runtime.node import GNode
+from repro.transform import desugar, transform_left_recursion
+
+
+def arith_grammar():
+    builder = GrammarBuilder("t", start="E")
+    builder.generic(
+        "E",
+        alt("Add", ref("E"), lit("+"), ref("T")),
+        alt("Sub", ref("E"), lit("-"), ref("T")),
+        alt(None, ref("T")),
+    )
+    builder.object("T", [text(plus(cc("0-9")))])
+    return builder.build()
+
+
+class TestLeftRecursionTransform:
+    def test_structure(self):
+        transformed = transform_left_recursion(arith_grammar())
+        assert set(transformed.names()) == {"E", "T", "E__Base", "E__Tail"}
+        assert transformed["E"].kind is ValueKind.OBJECT
+        assert transformed["E__Base"].kind is ValueKind.GENERIC
+        assert transformed["E__Tail"].label_names() == ["Add", "Sub"]
+
+    def test_helpers_transient_when_optimized(self):
+        optimized = transform_left_recursion(arith_grammar(), optimize=True)
+        baseline = transform_left_recursion(arith_grammar(), optimize=False)
+        assert optimized["E__Tail"].is_transient
+        assert not baseline["E__Tail"].is_transient
+
+    def test_left_leaning_values(self):
+        transformed = transform_left_recursion(arith_grammar())
+        value = PackratInterpreter(transformed).parse("1-2-3")
+        assert value == GNode("Sub", (GNode("Sub", ("1", "2")), "3"))
+
+    def test_mixed_operators_fold_in_order(self):
+        transformed = transform_left_recursion(arith_grammar())
+        value = PackratInterpreter(transformed).parse("1+2-3+4")
+        assert value == GNode(
+            "Add", (GNode("Sub", (GNode("Add", ("1", "2")), "3")), "4")
+        )
+
+    def test_base_only_input(self):
+        transformed = transform_left_recursion(arith_grammar())
+        assert PackratInterpreter(transformed).parse("7") == "7"
+
+    def test_no_left_recursion_is_identity(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [lit("s")])
+        grammar = builder.build()
+        assert transform_left_recursion(grammar) is grammar
+
+    def test_non_generic_rejected(self):
+        builder = GrammarBuilder("t", start="E")
+        builder.object("E", [ref("E"), lit("+")], [lit("e")])
+        with pytest.raises(AnalysisError, match="not generic"):
+            transform_left_recursion(builder.build())
+
+    def test_bound_head_rejected(self):
+        builder = GrammarBuilder("t", start="E")
+        builder.generic("E", alt("X", bind("l", ref("E")), lit("+")), alt(None, lit("e")))
+        with pytest.raises(AnalysisError, match="bind"):
+            transform_left_recursion(builder.build())
+
+    def test_hidden_left_recursion_rejected(self):
+        builder = GrammarBuilder("t", start="E")
+        builder.generic(
+            "E",
+            alt("X", opt(lit("!")), ref("E"), lit("+")),
+            alt(None, lit("e")),
+        )
+        with pytest.raises(AnalysisError, match="nullable prefix"):
+            transform_left_recursion(builder.build())
+
+    def test_no_base_alternative_rejected(self):
+        builder = GrammarBuilder("t", start="E")
+        builder.generic("E", alt("X", ref("E"), lit("+")))
+        with pytest.raises(AnalysisError, match="base"):
+            transform_left_recursion(builder.build())
+
+    def test_helper_name_collision_rejected(self):
+        builder = GrammarBuilder("t", start="E")
+        builder.generic(
+            "E", alt("Add", ref("E"), lit("+"), ref("E__Base")), alt(None, lit("e"))
+        )
+        builder.object("E__Base", [lit("x")])
+        with pytest.raises(AnalysisError, match="helper name"):
+            transform_left_recursion(builder.build())
+
+    def test_postfix_tail_without_operand(self):
+        builder = GrammarBuilder("t", start="E")
+        builder.generic("E", alt("Bang", ref("E"), lit("!")), alt(None, lit("e")))
+        transformed = transform_left_recursion(builder.build())
+        value = PackratInterpreter(transformed).parse("e!!")
+        # The unlabeled base alternative has zero contributions, so it builds
+        # an empty node named after the original production — same as the
+        # untransformed generic semantics would.
+        assert value == GNode("Bang", (GNode("Bang", (GNode("E"),)),))
+
+
+def list_grammar(expr_factory):
+    """S = <expr around [0-9] and ','> anchored by 'end'."""
+    builder = GrammarBuilder("t", start="S")
+    builder.object("S", [bind("v", expr_factory()), lit("end"), ref("Done")])
+    builder.void("Done", [lit("!")])
+    return builder.build()
+
+
+class TestDesugaring:
+    def equivalent(self, grammar, inputs):
+        native = PackratInterpreter(grammar)
+        sugared = PackratInterpreter(desugar(grammar))
+        for text_input in inputs:
+            try:
+                expected = native.parse(text_input)
+                failed = False
+            except Exception:
+                failed = True
+            if failed:
+                with pytest.raises(Exception):
+                    sugared.parse(text_input)
+            else:
+                assert sugared.parse(text_input) == expected, text_input
+
+    def test_star_contributing(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [star(text(cc("0-9")))])
+        self.equivalent(builder.build(), ["", "1", "123"])
+
+    def test_plus_contributing(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [plus(text(cc("0-9")))])
+        self.equivalent(builder.build(), ["1", "123", ""])
+
+    def test_star_void(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [star(lit("a")), text(plus(cc("b")))])
+        self.equivalent(builder.build(), ["b", "aaab", "abb"])
+
+    def test_option_contributing(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [opt(text(lit("x"))), text(lit("y"))])
+        self.equivalent(builder.build(), ["xy", "y"])
+
+    def test_option_void(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [opt(lit("x")), text(lit("y"))])
+        self.equivalent(builder.build(), ["xy", "y"])
+
+    def test_helpers_shared_for_identical_items(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [star(cc("a")), lit("-"), star(cc("a"))])
+        desugared = desugar(builder.build())
+        helper_names = [n for n in desugared.names() if n.startswith("Rep__")]
+        assert len(helper_names) == 1
+
+    def test_no_repetitions_left_after_desugar(self):
+        grammar = desugar(transform_left_recursion(arith_grammar()))
+        for production in grammar:
+            for alternative in production.alternatives:
+                for node in walk(alternative.expr):
+                    assert not isinstance(node, (Repetition, Option))
+
+    def test_partial_desugar_options_only(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [opt(lit("x")), star(lit("y"))])
+        desugared = desugar(builder.build(), repetitions=False, options=True)
+        kinds = set()
+        for production in desugared:
+            for alternative in production.alternatives:
+                kinds |= {type(n).__name__ for n in walk(alternative.expr)}
+        assert "Option" not in kinds
+        assert "Repetition" in kinds
+
+    def test_identity_when_nothing_requested(self):
+        grammar = arith_grammar()
+        assert desugar(grammar, repetitions=False, options=False) is grammar
+
+    def test_nested_repetitions(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [star(text(plus(cc("0-9"))), lit(","))])
+        self.equivalent(builder.build(), ["1,22,333,", "", "9,"])

@@ -1,0 +1,122 @@
+"""Direct unit tests for the static value model (repro.peg.values) and the
+error hierarchy — the contracts every backend builds on."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    AnalysisError,
+    CodegenError,
+    CompositionError,
+    GrammarSyntaxError,
+    ParseError,
+    ReproError,
+)
+from repro.peg.builder import (
+    GrammarBuilder,
+    act,
+    amp,
+    any_,
+    bang,
+    bind,
+    cc,
+    lit,
+    opt,
+    plus,
+    ref,
+    star,
+    text,
+    void,
+)
+from repro.peg.expr import Choice, Epsilon, Fail, Sequence
+from repro.peg.values import binding_names, contributes, kind_lookup, node_name, pass_through
+from repro.peg.production import ValueKind
+
+
+def kind_of_void(name):
+    return ValueKind.VOID
+
+
+def kind_of_object(name):
+    return ValueKind.OBJECT
+
+
+class TestContributes:
+    @pytest.mark.parametrize(
+        "expr",
+        [lit("a"), cc("a-z"), any_(), void(ref("X")), amp(lit("a")), bang(lit("a")), Epsilon(), Fail()],
+    )
+    def test_never_contribute(self, expr):
+        assert not contributes(expr, kind_of_object)
+
+    @pytest.mark.parametrize("expr", [text(lit("a")), act("1")])
+    def test_always_contribute(self, expr):
+        assert contributes(expr, kind_of_object)
+
+    def test_nonterminal_depends_on_kind(self):
+        assert contributes(ref("X"), kind_of_object)
+        assert not contributes(ref("X"), kind_of_void)
+
+    def test_wrappers_follow_inner(self):
+        assert contributes(bind("x", ref("X")), kind_of_object)
+        assert not contributes(bind("x", lit("a")), kind_of_object)
+        assert contributes(star(ref("X")), kind_of_object)
+        assert not contributes(star(lit("a")), kind_of_object)
+        assert contributes(opt(text(lit("a"))), kind_of_object)
+
+    def test_sequence_any(self):
+        assert contributes(Sequence((lit("a"), ref("X"))), kind_of_object)
+        assert not contributes(Sequence((lit("a"), lit("b"))), kind_of_object)
+
+    def test_choice_any(self):
+        assert contributes(Choice((lit("a"), ref("X"))), kind_of_object)
+        assert not contributes(Choice((lit("a"), lit("b"))), kind_of_object)
+
+
+class TestHelpers:
+    def test_pass_through(self):
+        assert pass_through([]) is None
+        assert pass_through(["v"]) == "v"
+        assert pass_through(["a", "b"]) == ("a", "b")
+
+    def test_binding_names_in_order_no_dupes(self):
+        expr = Sequence((bind("b", lit("x")), star(bind("a", cc("0-9"))), bind("b", lit("y"))))
+        assert binding_names(expr) == ["b", "a"]
+
+    def test_node_name(self):
+        assert node_name("Expr", "Add") == "Add"
+        assert node_name("Expr", None) == "Expr"
+        assert node_name("pkg.mod.Expr", None) == "Expr"
+
+    def test_kind_lookup_defaults_to_object(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [lit("s")])
+        kind_of = kind_lookup(builder.build())
+        assert kind_of("S") is ValueKind.VOID
+        assert kind_of("Unknown") is ValueKind.OBJECT
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (GrammarSyntaxError, CompositionError, AnalysisError, CodegenError, ParseError):
+            assert issubclass(cls, ReproError)
+
+    def test_grammar_syntax_error_format(self):
+        error = GrammarSyntaxError("bad token", "file.mg", 3, 9)
+        assert str(error) == "file.mg:3:9: bad token"
+        assert (error.line, error.column) == (3, 9)
+
+    def test_parse_error_fields(self):
+        error = ParseError("syntax error", offset=5, line=1, column=6, expected=("'a'", "'b'"))
+        assert "expected 'a', 'b'" in str(error)
+        assert error.message == "syntax error"
+
+    def test_parse_error_dedupes_expected(self):
+        error = ParseError("x", 0, 1, 1, expected=("'a'", "'a'", "'b'"))
+        assert str(error).count("'a'") == 1
+
+    def test_catching_base_class(self):
+        with pytest.raises(ReproError):
+            repro.load_grammar("no.Such")
+        with pytest.raises(ReproError):
+            repro.parse("calc.Calculator", "((")

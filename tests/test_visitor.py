@@ -1,0 +1,131 @@
+"""Tests for the GNode visitor/transformer/dump/JSON utilities."""
+
+import json
+
+import pytest
+
+import repro
+from repro.locations import Location
+from repro.runtime.node import GNode
+from repro.runtime.visitor import Transformer, Visitor, dump_tree, node_from_json, node_to_json
+
+
+def calc_tree(source="1+2*3"):
+    return repro.compile_grammar("calc.Calculator").parse(source)
+
+
+class TestVisitor:
+    def test_named_dispatch(self):
+        seen = []
+
+        class IntCollector(Visitor):
+            def visit_Int(self, node):
+                seen.append(node[0])
+
+        IntCollector().visit(calc_tree("1+2*3"))
+        assert seen == ["1", "2", "3"]
+
+    def test_default_recurses(self):
+        class CountAll(Visitor):
+            count = 0
+
+            def visit_default(self, node):
+                self.count += 1
+                self.visit_children(node)
+
+        counter = CountAll()
+        counter.visit(calc_tree("1+2*3"))
+        assert counter.count == 5  # Add, Mul, 3x Int
+
+    def test_handled_nodes_stop_recursion_unless_asked(self):
+        class StopAtMul(Visitor):
+            ints = 0
+
+            def visit_Int(self, node):
+                self.ints += 1
+
+            def visit_Mul(self, node):
+                pass  # don't descend
+
+        visitor = StopAtMul()
+        visitor.visit(calc_tree("1+2*3"))
+        assert visitor.ints == 1  # only the '1' outside the Mul
+
+    def test_lists_are_traversed(self):
+        class Names(Visitor):
+            names = ()
+
+            def visit_default(self, node):
+                self.names += (node.name,)
+                self.visit_children(node)
+
+        visitor = Names()
+        visitor.visit([GNode("A"), (GNode("B"),)])
+        assert visitor.names == ("A", "B")
+
+
+class TestTransformer:
+    def test_constant_folding(self):
+        class Fold(Transformer):
+            def transform_Int(self, node):
+                return int(node[0])
+
+            def transform_Add(self, node):
+                return node[0] + node[1]
+
+            def transform_Mul(self, node):
+                return node[0] * node[1]
+
+        assert Fold().transform(calc_tree("1+2*3")) == 7
+
+    def test_default_rebuilds_identical(self):
+        tree = calc_tree("(1-2)/3")
+        assert Transformer().transform(tree) == tree
+
+    def test_rename_pass(self):
+        class Rename(Transformer):
+            def transform_Int(self, node):
+                return GNode("Number", node.children)
+
+        renamed = Rename().transform(calc_tree("1+2"))
+        assert renamed == GNode("Add", (GNode("Number", ("1",)), GNode("Number", ("2",))))
+
+
+class TestDump:
+    def test_indented_output(self):
+        text = dump_tree(calc_tree("1+2"))
+        lines = text.splitlines()
+        assert lines[0] == "Add"
+        assert lines[1] == "  Int"
+        assert lines[2] == "    '1'"
+
+    def test_max_depth(self):
+        text = dump_tree(calc_tree("1+2"), max_depth=1)
+        assert "..." in text and "'1'" not in text
+
+    def test_lists_and_scalars(self):
+        assert dump_tree(["x", None]) == "[\n  'x'\n  None\n]"
+        assert dump_tree([]) == "[]"
+
+    def test_location_shown(self):
+        node = GNode("N", (), Location("f.jay", 3, 1))
+        assert "@f.jay:3:1" in dump_tree(node)
+
+
+class TestJson:
+    def test_roundtrip(self):
+        tree = repro.compile_grammar("json.Json").parse('{"a": [1, null, true]}')
+        encoded = json.dumps(node_to_json(tree))
+        assert node_from_json(json.loads(encoded)) == tree
+
+    def test_roundtrip_with_locations(self):
+        tree = repro.compile_grammar("jay.Jay").parse("class A { }")
+        restored = node_from_json(node_to_json(tree))
+        assert restored == tree
+        assert restored.location == tree.location
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            node_to_json(object())
+        with pytest.raises(ValueError):
+            node_from_json({"children": []})

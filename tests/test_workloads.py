@@ -1,0 +1,74 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.interp import BacktrackInterpreter, PackratInterpreter
+from repro.workloads import (
+    backtracking_grammar,
+    backtracking_input,
+    generate_c_program,
+    generate_jay_program,
+    generate_json_document,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "generator", [generate_jay_program, generate_c_program, generate_json_document]
+    )
+    def test_same_seed_same_output(self, generator):
+        assert generator(size=6, seed=3) == generator(size=6, seed=3)
+
+    @pytest.mark.parametrize(
+        "generator", [generate_jay_program, generate_c_program, generate_json_document]
+    )
+    def test_different_seeds_differ(self, generator):
+        assert generator(size=6, seed=1) != generator(size=6, seed=2)
+
+    def test_size_scales_output(self):
+        small = len(generate_jay_program(size=3, seed=0))
+        large = len(generate_jay_program(size=30, seed=0))
+        assert large > 3 * small
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_jay_programs_parse(self, jay_lang, seed):
+        assert jay_lang.recognize(generate_jay_program(size=6, seed=seed))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_c_programs_parse(self, xc_lang, seed):
+        assert xc_lang.recognize(generate_c_program(size=6, seed=seed))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_json_documents_parse(self, json_lang, seed):
+        assert json_lang.recognize(generate_json_document(size=6, seed=seed))
+
+
+class TestPathological:
+    def test_grammar_accepts_inputs(self):
+        grammar = backtracking_grammar()
+        packrat = PackratInterpreter(grammar)
+        for depth in (0, 1, 5, 30):
+            assert packrat.recognize(backtracking_input(depth))
+
+    def test_rejects_mismatched(self):
+        grammar = backtracking_grammar()
+        assert not PackratInterpreter(grammar).recognize("((1)")
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            backtracking_input(-1)
+
+    def test_naive_visibly_slower_than_packrat(self):
+        import time
+
+        grammar = backtracking_grammar()
+        deep = backtracking_input(12)
+        start = time.perf_counter()
+        assert PackratInterpreter(grammar).recognize(deep)
+        packrat_time = time.perf_counter() - start
+        start = time.perf_counter()
+        assert BacktrackInterpreter(grammar).recognize(deep)
+        naive_time = time.perf_counter() - start
+        assert naive_time > 20 * packrat_time
