@@ -1,0 +1,26 @@
+# Developer/CI entry points. Everything runs from a plain checkout with
+# no install step: src/ goes on PYTHONPATH.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke bench cache-check check
+
+# Tier-1 suite (the acceptance gate).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Alias used by CI: fail fast, quiet.
+smoke: test
+
+# Experiments E1-E7 (prints the reproduced tables).
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# On-disk compilation-cache roundtrip: miss -> store -> hit -> corrupt
+# -> rebuild (see docs/caching.md).
+cache-check:
+	$(PYTHON) scripts/cache_check.py
+
+# What CI runs.
+check: smoke cache-check

@@ -1,0 +1,126 @@
+"""E7 — warm-path performance: compilation caching and parser reuse.
+
+The paper's optimizations attack the parse loop; this experiment attacks
+everything *around* it:
+
+- **Cold vs. warm compile.**  ``compile_grammar("jay.Jay")`` pays
+  compose → analyze → optimize → codegen → ``exec`` every time.  With the
+  on-disk :class:`repro.cache.CompilationCache` the second process
+  deserializes the composed grammar and a pre-compiled code object instead.
+  Expected shape: warm (disk) ≥ 5× faster than cold; warm (in-process LRU)
+  faster still.
+
+- **Per-parse state reuse.**  ``Language.session()`` parses N inputs with
+  one parser instance, resetting (not reallocating) its memo table; the
+  fresh-parser loop allocates a parser object and memo container per input.
+  Reported: wall time and allocated bytes (tracemalloc) for both loops.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import repro
+from repro.api import clear_language_cache
+from repro.cache import CompilationCache
+
+from bench_util import print_table, time_best_of
+
+ROOT = "jay.Jay"
+
+
+def test_e7_cold_vs_warm_compile(benchmark, tmp_path):
+    cache_dir = tmp_path / "e7-cache"
+
+    cold = time_best_of(lambda: repro.compile_grammar(ROOT, cache=False), repeat=3)
+
+    # Prime the disk cache once.
+    clear_language_cache()
+    primer = CompilationCache(cache_dir)
+    reference = repro.compile_grammar(ROOT, cache=primer)
+    assert primer.stats.stores == 1
+
+    def warm_disk():
+        # Dropping the LRU forces the on-disk path — what a new process pays.
+        clear_language_cache()
+        cache = CompilationCache(cache_dir)
+        language = repro.compile_grammar(ROOT, cache=cache)
+        assert cache.stats.hits == 1 and not cache.warnings
+        return language
+
+    warm = time_best_of(warm_disk, repeat=5)
+    warmed = warm_disk()
+
+    # With the LRU populated (warm_disk filled it), repeat compiles are
+    # near-free: an LRU hit only re-hashes the participating .mg texts.
+    lru = time_best_of(lambda: repro.compile_grammar(ROOT), repeat=5)
+
+    program = "class C { int f(int x) { return x * (x + 1); } }"
+    assert warmed.parse(program) == reference.parse(program)
+
+    rows = [
+        {"path": "cold compile", "time (ms)": f"{cold * 1000:.1f}", "speedup": "1.0x"},
+        {"path": "warm (disk cache)", "time (ms)": f"{warm * 1000:.1f}",
+         "speedup": f"{cold / warm:.1f}x"},
+        {"path": "warm (in-process LRU)", "time (ms)": f"{lru * 1000:.2f}",
+         "speedup": f"{cold / lru:.0f}x"},
+    ]
+    print_table(f"E7 — compile_grammar({ROOT!r}) cold vs. warm", rows,
+                ["path", "time (ms)", "speedup"])
+
+    # The acceptance bar: a disk hit beats a full compile by ≥ 5x.
+    assert cold >= 5 * warm, f"warm compile only {cold / warm:.1f}x faster"
+    assert lru <= warm
+
+    benchmark.pedantic(warm_disk, rounds=3, iterations=1)
+
+
+def test_e7_session_reuse(jay_all, jay_corpus):
+    language = jay_all
+
+    def fresh_loop():
+        return [language.parse(program) for program in jay_corpus]
+
+    session = language.session()
+
+    def session_loop():
+        return [session.parse(program) for program in jay_corpus]
+
+    # Correctness: identical trees, and the session really reuses one parser
+    # and one memo container across the whole corpus.
+    fresh_trees = fresh_loop()
+    session_trees = session_loop()
+    assert fresh_trees == session_trees
+    parser = session.parser
+    memo = parser._columns if hasattr(parser, "_columns") else parser._memo
+    session_loop()
+    assert session.parser is parser
+    assert (parser._columns if hasattr(parser, "_columns") else parser._memo) is memo
+
+    fresh_time = time_best_of(fresh_loop, repeat=3)
+    session_time = time_best_of(session_loop, repeat=3)
+
+    # Peak traced bytes over one loop (trees dominate both equally; the
+    # delta is the per-parse parser/memo-container churn the session saves).
+    tracemalloc.start()
+    fresh_loop()
+    _, fresh_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    session_loop()
+    _, session_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    n = len(jay_corpus)
+    rows = [
+        {"loop": "fresh parser per input", "time (ms)": f"{fresh_time * 1000:.1f}",
+         "peak (KB)": fresh_peak // 1024, "parsers/memo tables": n},
+        {"loop": "one session, reset()", "time (ms)": f"{session_time * 1000:.1f}",
+         "peak (KB)": session_peak // 1024, "parsers/memo tables": 1},
+    ]
+    print_table(f"E7 — {n} Jay inputs, fresh vs. warm parsing", rows,
+                ["loop", "time (ms)", "peak (KB)", "parsers/memo tables"])
+
+    # Reuse must never cost more than a generous fudge over fresh parsers.
+    assert session_time < 1.5 * fresh_time

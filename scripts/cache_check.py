@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Cache roundtrip smoke check for CI.
+
+Exercises the on-disk compilation cache end to end in a throwaway
+directory and exits non-zero on the first deviation:
+
+1. cold compile into an empty cache  -> one miss, one store;
+2. fresh ``CompilationCache`` over the same directory -> one hit,
+   no warnings, identical parse result;
+3. truncate the entry on disk        -> corruption is detected, warned
+   about, and transparently rebuilt (another store);
+4. a second fresh cache hits again   -> the rebuilt entry is valid.
+
+Run as ``python scripts/cache_check.py`` (or ``make cache-check``).
+Needs ``src`` on ``sys.path``; the script arranges that itself so it
+works from a plain checkout.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro
+from repro.api import clear_language_cache
+from repro.cache import CompilationCache
+
+ROOT = "calc.Calculator"
+PROGRAM = "2 * (3 + 4)"
+
+
+def fail(message: str) -> None:
+    print(f"cache-check: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-cache-check-") as tmp:
+        cache_dir = Path(tmp)
+
+        # 1. Cold: miss + store.
+        cold = CompilationCache(cache_dir)
+        reference = repro.compile_grammar(ROOT, cache=cold)
+        expected = reference.parse(PROGRAM)
+        if cold.stats.misses != 1 or cold.stats.stores != 1:
+            fail(f"cold compile expected 1 miss/1 store, got {cold.stats}")
+        entries = list(cache_dir.iterdir())
+        if len(entries) != 1:
+            fail(f"expected exactly one cache entry, found {len(entries)}")
+        print(f"cache-check: cold compile stored {entries[0].name}")
+
+        # 2. Warm: a fresh cache (and an empty LRU, as in a new process) hits.
+        clear_language_cache()
+        warm = CompilationCache(cache_dir)
+        language = repro.compile_grammar(ROOT, cache=warm)
+        if warm.stats.hits != 1 or warm.warnings:
+            fail(f"warm compile expected a clean hit, got {warm.stats}, "
+                 f"warnings={warm.warnings}")
+        if language.parse(PROGRAM) != expected:
+            fail("warm parse result differs from cold parse result")
+        print("cache-check: warm hit reproduced the cold parse")
+
+        # 3. Corrupt the entry: must be discarded, warned about, rebuilt.
+        entry = entries[0]
+        entry.write_bytes(entry.read_bytes()[: entry.stat().st_size // 2])
+        clear_language_cache()
+        recovering = CompilationCache(cache_dir)
+        language = repro.compile_grammar(ROOT, cache=recovering)
+        if recovering.stats.corrupt != 1 or recovering.stats.stores != 1:
+            fail(f"corrupt entry expected 1 corrupt/1 store, got "
+                 f"{recovering.stats}")
+        if not recovering.warnings:
+            fail("corruption produced no warning")
+        if language.parse(PROGRAM) != expected:
+            fail("rebuilt parser disagrees with the original")
+        print(f"cache-check: corruption detected and rebuilt "
+              f"({recovering.warnings[0]})")
+
+        # 4. The rebuilt entry is itself a valid hit.
+        clear_language_cache()
+        verify = CompilationCache(cache_dir)
+        repro.compile_grammar(ROOT, cache=verify)
+        if verify.stats.hits != 1 or verify.warnings:
+            fail(f"rebuilt entry did not hit cleanly: {verify.stats}, "
+                 f"warnings={verify.warnings}")
+        print("cache-check: rebuilt entry hits cleanly")
+
+    print("cache-check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,16 @@ See :mod:`repro.api` for the high-level interface, ``DESIGN.md`` for the
 system inventory, and ``EXPERIMENTS.md`` for the reproduced evaluation.
 """
 
-from repro.api import Language, compile_grammar, load_grammar, parse
+from repro.api import (
+    Language,
+    ParseSession,
+    clear_language_cache,
+    compile_grammar,
+    language_cache_info,
+    load_grammar,
+    parse,
+)
+from repro.cache import CompilationCache
 from repro.errors import (
     AnalysisError,
     CodegenError,
@@ -43,7 +52,8 @@ from repro.runtime import GNode
 __version__ = "1.0.0"
 
 __all__ = [
-    "Language", "compile_grammar", "load_grammar", "parse",
+    "Language", "ParseSession", "compile_grammar", "load_grammar", "parse",
+    "CompilationCache", "clear_language_cache", "language_cache_info",
     "AnalysisError", "CodegenError", "CompositionError",
     "GrammarSyntaxError", "ParseError", "ReproError",
     "ModuleLoader", "parse_module", "compose",

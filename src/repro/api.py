@@ -15,18 +15,35 @@
 A :class:`Language` bundles everything derived from one grammar under one
 set of optimization options: the composed grammar, the prepared (optimized)
 grammar, the generated parser source, and the ready-to-use parser class.
+
+Compilation is memoized at two levels (see ``docs/caching.md``):
+
+- an in-process LRU of :class:`Language` objects keyed by
+  ``(root, options, start, parser name, search paths)``, revalidated
+  against the current ``.mg`` texts on every hit;
+- an optional on-disk :class:`~repro.cache.CompilationCache` (pass
+  ``cache=True`` / ``cache_dir=...`` / a cache instance, or set
+  ``$REPRO_CACHE_DIR``) that makes the second *process* warm too.
+
+For parsing many inputs with one grammar, :meth:`Language.session` reuses a
+single parser instance, resetting (not reallocating) its memo table between
+inputs.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.cache import CompilationCache, module_fingerprint
 from repro.codegen import generate_parser_source, load_parser
+from repro.errors import CompositionError
 from repro.interp import BacktrackInterpreter, PackratInterpreter
 from repro.meta import ModuleLoader
-from repro.modules import compose
+from repro.modules import compose, compose_with_manifest
 from repro.optim import Options, PreparedGrammar, prepare
 from repro.peg.grammar import Grammar
 
@@ -65,6 +82,21 @@ class Language:
         """A fresh generated-parser instance over ``text``."""
         return self.parser_class(text, source)
 
+    def session(self, start: str | None = None) -> "ParseSession":
+        """A warm-parse session: one parser instance reused across inputs.
+
+        .. code-block:: python
+
+            session = lang.session()
+            for text in corpus:
+                tree = session.parse(text)
+
+        Between inputs the parser is ``reset()`` — failure tracking, the
+        line index, and the memo table are cleared *in place*, so parsing N
+        inputs allocates one parser and one memo table, not N.
+        """
+        return ParseSession(self, start=start)
+
     def recognize(self, text: str, start: str | None = None) -> bool:
         """Does the whole input match?  (No value construction errors are
         suppressed — only parse failures.)"""
@@ -97,6 +129,110 @@ class Language:
         return self.prepared.options
 
 
+class ParseSession:
+    """Parse many inputs with one reused parser instance.
+
+    Created via :meth:`Language.session`.  The first :meth:`parse` call
+    allocates the parser; every later call resets it in place — same parser
+    object, same memo-table container — which removes per-parse allocation
+    of memo columns from the warm path.
+    """
+
+    def __init__(self, language: Language, start: str | None = None):
+        self._language = language
+        self._start = start
+        self._parser = None
+        #: Number of inputs parsed (including failed parses).
+        self.parses = 0
+
+    @property
+    def language(self) -> Language:
+        return self._language
+
+    @property
+    def parser(self):
+        """The underlying parser instance (``None`` before the first parse)."""
+        return self._parser
+
+    def parse(self, text: str, source: str = "<input>") -> Any:
+        """Parse ``text`` completely; raises :class:`ParseError` on failure."""
+        parser = self._parser
+        if parser is None:
+            parser = self._parser = self._language.parser_class(text, source)
+        else:
+            parser.reset(text, source)
+        self.parses += 1
+        return parser.parse(self._start)
+
+    def recognize(self, text: str) -> bool:
+        """Does the whole input match?"""
+        from repro.errors import ParseError
+
+        try:
+            self.parse(text)
+        except ParseError:
+            return False
+        return True
+
+
+# -- in-process language LRU ---------------------------------------------------
+#
+# Entries are (Language, fingerprint, module names); a hit is revalidated by
+# re-hashing the participating .mg texts, so editing a grammar file between
+# compile_grammar calls is observed even without the disk cache.
+
+_LRU_MAX = 32
+_language_lru: OrderedDict[tuple, tuple[Language, dict[str, str], tuple[str, ...]]] = OrderedDict()
+
+
+def clear_language_cache() -> None:
+    """Empty the in-process :class:`Language` LRU."""
+    _language_lru.clear()
+
+
+def language_cache_info() -> dict[str, int]:
+    """Size/capacity of the in-process :class:`Language` LRU."""
+    return {"size": len(_language_lru), "max": _LRU_MAX}
+
+
+def _lru_store(key: tuple, language: Language, fingerprint: dict[str, str], modules: tuple[str, ...]) -> None:
+    _language_lru[key] = (language, fingerprint, modules)
+    _language_lru.move_to_end(key)
+    while len(_language_lru) > _LRU_MAX:
+        _language_lru.popitem(last=False)
+
+
+def _lru_lookup(key: tuple, loader: ModuleLoader) -> Language | None:
+    entry = _language_lru.get(key)
+    if entry is None:
+        return None
+    language, fingerprint, modules = entry
+    try:
+        current = module_fingerprint(loader, modules)
+    except CompositionError:
+        current = None
+    if current != fingerprint:
+        _language_lru.pop(key, None)
+        return None
+    _language_lru.move_to_end(key)
+    return language
+
+
+def _resolve_disk_cache(
+    cache: CompilationCache | bool | None, cache_dir: str | Path | None
+) -> CompilationCache | None:
+    """Which on-disk cache (if any) the ``cache``/``cache_dir`` args select."""
+    if cache is False:
+        return None
+    if isinstance(cache, CompilationCache):
+        return cache
+    if cache_dir is not None:
+        return CompilationCache(Path(cache_dir))
+    if cache is True or os.environ.get("REPRO_CACHE_DIR"):
+        return CompilationCache()
+    return None
+
+
 def load_grammar(
     root: str,
     paths: list[str | Path] | None = None,
@@ -116,16 +252,81 @@ def compile_grammar(
     loader: ModuleLoader | None = None,
     start: str | None = None,
     parser_name: str = "Parser",
+    cache: CompilationCache | bool | None = None,
+    cache_dir: str | Path | None = None,
 ) -> Language:
     """Compose (if needed), optimize, and generate a parser.
 
     ``grammar`` is either an already-built :class:`Grammar` or the qualified
     name of a root grammar module to compose.
+
+    Named roots are served from the in-process LRU when possible (disable
+    with ``cache=False``); an on-disk cache is used in addition when
+    ``cache=True``, ``cache_dir`` is given, ``cache`` is a
+    :class:`~repro.cache.CompilationCache`, or ``$REPRO_CACHE_DIR`` is set.
+    Both levels revalidate against the current ``.mg`` module texts, so
+    stale artifacts are rebuilt, never trusted.
     """
-    if isinstance(grammar, str):
-        grammar = load_grammar(grammar, paths=paths, loader=loader, start=start)
-    elif start is not None:
-        grammar = grammar.with_start(start)
+    opts = options or Options.all()
+    if not isinstance(grammar, str):
+        # Programmatically built grammars have no stable source identity to
+        # fingerprint, so they bypass both cache levels.
+        if start is not None:
+            grammar = grammar.with_start(start)
+        return _compile_prepared(grammar, opts, parser_name)
+
+    root = grammar
+    disk = _resolve_disk_cache(cache, cache_dir)
+    # A caller-supplied loader may hold unregistered in-memory sources, so
+    # the process-wide LRU (keyed only by name/paths) would be unsound.
+    use_lru = cache is not False and loader is None
+    if loader is None:
+        loader = ModuleLoader(paths=list(paths) if paths else None)
+    lru_key = (
+        root,
+        opts.cache_key(),
+        start,
+        parser_name,
+        tuple(str(p) for p in (paths or ())),
+    )
+
+    if use_lru:
+        cached = _lru_lookup(lru_key, loader)
+        if cached is not None:
+            return cached
+
+    if disk is not None:
+        hit = disk.lookup(root, opts, start, parser_name, loader)
+        if hit is not None:
+            language = Language(
+                grammar=hit.grammar,
+                prepared=hit.prepared,
+                parser_source=hit.parser_source,
+                parser_class=hit.parser_class,
+            )
+            if use_lru:
+                _lru_store(lru_key, language, hit.fingerprint, tuple(hit.fingerprint))
+            return language
+
+    composed, modules = compose_with_manifest(root, loader, start=start)
+    language = _compile_prepared(composed, opts, parser_name)
+    if disk is not None:
+        disk.store(
+            root, opts, start, parser_name, loader, modules,
+            language.grammar, language.prepared, language.parser_source,
+        )
+    if use_lru:
+        try:
+            fingerprint = module_fingerprint(loader, modules)
+        except CompositionError:
+            fingerprint = None
+        if fingerprint is not None:
+            _lru_store(lru_key, language, fingerprint, modules)
+    return language
+
+
+def _compile_prepared(grammar: Grammar, options: Options, parser_name: str) -> Language:
+    """The uncached compile path: optimize, generate, and load."""
     prepared = prepare(grammar, options)
     source = generate_parser_source(prepared, parser_name)
     parser_class = load_parser(source, parser_name)

@@ -1,0 +1,22 @@
+"""Compilation caching: on-disk artifacts and in-process language reuse.
+
+See ``docs/caching.md`` for the cache key, layout, and invalidation rules.
+"""
+
+from repro.cache.disk import (
+    CACHE_VERSION,
+    CachedCompilation,
+    CacheStats,
+    CompilationCache,
+    default_cache_dir,
+    module_fingerprint,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CachedCompilation",
+    "CacheStats",
+    "CompilationCache",
+    "default_cache_dir",
+    "module_fingerprint",
+]

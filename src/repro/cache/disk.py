@@ -1,0 +1,366 @@
+"""Persistent compilation cache: content-fingerprinted on-disk artifacts.
+
+Compiling a grammar (compose → analyze → optimize → codegen → ``exec``)
+costs orders of magnitude more than parsing typical inputs with the result.
+:class:`CompilationCache` memoizes the expensive part on disk so the second
+process that asks for ``jay.Jay`` gets a ready-to-use parser near-instantly.
+
+Each entry is one pickle file ``<key>.pkl`` under the cache directory::
+
+    key = sha256(cache layout version | package version | interpreter tag |
+                 pipeline version | root | start | parser name | options)
+
+holding the composed :class:`~repro.peg.grammar.Grammar`, the
+:class:`~repro.optim.pipeline.PreparedGrammar`, the generated parser
+source, a ``marshal``-ed code object of that source (skipping re-``compile``
+of ~200 KB of Python is most of the warm-path win), and a **content
+fingerprint**: the sha256 of every participating ``.mg`` module text.
+
+Lookups are defensive by construction:
+
+- the fingerprint is re-validated against the *current* module texts on
+  every hit, so editing any ``.mg`` file invalidates the entry;
+- version or interpreter mismatches silently miss (and replace on store);
+- unreadable, truncated, or structurally bogus entries are **discarded and
+  rebuilt, never trusted** — each such event is recorded in
+  :attr:`CompilationCache.warnings` so tools can surface (and ``--strict``
+  runs can fail on) corruption.
+
+The cache directory defaults to ``$REPRO_CACHE_DIR``, else
+``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``.  Entries are pickles:
+only point the cache at directories you trust as much as your code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import marshal
+import os
+import pickle
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import ModuleType
+from typing import Any
+
+from repro.errors import CompositionError
+from repro.meta.loader import ModuleLoader
+from repro.optim.options import Options
+from repro.optim.pipeline import PIPELINE_VERSION, PreparedGrammar
+from repro.peg.grammar import Grammar
+
+#: Bump when the entry layout changes; old entries then miss and are replaced.
+CACHE_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory from the environment."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return Path(explicit)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _package_version() -> str:
+    import repro
+
+    return repro.__version__
+
+
+def _text_sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def module_fingerprint(loader: ModuleLoader, names: tuple[str, ...] | list[str]) -> dict[str, str]:
+    """``{module name: sha256 of its current source text}`` via ``loader``.
+
+    Raises :class:`~repro.errors.CompositionError` when a module has
+    disappeared — callers treat that as a cache miss.
+    """
+    return {name: _text_sha(loader.source_text(name)) for name in sorted(names)}
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`CompilationCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0  # stale (fingerprint/version) entries discarded
+    corrupt: int = 0  # unreadable/bogus entries discarded
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+            "corrupt": self.corrupt,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.hits} hit(s), {self.misses} miss(es), {self.stores} store(s), "
+            f"{self.invalidations} invalidation(s), {self.corrupt} corrupt"
+        )
+
+
+@dataclass(frozen=True)
+class CachedCompilation:
+    """A validated cache hit, ready to back a :class:`repro.api.Language`."""
+
+    grammar: Grammar
+    prepared: PreparedGrammar
+    parser_source: str
+    parser_class: type
+    key: str
+    #: ``{module name: sha256}`` the hit was validated against.
+    fingerprint: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class CompilationCache:
+    """On-disk memoization of ``compile_grammar`` results.
+
+    One instance may serve many lookups; :attr:`stats` and
+    :attr:`warnings` accumulate across them.
+    """
+
+    directory: Path = field(default_factory=default_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+    warnings: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+
+    # -- keys ------------------------------------------------------------------
+
+    def key_for(
+        self,
+        root: str,
+        options: Options,
+        start: str | None,
+        parser_name: str,
+    ) -> str:
+        """Stable entry key for one (root, options, start, parser name)."""
+        descriptor = "\n".join(
+            [
+                f"cache={CACHE_VERSION}",
+                f"package={_package_version()}",
+                f"python={sys.implementation.cache_tag}",
+                f"pipeline={PIPELINE_VERSION}",
+                f"root={root}",
+                f"start={start or ''}",
+                f"parser={parser_name}",
+                f"options={options.cache_key()}",
+            ]
+        )
+        return hashlib.sha256(descriptor.encode("utf-8")).hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    # -- lookup ----------------------------------------------------------------
+
+    def lookup(
+        self,
+        root: str,
+        options: Options,
+        start: str | None,
+        parser_name: str,
+        loader: ModuleLoader,
+    ) -> CachedCompilation | None:
+        """Return a validated entry, or ``None`` (recording why) on miss."""
+        key = self.key_for(root, options, start, parser_name)
+        path = self._entry_path(key)
+        if not path.is_file():
+            self.stats.misses += 1
+            return None
+        try:
+            with path.open("rb") as handle:
+                entry = pickle.load(handle)
+            self._validate_shape(entry)
+        except Exception as exc:  # noqa: BLE001 - any failure means "rebuild"
+            self._discard(path, f"corrupt cache entry {path.name}: {exc}")
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        if not self._versions_match(entry):
+            # Routine staleness (upgraded package/interpreter), not corruption.
+            self._discard(path, None)
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        try:
+            current = module_fingerprint(loader, tuple(entry["fingerprint"]))
+        except CompositionError:
+            current = None  # a participating module vanished
+        if current != entry["fingerprint"]:
+            self._discard(path, None)
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        try:
+            parser_class = self._load_parser_class(entry, parser_name)
+        except Exception as exc:  # noqa: BLE001
+            self._discard(path, f"corrupt cache entry {path.name}: parser code failed to load: {exc}")
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return CachedCompilation(
+            grammar=entry["grammar"],
+            prepared=entry["prepared"],
+            parser_source=entry["source"],
+            parser_class=parser_class,
+            key=key,
+            fingerprint=dict(entry["fingerprint"]),
+        )
+
+    @staticmethod
+    def _validate_shape(entry: Any) -> None:
+        if not isinstance(entry, dict):
+            raise TypeError(f"expected a dict entry, got {type(entry).__name__}")
+        required = {
+            "cache_version", "package_version", "py_tag", "pipeline_version",
+            "fingerprint", "grammar", "prepared", "source", "code",
+        }
+        missing = required - set(entry)
+        if missing:
+            raise KeyError(f"missing fields: {', '.join(sorted(missing))}")
+        if not isinstance(entry["fingerprint"], dict):
+            raise TypeError("fingerprint must be a dict")
+        if not isinstance(entry["grammar"], Grammar) or not isinstance(
+            entry["prepared"], PreparedGrammar
+        ):
+            raise TypeError("grammar payload has the wrong type")
+
+    @staticmethod
+    def _versions_match(entry: dict) -> bool:
+        return (
+            entry["cache_version"] == CACHE_VERSION
+            and entry["package_version"] == _package_version()
+            and entry["py_tag"] == sys.implementation.cache_tag
+            and entry["pipeline_version"] == PIPELINE_VERSION
+        )
+
+    @staticmethod
+    def _load_parser_class(entry: dict, parser_name: str) -> type:
+        code = marshal.loads(entry["code"])
+        module = ModuleType(f"repro_cached_parser_{entry['cache_version']}")
+        exec(code, module.__dict__)  # noqa: S102 - our own generated code
+        return getattr(module, parser_name)
+
+    def _discard(self, path: Path, warning: str | None) -> None:
+        if warning is not None:
+            self.warnings.append(warning)
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- store -----------------------------------------------------------------
+
+    def store(
+        self,
+        root: str,
+        options: Options,
+        start: str | None,
+        parser_name: str,
+        loader: ModuleLoader,
+        modules: tuple[str, ...],
+        grammar: Grammar,
+        prepared: PreparedGrammar,
+        parser_source: str,
+    ) -> str | None:
+        """Persist one compilation; returns the entry key (None on failure).
+
+        Store failures (unwritable directory, unpicklable payload) are
+        recorded as warnings but never break compilation itself.
+        """
+        key = self.key_for(root, options, start, parser_name)
+        try:
+            code = compile(parser_source, f"<cached:{root}>", "exec")
+            entry = {
+                "cache_version": CACHE_VERSION,
+                "package_version": _package_version(),
+                "py_tag": sys.implementation.cache_tag,
+                "pipeline_version": PIPELINE_VERSION,
+                "root": root,
+                "start": start,
+                "parser_name": parser_name,
+                "fingerprint": module_fingerprint(loader, modules),
+                "grammar": grammar,
+                "prepared": prepared,
+                "source": parser_source,
+                "code": marshal.dumps(code),
+            }
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: a concurrent reader sees the old entry or the
+            # new one, never a torn write.
+            fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, self._entry_path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except Exception as exc:  # noqa: BLE001 - caching is best-effort
+            self.warnings.append(f"could not store cache entry for {root!r}: {exc}")
+            return None
+        self.stats.stores += 1
+        return key
+
+    # -- introspection -----------------------------------------------------------
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Describe every entry in the cache directory (for ``repro-stats``).
+
+        Unreadable entries are reported with ``"status": "corrupt"`` (and a
+        warning recorded) rather than raised.
+        """
+        rows: list[dict[str, Any]] = []
+        if not self.directory.is_dir():
+            return rows
+        for path in sorted(self.directory.glob("*.pkl")):
+            row: dict[str, Any] = {
+                "key": path.stem[:12],
+                "size_kb": max(1, path.stat().st_size // 1024),
+            }
+            try:
+                with path.open("rb") as handle:
+                    entry = pickle.load(handle)
+                self._validate_shape(entry)
+            except Exception as exc:  # noqa: BLE001
+                self.warnings.append(f"corrupt cache entry {path.name}: {exc}")
+                self.stats.corrupt += 1
+                row.update(root="?", modules=0, status="corrupt")
+                rows.append(row)
+                continue
+            row.update(
+                root=entry.get("root", "?"),
+                modules=len(entry["fingerprint"]),
+                status="ok" if self._versions_match(entry) else "stale",
+            )
+            rows.append(row)
+        return rows
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -194,6 +194,13 @@ class ParserGenerator:
             else:
                 w.line("self._memo = {}")
         w.line()
+        with w.block("def _reset_memo(self):"):
+            w.line('"""Clear the memo table in place (reset() protocol)."""')
+            if self.options.chunks:
+                w.line("self._columns.clear()")
+            else:
+                w.line("self._memo.clear()")
+        w.line()
         with w.block("def parse(self, start=None):"):
             w.line('"""Parse the whole input text; returns the semantic value."""')
             w.line(f"method = getattr(self, '_p_' + (start or {self.grammar.start!r}))")

@@ -3,11 +3,19 @@
 from __future__ import annotations
 
 import importlib.util
+import itertools
 import sys
 from pathlib import Path
 from types import ModuleType
 
 from repro.errors import CodegenError
+
+#: Prefix under which loaded parser files are registered in ``sys.modules``.
+#: Namespacing avoids clobbering unrelated modules (or each other) when two
+#: generated files share a stem.
+_MODULE_NAMESPACE = "repro._generated_parsers"
+
+_load_counter = itertools.count()
 
 
 def load_parser_module(source: str, module_name: str = "repro_generated_parser") -> ModuleType:
@@ -32,12 +40,24 @@ def load_parser(source: str, parser_name: str = "Parser"):
 
 
 def load_parser_file(path: str | Path, parser_name: str = "Parser"):
-    """Import a previously written parser file and return the parser class."""
+    """Import a previously written parser file and return the parser class.
+
+    Each load is registered under a unique ``repro._generated_parsers.*``
+    key: two parser files sharing a stem never clobber each other, and a
+    generated parser can never shadow an unrelated installed module.
+    """
     path = Path(path)
-    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module_name = f"{_MODULE_NAMESPACE}.{path.stem}"
+    while module_name in sys.modules:
+        module_name = f"{_MODULE_NAMESPACE}.{path.stem}_{next(_load_counter)}"
+    spec = importlib.util.spec_from_file_location(module_name, path)
     if spec is None or spec.loader is None:
         raise CodegenError(f"cannot import parser file {path}")
     module = importlib.util.module_from_spec(spec)
-    sys.modules[path.stem] = module
-    spec.loader.exec_module(module)
+    sys.modules[module_name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(module_name, None)
+        raise
     return getattr(module, parser_name)

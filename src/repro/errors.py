@@ -49,22 +49,34 @@ class ParseError(ReproError):
     parsing is the conventional best guess for where the input is wrong.
     """
 
-    def __init__(self, message: str, offset: int, line: int, column: int, expected: tuple[str, ...] = ()):
+    def __init__(
+        self,
+        message: str,
+        offset: int,
+        line: int,
+        column: int,
+        expected: tuple[str, ...] = (),
+        source: str = "<input>",
+    ):
         full = message
         if expected:
             full = f"{message} (expected {', '.join(sorted(set(expected)))})"
-        super().__init__(f"{line}:{column}: {full}")
+        super().__init__(f"{source}:{line}:{column}: {full}")
         self.message = message
         self.offset = offset
         self.line = line
         self.column = column
         self.expected = expected
+        self.source = source
 
-    def show(self, text: str, source: str = "<input>") -> str:
+    def show(self, text: str, source: str | None = None) -> str:
         """A compiler-style diagnostic with the offending line and a caret.
 
         ``text`` must be the input that was parsed (errors don't retain it).
+        ``source`` overrides the source name recorded on the error.
         """
+        if source is None:
+            source = self.source
         start = text.rfind("\n", 0, self.offset) + 1
         end = text.find("\n", self.offset)
         if end == -1:

@@ -168,6 +168,11 @@ class _Run(ParserBase):
         else:
             self._memo = None
 
+    def _reset_memo(self) -> None:
+        if self._memo is not None:
+            self._memo.reset()
+        self._active.clear()
+
     # -- memo accounting -------------------------------------------------------
 
     def memo_entry_count(self) -> int:

@@ -59,6 +59,17 @@ class ModuleLoader:
         self._cache[name] = module
         return module
 
+    def source_text(self, name: str) -> str:
+        """The current raw ``.mg`` text of module ``name``.
+
+        Always re-resolves (registered sources, search paths, built-ins) so
+        callers — notably the compilation cache — observe on-disk edits made
+        after the parsed module was cached.  Raises
+        :class:`~repro.errors.CompositionError` when the module cannot be
+        found.
+        """
+        return self._find_source(name)[0]
+
     def _find_source(self, name: str) -> tuple[str, str]:
         if name in self._sources:
             return self._sources[name], f"<registered:{name}>"

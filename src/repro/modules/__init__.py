@@ -1,5 +1,5 @@
 """Grammar-module composition (the paper's extensibility mechanism)."""
 
-from repro.modules.compose import Composer, compose
+from repro.modules.compose import Composer, compose, compose_with_manifest
 
-__all__ = ["Composer", "compose"]
+__all__ = ["Composer", "compose", "compose_with_manifest"]

@@ -300,3 +300,22 @@ def compose(
     if loader is None:
         loader = ModuleLoader(paths=paths)
     return Composer(loader).compose(root, start=start)
+
+
+def compose_with_manifest(
+    root: str,
+    loader: ModuleLoader,
+    start: str | None = None,
+) -> tuple[Grammar, tuple[str, ...]]:
+    """Compose ``root`` and also report the participating module templates.
+
+    Returns ``(grammar, template_names)`` where ``template_names`` is the
+    sorted, deduplicated set of loadable module names whose source text the
+    composition depended on — exactly the set a compilation cache must
+    fingerprint to know when the grammar is stale.  (Instance aliases of
+    parameterized templates map back to their template module.)
+    """
+    composer = Composer(loader)
+    grammar = composer.compose(root, start=start)
+    templates = sorted({template.name for _, template in composer.instance_modules()})
+    return grammar, tuple(templates)

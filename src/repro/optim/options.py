@@ -71,6 +71,14 @@ class Options:
     def enabled(self) -> list[str]:
         return [name for name in self.flag_names() if getattr(self, name)]
 
+    def cache_key(self) -> str:
+        """A stable textual form of every field, for compilation-cache keys.
+
+        Enumerates all dataclass fields (not just the boolean flags), so any
+        future knob automatically invalidates cached artifacts.
+        """
+        return ";".join(f"{f.name}={getattr(self, f.name)!r}" for f in fields(self))
+
     @classmethod
     def cumulative(cls) -> list[tuple[str, "Options"]]:
         """The ablation ladder for experiment E3: start from nothing and

@@ -35,6 +35,11 @@ from repro.peg.grammar import Grammar
 from repro.transform.desugar import desugar
 from repro.transform.leftrec import transform_left_recursion
 
+#: Bump whenever the pipeline's semantics change (a pass is added, removed,
+#: reordered, or its output format shifts).  The compilation cache folds this
+#: into its keys, so stale prepared grammars are rebuilt, never trusted.
+PIPELINE_VERSION = 1
+
 
 @dataclass(frozen=True)
 class PreparedGrammar:

@@ -17,7 +17,7 @@ from bisect import bisect_right
 from typing import Any
 
 from repro.errors import ParseError
-from repro.locations import Location, line_column
+from repro.locations import Location
 
 
 class ParserBase:
@@ -33,6 +33,25 @@ class ParserBase:
         self._fail_expected: list[str] = []
         self._line_starts: list[int] | None = None
         self._source = "<input>"
+
+    def reset(self, text: str, source: str = "<input>") -> "ParserBase":
+        """Point this parser at a new input, reusing allocated structures.
+
+        Clears failure tracking, the line index, and (via :meth:`_reset_memo`)
+        the memo table *in place* — no per-parse reallocation.  Returns
+        ``self`` so ``parser.reset(text).parse()`` chains.
+        """
+        self._text = text
+        self._length = len(text)
+        self._fail_pos = -1
+        self._fail_expected = []
+        self._line_starts = None
+        self._source = source
+        self._reset_memo()
+        return self
+
+    def _reset_memo(self) -> None:
+        """Clear memoized state in place (overridden by memoizing backends)."""
 
     # -- location tracking -----------------------------------------------------
 
@@ -53,24 +72,33 @@ class ParserBase:
     # -- error tracking ------------------------------------------------------
 
     def _expected(self, pos: int, what: str) -> None:
-        """Record a failed expectation at ``pos`` (keeps only the farthest)."""
+        """Record a failed expectation at ``pos`` (keeps only the farthest).
+
+        Expectations at the same position are deduplicated (heavy
+        backtracking retries the same terminal many times) while preserving
+        first-seen order.
+        """
         if pos > self._fail_pos:
             self._fail_pos = pos
             self._fail_expected = [what]
-        elif pos == self._fail_pos:
+        elif pos == self._fail_pos and what not in self._fail_expected:
             self._fail_expected.append(what)
 
     def parse_error(self) -> ParseError:
         """Build a :class:`ParseError` at the farthest failure position."""
         pos = max(self._fail_pos, 0)
-        line, column = line_column(self._text, pos)
+        location = self._location(pos)
         found = repr(self._text[pos]) if pos < self._length else "end of input"
+        # Generated parsers share constant expected lists, which may repeat
+        # across merges; dedupe here too, preserving first-seen order.
+        expected = tuple(dict.fromkeys(self._fail_expected))[:12]
         return ParseError(
             f"syntax error at {found}",
             offset=pos,
-            line=line,
-            column=column,
-            expected=tuple(self._fail_expected[:12]),
+            line=location.line,
+            column=location.column,
+            expected=expected,
+            source=self._source,
         )
 
     def check_complete(self, pos: int, value: Any) -> Any:
@@ -94,26 +122,35 @@ def sizeof_deep(obj: Any, _seen: set[int] | None = None) -> int:
     """Approximate deep ``sys.getsizeof`` for memo-table measurement.
 
     Follows dicts, lists, tuples and objects with ``__dict__``/``__slots__``;
-    shared objects are counted once.
+    shared objects are counted once.  Traversal is iterative (explicit
+    stack), so arbitrarily deep structures — e.g. the memo tables built by
+    the E3/E5 benchmarks — cannot hit Python's recursion limit.
     """
     seen = _seen if _seen is not None else set()
-    oid = id(obj)
-    if oid in seen or obj is None:
-        return 0
-    seen.add(oid)
-    size = sys.getsizeof(obj)
-    if isinstance(obj, dict):
-        for key, val in obj.items():
-            size += sizeof_deep(key, seen) + sizeof_deep(val, seen)
-    elif isinstance(obj, (list, tuple, set, frozenset)):
-        for item in obj:
-            size += sizeof_deep(item, seen)
-    else:
-        attrs = getattr(obj, "__dict__", None)
-        if attrs is not None:
-            size += sizeof_deep(attrs, seen)
-        slots = getattr(type(obj), "__slots__", ())
-        for slot in slots:
-            if hasattr(obj, slot):
-                size += sizeof_deep(getattr(obj, slot), seen)
-    return size
+    total = 0
+    stack = [obj]
+    while stack:
+        current = stack.pop()
+        if current is None:
+            continue
+        oid = id(current)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        total += sys.getsizeof(current)
+        if isinstance(current, dict):
+            stack.extend(current.keys())
+            stack.extend(current.values())
+        elif isinstance(current, (list, tuple, set, frozenset)):
+            stack.extend(current)
+        else:
+            attrs = getattr(current, "__dict__", None)
+            if attrs is not None:
+                stack.append(attrs)
+            slots = getattr(type(current), "__slots__", ())
+            if isinstance(slots, str):
+                slots = (slots,)
+            for slot in slots:
+                if hasattr(current, slot):
+                    stack.append(getattr(current, slot))
+    return total

@@ -48,6 +48,12 @@ class DictMemoTable:
     def clear(self) -> None:
         self._table.clear()
 
+    def reset(self) -> "DictMemoTable":
+        """Drop all entries in place, keeping the table object (and the
+        dict's allocated capacity) for reuse across parses."""
+        self._table.clear()
+        return self
+
     def entry_count(self) -> int:
         return len(self._table)
 
@@ -101,6 +107,12 @@ class ChunkedMemoTable:
 
     def clear(self) -> None:
         self._columns.clear()
+
+    def reset(self) -> "ChunkedMemoTable":
+        """Drop all columns in place, keeping the table object and its
+        chunk geometry for reuse across parses."""
+        self._columns.clear()
+        return self
 
     def entry_count(self) -> int:
         count = 0

@@ -15,10 +15,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.api import load_grammar
-from repro.codegen import generate_parser_source
+from repro.api import compile_grammar, load_grammar
+from repro.cache import CompilationCache
 from repro.errors import ReproError
-from repro.optim import Options, prepare
+from repro.optim import Options
 from repro.peg.pretty import format_grammar
 
 
@@ -43,6 +43,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the composed (pre-optimization) grammar instead of generating",
     )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persistent compilation cache directory (see docs/caching.md)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="bypass the compilation caches entirely"
+    )
     for flag in Options.flag_names():
         parser.add_argument(
             f"-Ono-{flag}",
@@ -58,17 +66,37 @@ def options_from_args(args: argparse.Namespace) -> Options:
     return Options.all().without(*disabled)
 
 
+def cache_from_args(args: argparse.Namespace) -> CompilationCache | bool | None:
+    """Map ``--no-cache`` / ``--cache-dir`` onto compile_grammar's cache arg."""
+    if getattr(args, "no_cache", False):
+        return False
+    if getattr(args, "cache_dir", None):
+        return CompilationCache(args.cache_dir)
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
     try:
-        grammar = load_grammar(args.root, paths=args.path or None, start=args.start)
         if args.print_grammar:
+            grammar = load_grammar(args.root, paths=args.path or None, start=args.start)
             output = format_grammar(grammar)
         else:
-            prepared = prepare(grammar, options_from_args(args))
-            for warning in prepared.warnings:
+            cache = cache_from_args(args)
+            language = compile_grammar(
+                args.root,
+                options=options_from_args(args),
+                paths=args.path or None,
+                start=args.start,
+                parser_name=args.parser_name,
+                cache=cache,
+            )
+            for warning in language.prepared.warnings:
                 print(f"warning: {warning}", file=sys.stderr)
-            output = generate_parser_source(prepared, args.parser_name)
+            if isinstance(cache, CompilationCache):
+                for warning in cache.warnings:
+                    print(f"warning: {warning}", file=sys.stderr)
+            output = language.parser_source
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -12,6 +12,7 @@ import argparse
 import sys
 
 from repro.analysis.stats import grammar_stats, module_stats
+from repro.cache import CompilationCache
 from repro.errors import ReproError
 from repro.meta import ModuleLoader
 from repro.modules import Composer
@@ -44,6 +45,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--path", action="append", default=[], metavar="DIR")
     parser.add_argument(
         "--dot", action="store_true", help="print the module dependency graph as GraphViz DOT"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="also report the compilation cache entries in DIR",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when cache corruption warnings were emitted",
     )
     args = parser.parse_args(argv)
     if args.dot:
@@ -94,6 +105,17 @@ def main(argv: list[str] | None = None) -> int:
     print(format_table([gstats.row()],
                        ["grammar", "productions", "generic", "text", "void", "object",
                         "alternatives", "nodes", "transient", "public"]))
+    if args.cache_dir:
+        cache = CompilationCache(args.cache_dir)
+        entries = cache.entries()
+        print()
+        print(f"Compilation cache ({cache.directory}): {len(entries)} entries")
+        if entries:
+            print(format_table(entries, ["key", "root", "modules", "size_kb", "status"]))
+        for warning in cache.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        if args.strict and cache.warnings:
+            return 2
     return 0
 
 

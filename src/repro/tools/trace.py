@@ -12,7 +12,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.api import load_grammar
+from repro.api import compile_grammar, load_grammar
+from repro.cache import CompilationCache
 from repro.errors import ReproError
 from repro.interp import PackratInterpreter, format_trace, trace_parse, trace_statistics
 from repro.optim import prepare
@@ -29,14 +30,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--start", help="override the start production")
     parser.add_argument("--events", action="store_true", help="print the full event log")
     parser.add_argument("--max-events", type=int, default=200, metavar="N")
+    parser.add_argument("--cache-dir", metavar="DIR", help="persistent compilation cache directory")
+    parser.add_argument("--no-cache", action="store_true", help="bypass the compilation caches")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when cache corruption warnings were emitted",
+    )
     args = parser.parse_args(argv)
 
+    cache = CompilationCache(args.cache_dir) if args.cache_dir and not args.no_cache else None
     try:
-        grammar = load_grammar(args.root, paths=args.path or None)
-        prepared = prepare(grammar)
+        if cache is not None:
+            prepared = compile_grammar(
+                args.root, paths=args.path or None, start=args.start, cache=cache
+            ).prepared
+        else:
+            grammar = load_grammar(args.root, paths=args.path or None)
+            prepared = prepare(grammar)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    for warning in cache.warnings if cache is not None else ():
+        print(f"warning: {warning}", file=sys.stderr)
 
     if args.input == "-":
         text = sys.stdin.read()
@@ -62,12 +78,13 @@ def main(argv: list[str] | None = None) -> int:
         f"{stats['failures']} failed, {stats['distinct_questions']} distinct "
         f"(production, position) questions, {stats['reasked_questions']} re-asked"
     )
+    strict_failure = args.strict and cache is not None and bool(cache.warnings)
     if error is not None:
         print()
         print(error.show(text, source))
         return 1
     print(f"parse OK: {value!r}"[:400])
-    return 0
+    return 2 if strict_failure else 0
 
 
 if __name__ == "__main__":

@@ -71,6 +71,70 @@ class TestLanguage:
             lang.parse("((")
 
 
+class TestParseSession:
+    @pytest.fixture(scope="class")
+    def lang(self):
+        return repro.compile_grammar("calc.Calculator")
+
+    def test_session_parses_many_inputs(self, lang):
+        session = lang.session()
+        for text in ("1+1", "2*3", "(4-1)*2"):
+            assert session.parse(text) == lang.parse(text)
+        assert session.parses == 3
+
+    def test_session_reuses_parser_and_memo(self, lang):
+        session = lang.session()
+        session.parse("1+1")
+        parser = session.parser
+        memo = parser._columns if hasattr(parser, "_columns") else parser._memo
+        session.parse("2*(3+4)")
+        session.parse("5-5")
+        # Same parser object, same memo container — reset, not reallocated.
+        assert session.parser is parser
+        current = parser._columns if hasattr(parser, "_columns") else parser._memo
+        assert current is memo
+
+    def test_session_memo_cleared_between_inputs(self, lang):
+        session = lang.session()
+        session.parse("1+2+3+4")
+        session.parse("7")
+        assert session.parser.memo_entry_count() <= 4  # only the short input's
+
+    def test_session_failure_then_success(self, lang):
+        session = lang.session()
+        with pytest.raises(ParseError) as err:
+            session.parse("1+*", source="bad.calc")
+        assert err.value.source == "bad.calc"
+        assert session.parse("1+2") == lang.parse("1+2")
+
+    def test_session_recognize(self, lang):
+        session = lang.session()
+        assert session.recognize("1+1")
+        assert not session.recognize("1+")
+        assert session.recognize("2*2")
+
+    def test_session_with_dict_memo(self):
+        lang = repro.compile_grammar(
+            "calc.Calculator", options=Options.all().without("chunks")
+        )
+        session = lang.session()
+        assert session.parse("1+1") == session.parse("1+1")
+        assert session.parser._memo is not None
+
+    def test_session_start_override(self):
+        lang = repro.compile_grammar("calc.Calculator")
+        session = lang.session(start="Number")
+        assert session.parse("42") is not None
+
+    def test_error_includes_source_and_deduped_expected(self, lang):
+        with pytest.raises(ParseError) as err:
+            lang.parse("((((", source="deep.calc")
+        error = err.value
+        assert error.source == "deep.calc"
+        assert str(error).startswith("deep.calc:")
+        assert len(error.expected) == len(set(error.expected))
+
+
 class TestPackageSurface:
     def test_exports(self):
         for name in ("compile_grammar", "load_grammar", "parse", "Options",

@@ -1,0 +1,263 @@
+"""The compilation cache: disk entries, the in-process LRU, and CLI wiring.
+
+Covers the invalidation rules from docs/caching.md: content fingerprints
+(.mg edits), version mismatches, and corruption (discard and rebuild,
+never trust).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro
+from repro.api import clear_language_cache, language_cache_info
+from repro.cache import CACHE_VERSION, CompilationCache, module_fingerprint
+from repro.meta import ModuleLoader
+
+
+@pytest.fixture(autouse=True)
+def _fresh_lru():
+    clear_language_cache()
+    yield
+    clear_language_cache()
+
+
+@pytest.fixture()
+def grammar_dir(tmp_path):
+    root = tmp_path / "grammars"
+    (root / "toy").mkdir(parents=True)
+    (root / "toy" / "Lang.mg").write_text(
+        'module toy.Lang;\n\nimport toy.Digits;\n\npublic String Number = Digit+ ;\n'
+    )
+    (root / "toy" / "Digits.mg").write_text(
+        "module toy.Digits;\n\nString Digit = [0-9] ;\n"
+    )
+    return root
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return CompilationCache(tmp_path / "cache")
+
+
+def compile_toy(grammar_dir, **kwargs):
+    return repro.compile_grammar("toy.Lang", paths=[grammar_dir], **kwargs)
+
+
+class TestDiskCache:
+    def test_miss_then_store_then_hit(self, grammar_dir, cache):
+        lang = compile_toy(grammar_dir, cache=cache)
+        assert cache.stats.misses == 1 and cache.stats.stores == 1
+        assert lang.parse("123") == "123"
+
+        clear_language_cache()
+        warm = CompilationCache(cache.directory)
+        lang2 = compile_toy(grammar_dir, cache=warm)
+        assert warm.stats.hits == 1 and warm.stats.misses == 0
+        assert lang2.parse("77") == "77"
+        assert lang2.parser_source == lang.parser_source
+
+    def test_hit_preserves_grammar_and_options(self, grammar_dir, cache):
+        lang = compile_toy(grammar_dir, cache=cache)
+        clear_language_cache()
+        lang2 = compile_toy(grammar_dir, cache=CompilationCache(cache.directory))
+        assert lang2.grammar.names() == lang.grammar.names()
+        assert lang2.options == lang.options
+
+    def test_mg_edit_invalidates(self, grammar_dir, cache):
+        compile_toy(grammar_dir, cache=cache)
+        (grammar_dir / "toy" / "Digits.mg").write_text(
+            "module toy.Digits;\n\nString Digit = [0-9a-f] ;\n"
+        )
+        clear_language_cache()
+        stale = CompilationCache(cache.directory)
+        lang = compile_toy(grammar_dir, cache=stale)
+        assert stale.stats.invalidations == 1 and stale.stats.hits == 0
+        assert lang.parse("beef") == "beef"  # rebuilt against the new text
+
+    def test_options_get_distinct_entries(self, grammar_dir, cache):
+        compile_toy(grammar_dir, cache=cache)
+        compile_toy(grammar_dir, cache=cache, options=repro.Options.none())
+        assert cache.stats.stores == 2
+        assert len(cache.entries()) == 2
+
+    def test_corrupt_entry_discarded_and_rebuilt(self, grammar_dir, cache):
+        compile_toy(grammar_dir, cache=cache)
+        entry = next(cache.directory.glob("*.pkl"))
+        entry.write_bytes(b"not a pickle")
+        clear_language_cache()
+        recovered = CompilationCache(cache.directory)
+        lang = compile_toy(grammar_dir, cache=recovered)
+        assert recovered.stats.corrupt == 1
+        assert recovered.warnings and "corrupt" in recovered.warnings[0]
+        # Discarded, rebuilt, and re-stored under the same key: the entry
+        # file exists again and now round-trips cleanly.
+        assert recovered.stats.stores == 1
+        assert pickle.loads(entry.read_bytes())["root"] == "toy.Lang"
+        assert lang.parse("5") == "5"
+
+    def test_wrong_shape_entry_is_corrupt(self, grammar_dir, cache):
+        compile_toy(grammar_dir, cache=cache)
+        entry = next(cache.directory.glob("*.pkl"))
+        entry.write_bytes(pickle.dumps({"cache_version": CACHE_VERSION}))
+        clear_language_cache()
+        recovered = CompilationCache(cache.directory)
+        compile_toy(grammar_dir, cache=recovered)
+        assert recovered.stats.corrupt == 1
+
+    def test_version_mismatch_is_stale_not_corrupt(self, grammar_dir, cache):
+        compile_toy(grammar_dir, cache=cache)
+        entry = next(cache.directory.glob("*.pkl"))
+        payload = pickle.loads(entry.read_bytes())
+        payload["package_version"] = "0.0.0-older"
+        entry.write_bytes(pickle.dumps(payload))
+        clear_language_cache()
+        stale = CompilationCache(cache.directory)
+        compile_toy(grammar_dir, cache=stale)
+        assert stale.stats.invalidations == 1
+        assert stale.stats.corrupt == 0 and not stale.warnings
+
+    def test_cache_false_bypasses_everything(self, grammar_dir, cache):
+        compile_toy(grammar_dir, cache=cache)
+        lang2 = compile_toy(grammar_dir, cache=False)
+        assert language_cache_info()["size"] == 0 or lang2 is not None
+        assert cache.stats.hits == 0
+
+    def test_entries_listing(self, grammar_dir, cache):
+        compile_toy(grammar_dir, cache=cache)
+        rows = cache.entries()
+        assert len(rows) == 1
+        assert rows[0]["root"] == "toy.Lang"
+        assert rows[0]["status"] == "ok"
+        assert rows[0]["modules"] == 2
+
+    def test_clear(self, grammar_dir, cache):
+        compile_toy(grammar_dir, cache=cache)
+        assert cache.clear() == 1
+        assert cache.entries() == []
+
+    def test_builtin_grammar_roundtrip(self, tmp_path):
+        cache = CompilationCache(tmp_path / "c")
+        lang = repro.compile_grammar("calc.Calculator", cache=cache)
+        clear_language_cache()
+        warm = CompilationCache(tmp_path / "c")
+        lang2 = repro.compile_grammar("calc.Calculator", cache=warm)
+        assert warm.stats.hits == 1
+        assert lang2.parse("1 + 2 * 3") == lang.parse("1 + 2 * 3")
+
+
+class TestLanguageLRU:
+    def test_repeat_compile_returns_same_object(self, grammar_dir):
+        lang1 = compile_toy(grammar_dir)
+        lang2 = compile_toy(grammar_dir)
+        assert lang1 is lang2
+        assert language_cache_info()["size"] == 1
+
+    def test_lru_revalidates_on_mg_edit(self, grammar_dir):
+        lang1 = compile_toy(grammar_dir)
+        (grammar_dir / "toy" / "Digits.mg").write_text(
+            "module toy.Digits;\n\nString Digit = [0-9x] ;\n"
+        )
+        lang2 = compile_toy(grammar_dir)
+        assert lang2 is not lang1
+        assert lang2.parse("1x2") == "1x2"
+
+    def test_distinct_keys_distinct_entries(self, grammar_dir):
+        lang1 = compile_toy(grammar_dir)
+        lang2 = compile_toy(grammar_dir, options=repro.Options.none())
+        assert lang1 is not lang2
+        assert language_cache_info()["size"] == 2
+
+    def test_custom_loader_skips_lru(self, grammar_dir):
+        loader = ModuleLoader(paths=[grammar_dir])
+        lang1 = repro.compile_grammar("toy.Lang", loader=loader)
+        lang2 = repro.compile_grammar("toy.Lang", loader=loader)
+        assert lang1 is not lang2
+
+    def test_clear_language_cache(self, grammar_dir):
+        compile_toy(grammar_dir)
+        clear_language_cache()
+        assert language_cache_info()["size"] == 0
+
+
+class TestFingerprint:
+    def test_fingerprint_tracks_text(self, grammar_dir):
+        loader = ModuleLoader(paths=[grammar_dir])
+        before = module_fingerprint(loader, ("toy.Lang", "toy.Digits"))
+        (grammar_dir / "toy" / "Digits.mg").write_text(
+            "module toy.Digits;\n\nString Digit = [2-3] ;\n"
+        )
+        after = module_fingerprint(loader, ("toy.Lang", "toy.Digits"))
+        assert before["toy.Lang"] == after["toy.Lang"]
+        assert before["toy.Digits"] != after["toy.Digits"]
+
+
+class TestCliWiring:
+    def test_pgen_cache_dir(self, grammar_dir, tmp_path, capsys):
+        from repro.tools.pgen import main
+
+        cache_dir = tmp_path / "cli-cache"
+        out = tmp_path / "parser.py"
+        assert main(["toy.Lang", "--path", str(grammar_dir),
+                     "--cache-dir", str(cache_dir), "-o", str(out)]) == 0
+        assert list(cache_dir.glob("*.pkl"))
+        clear_language_cache()
+        assert main(["toy.Lang", "--path", str(grammar_dir),
+                     "--cache-dir", str(cache_dir), "-o", str(out)]) == 0
+        assert "class Parser" in out.read_text()
+
+    def test_pgen_no_cache(self, grammar_dir, tmp_path):
+        from repro.tools.pgen import main
+
+        out = tmp_path / "parser.py"
+        assert main(["toy.Lang", "--path", str(grammar_dir), "--no-cache",
+                     "-o", str(out)]) == 0
+        assert "class Parser" in out.read_text()
+
+    def test_stats_reports_cache(self, grammar_dir, tmp_path, capsys):
+        from repro.tools.stats import main
+
+        cache = CompilationCache(tmp_path / "c")
+        compile_toy(grammar_dir, cache=cache)
+        assert main(["toy.Lang", "--path", str(grammar_dir),
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "Compilation cache" in out and "toy.Lang" in out
+
+    def test_stats_strict_fails_on_corruption(self, grammar_dir, tmp_path, capsys):
+        from repro.tools.stats import main
+
+        cache = CompilationCache(tmp_path / "c")
+        compile_toy(grammar_dir, cache=cache)
+        next(cache.directory.glob("*.pkl")).write_bytes(b"junk")
+        # Without --strict: warnings only, still exit 0.
+        assert main(["toy.Lang", "--path", str(grammar_dir),
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        assert "corrupt" in capsys.readouterr().err
+        # With --strict: non-zero.
+        next(cache.directory.glob("*.tmp"), None)  # no leftovers expected
+        cache2 = CompilationCache(tmp_path / "c")
+        compile_toy(grammar_dir, cache=cache2)
+        next(cache2.directory.glob("*.pkl")).write_bytes(b"junk")
+        assert main(["toy.Lang", "--path", str(grammar_dir),
+                     "--cache-dir", str(tmp_path / "c"), "--strict"]) == 2
+
+    def test_trace_strict_fails_on_corruption(self, grammar_dir, tmp_path, capsys):
+        from repro.tools.trace import main
+
+        cache = CompilationCache(tmp_path / "c")
+        compile_toy(grammar_dir, cache=cache)
+        next(cache.directory.glob("*.pkl")).write_bytes(b"junk")
+        clear_language_cache()
+        source = tmp_path / "input.txt"
+        source.write_text("123")
+        code = main(["toy.Lang", str(source), "--path", str(grammar_dir),
+                     "--cache-dir", str(tmp_path / "c"), "--strict"])
+        assert code == 2
+        assert "corrupt" in capsys.readouterr().err
+        # Same run without --strict succeeds (entry was rebuilt).
+        clear_language_cache()
+        assert main(["toy.Lang", str(source), "--path", str(grammar_dir),
+                     "--cache-dir", str(tmp_path / "c")]) == 0

@@ -195,6 +195,36 @@ class TestLoadParserFile:
         loaded = load_parser_file(path)
         assert loaded("aaa").parse() == "aaa"
 
+    def test_same_stem_does_not_clobber(self, tmp_path):
+        _, _, source_a = language(lambda b: b.object("S", [text(plus(cc("a")))]))
+        _, _, source_b = language(lambda b: b.object("S", [text(plus(cc("b")))]))
+        (tmp_path / "one").mkdir()
+        (tmp_path / "two").mkdir()
+        path_a = tmp_path / "one" / "parser.py"
+        path_b = tmp_path / "two" / "parser.py"
+        path_a.write_text(source_a)
+        path_b.write_text(source_b)
+        loaded_a = load_parser_file(path_a)
+        loaded_b = load_parser_file(path_b)
+        # The second load must not have replaced the first one's module.
+        assert loaded_a("aaa").parse() == "aaa"
+        assert loaded_b("bb").parse() == "bb"
+        assert loaded_a.__module__ != loaded_b.__module__
+
+    def test_modules_registered_in_private_namespace(self, tmp_path):
+        import sys
+
+        _, _, source = language(lambda b: b.object("S", [text(plus(cc("a")))]))
+        path = tmp_path / "json.py"  # a stem that shadows a stdlib module
+        path.write_text(source)
+        loaded = load_parser_file(path)
+        assert loaded.__module__.startswith("repro._generated_parsers.")
+        # The stdlib module is untouched.
+        import json as stdlib_json
+
+        assert sys.modules["json"] is stdlib_json
+        assert hasattr(stdlib_json, "dumps")
+
 
 class TestGeneratedWithLocation:
     def test_locations_attached(self):

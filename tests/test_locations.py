@@ -77,6 +77,48 @@ class TestFailureTracking:
         with pytest.raises(ParseError):
             parser.check_complete(1, "value")
 
+    def test_same_position_dedupes(self):
+        parser = ParserBase("ab")
+        for _ in range(12):
+            parser._expected(1, "'x'")
+        parser._expected(1, "'y'")
+        error = parser.parse_error()
+        assert error.expected == ("'x'", "'y'")
+
+    def test_dedupe_preserves_first_seen_order(self):
+        parser = ParserBase("ab")
+        for what in ("'b'", "'a'", "'b'", "'c'", "'a'"):
+            parser._expected(1, what)
+        assert parser.parse_error().expected == ("'b'", "'a'", "'c'")
+
+    def test_error_names_the_source(self):
+        parser = ParserBase("a\nbc")
+        parser._source = "file.jay"
+        parser._expected(3, "'x'")
+        error = parser.parse_error()
+        assert error.source == "file.jay"
+        assert str(error).startswith("file.jay:2:2:")
+
+    def test_error_uses_cached_line_index(self):
+        parser = ParserBase("a\nb\nc")
+        parser._expected(4, "'x'")
+        error = parser.parse_error()
+        # parse_error populated (and used) the _location line-start index.
+        assert parser._line_starts == [0, 2, 4]
+        assert (error.line, error.column) == (3, 1)
+
+    def test_reset_clears_failure_state(self):
+        parser = ParserBase("first\ninput")
+        parser._location(8)  # populate the line index
+        parser._expected(3, "'x'")
+        parser.reset("second", source="other.mg")
+        assert parser._fail_pos == -1
+        assert parser._fail_expected == []
+        assert parser._line_starts is None
+        assert parser._length == 6
+        parser._expected(0, "'y'")
+        assert parser.parse_error().source == "other.mg"
+
 
 class TestLocationValue:
     def test_str(self):
@@ -97,3 +139,25 @@ def test_sizeof_deep_counts_nested():
 def test_sizeof_deep_handles_shared_objects():
     shared = [1, 2, 3]
     assert sizeof_deep([shared, shared]) < 2 * sizeof_deep([shared, list(shared)])
+
+
+def test_sizeof_deep_survives_deep_nesting():
+    # Deeper than the default recursion limit: the traversal must be
+    # iterative, not recursive (it measures large memo tables in E3/E5).
+    import sys
+
+    deep = []
+    for _ in range(sys.getrecursionlimit() + 1000):
+        deep = [deep]
+    assert sizeof_deep(deep) > 0
+
+
+def test_sizeof_deep_handles_slots_objects():
+    class Slotted:
+        __slots__ = ("a", "b")
+
+        def __init__(self):
+            self.a = [1, 2, 3]
+            self.b = {"k": "v"}
+
+    assert sizeof_deep(Slotted()) > sizeof_deep(object())

@@ -54,6 +54,24 @@ class TestCommonBehavior:
         assert table.get(0, 0) == (2, "b")
         assert table.entry_count() == 1
 
+    def test_reset_returns_same_table(self, table_cls):
+        table = table_cls(RULES)
+        table.put(1, 1, (2, "x"))
+        assert table.reset() is table
+        assert table.get(1, 1) is None
+        assert table.entry_count() == 0
+
+    def test_reset_then_reuse(self, table_cls):
+        table = table_cls(RULES)
+        for pos in range(10):
+            table.put(0, pos, (pos + 1, "first"))
+        table.reset()
+        table.put(0, 3, (4, "second"))
+        assert table.get(0, 3) == (4, "second")
+        assert table.entry_count() == 1
+        # stale entries from before the reset never resurface
+        assert table.get(0, 4) is None
+
 
 class TestChunkedSpecifics:
     def test_chunks_allocated_lazily(self):
@@ -76,6 +94,26 @@ class TestChunkedSpecifics:
         table = ChunkedMemoTable(["Only"])
         table.put(0, 0, (1, "v"))
         assert table.get(0, 0) == (1, "v")
+
+    def test_chunk_size_larger_than_rule_count(self):
+        # 3 rules, chunks of 64: one chunk per column, indices still correct.
+        table = ChunkedMemoTable(["A", "B", "C"], chunk_size=64)
+        for rule in range(3):
+            table.put(rule, 7, (8, f"r{rule}"))
+        assert [table.get(rule, 7) for rule in range(3)] == [
+            (8, "r0"), (8, "r1"), (8, "r2")
+        ]
+        assert table.chunk_count() == 1
+        assert table.column_count() == 1
+
+    def test_reset_keeps_chunk_geometry(self):
+        table = ChunkedMemoTable(RULES, chunk_size=4)
+        table.put(13, 5, (6, "v"))
+        table.reset()
+        assert table.column_count() == 0
+        table.put(13, 5, (6, "w"))
+        assert table.get(13, 5) == (6, "w")
+        assert table.chunk_count() == 1
 
 
 def test_factory():
