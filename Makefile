@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench cache-check check
+.PHONY: test smoke bench cache-check check fuzz fuzz-smoke
 
 # Tier-1 suite (the acceptance gate).
 test:
@@ -16,6 +16,16 @@ smoke: test
 # Experiments E1-E7 (prints the reproduced tables).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Bounded differential-fuzz run (also executes inside `make test` via the
+# `fuzz` marker); see docs/testing.md.
+fuzz-smoke:
+	$(PYTHON) -m pytest -q -m fuzz
+
+# Full seeded differential fuzz: 500 generated + 500 mutated inputs per
+# grammar through every backend, strict about generator health.
+fuzz:
+	$(PYTHON) -m repro.tools.fuzz calc json jay -n 500 --mutated 500 --seed 20260806 --strict
 
 # On-disk compilation-cache roundtrip: miss -> store -> hit -> corrupt
 # -> rebuild (see docs/caching.md).

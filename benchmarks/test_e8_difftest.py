@@ -1,0 +1,68 @@
+"""E8 — throughput of the differential-testing harness.
+
+Not a paper experiment: this measures the cost of the *testing
+infrastructure* added around the reproduction (see docs/testing.md), so
+fuzz budgets can be chosen deliberately.
+
+Reported per grammar:
+
+- oracle construction cost (composing, preparing, and generating ~15
+  backends — paid once per fuzz run);
+- sentence-generation rate (the cheap part);
+- full-oracle check rate (every backend parses every input — the
+  expensive part, and the number that sets the inputs/second budget).
+
+Expected shape: generation is orders of magnitude faster than checking,
+so fuzz wall-time ~ inputs x backends x parse cost; the oracle check rate
+for calc should comfortably exceed 10 inputs/s.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.difftest import DifferentialOracle, SentenceGenerator
+
+from bench_util import print_table, time_best_of
+
+GRAMMARS = ["calc.Calculator", "json.Json"]
+CHECKED_INPUTS = 12
+
+
+def test_e8_oracle_throughput(benchmark):
+    rows = []
+    for root in GRAMMARS:
+        build_time = time_best_of(lambda: DifferentialOracle.for_root(root), repeat=1)
+        oracle = DifferentialOracle.for_root(root)
+        generator = SentenceGenerator(oracle.grammar, random.Random(8))
+
+        sentences = [generator.generate() for _ in range(CHECKED_INPUTS)]
+        generation_time = time_best_of(
+            lambda: [generator.generate() for _ in range(CHECKED_INPUTS)], repeat=3
+        )
+        check_time = time_best_of(
+            lambda: [oracle.check(s) for s in sentences], repeat=3
+        )
+        for sentence in sentences:
+            assert not oracle.check(sentence), sentence
+
+        rows.append({
+            "grammar": root,
+            "backends": len(oracle.backends),
+            "build (s)": f"{build_time:.2f}",
+            "generate (inputs/s)": f"{CHECKED_INPUTS / generation_time:,.0f}",
+            "check (inputs/s)": f"{CHECKED_INPUTS / check_time:,.1f}",
+        })
+
+    print_table(
+        "E8 — differential-oracle throughput",
+        rows,
+        ["grammar", "backends", "build (s)", "generate (inputs/s)", "check (inputs/s)"],
+    )
+    calc = rows[0]
+    assert float(calc["check (inputs/s)"].replace(",", "")) > 10.0
+
+    oracle = DifferentialOracle.for_root("calc.Calculator")
+    generator = SentenceGenerator(oracle.grammar, random.Random(8))
+    sample = [generator.generate() for _ in range(CHECKED_INPUTS)]
+    benchmark.pedantic(lambda: [oracle.check(s) for s in sample], rounds=3, iterations=1)

@@ -12,4 +12,14 @@ from repro.baselines.json_rd import JsonParser
 from repro.baselines.jay_rd import JayParser
 from repro.baselines.xc_rd import XcParser
 
-__all__ = ["CalcParser", "JsonParser", "JayParser", "XcParser"]
+#: Root grammar module -> hand-written parser class.  The differential
+#: oracle (:mod:`repro.difftest`) uses this to attach the baseline backend
+#: automatically when one exists for the grammar under test.
+BASELINES: dict[str, type] = {
+    "calc.Calculator": CalcParser,
+    "json.Json": JsonParser,
+    "jay.Jay": JayParser,
+    "xc.XC": XcParser,
+}
+
+__all__ = ["CalcParser", "JsonParser", "JayParser", "XcParser", "BASELINES"]

@@ -148,7 +148,9 @@ class JayParser:
     def _qualified_name(self):
         first = self._expect_identifier()
         rest = []
-        while self._peek() == "." and _is_ident_start(self._peek(1)):
+        while self._peek() == ".":
+            # The grammar allows spacing (including comments) between the
+            # dot and the next identifier; backtrack if none follows.
             saved = self._pos
             self._pos += 1
             self._skip_space()
@@ -255,13 +257,17 @@ class JayParser:
             if name is None:
                 return None
             rest = []
-            while self._peek() == "." and _is_ident_start(self._peek(1)):
+            while self._peek() == ".":
+                # As in _qualified_name: spacing may follow the dot, and a
+                # dot with no identifier after it ends the name (the
+                # grammar's QName alternative backtracks to the last part).
+                dot = self._pos
                 self._pos += 1
                 self._skip_space()
                 part = self._identifier()
                 if part is None:
-                    self._pos = saved
-                    return None
+                    self._pos = dot
+                    break
                 rest.append(part)
             qname = GNode("QName", (name, rest)) if rest else name
             base = GNode("ClassType", (qname,))
@@ -500,10 +506,17 @@ class JayParser:
                 index = self._expression()
                 self._expect("]")
                 value = GNode("Index", (value, index))
-            elif self._peek() == "." and _is_ident_start(self._peek(1)):
+            elif self._peek() == ".":
+                # Spacing (including comments) may separate the dot from
+                # the field name; backtrack if no identifier follows.
+                saved = self._pos
                 self._pos += 1
                 self._skip_space()
-                value = GNode("Field", (value, self._expect_identifier()))
+                name = self._identifier()
+                if name is None:
+                    self._pos = saved
+                    return value
+                value = GNode("Field", (value, name))
             else:
                 return value
 

@@ -15,6 +15,7 @@ from repro.runtime.node import GNode
 
 _SPACE = " \t\r\n"
 _DIGITS = "0123456789"
+_HEX = "0123456789abcdefABCDEF"
 
 
 class JsonParser:
@@ -118,7 +119,19 @@ class JsonParser:
                 self._skip_space()
                 return raw
             if ch == "\\":
-                pos += 2
+                # RFC 8259 escapes only: \" \\ \/ \b \f \n \r \t \uXXXX.
+                escape = text[pos + 1] if pos + 1 < n else ""
+                if escape == "u":
+                    digits = text[pos + 2 : pos + 6]
+                    if len(digits) < 4 or any(d not in _HEX for d in digits):
+                        self._pos = pos
+                        self._error("invalid unicode escape")
+                    pos += 6
+                elif escape in '"\\/bfnrt':
+                    pos += 2
+                else:
+                    self._pos = pos
+                    self._error("invalid escape")
             else:
                 pos += 1
         self._error("unterminated string")

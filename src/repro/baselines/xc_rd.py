@@ -550,10 +550,17 @@ class XcParser:
                 value = GNode("Index", (value, index))
             elif self._eat("->"):
                 value = GNode("Arrow", (value, self._expect_identifier()))
-            elif self._peek() == "." and _is_ident_start(self._peek(1)):
+            elif self._peek() == ".":
+                # Spacing (including comments) may separate the dot from
+                # the member name; backtrack if no identifier follows.
+                saved = self._pos
                 self._pos += 1
                 self._skip_space()
-                value = GNode("Member", (value, self._expect_identifier()))
+                name = self._identifier()
+                if name is None:
+                    self._pos = saved
+                    return value
+                value = GNode("Member", (value, name))
             elif self._eat("++"):
                 value = GNode("PostIncrement", (value,))
             elif self._eat("--"):

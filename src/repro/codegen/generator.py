@@ -65,6 +65,14 @@ def _sanitize(name: str) -> str:
     return "".join(ch if ch.isalnum() else "_" for ch in name)
 
 
+def _first_set_message(chars: frozenset[str]) -> str:
+    """Human-readable expected message for a skipped first-char guard."""
+    shown = "".join(sorted(chars))
+    if len(shown) > 16:
+        shown = shown[:16] + "…"
+    return f"one of {shown!r}"
+
+
 class ParserGenerator:
     """Generate parser source for one prepared grammar."""
 
@@ -117,12 +125,21 @@ class ParserGenerator:
         return existing
 
     def _fail(self, w: CodeWriter, pos: str, message: str) -> None:
-        """Emit farthest-failure tracking."""
+        """Emit farthest-failure tracking.
+
+        The optimized (``errors``) form must stay observationally identical
+        to ``self._expected``: farther positions replace the expected set
+        with the shared constant table, and equal positions *merge* into it
+        (via :meth:`ParserBase._merge_expected`, which copies before adding
+        so the constants are never mutated).
+        """
         if self.options.errors:
             const = self._expected_const(message)
             with w.block(f"if {pos} > self._fail_pos:"):
                 w.line(f"self._fail_pos = {pos}")
                 w.line(f"self._fail_expected = {const}")
+            with w.block(f"elif {pos} == self._fail_pos:"):
+                w.line(f"self._merge_expected({const})")
         else:
             w.line(f"self._expected({pos}, {message!r})")
 
@@ -289,23 +306,33 @@ class ParserGenerator:
                 w.line(f"# alternative {alt_index + 1}" + (f" <{alternative.label}>" if alternative.label else ""))
                 guard = guards[alt_index] if guards else None
                 if guard is not None:
-                    with w.block(f"if pos < self._length and text[pos] in {guard}:"):
+                    const, message = guard
+                    with w.block(f"if pos < self._length and text[pos] in {const}:"):
                         self._alternative_attempt(w, production, alternative)
+                    # Skipping the alternative must record the failure the
+                    # attempt would have recorded (its first terminal failing
+                    # at pos), or guarded and unguarded parsers would report
+                    # different farthest-failure positions.
+                    with w.block("else:"):
+                        self._fail(w, "pos", message)
                 else:
                     self._alternative_attempt(w, production, alternative)
             w.line("result = FAILPAIR")
             w.line("break")
 
-    def _alternative_guards(self, production: Production) -> list[str | None] | None:
-        """First-char guard constants per alternative, or None when disabled."""
+    def _alternative_guards(
+        self, production: Production
+    ) -> list[tuple[str, str] | None] | None:
+        """Per-alternative first-char guard ``(charset const, expected
+        message)`` pairs, or None when guarding is disabled."""
         if self.first is None or len(production.alternatives) < GUARD_MIN_ALTERNATIVES:
             return None
-        guards: list[str | None] = []
+        guards: list[tuple[str, str] | None] = []
         useful = False
         for alternative in production.alternatives:
             fs = self.first.first(alternative.expr)
             if fs.known and fs.chars and len(fs.chars) <= 64:
-                guards.append(self._charset_const(fs.chars))
+                guards.append((self._charset_const(fs.chars), _first_set_message(fs.chars)))
                 useful = True
             else:
                 guards.append(None)
@@ -490,6 +517,7 @@ class ParserGenerator:
             cond = f"{pos_var} < self._length and text[{pos_var}] == {expr.text!r}"
         else:
             cond = f"text.startswith({expr.text!r}, {pos_var})"
+        message = f"{expr.text!r}"
         with w.block(f"if {cond}:"):
             if need_value:
                 if expr.ignore_case:
@@ -499,7 +527,24 @@ class ParserGenerator:
             w.line(f"{pos_var} += {length}")
         with w.block("else:"):
             w.line(f"{ok_var} = False")
-            self._fail(w, pos_var, f"{expr.text!r}")
+            if length == 1:
+                self._fail(w, pos_var, message)
+            elif expr.ignore_case:
+                fail_pos = self._fresh("f")
+                w.line(f"{fail_pos} = self._literal_failure_pos({pos_var}, {expr.text!r}, True)")
+                self._fail(w, fail_pos, message)
+            else:
+                # Failure is recorded at the first mismatching character
+                # (see ParserBase._literal_failure_pos); the common case —
+                # the first character already differs — stays call-free.
+                with w.block(
+                    f"if {pos_var} < self._length and text[{pos_var}] == {expr.text[0]!r}:"
+                ):
+                    fail_pos = self._fresh("f")
+                    w.line(f"{fail_pos} = self._literal_failure_pos({pos_var}, {expr.text!r})")
+                    self._fail(w, fail_pos, message)
+                with w.block("else:"):
+                    self._fail(w, pos_var, message)
 
     def _emit_char_class(self, w, expr, pos_var, value_var, ok_var, need_value) -> None:
         ch = self._fresh("c")

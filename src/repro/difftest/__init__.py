@@ -1,0 +1,37 @@
+"""Differential fuzzing: the correctness safety net for every optimization.
+
+The paper's central invariant is that all of its optimizations are
+*semantics-preserving*: any ``-Ono-…`` configuration, either memo-table
+organization, the interpreter, the generated parser, and the hand-written
+baselines must accept the same language, build structurally identical
+ASTs, and report the same farthest-failure position on rejects.  This
+package checks that invariant continuously instead of on hand-picked
+inputs:
+
+- :mod:`~repro.difftest.generator` derives candidate sentences from the
+  grammar itself (cost-bounded random derivation);
+- :mod:`~repro.difftest.mutate` corrupts them to exercise the error path;
+- :mod:`~repro.difftest.oracle` runs every backend and compares verdicts,
+  ASTs, and failure offsets;
+- :mod:`~repro.difftest.shrink` reduces a disagreeing input to a minimal
+  counterexample and emits a ready-to-paste regression test;
+- :mod:`~repro.difftest.runner` / :mod:`~repro.difftest.cli` package the
+  loop as :func:`fuzz_grammar` and the seeded ``repro-fuzz`` command.
+
+See ``docs/testing.md`` for the workflow, including how to reproduce a CI
+finding from its seed.
+"""
+
+from repro.difftest.generator import SentenceGenerator, min_costs
+from repro.difftest.mutate import mutate
+from repro.difftest.oracle import Backend, DifferentialOracle, Disagreement, Outcome
+from repro.difftest.runner import Counterexample, FuzzReport, fuzz_grammar
+from repro.difftest.shrink import regression_test_source, shrink
+
+__all__ = [
+    "SentenceGenerator", "min_costs",
+    "mutate",
+    "Backend", "DifferentialOracle", "Disagreement", "Outcome",
+    "Counterexample", "FuzzReport", "fuzz_grammar",
+    "regression_test_source", "shrink",
+]

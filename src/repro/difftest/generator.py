@@ -1,0 +1,373 @@
+"""Grammar-aware sentence generation.
+
+:class:`SentenceGenerator` walks a composed grammar's parsing expressions
+and emits text by random derivation: literals print themselves, character
+classes pick a member, choices pick an alternative, repetitions pick a
+small count.  A derivation is steered toward termination by a precomputed
+*minimum derivation cost* per production (the length of the shortest
+sentence it can emit): once the recursion budget is spent, every choice
+takes its cheapest alternative and every loop its minimum count, so
+generation always terminates — including on (transformed or untransformed)
+left-recursive grammars.
+
+Derived sentences are *candidate* members of the language, not guaranteed
+members: PEG ordered choice and syntactic predicates (``!e``/``&e``) can
+make a context-free derivation unparseable (the classic example is an
+identifier derivation that happens to spell a reserved word).  That is
+fine for differential testing — every backend must agree on rejects too —
+but the harness tracks the accepted ratio so a generator regression that
+makes fuzzing vacuous is visible (``repro-fuzz --strict`` enforces a
+floor).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.first import FirstAnalysis
+from repro.peg.expr import (
+    Action,
+    And,
+    AnyChar,
+    Binding,
+    CharClass,
+    CharSwitch,
+    Choice,
+    Epsilon,
+    Expression,
+    Fail,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.production import ValueKind
+
+#: Alphabet used for ``_`` (any char) and for negated character classes.
+_ANY_ALPHABET = (
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    " _+-*/(){}[]<>=!\"';:,.\n\t"
+)
+
+#: Characters a whitespace/comment production may start with.  Used to spot
+#: spacing-style productions (see ``SentenceGenerator._spacing_pad``).
+#: ``(`` and ``-`` cover ML ``(*...*)`` and SQL ``--`` comment openers.
+_SPACING_STARTERS = frozenset(" \t\r\n/#%;(-")
+
+_INFINITY = float("inf")
+
+
+def min_costs(grammar: Grammar) -> dict[str, float]:
+    """Shortest-sentence length per production, by fixpoint iteration.
+
+    ``inf`` means the production cannot derive any finite sentence (a
+    well-formed grammar has none, but the generator stays total anyway).
+    """
+    costs: dict[str, float] = {p.name: _INFINITY for p in grammar.productions}
+    changed = True
+    while changed:
+        changed = False
+        for prod in grammar.productions:
+            best = min(
+                (_expr_cost(alt.expr, costs) for alt in prod.alternatives),
+                default=_INFINITY,
+            )
+            if best < costs[prod.name]:
+                costs[prod.name] = best
+                changed = True
+    return costs
+
+
+def _expr_cost(expr: Expression, costs: dict[str, float]) -> float:
+    if isinstance(expr, Literal):
+        return len(expr.text)
+    if isinstance(expr, (CharClass, AnyChar)):
+        return 1
+    if isinstance(expr, Nonterminal):
+        return costs.get(expr.name, _INFINITY)
+    if isinstance(expr, Sequence):
+        return sum(_expr_cost(item, costs) for item in expr.items)
+    if isinstance(expr, Choice):
+        return min((_expr_cost(alt, costs) for alt in expr.alternatives), default=_INFINITY)
+    if isinstance(expr, Repetition):
+        inner = _expr_cost(expr.expr, costs)
+        return inner * expr.min if expr.min else 0
+    if isinstance(expr, (Option, And, Not, Action, Epsilon)):
+        return 0
+    if isinstance(expr, (Binding, Voided, Text)):
+        return _expr_cost(expr.expr, costs)
+    if isinstance(expr, CharSwitch):
+        branches = [_expr_cost(e, costs) for _, e in expr.cases]
+        branches.append(_expr_cost(expr.default, costs))
+        return min(branches)
+    if isinstance(expr, Fail):
+        return _INFINITY
+    raise TypeError(f"cannot cost {type(expr).__name__}")
+
+
+class _Out(list):
+    """Output buffer that tracks emitted length for the size budget."""
+
+    __slots__ = ("length",)
+
+    def __init__(self):
+        super().__init__()
+        self.length = 0
+
+    def append(self, piece: str) -> None:
+        super().append(piece)
+        self.length += len(piece)
+
+
+class SentenceGenerator:
+    """Generate candidate sentences of a grammar by random derivation.
+
+    ``max_depth`` bounds the number of *nested nonterminal applications*
+    allowed to make free choices and ``max_length`` bounds the emitted text;
+    past either, derivation collapses to the cheapest path.  (Depth alone is
+    not enough: repetitions multiply breadth at every level, so a deep
+    expression grammar can derive megabytes inside a modest depth budget.)
+    The generator never raises on well-formed grammars and is deterministic
+    for a given ``rng`` state.
+    """
+
+    def __init__(self, grammar: Grammar, rng: random.Random, max_depth: int = 24,
+                 max_length: int = 400):
+        grammar.validate()
+        self.grammar = grammar
+        self.rng = rng
+        self.max_depth = max_depth
+        self.max_length = max_length
+        self._costs = min_costs(grammar)
+        self._productions = grammar.as_dict()
+        self._first = FirstAnalysis(grammar)
+        self._spacing_pad = self._find_spacing_pads()
+
+    def _find_spacing_pads(self) -> dict[str, str]:
+        """Whitespace pad character for each spacing-style production.
+
+        A production is spacing-style when it is void, nullable, and every
+        sentence it derives starts with a whitespace or comment character.
+        Such productions separate tokens; deriving them as epsilon glues the
+        neighbouring tokens together (``classFoo``), which the *parser*
+        — which re-tokenizes greedily — usually rejects.  Padding them with
+        real whitespace most of the time keeps generated sentences valid
+        without giving up epsilon-spacing coverage entirely.
+        """
+        pads: dict[str, str] = {}
+        for production in self.grammar.productions:
+            if production.kind is not ValueKind.VOID:
+                continue
+            if self._costs.get(production.name) != 0:
+                continue
+            fs = self._first.production_first(production.name)
+            if fs.chars is None or not fs.chars:
+                continue
+            if not set(fs.chars) <= _SPACING_STARTERS:
+                continue
+            whitespace = [ch for ch in " \t\n" if ch in fs.chars]
+            if whitespace:
+                pads[production.name] = whitespace[0]
+        return pads
+
+    def generate(self, start: str | None = None) -> str:
+        """One derived sentence from ``start`` (default: the grammar start)."""
+        out = _Out()
+        self._derive_production(start or self.grammar.start, 0, out)
+        return "".join(out)
+
+    def _budgeted(self, depth: int, out: "_Out") -> bool:
+        return depth < self.max_depth and out.length < self.max_length
+
+    # -- derivation -----------------------------------------------------------
+
+    def _derive_production(self, name: str, depth: int, out: list[str],
+                           forbidden: frozenset[str] = frozenset()) -> None:
+        prod = self._productions[name]
+        alternatives = prod.alternatives
+        if not alternatives:
+            return
+        budgeted = self._budgeted(depth, out)
+        pad = self._spacing_pad.get(name)
+        if pad is not None and (forbidden or self.rng.random() < 0.75):
+            # Forced when a pending ``!e`` guard is active: only real
+            # whitespace can separate a guarded keyword from an identifier.
+            out.append(pad)
+            forbidden = frozenset()
+        if budgeted:
+            alt = self._pick([a.expr for a in alternatives], [a for a in alternatives])
+        else:
+            alt = min(alternatives, key=lambda a: _expr_cost(a.expr, self._costs))
+        self._derive(alt.expr, depth + 1, out, forbidden)
+
+    def _pick(self, exprs: list[Expression], carriers: list):
+        """Weighted choice among alternatives that can terminate at all.
+
+        Zero-cost alternatives (bare predicates, epsilon arms) are
+        down-weighted: picking ``!_``-style end-of-input arms mid-sentence
+        almost always derails the parse.
+        """
+        viable = [
+            (carrier, cost)
+            for carrier, expr in zip(carriers, exprs)
+            if (cost := _expr_cost(expr, self._costs)) != _INFINITY
+        ]
+        if not viable:
+            return self.rng.choice(carriers)
+        weights = [0.3 if cost == 0 else 1.0 for _, cost in viable]
+        return self.rng.choices([carrier for carrier, _ in viable], weights=weights)[0]
+
+    def _derive(self, expr: Expression, depth: int, out: list[str],
+                forbidden: frozenset[str] = frozenset()) -> None:
+        budgeted = self._budgeted(depth, out)
+        if isinstance(expr, Literal):
+            self._emit_literal(expr.text, out)
+        elif isinstance(expr, CharClass):
+            out.append(self._class_char(expr, forbidden))
+        elif isinstance(expr, AnyChar):
+            out.append(self._any_char(forbidden))
+        elif isinstance(expr, Nonterminal):
+            self._derive_production(expr.name, depth, out, forbidden)
+        elif isinstance(expr, Sequence):
+            self._derive_items(expr.items, depth, out, forbidden)
+        elif isinstance(expr, Choice):
+            if budgeted:
+                branch = self._pick(list(expr.alternatives), list(expr.alternatives))
+            else:
+                branch = min(expr.alternatives, key=lambda a: _expr_cost(a, self._costs))
+            self._derive(branch, depth, out, forbidden)
+        elif isinstance(expr, Repetition):
+            if budgeted:
+                count = expr.min + self._repeat_count()
+            else:
+                count = expr.min
+            for _ in range(count):
+                self._derive(expr.expr, depth, out, forbidden)
+        elif isinstance(expr, Option):
+            if budgeted and self.rng.random() < 0.5:
+                self._derive(expr.expr, depth, out, forbidden)
+        elif isinstance(expr, (Binding, Voided, Text)):
+            self._derive(expr.expr, depth, out, forbidden)
+        elif isinstance(expr, (And, Not, Action, Epsilon, Fail)):
+            pass  # predicates and actions consume no input; emit nothing
+        elif isinstance(expr, CharSwitch):
+            branches = [e for _, e in expr.cases] + [expr.default]
+            self._derive(self._pick(branches, branches), depth, out, forbidden)
+        else:
+            raise TypeError(f"cannot derive {type(expr).__name__}")
+
+    def _derive_items(self, items, depth: int, out: list[str],
+                      inherited: frozenset[str] = frozenset()) -> None:
+        """Derive a sequence, steering around its syntactic predicates.
+
+        ``!e`` guards constrain what the *next* terminal may start with
+        (``( !"*/" _ )*`` must not emit ``*``); the guard's FIRST set is
+        collected and the following terminal avoids it.  A trailing greedy
+        repetition over a negated class (``"//" [^\n]*``) is terminated with
+        one of its stop characters so the parser's greedy scan ends where
+        the derivation did instead of swallowing the tokens that follow.
+        """
+        forbidden: set[str] = set(inherited)
+        last = len(items) - 1
+        for index, item in enumerate(items):
+            if isinstance(item, Not):
+                fs = self._first.first(item.expr)
+                if fs.chars:
+                    forbidden |= set(fs.chars)
+                continue
+            before = len(out)
+            self._derive(item, depth, out, frozenset(forbidden))
+            if len(out) > before:
+                # A guard constrains only the first character emitted after
+                # it; once something has been emitted, it no longer applies.
+                forbidden.clear()
+            if index == last:
+                stop = _greedy_stop_char(item)
+                if stop is not None:
+                    out.append(stop)
+
+    def _emit_literal(self, text: str, out: list[str]) -> None:
+        # A keyword-like literal gets a separating space when it would glue
+        # onto a preceding word (``voidx`` → ``void x``): the parser's
+        # longest-match identifier scan cannot honour the derivation's
+        # zero-width token boundary.
+        if len(text) >= 2 and (text[0].isalpha() or text[0] == "_") and _is_word(text):
+            for previous in reversed(out):
+                if previous:
+                    if _is_word_char(previous[-1]):
+                        out.append(" ")
+                    break
+        out.append(text)
+
+    def _repeat_count(self) -> int:
+        """Small geometric-flavored extra repetition count (0 is common)."""
+        roll = self.rng.random()
+        if roll < 0.45:
+            return 0
+        if roll < 0.75:
+            return 1
+        if roll < 0.92:
+            return 2
+        return 3
+
+    def _class_char(self, expr: CharClass, forbidden: frozenset[str] = frozenset()) -> str:
+        if not expr.negated and not forbidden:
+            lo, hi = self.rng.choice(expr.ranges)
+            return chr(self.rng.randint(ord(lo), ord(hi)))
+        # ``matches`` accounts for negation: pick any accepted char,
+        # preferring one outside the enclosing ``!e`` guard's FIRST set.
+        accepted = [ch for ch in _ANY_ALPHABET if expr.matches(ch)]
+        if not expr.negated:
+            accepted.extend(
+                chr(code)
+                for lo, hi in expr.ranges
+                for code in range(ord(lo), ord(hi) + 1)
+                if chr(code) not in accepted
+            )
+        preferred = [ch for ch in accepted if ch not in forbidden]
+        if preferred:
+            return self.rng.choice(preferred)
+        if accepted:
+            return self.rng.choice(accepted)
+        # Degenerate class rejecting the whole alphabet: emit something
+        # anyway (the sentence will simply be rejected by every backend).
+        return self.rng.choice(_ANY_ALPHABET)
+
+    def _any_char(self, forbidden: frozenset[str]) -> str:
+        preferred = [ch for ch in _ANY_ALPHABET if ch not in forbidden]
+        return self.rng.choice(preferred or _ANY_ALPHABET)
+
+
+def _is_word_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def _is_word(text: str) -> bool:
+    return all(_is_word_char(ch) for ch in text)
+
+
+def _greedy_stop_char(expr: Expression) -> str | None:
+    """Whitespace terminator for a trailing ``[^...]*``-style scan, if any.
+
+    Only whitespace stop characters are used: they end line comments
+    (``[^\n]*`` stops at the newline, which surrounding spacing then
+    consumes) without risking a stray printable character the grammar
+    cannot absorb.
+    """
+    while isinstance(expr, (Binding, Voided, Text)):
+        expr = expr.expr
+    if not isinstance(expr, Repetition):
+        return None
+    item = expr.expr
+    while isinstance(item, (Binding, Voided, Text)):
+        item = item.expr
+    if isinstance(item, CharClass) and item.negated:
+        for ch in "\n\t ":
+            if not item.matches(ch):
+                return ch
+    return None

@@ -1,0 +1,51 @@
+"""Input mutation for error-path differential testing.
+
+Valid sentences exercise the accept path; *corrupted* sentences exercise
+failure tracking — exactly where the paper's ``errors`` optimization (and
+every backend's farthest-failure bookkeeping) must agree.  :func:`mutate`
+applies small random edits: deleting a span, inserting or replacing a
+character, transposing neighbors, duplicating a span, or truncating the
+tail.  Inserted characters are drawn from the input's own alphabet plus a
+small universal set, so mutants stay near the language boundary instead of
+degenerating into line noise.
+"""
+
+from __future__ import annotations
+
+import random
+
+_UNIVERSAL = "abz09 ()[]{}\"';,+*"
+
+
+def mutate(text: str, rng: random.Random, edits: int = 1) -> str:
+    """Apply ``edits`` random edits to ``text`` (never returns ``text`` itself
+    unless every edit happens to be an identity, which is vanishingly rare
+    for non-empty inputs)."""
+    result = text
+    for _ in range(max(1, edits)):
+        result = _one_edit(result, rng)
+    return result
+
+
+def _one_edit(text: str, rng: random.Random) -> str:
+    if not text:
+        return rng.choice(_UNIVERSAL)
+    alphabet = _UNIVERSAL + text
+    op = rng.randrange(6)
+    pos = rng.randrange(len(text))
+    if op == 0:  # delete a short span
+        end = min(len(text), pos + rng.randint(1, 3))
+        return text[:pos] + text[end:]
+    if op == 1:  # insert a character
+        return text[:pos] + rng.choice(alphabet) + text[pos:]
+    if op == 2:  # replace a character
+        return text[:pos] + rng.choice(alphabet) + text[pos + 1 :]
+    if op == 3:  # transpose neighbors
+        if pos + 1 >= len(text):
+            return text[:-1]
+        return text[:pos] + text[pos + 1] + text[pos] + text[pos + 2 :]
+    if op == 4:  # duplicate a short span
+        end = min(len(text), pos + rng.randint(1, 3))
+        return text[:pos] + text[pos:end] + text[pos:]
+    # truncate the tail (always leaves a proper prefix)
+    return text[:pos]

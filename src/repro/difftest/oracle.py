@@ -1,0 +1,218 @@
+"""The cross-backend differential oracle.
+
+One :class:`DifferentialOracle` holds every parser the library can derive
+from a single grammar:
+
+- the packrat interpreter over the fully optimized grammar, under *both*
+  memo-table organizations (:class:`~repro.runtime.memo.ChunkedMemoTable`
+  and :class:`~repro.runtime.memo.DictMemoTable`);
+- a packrat interpreter over the *unoptimized* pipeline output — the
+  closest thing to textbook PEG semantics, and the reference backend;
+- the generated parser with all optimizations on, and one generated parser
+  per single-optimization-off :meth:`~repro.optim.Options.single_off`
+  variant (the paper's ``-Ono-…`` configurations);
+- the hand-written recursive-descent baseline, where one is registered in
+  :data:`repro.baselines.BASELINES`;
+- optionally the naive backtracking interpreter (off by default: it is
+  worst-case exponential, which is a property of the backend, not a bug).
+
+:meth:`check` parses one input with every backend and reports
+*disagreements*: mismatched accept/reject verdicts, structurally unequal
+ASTs on accepts, mismatched farthest-failure offsets on rejects (for
+backends with farthest-failure semantics — hand-written baselines report
+their own positions and are excluded from offset comparison), and any
+non-:class:`~repro.errors.ParseError` crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.baselines import BASELINES
+from repro.codegen import generate_parser_source, load_parser
+from repro.errors import ParseError
+from repro.interp import BacktrackInterpreter, PackratInterpreter
+from repro.modules import compose
+from repro.meta import ModuleLoader
+from repro.optim import Options, prepare
+from repro.peg.grammar import Grammar
+from repro.runtime.node import structural_diff
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """What one backend did with one input."""
+
+    accepted: bool
+    value: Any = None
+    offset: int = -1
+    expected: tuple[str, ...] = ()
+    crash: str | None = None
+
+    @property
+    def verdict(self) -> str:
+        if self.crash is not None:
+            return f"crash({self.crash})"
+        return "accept" if self.accepted else f"reject@{self.offset}"
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A named parse function plus its comparison contract."""
+
+    name: str
+    parse: Callable[[str], Any]
+    #: Failure offsets follow farthest-failure semantics and must match.
+    exact_errors: bool = True
+
+    def run(self, text: str) -> Outcome:
+        try:
+            value = self.parse(text)
+        except ParseError as error:
+            return Outcome(accepted=False, offset=error.offset, expected=error.expected)
+        except RecursionError:
+            # Deep nesting can exhaust Python's stack in any recursive
+            # backend; that is an input-size limit, not a semantic bug.
+            return Outcome(accepted=False, crash="RecursionError")
+        except Exception as error:  # noqa: BLE001 - crashes are findings
+            return Outcome(accepted=False, crash=f"{type(error).__name__}: {error}")
+        return Outcome(accepted=True, value=value)
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """Two backends disagreed on one input."""
+
+    text: str
+    reference: str
+    backend: str
+    reference_outcome: Outcome
+    backend_outcome: Outcome
+    detail: str
+
+    def describe(self) -> str:
+        return (
+            f"input {self.text!r}: {self.reference} -> "
+            f"{self.reference_outcome.verdict}, {self.backend} -> "
+            f"{self.backend_outcome.verdict} ({self.detail})"
+        )
+
+
+class DifferentialOracle:
+    """All backends derivable from one grammar, plus the comparison logic."""
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        *,
+        start: str | None = None,
+        baseline: type | None = None,
+        backtracking: bool = False,
+        variants: list[tuple[str, Options]] | None = None,
+    ):
+        if start is not None:
+            grammar = grammar.with_start(start)
+        self.grammar = grammar
+        plain = prepare(grammar, Options.none(), check=False)
+        full = prepare(grammar, Options.all(), check=False)
+        self.backends: list[Backend] = []
+
+        # Reference first: packrat interpretation of the unoptimized grammar.
+        self._add_interpreter("interp-plain", plain.grammar, chunked=False)
+        self._add_interpreter("interp-chunked", full.grammar, chunked=True)
+        self._add_interpreter("interp-dict", full.grammar, chunked=False)
+        if backtracking:
+            naive = BacktrackInterpreter(plain.grammar)
+            self.backends.append(Backend("interp-backtrack", naive.parse))
+
+        self._add_generated("codegen-all", full)
+        for label, options in variants if variants is not None else Options.single_off():
+            self._add_generated(f"codegen-{label}", prepare(grammar, options, check=False))
+
+        if baseline is not None:
+            self.backends.append(
+                Backend("baseline", lambda text: baseline(text).parse(), exact_errors=False)
+            )
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def for_root(
+        cls,
+        root: str,
+        *,
+        paths: list[str] | None = None,
+        loader: ModuleLoader | None = None,
+        start: str | None = None,
+        **kwargs: Any,
+    ) -> "DifferentialOracle":
+        """Build the oracle for a named grammar module (e.g. ``jay.Jay``),
+        attaching the hand-written baseline automatically when one exists."""
+        if loader is None:
+            loader = ModuleLoader(paths=paths)
+        grammar = compose(root, loader, start=start)
+        kwargs.setdefault("baseline", BASELINES.get(root))
+        return cls(grammar, **kwargs)
+
+    def _add_interpreter(self, name: str, grammar: Grammar, chunked: bool) -> None:
+        interp = PackratInterpreter(grammar, chunked=chunked)
+        self.backends.append(Backend(name, interp.parse))
+
+    def _add_generated(self, name: str, prepared) -> None:
+        parser_class = load_parser(generate_parser_source(prepared))
+        self.backends.append(Backend(name, lambda text: parser_class(text).parse()))
+
+    def add_backend(self, backend: Backend) -> None:
+        """Attach an extra backend (used by tests to inject broken passes)."""
+        self.backends.append(backend)
+
+    @property
+    def reference(self) -> Backend:
+        return self.backends[0]
+
+    # -- checking -------------------------------------------------------------
+
+    def run_all(self, text: str) -> dict[str, Outcome]:
+        """Every backend's outcome on one input."""
+        return {backend.name: backend.run(text) for backend in self.backends}
+
+    def check(self, text: str) -> list[Disagreement]:
+        """All pairwise disagreements of any backend with the reference."""
+        reference = self.reference
+        ref_outcome = reference.run(text)
+        disagreements: list[Disagreement] = []
+        for backend in self.backends[1:]:
+            outcome = backend.run(text)
+            detail = self._compare(ref_outcome, outcome, backend)
+            if detail is not None:
+                disagreements.append(
+                    Disagreement(text, reference.name, backend.name, ref_outcome, outcome, detail)
+                )
+        return disagreements
+
+    def explain(self, text: str) -> str | None:
+        """The first disagreement on ``text``, described — or None.
+
+        This is the single-call form used by generated regression tests.
+        """
+        disagreements = self.check(text)
+        return disagreements[0].describe() if disagreements else None
+
+    def _compare(self, ref: Outcome, other: Outcome, backend: Backend) -> str | None:
+        if ref.crash is not None:
+            return None  # the reference itself hit a resource limit; skip
+        if other.crash is not None:
+            if other.crash == "RecursionError":
+                return None  # backend-specific stack limit, not semantics
+            return f"backend crashed: {other.crash}"
+        if ref.accepted != other.accepted:
+            return "accept/reject verdicts differ"
+        if ref.accepted:
+            diff = structural_diff(ref.value, other.value)
+            if diff is not None:
+                return f"ASTs differ at {diff}"
+            return None
+        if backend.exact_errors and ref.offset != other.offset:
+            return f"farthest-failure offsets differ: {ref.offset} != {other.offset}"
+        return None

@@ -1,0 +1,140 @@
+"""The fuzz loop: generate, mutate, cross-check, shrink, report.
+
+:func:`fuzz_grammar` is the engine behind both the ``repro-fuzz`` CLI and
+the in-tree smoke test: seed an rng, derive ``generated`` candidate
+sentences from the grammar, corrupt ``mutated`` of them, run every input
+through the :class:`~repro.difftest.oracle.DifferentialOracle`, and shrink
+any disagreement to a minimal counterexample with a ready-to-paste
+regression test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.difftest.generator import SentenceGenerator
+from repro.difftest.mutate import mutate
+from repro.difftest.oracle import DifferentialOracle, Disagreement
+from repro.difftest.shrink import regression_test_source, shrink
+
+
+@dataclass
+class Counterexample:
+    """One disagreement, shrunk and packaged for a human."""
+
+    original: str
+    shrunk: str
+    disagreement: Disagreement
+    regression_test: str
+
+
+@dataclass
+class FuzzReport:
+    """Summary of one seeded fuzz run over one grammar."""
+
+    root: str
+    seed: int
+    generated: int = 0
+    mutated: int = 0
+    accepted: int = 0
+    checked: int = 0
+    backend_count: int = 0
+    counterexamples: list[Counterexample] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+    @property
+    def valid_ratio(self) -> float:
+        """Fraction of *generated* (unmutated) sentences the reference
+        accepted — the health metric for the sentence generator."""
+        return self.accepted / self.generated if self.generated else 0.0
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.counterexamples)} DISAGREEMENTS"
+        return (
+            f"{self.root}: {self.checked} inputs "
+            f"({self.generated} generated, {self.mutated} mutated; "
+            f"{self.valid_ratio:.0%} of generated accepted) "
+            f"across {self.backend_count} backends — {status}"
+        )
+
+
+def fuzz_grammar(
+    root: str,
+    *,
+    seed: int = 0,
+    generated: int = 200,
+    mutated: int = 200,
+    max_depth: int = 24,
+    max_shrink_checks: int = 2000,
+    max_counterexamples: int = 5,
+    oracle: DifferentialOracle | None = None,
+    start: str | None = None,
+    backtracking: bool = False,
+    paths: list[str] | None = None,
+) -> FuzzReport:
+    """One seeded differential fuzz run over the grammar module ``root``.
+
+    Stops collecting (but keeps counting inputs) after
+    ``max_counterexamples`` distinct shrunk counterexamples: one real
+    optimizer bug tends to disagree on hundreds of inputs, and shrinking
+    each is wasted work.
+    """
+    if oracle is None:
+        oracle = DifferentialOracle.for_root(
+            root, paths=paths, start=start, backtracking=backtracking
+        )
+    rng = random.Random(seed)
+    generator = SentenceGenerator(oracle.grammar, rng, max_depth=max_depth)
+    report = FuzzReport(root=root, seed=seed, backend_count=len(oracle.backends))
+
+    corpus: list[str] = []
+    for _ in range(generated):
+        sentence = generator.generate()
+        corpus.append(sentence)
+        report.generated += 1
+        if oracle.reference.run(sentence).accepted:
+            report.accepted += 1
+        _check_one(oracle, root, sentence, report, max_shrink_checks, max_counterexamples)
+
+    for index in range(mutated):
+        base = corpus[index % len(corpus)] if corpus else ""
+        mutant = mutate(base, rng, edits=rng.randint(1, 3))
+        report.mutated += 1
+        _check_one(oracle, root, mutant, report, max_shrink_checks, max_counterexamples)
+
+    return report
+
+
+def _check_one(
+    oracle: DifferentialOracle,
+    root: str,
+    text: str,
+    report: FuzzReport,
+    max_shrink_checks: int,
+    max_counterexamples: int,
+) -> None:
+    report.checked += 1
+    if len(report.counterexamples) >= max_counterexamples:
+        return
+    disagreements = oracle.check(text)
+    if not disagreements:
+        return
+    first = disagreements[0]
+    shrunk = shrink(
+        text,
+        lambda candidate: bool(oracle.check(candidate)),
+        max_checks=max_shrink_checks,
+    )
+    detail = oracle.explain(shrunk) or first.describe()
+    report.counterexamples.append(
+        Counterexample(
+            original=text,
+            shrunk=shrunk,
+            disagreement=first,
+            regression_test=regression_test_source(root, shrunk, detail),
+        )
+    )

@@ -1,0 +1,86 @@
+"""Counterexample reduction.
+
+When the oracle finds a disagreeing input the raw sentence is usually
+hundreds of characters of generated program text.  :func:`shrink` reduces
+it with a delta-debugging-style loop — delete progressively smaller chunks,
+then canonicalize the surviving characters — re-checking the *interesting*
+predicate (``still disagrees``) after every candidate edit.
+:func:`regression_test_source` renders the result as a ready-to-paste
+pytest test, so a fuzz finding becomes a permanent regression test in one
+copy-paste (see ``docs/testing.md``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+#: Replacement candidates for character canonicalization, tried in order.
+_CANONICAL = "a0 "
+
+
+def shrink(
+    text: str,
+    is_interesting: Callable[[str], bool],
+    max_checks: int = 2000,
+) -> str:
+    """Smallest input found (by greedy reduction) that stays interesting.
+
+    ``is_interesting(text)`` must be True on entry; the returned string is
+    interesting too.  ``max_checks`` bounds the number of predicate
+    evaluations, so shrinking a pathological case degrades gracefully
+    instead of hanging.
+    """
+    if not is_interesting(text):
+        raise ValueError("shrink() requires an input that is already interesting")
+    budget = [max_checks]
+
+    def check(candidate: str) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        return is_interesting(candidate)
+
+    current = text
+    progress = True
+    while progress and budget[0] > 0:
+        progress = False
+        # Pass 1: delete chunks, largest first.
+        chunk = max(1, len(current) // 2)
+        while chunk >= 1:
+            start = 0
+            while start < len(current):
+                candidate = current[:start] + current[start + chunk :]
+                if candidate != current and check(candidate):
+                    current = candidate
+                    progress = True
+                else:
+                    start += chunk
+            chunk //= 2
+        # Pass 2: canonicalize characters so the counterexample reads
+        # cleanly.  A character may only move to an earlier entry of
+        # _CANONICAL than its own, so this cannot cycle.
+        for index, ch in enumerate(current):
+            for replacement in _CANONICAL:
+                if replacement == ch:
+                    break
+                candidate = current[:index] + replacement + current[index + 1 :]
+                if check(candidate):
+                    current = candidate
+                    progress = True
+                    break
+    return current
+
+
+def regression_test_source(root: str, text: str, detail: str) -> str:
+    """A self-contained pytest test asserting the disagreement stays fixed."""
+    digest = hashlib.sha256(f"{root}:{text}".encode()).hexdigest()[:10]
+    return (
+        f"def test_difftest_regression_{digest}():\n"
+        f"    # Shrunk fuzz counterexample for {root}.\n"
+        f"    # Original disagreement: {detail}\n"
+        f"    from repro.difftest import DifferentialOracle\n"
+        f"\n"
+        f"    oracle = DifferentialOracle.for_root({root!r})\n"
+        f"    assert oracle.explain({text!r}) is None\n"
+    )

@@ -403,7 +403,7 @@ class ClosureParser:
                 chunk = state._text[pos:end]
                 if chunk.lower() == folded:
                     return end, chunk
-                state._expected(pos, expected)
+                state._expected(state._literal_failure_pos(pos, text_value, True), expected)
                 return FAILPAIR
 
             return match_ci
@@ -411,7 +411,7 @@ class ClosureParser:
         def match_literal(state, pos):
             if state._text.startswith(text_value, pos):
                 return pos + length, text_value
-            state._expected(pos, expected)
+            state._expected(state._literal_failure_pos(pos, text_value), expected)
             return FAILPAIR
 
         return match_literal

@@ -270,7 +270,10 @@ class _Run(ParserBase):
                     return end, text[pos:end]
             elif text.startswith(expr.text, pos):
                 return end, expr.text
-            self._expected(pos, repr(expr.text))
+            self._expected(
+                self._literal_failure_pos(pos, expr.text, expr.ignore_case),
+                repr(expr.text),
+            )
             return FAIL, None
         if isinstance(expr, CharClass):
             if pos < self._length and expr.matches(text[pos]):

@@ -80,6 +80,14 @@ class Options:
         return ";".join(f"{f.name}={getattr(self, f.name)!r}" for f in fields(self))
 
     @classmethod
+    def single_off(cls) -> list[tuple[str, "Options"]]:
+        """The ablation matrix for differential testing: every variant with
+        exactly one optimization disabled (the paper's ``-Ono-<flag>``
+        configurations), in canonical order.  Returns
+        ``[("no-chunks", …), …, ("no-prefixes", …)]``."""
+        return [(f"no-{name}", cls().without(name)) for name in cls.flag_names()]
+
+    @classmethod
     def cumulative(cls) -> list[tuple[str, "Options"]]:
         """The ablation ladder for experiment E3: start from nothing and
         enable one optimization at a time, in canonical order.  Returns

@@ -3,11 +3,11 @@
 from repro.runtime.actionlib import ACTION_GLOBALS, concat, cons, flatten, make_node
 from repro.runtime.base import ParserBase, sizeof_deep
 from repro.runtime.memo import ChunkedMemoTable, DictMemoTable, make_memo_table
-from repro.runtime.node import GNode, fold_left
+from repro.runtime.node import GNode, fold_left, structural_diff, structurally_equal
 
 __all__ = [
     "ACTION_GLOBALS", "concat", "cons", "flatten", "make_node",
     "ParserBase", "sizeof_deep",
     "ChunkedMemoTable", "DictMemoTable", "make_memo_table",
-    "GNode", "fold_left",
+    "GNode", "fold_left", "structural_diff", "structurally_equal",
 ]

@@ -84,6 +84,47 @@ class ParserBase:
         elif pos == self._fail_pos and what not in self._fail_expected:
             self._fail_expected.append(what)
 
+    def _merge_expected(self, messages: list[str]) -> None:
+        """Merge a constant expected table into the farthest-failure set.
+
+        Called by ``errors``-optimized generated parsers on the
+        equal-position path.  The current value of ``_fail_expected`` may
+        *be* one of the generated module's shared constant lists, so new
+        messages are added to a copy, never in place.
+        """
+        current = self._fail_expected
+        if current is messages:
+            return
+        merged: list[str] | None = None
+        for message in messages:
+            if message not in current:
+                if merged is None:
+                    merged = list(current)
+                    current = merged
+                merged.append(message)
+        if merged is not None:
+            self._fail_expected = merged
+
+    def _literal_failure_pos(self, pos: int, literal: str, ignore_case: bool = False) -> int:
+        """Offset of the first mismatching character of a failed literal.
+
+        Failure positions take the trie view of a literal: ``"publix"``
+        against ``"public"`` fails at the ``x``, not at the ``p``.  Every
+        backend records literal failures this way, which makes
+        farthest-failure positions invariant under common-prefix folding
+        (which splits shared literal prefixes into nested sequences).
+        """
+        text = self._text
+        limit = min(self._length - pos, len(literal))
+        matched = 0
+        if ignore_case:
+            while matched < limit and text[pos + matched].lower() == literal[matched].lower():
+                matched += 1
+        else:
+            while matched < limit and text[pos + matched] == literal[matched]:
+                matched += 1
+        return pos + matched
+
     def parse_error(self) -> ParseError:
         """Build a :class:`ParseError` at the farthest failure position."""
         pos = max(self._fail_pos, 0)

@@ -115,6 +115,58 @@ def _repr_child(child: Any) -> str:
     return repr(child)
 
 
+def structurally_equal(a: Any, b: Any) -> bool:
+    """Structural equality over parse results, ignoring locations.
+
+    Delegates to :class:`GNode` equality (which already ignores locations)
+    but also treats a ``list`` and a ``tuple`` with equal elements as equal,
+    since backends legitimately differ in which container they build for
+    repetition values.  Shared by the test suite and the differential
+    oracle (:mod:`repro.difftest`).
+    """
+    return structural_diff(a, b) is None
+
+
+def structural_diff(a: Any, b: Any, path: str = "$") -> str | None:
+    """The first structural difference between two parse results, or None.
+
+    Returns a human-readable description anchored at a ``$``-rooted path
+    (``$`` the root, ``$.0.2`` the third child of the first child), so a
+    disagreement deep inside a large AST is reported precisely instead of
+    as one giant repr diff.  Locations and memoization identity are
+    ignored; names, child order, and child positions are compared.
+    """
+    if isinstance(a, GNode) and isinstance(b, GNode):
+        if a.name != b.name:
+            return f"{path}: node name {a.name!r} != {b.name!r}"
+        return _diff_children(a.children, b.children, path)
+    if isinstance(a, GNode) or isinstance(b, GNode):
+        return f"{path}: {_shape(a)} != {_shape(b)}"
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return _diff_children(tuple(a), tuple(b), path)
+    if isinstance(a, (list, tuple)) or isinstance(b, (list, tuple)):
+        return f"{path}: {_shape(a)} != {_shape(b)}"
+    if a != b:
+        return f"{path}: {a!r} != {b!r}"
+    return None
+
+
+def _diff_children(a: tuple[Any, ...], b: tuple[Any, ...], path: str) -> str | None:
+    if len(a) != len(b):
+        return f"{path}: child count {len(a)} != {len(b)}"
+    for index, (x, y) in enumerate(zip(a, b)):
+        diff = structural_diff(x, y, f"{path}.{index}")
+        if diff is not None:
+            return diff
+    return None
+
+
+def _shape(value: Any) -> str:
+    if isinstance(value, GNode):
+        return f"GNode({value.name!r})"
+    return f"{type(value).__name__} {value!r}"
+
+
 def fold_left(seed: Any, suffixes: list[GNode]) -> Any:
     """Rebuild a left-leaning tree from a seed and parsed operator suffixes.
 

@@ -1,1 +1,3 @@
-"""Command-line tools: ``repro-pgen`` and ``repro-stats``."""
+"""Command-line tools: ``repro-pgen``, ``repro-stats``, ``repro-lint``,
+``repro-trace``, and ``repro-fuzz`` (differential fuzzing; see
+:mod:`repro.difftest`)."""

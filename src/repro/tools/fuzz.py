@@ -1,0 +1,13 @@
+"""``repro-fuzz`` — differential fuzzing across parser backends.
+
+The implementation lives in :mod:`repro.difftest.cli`; this module is the
+``repro.tools`` entry point (mirroring ``repro-pgen`` and friends) so the
+console script and ``python -m repro.tools.fuzz`` both work.
+"""
+
+from repro.difftest.cli import build_arg_parser, main
+
+__all__ = ["build_arg_parser", "main"]
+
+if __name__ == "__main__":
+    raise SystemExit(main())

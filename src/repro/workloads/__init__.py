@@ -3,7 +3,10 @@
 The paper evaluates on corpora of real Java and C sources; offline we
 substitute seeded pseudo-random program generators with realistic token
 mixes and nesting (documented in DESIGN.md).  All generators take a
-``seed`` so every benchmark run sees exactly the same inputs.
+``seed`` so every benchmark run sees exactly the same inputs, and accept an
+explicit ``rng`` (:class:`random.Random`) when a caller — e.g. the
+differential fuzz harness in :mod:`repro.difftest` — wants to drive many
+generators from one reproducible stream.
 """
 
 from repro.workloads.jaygen import generate_jay_program

@@ -9,9 +9,16 @@ _NAMES = ("acc", "buf", "cnt", "idx", "len", "ptr", "tmp", "val", "mask", "bits"
 _BINOPS = ("+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "!=", "&&", "||", "&", "|", "^", "<<", ">>")
 
 
-def generate_c_program(size: int = 10, seed: int = 42) -> str:
-    """Generate an xC translation unit of roughly ``size`` functions."""
-    rng = random.Random(seed)
+def generate_c_program(
+    size: int = 10, seed: int = 42, rng: random.Random | None = None
+) -> str:
+    """Generate an xC translation unit of roughly ``size`` functions.
+
+    ``rng`` (if given) overrides ``seed``; see
+    :func:`repro.workloads.generate_jay_program`.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     out: list[str] = ["#include <stdlib.h>", ""]
     out.append("struct node { int key; struct node *next; };")
     out.append("")

@@ -17,9 +17,18 @@ _FIELDS = ("size", "next", "data", "left", "right")
 _BINOPS = ("+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "!=", "&&", "||")
 
 
-def generate_jay_program(size: int = 10, seed: int = 42) -> str:
-    """Generate a Jay compilation unit of roughly ``size`` methods."""
-    rng = random.Random(seed)
+def generate_jay_program(
+    size: int = 10, seed: int = 42, rng: random.Random | None = None
+) -> str:
+    """Generate a Jay compilation unit of roughly ``size`` methods.
+
+    Pass an explicit ``rng`` to draw from a caller-owned random stream
+    (the fuzz harness shares one :class:`random.Random` across generators);
+    otherwise a private stream seeded with ``seed`` is used, so repeated
+    calls with the same arguments produce identical programs.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     out: list[str] = []
     out.append("package bench.generated;")
     out.append("import java.util.List;")

@@ -7,9 +7,19 @@ import random
 _WORDS = ("alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta")
 
 
-def generate_json_document(size: int = 10, seed: int = 42, max_depth: int = 5) -> str:
-    """Generate a JSON document with roughly ``size`` top-level members."""
-    rng = random.Random(seed)
+def generate_json_document(
+    size: int = 10,
+    seed: int = 42,
+    max_depth: int = 5,
+    rng: random.Random | None = None,
+) -> str:
+    """Generate a JSON document with roughly ``size`` top-level members.
+
+    ``rng`` (if given) overrides ``seed``; see
+    :func:`repro.workloads.generate_jay_program`.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     members = ", ".join(
         f'"{rng.choice(_WORDS)}{i}": {_value(rng, 1, max_depth)}' for i in range(max(1, size))
     )

@@ -1,0 +1,175 @@
+"""Tests for the differential-testing harness itself.
+
+Three layers:
+
+- unit tests for the pieces (sentence generation, mutation, shrinking,
+  oracle comparison);
+- a sanity check that a *deliberately broken* optimization pass injected as
+  an extra backend is caught by the oracle and shrunk to a tiny, ready-to-
+  paste counterexample — the harness's whole reason to exist;
+- a bounded fuzz smoke run (marked ``fuzz``) that executes inside tier-1,
+  with the full-size run left to ``make fuzz``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro
+from repro.difftest import (
+    Backend,
+    DifferentialOracle,
+    SentenceGenerator,
+    fuzz_grammar,
+    min_costs,
+    mutate,
+    regression_test_source,
+    shrink,
+)
+from repro.interp import PackratInterpreter
+from repro.optim import Options, prepare
+
+
+# -- sentence generation --------------------------------------------------------------
+
+
+class TestSentenceGenerator:
+    def test_min_costs_tiny_grammar(self, tiny_grammar):
+        costs = min_costs(tiny_grammar)
+        assert costs["Number"] == 1
+        assert costs["Expr"] == 1  # via the plain Term alternative
+        assert costs["Spacing"] == 0
+
+    def test_deterministic_for_equal_seeds(self, tiny_grammar):
+        first = SentenceGenerator(tiny_grammar, random.Random(3))
+        second = SentenceGenerator(tiny_grammar, random.Random(3))
+        assert [first.generate() for _ in range(20)] == [
+            second.generate() for _ in range(20)
+        ]
+
+    def test_sentences_parse_with_reference(self, tiny_grammar):
+        reference = PackratInterpreter(
+            prepare(tiny_grammar, Options.none(), check=False).grammar, chunked=False
+        )
+        generator = SentenceGenerator(tiny_grammar, random.Random(5))
+        for _ in range(50):
+            sentence = generator.generate()
+            reference.parse(sentence)  # raises on rejection
+
+    def test_length_budget_bounds_output(self, tiny_grammar):
+        generator = SentenceGenerator(
+            tiny_grammar, random.Random(5), max_length=50
+        )
+        # The budget collapses derivation to cheapest choices once crossed;
+        # output may overshoot only by the cheapest completion's length.
+        assert all(len(generator.generate()) < 200 for _ in range(30))
+
+    def test_respects_start_override(self, tiny_grammar):
+        generator = SentenceGenerator(tiny_grammar, random.Random(5))
+        number = generator.generate(start="Number")
+        assert number.strip().isdigit()
+
+
+class TestMutate:
+    def test_deterministic_and_changing(self):
+        text = "(1 + 2) * 34"
+        assert mutate(text, random.Random(9)) == mutate(text, random.Random(9))
+        changed = sum(
+            mutate(text, random.Random(seed)) != text for seed in range(20)
+        )
+        assert changed >= 18  # a mutation may occasionally be a no-op
+
+    def test_empty_input_grows(self):
+        assert mutate("", random.Random(1)) != "" or mutate("", random.Random(2)) != ""
+
+
+class TestShrink:
+    def test_reduces_to_minimal_core(self):
+        result = shrink("aaaa-Xq-bbbb", lambda t: "X" in t)
+        assert result == "X"
+
+    def test_canonicalizes_characters(self):
+        # Interesting = "has at least 3 characters": content is free, so
+        # every character should settle on the first canonical letter.
+        result = shrink("zzz!?", lambda t: len(t) >= 3)
+        assert result == "aaa"
+
+    def test_never_returns_uninteresting(self):
+        predicate = lambda t: t.count("(") == t.count(")") and "()" in t
+        result = shrink("x(()y)z()", predicate)
+        assert predicate(result)
+        assert len(result) <= 4
+
+
+# -- the oracle catches injected bugs --------------------------------------------------
+
+
+def _break_first_multi_alternative(grammar):
+    """A deliberately broken 'optimization': drop one top-level alternative.
+
+    Mimics an unsound pass that discards an alternative it wrongly proves
+    unreachable — exactly the class of bug the oracle exists to catch.
+    """
+    for production in grammar.productions:
+        if len(production.alternatives) > 1:
+            broken = production.with_alternatives(production.alternatives[1:])
+            return grammar.replace_production(broken), production.name
+    raise AssertionError("grammar has no multi-alternative production")
+
+
+class TestOracleCatchesBrokenPass:
+    def test_broken_pass_is_caught_and_shrunk(self, tiny_grammar):
+        oracle = DifferentialOracle(tiny_grammar)
+        assert oracle.reference.name == "interp-plain"
+
+        broken_grammar, broken_name = _break_first_multi_alternative(
+            prepare(tiny_grammar, Options.none(), check=False).grammar
+        )
+        interp = PackratInterpreter(broken_grammar, chunked=False)
+        oracle.add_backend(Backend("broken-pass", interp.parse, exact_errors=False))
+
+        generator = SentenceGenerator(tiny_grammar, random.Random(2))
+        counterexample = None
+        for _ in range(200):
+            sentence = generator.generate()
+            if oracle.explain(sentence) is not None:
+                counterexample = sentence
+                break
+        assert counterexample is not None, (
+            f"broken {broken_name} survived 200 generated sentences"
+        )
+
+        shrunk = shrink(counterexample, lambda t: oracle.explain(t) is not None)
+        assert oracle.explain(shrunk) is not None
+        assert len(shrunk) <= 40
+
+        detail = oracle.explain(shrunk)
+        source = regression_test_source("t.Core", shrunk, detail)
+        assert repr(shrunk) in source
+        assert "def test_difftest_regression_" in source
+        assert "DifferentialOracle" in source
+
+    def test_clean_grammar_has_no_disagreements(self, tiny_grammar):
+        oracle = DifferentialOracle(tiny_grammar)
+        generator = SentenceGenerator(tiny_grammar, random.Random(4))
+        rng = random.Random(4)
+        for _ in range(25):
+            sentence = generator.generate()
+            assert oracle.explain(sentence) is None
+            assert oracle.explain(mutate(sentence, rng)) is None
+
+
+# -- bounded smoke run (full-size run via `make fuzz`) ---------------------------------
+
+
+@pytest.mark.fuzz
+def test_fuzz_smoke_calc():
+    report = fuzz_grammar("calc.Calculator", seed=7, generated=120, mutated=80)
+    assert report.ok, "\n".join(
+        c.disagreement.describe() for c in report.counterexamples
+    )
+    assert report.checked == 200
+    assert report.backend_count >= 14
+    assert report.valid_ratio >= 0.6

@@ -1,0 +1,68 @@
+"""The ``errors`` optimization must not change what errors are reported.
+
+With the flag on, generated parsers track farthest failures through
+precomputed constant expected-tables; with it off, they call
+``_expected()`` per failure.  Both paths must report the *same* failure
+offset and the *same* expected set for any malformed input — the
+optimization is about the cost of error bookkeeping, never its content.
+
+The corpus mixes hand-written malformed inputs with mutated workload
+output, so both shallow failures (wrong first token) and deep ones
+(failure after a long valid prefix) are covered.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro
+from repro.difftest import mutate
+from repro.errors import ParseError
+from repro.optim import Options
+from repro.workloads import generate_jay_program, generate_json_document
+
+HANDWRITTEN = {
+    "calc.Calculator": ["", "1 +", "(1 + 2", "1 ** 2", "a", "1 + (2 *"],
+    "json.Json": ["", "{", '{"a": }', "[1,]", '"\\a"', '{"a": 1,, "b": 2}'],
+    "jay.Jay": ["", "class", "class A { int f(", "class A { int x = ; }"],
+}
+
+MUTATION_SOURCES = {
+    "calc.Calculator": lambda: ["(1 + 2) * 3 - 4 / 5"] * 6,
+    "json.Json": lambda: [generate_json_document(size=4, seed=s) for s in range(6)],
+    "jay.Jay": lambda: [generate_jay_program(size=4, seed=s) for s in range(4)],
+}
+
+
+def _malformed_corpus(root: str, reference) -> list[str]:
+    corpus = list(HANDWRITTEN[root])
+    rng = random.Random(13)
+    for text in MUTATION_SOURCES[root]():
+        mutant = mutate(text, rng, edits=rng.randint(1, 3))
+        if not reference.recognize(mutant):
+            corpus.append(mutant)
+    return corpus
+
+
+@pytest.mark.parametrize("root", sorted(HANDWRITTEN), ids=lambda r: r.split(".")[0])
+def test_errors_flag_reports_identical_failures(root):
+    grammar = repro.load_grammar(root)
+    with_errors = repro.compile_grammar(grammar, Options.all(), cache=False)
+    without_errors = repro.compile_grammar(
+        grammar, Options.all().without("errors"), cache=False
+    )
+    assert with_errors.options.errors and not without_errors.options.errors
+
+    checked = 0
+    for text in _malformed_corpus(root, with_errors):
+        with pytest.raises(ParseError) as on_info:
+            with_errors.parse(text)
+        with pytest.raises(ParseError) as off_info:
+            without_errors.parse(text)
+        on, off = on_info.value, off_info.value
+        assert on.offset == off.offset, f"offsets differ on {text!r}"
+        assert set(on.expected) == set(off.expected), f"expected sets differ on {text!r}"
+        checked += 1
+    assert checked >= len(HANDWRITTEN[root])

@@ -1,7 +1,7 @@
 """Unit tests for generic AST nodes and the fold-left fix-up."""
 
 from repro.locations import Location
-from repro.runtime.node import GNode, fold_left
+from repro.runtime.node import GNode, fold_left, structural_diff, structurally_equal
 
 
 class TestGNode:
@@ -73,3 +73,34 @@ class TestFoldLeft:
         seed = GNode("X")
         result = fold_left(seed, [GNode("Call", (["a"],))])
         assert result == GNode("Call", (GNode("X"), ["a"]))
+
+
+class TestStructuralEquality:
+    """The comparison the differential oracle and the matrix tests share."""
+
+    def test_ignores_location_identity(self):
+        a = GNode("N", (GNode("M", ("x",)),), Location("a.jay", 1, 1))
+        b = GNode("N", (GNode("M", ("x",)),), Location("b.jay", 9, 9))
+        assert structurally_equal(a, b)
+        assert structural_diff(a, b) is None
+
+    def test_list_and_tuple_children_interchangeable(self):
+        assert structurally_equal(GNode("N", (["a", "b"],)), GNode("N", (("a", "b"),)))
+
+    def test_diff_reports_first_divergent_path(self):
+        a = GNode("N", (GNode("M", ("x", "y")), "z"))
+        b = GNode("N", (GNode("M", ("x", "q")), "z"))
+        diff = structural_diff(a, b)
+        assert diff is not None and "$.0.1" in diff
+
+    def test_name_mismatch(self):
+        assert not structurally_equal(GNode("N"), GNode("M"))
+        assert "N" in structural_diff(GNode("N"), GNode("M"))
+
+    def test_arity_mismatch(self):
+        diff = structural_diff(GNode("N", ("a",)), GNode("N", ("a", "b")))
+        assert diff is not None
+
+    def test_non_node_leaves_compare_by_equality(self):
+        assert structurally_equal(("a", 1, None), ("a", 1, None))
+        assert not structurally_equal(("a", 1), ("a", 2))

@@ -1,0 +1,107 @@
+"""Every single-optimization-off configuration against the all-on reference.
+
+The paper's optimizations are meant to be *semantics-preserving*: disabling
+any one of them may change speed and memo pressure but never the language
+recognized, the AST produced, or (for backends with farthest-failure
+semantics) the reported failure offset.  This matrix pins that down for
+every tier-1 grammar x every ``Options.single_off()`` variant, on both a
+valid and a malformed corpus.
+
+Grammars are composed once per module and passed to ``compile_grammar`` as
+objects, so the matrix pays for recomposition neither per variant nor per
+test.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro
+from repro.errors import ParseError
+from repro.optim import Options
+from repro.runtime.node import structural_diff
+from repro.workloads import generate_c_program, generate_jay_program, generate_json_document
+
+VARIANTS = Options.single_off()
+VARIANT_IDS = [label for label, _ in VARIANTS]
+
+
+def _calc_corpus():
+    rng = random.Random(11)
+    valid = ["1", "(2 + 3) * 4", "10 - 2 - 3", "1 + 2 * (3 - 4) / 5"]
+    valid += ["%d %s %d" % (rng.randint(0, 99), rng.choice("+-*/"), rng.randint(1, 99))
+              for _ in range(6)]
+    malformed = ["", "1 +", "(1", "1 ** 2", ")", "1 2"]
+    return valid, malformed
+
+def _json_corpus():
+    valid = ['{"a": [1, 2.5e-1, true, null]}', "[]", '"\\u00e9"', "-0.5",
+             generate_json_document(size=4, seed=11)]
+    malformed = ["", "{", '{"a" 1}', "[1,]", '"\\a"', "tru"]
+    return valid, malformed
+
+def _jay_corpus():
+    valid = ["class A { }",
+             "import a.b; class A extends B { int f(int x) { return x + 1; } }",
+             generate_jay_program(size=6, seed=11)]
+    malformed = ["", "class", "class A {", "class A { int f( }", "klass A {}"]
+    return valid, malformed
+
+def _xc_corpus():
+    valid = ["int main(void) { return 0; }",
+             "struct point { int x; int y; };",
+             generate_c_program(size=3, seed=11)]
+    malformed = ["", "int main(", "struct { int", "int x = ;"]
+    return valid, malformed
+
+def _ml_corpus():
+    valid = ["let x = 1 in x + 2",
+             "let rec f n = if n = 0 then 1 else n * f (n - 1) in f 5",
+             "match xs with | [] -> 0 | h :: t -> h",
+             "(* comment *) [1; 2; 3]"]
+    malformed = ["", "let = 3", "fun -> x", "if a then b", "match x with"]
+    return valid, malformed
+
+
+CORPORA = {
+    "calc.Calculator": _calc_corpus,
+    "json.Json": _json_corpus,
+    "jay.Jay": _jay_corpus,
+    "xc.XC": _xc_corpus,
+    "ml.ML": _ml_corpus,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(CORPORA), ids=lambda r: r.split(".")[0])
+def matrix_case(request):
+    """(composed grammar, all-on reference language, valid corpus, malformed corpus)."""
+    root = request.param
+    grammar = repro.load_grammar(root)
+    reference = repro.compile_grammar(grammar, Options.all(), cache=False)
+    valid, malformed = CORPORA[root]()
+    return grammar, reference, valid, malformed
+
+
+@pytest.mark.parametrize(("label", "options"), VARIANTS, ids=VARIANT_IDS)
+class TestSingleOffMatrix:
+    def test_variant_agrees_with_reference(self, matrix_case, label, options):
+        grammar, reference, valid, malformed = matrix_case
+        variant = repro.compile_grammar(grammar, options, cache=False)
+        assert not getattr(variant.options, label.removeprefix("no-"))
+
+        for text in valid:
+            expected = reference.parse(text)
+            actual = variant.parse(text)
+            diff = structural_diff(expected, actual)
+            assert diff is None, f"{label} on {text!r}: ASTs differ at {diff}"
+
+        for text in malformed:
+            with pytest.raises(ParseError) as ref_error:
+                reference.parse(text)
+            with pytest.raises(ParseError) as var_error:
+                variant.parse(text)
+            assert var_error.value.offset == ref_error.value.offset, (
+                f"{label} on {text!r}: farthest-failure offsets differ"
+            )
