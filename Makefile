@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench cache-check check fuzz fuzz-smoke
+.PHONY: test smoke bench cache-check check fuzz fuzz-smoke prof-smoke
 
 # Tier-1 suite (the acceptance gate).
 test:
@@ -18,9 +18,22 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # Bounded differential-fuzz run (also executes inside `make test` via the
-# `fuzz` marker); see docs/testing.md.
+# `fuzz` marker); see docs/testing.md.  Also profiles the example corpora
+# so every fuzz smoke leaves a grammar-coverage artifact behind
+# (build/coverage-<grammar>.json; see docs/profiling.md).
 fuzz-smoke:
 	$(PYTHON) -m pytest -q -m fuzz
+	@mkdir -p build
+	@for g in calc json jay xc ml; do \
+		$(PYTHON) -m repro.tools.prof examples/$$g --backend interp --json \
+			--output build/coverage-$$g.json || exit 1; \
+		echo "coverage artifact: build/coverage-$$g.json"; \
+	done
+
+# Profiler/observability tests (collector semantics, backend parity,
+# corpus-coverage floors); see docs/profiling.md.
+prof-smoke:
+	$(PYTHON) -m pytest -q -m prof
 
 # Full seeded differential fuzz: 500 generated + 500 mutated inputs per
 # grammar through every backend, strict about generator health.

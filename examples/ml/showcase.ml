@@ -1,0 +1,22 @@
+(* mini-ML showcase, with a (* nested comment *) inside it *)
+let width = 42;;
+let rec fact n = if n = 0 then 1 else n * fact (n - 1);;
+let compose f g x = f (g x);;
+let ignore _ = 0;;
+let first (h :: _) = h;;
+let pair = fun a b -> a :: b :: [];;
+let classify xs =
+  match xs with
+  | [] -> 0
+  | 0 :: _ -> 1
+  | true :: (x :: rest) -> x
+  | false :: _ -> 2
+  | _ -> 3;;
+let flags = true || false && maybe;;
+let cmp a b = a <> b || a <= b || a >= b || a < b || a > b;;
+let arith = 1 + 2 - 3 * 4 / 5 mod 6;;
+let text = "hello \"world\"\n" ^ "tail";;
+let unit_value = ();;
+let items = [1; 2; fact 3];;
+let shadowed = let inner = width in inner;;
+classify (pair arith width)

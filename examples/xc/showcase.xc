@@ -1,0 +1,100 @@
+#include <stdio.h>
+// Line comment before the first declaration.
+/* Block comment
+   spanning lines. */
+
+struct point {
+    int x;
+    int y;
+    struct point *next;
+    double weights[4];
+    char tag[];
+};
+
+unsigned long counter = 0x1Fu;
+signed short offset = 0X2aL;
+float ratio = 1.5f;
+double tail = .25;
+double plain = 2.;
+char letter = '\n';
+char other = 'q';
+char message[16] = "hi \"there\"\n";
+int flags = 7ul, mask = 3lu, bits = 9l;
+
+int classify(int score, unsigned limit) {
+    int grade = score >= 90 ? 1 : score > 50 ? 2 : 3;
+    if (score <= 0 || score != score) {
+        grade = -1;
+    } else if (score < 10 && limit == 0) {
+        grade = grade % 4;
+    }
+    switch (grade) {
+        case 1:
+            break;
+        case 2 + 1:
+            grade = 0;
+            break;
+        default:
+            ;
+    }
+    return grade;
+}
+
+void pump(void) {
+    int total = 0, step = 1;
+    for (int i = 0; i < 8; ++i) {
+        total += i << 2;
+        total -= step >> 1;
+        total *= 2;
+        total /= 3;
+        total %= 100;
+        total &= 0xFF;
+        total |= 1;
+        total ^= mask;
+        total <<= 1;
+        total >>= 2;
+        if (total == 13) {
+            continue;
+        }
+    }
+    for (total = 1; total; total--) {
+        break;
+    }
+    for ( ; ; ) {
+        goto done;
+    }
+    while (total > 0) {
+        total = total - 1;
+    }
+    do {
+        ++total;
+        --total;
+        total++;
+    } while (!(total & 1) && total | 2 ^ 3);
+done:
+    return;
+}
+
+struct point *walk(struct point *start, int hops) {
+    struct point *cursor = start;
+    int distance = (hops + 1) * ~0 - -1;
+    while (cursor->next != 0) {
+        cursor = cursor->next;
+        cursor->x = cursor[0].y;
+        distance = *start.next->weights[1] > 1.0 ? distance : hops;
+        (&counter, classify(distance, 2u));
+    }
+    return cursor;
+}
+
+int ready() {
+    pump();
+    return flags / 2;
+}
+
+int naming(void) {
+    int continued, unsignedly, defaulted, typedefs, doubled, returned;
+    int signedness, sizeofs, structs, switches, breaker, floats, shorts;
+    int whiled, cases, chars, elsewhere, gotos, longs, voids, fors, ints, dos, ifs;
+    return ints;
+}

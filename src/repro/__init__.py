@@ -47,6 +47,7 @@ from repro.meta import ModuleLoader, parse_module
 from repro.modules import compose
 from repro.optim import Options, prepare
 from repro.peg import Grammar, ValueKind
+from repro.profile import CoverageMatrix, ParseProfile, ProfileReport, profile_corpus
 from repro.runtime import GNode
 
 __version__ = "1.0.0"
@@ -58,5 +59,6 @@ __all__ = [
     "GrammarSyntaxError", "ParseError", "ReproError",
     "ModuleLoader", "parse_module", "compose",
     "Options", "prepare", "Grammar", "ValueKind", "GNode",
+    "ParseProfile", "CoverageMatrix", "ProfileReport", "profile_corpus",
     "__version__",
 ]

@@ -59,9 +59,32 @@ class Language:
 
     # -- parsing ----------------------------------------------------------------
 
-    def parse(self, text: str, start: str | None = None, source: str = "<input>") -> Any:
-        """Parse ``text`` completely with the generated parser."""
-        return self.parser_class(text, source).parse(start)
+    def parse(
+        self,
+        text: str,
+        start: str | None = None,
+        source: str = "<input>",
+        profile: Any = None,
+    ) -> Any:
+        """Parse ``text`` completely with the generated parser.
+
+        Pass a :class:`repro.profile.ParseProfile` as ``profile`` to record
+        parse-time telemetry; the parse then runs through a lazily compiled
+        *profiled twin* of the generated parser (the default parser class is
+        untouched — see ``docs/profiling.md``).  Note the twin profiles the
+        fully *optimized* grammar; for author's-grammar coverage use
+        :func:`repro.profile.profile_corpus`.
+        """
+        if profile is None:
+            return self.parser_class(text, source).parse(start)
+        profile.register_grammar(self.prepared.grammar)
+        try:
+            value = self.profiled_parser_class(text, source, profile=profile).parse(start)
+        except Exception:
+            profile.count_parse(text, accepted=False)
+            raise
+        profile.count_parse(text, accepted=True)
+        return value
 
     def parse_file(self, path: str | Path, start: str | None = None) -> Any:
         """Parse the contents of a file (its path becomes the source name)."""
@@ -78,11 +101,30 @@ class Language:
 
         return trace_parse(self.interpreter(), text, start=start, source=source)
 
-    def parser(self, text: str, source: str = "<input>"):
-        """A fresh generated-parser instance over ``text``."""
-        return self.parser_class(text, source)
+    def parser(self, text: str, source: str = "<input>", profile: Any = None):
+        """A fresh generated-parser instance over ``text`` (the profiled
+        twin when ``profile`` is given)."""
+        if profile is None:
+            return self.parser_class(text, source)
+        return self.profiled_parser_class(text, source, profile=profile)
 
-    def session(self, start: str | None = None) -> "ParseSession":
+    @property
+    def profiled_parser_class(self) -> type:
+        """The generated parser's instrumented twin, compiled on first use.
+
+        Same grammar, same optimization options, same ASTs and errors — plus
+        :class:`repro.profile.ParseProfile` hooks.  Cached on the instance so
+        repeated profiled parses pay codegen once.
+        """
+        cached = self.__dict__.get("_profiled_class")
+        if cached is None:
+            name = self.parser_class.__name__
+            source = generate_parser_source(self.prepared, name, profiled=True)
+            cached = load_parser(source, name)
+            object.__setattr__(self, "_profiled_class", cached)
+        return cached
+
+    def session(self, start: str | None = None, profile: Any = None) -> "ParseSession":
         """A warm-parse session: one parser instance reused across inputs.
 
         .. code-block:: python
@@ -94,8 +136,11 @@ class Language:
         Between inputs the parser is ``reset()`` — failure tracking, the
         line index, and the memo table are cleared *in place*, so parsing N
         inputs allocates one parser and one memo table, not N.
+
+        With ``profile`` set, the session reuses one *profiled-twin* parser
+        instead and accumulates telemetry across all its parses.
         """
-        return ParseSession(self, start=start)
+        return ParseSession(self, start=start, profile=profile)
 
     def recognize(self, text: str, start: str | None = None) -> bool:
         """Does the whole input match?  (No value construction errors are
@@ -110,11 +155,15 @@ class Language:
 
     # -- reference backends --------------------------------------------------------
 
-    def interpreter(self, memoize: bool = True) -> PackratInterpreter | BacktrackInterpreter:
+    def interpreter(
+        self, memoize: bool = True, profile: Any = None
+    ) -> PackratInterpreter | BacktrackInterpreter:
         """A grammar interpreter over the same prepared grammar."""
         if memoize:
-            return PackratInterpreter(self.prepared.grammar, chunked=self.prepared.chunked_memo)
-        return BacktrackInterpreter(self.prepared.grammar)
+            return PackratInterpreter(
+                self.prepared.grammar, chunked=self.prepared.chunked_memo, profile=profile
+            )
+        return BacktrackInterpreter(self.prepared.grammar, profile=profile)
 
     # -- artifacts -----------------------------------------------------------------
 
@@ -138,10 +187,13 @@ class ParseSession:
     of memo columns from the warm path.
     """
 
-    def __init__(self, language: Language, start: str | None = None):
+    def __init__(self, language: Language, start: str | None = None, profile: Any = None):
         self._language = language
         self._start = start
         self._parser = None
+        self._profile = profile
+        if profile is not None:
+            profile.register_grammar(language.prepared.grammar)
         #: Number of inputs parsed (including failed parses).
         self.parses = 0
 
@@ -157,12 +209,26 @@ class ParseSession:
     def parse(self, text: str, source: str = "<input>") -> Any:
         """Parse ``text`` completely; raises :class:`ParseError` on failure."""
         parser = self._parser
+        profile = self._profile
         if parser is None:
-            parser = self._parser = self._language.parser_class(text, source)
+            if profile is None:
+                parser = self._parser = self._language.parser_class(text, source)
+            else:
+                parser = self._parser = self._language.profiled_parser_class(
+                    text, source, profile=profile
+                )
         else:
             parser.reset(text, source)
         self.parses += 1
-        return parser.parse(self._start)
+        if profile is None:
+            return parser.parse(self._start)
+        try:
+            value = parser.parse(self._start)
+        except Exception:
+            profile.count_parse(text, accepted=False)
+            raise
+        profile.count_parse(text, accepted=True)
+        return value
 
     def recognize(self, text: str) -> bool:
         """Does the whole input match?"""

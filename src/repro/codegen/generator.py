@@ -74,12 +74,24 @@ def _first_set_message(chars: frozenset[str]) -> str:
 
 
 class ParserGenerator:
-    """Generate parser source for one prepared grammar."""
+    """Generate parser source for one prepared grammar.
 
-    def __init__(self, prepared: PreparedGrammar, parser_name: str = "Parser"):
+    With ``profiled=True`` the emitted parser reports per-production
+    invocations, memo hits/misses, per-alternative coverage, backtracks and
+    wasted-character estimates to a :class:`repro.profile.ParseProfile`
+    (``profile=`` constructor argument; a fresh collector is created when
+    omitted).  The default (unprofiled) output is byte-identical to what
+    this generator emitted before profiling existed — instrumentation is a
+    separate generated artifact, not a runtime flag.
+    """
+
+    def __init__(
+        self, prepared: PreparedGrammar, parser_name: str = "Parser", profiled: bool = False
+    ):
         self.grammar: Grammar = prepared.grammar
         self.options: Options = prepared.options
         self.parser_name = parser_name
+        self.profiled = profiled
         self.kind_of = kind_lookup(self.grammar)
         self.first = FirstAnalysis(self.grammar) if self.options.terminals else None
         self._actions: dict[tuple[str, tuple[str, ...]], str] = {}
@@ -171,6 +183,8 @@ class ParserGenerator:
         w.line()
         w.line(f"GRAMMAR_NAME = {self.grammar.name!r}")
         w.line(f"START = {self.grammar.start!r}")
+        if self.profiled:
+            w.line("PROFILED = True")
         return w.render()
 
     def _module_header(self, w: CodeWriter) -> None:
@@ -184,6 +198,11 @@ class ParserGenerator:
             "from repro.runtime.base import ParserBase",
             "from repro.runtime.node import GNode",
             "from repro.runtime.actionlib import ACTION_GLOBALS",
+            *(
+                ("from repro.profile.collector import ParseProfile",)
+                if self.profiled
+                else ()
+            ),
             "",
             "# Make the action helpers (cons, fold_left, ...) visible to the",
             "# generated action functions, without clobbering module builtins.",
@@ -203,9 +222,16 @@ class ParserGenerator:
         w.line()
         w.line(f"MEMOIZED_RULES = {rule_names!r}")
         w.line()
-        with w.block("def __init__(self, text, source='<input>'):"):
+        init_sig = (
+            "def __init__(self, text, source='<input>', profile=None):"
+            if self.profiled
+            else "def __init__(self, text, source='<input>'):"
+        )
+        with w.block(init_sig):
             w.line("super().__init__(text)")
             w.line("self._source = source")
+            if self.profiled:
+                w.line("self._profile = profile if profile is not None else ParseProfile()")
             if self.options.chunks:
                 w.line("self._columns = {}")
             else:
@@ -265,10 +291,23 @@ class ParserGenerator:
 
     # -- production methods ----------------------------------------------------------
 
+    def _bump(self, w: CodeWriter, attr: str, key: object, amount: str = "1") -> None:
+        """Inline ``profile.<attr>[key] += amount``.
+
+        The profiled twin writes the :class:`ParseProfile` counter dicts
+        directly instead of calling the hook methods — a Python-level call
+        per event would dominate profiled-parser runtime."""
+        w.line(f"_pd = prof.{attr}")
+        w.line(f"_pd[{key!r}] = _pd.get({key!r}, 0) + {amount}")
+
     def _production_method(self, w: CodeWriter, production: Production) -> None:
         name = _sanitize(production.name)
+        prof_name = production.name
         with w.block(f"def _p_{name}(self, pos):"):
             w.line(f'"""{production.kind.value} {production.name}"""')
+            if self.profiled:
+                w.line("prof = self._profile")
+                self._bump(w, "invocations", prof_name)
             memoized = production.name in self._memo_index
             if memoized:
                 index = self._memo_index[production.name]
@@ -283,12 +322,18 @@ class ParserGenerator:
                         w.line(f"chunk = col[{chunk_index}] = [None] * CHUNK_SIZE")
                     w.line(f"m = chunk[{slot}]")
                     with w.block("if m is not None:"):
+                        if self.profiled:
+                            self._bump(w, "memo_hits", prof_name)
                         w.line("return m")
                 else:
                     w.line(f"key = ({index}, pos)")
                     w.line("m = self._memo.get(key)")
                     with w.block("if m is not None:"):
+                        if self.profiled:
+                            self._bump(w, "memo_hits", prof_name)
                         w.line("return m")
+                if self.profiled:
+                    self._bump(w, "memo_misses", prof_name)
             w.line("text = self._text")
             self._production_body(w, production)
             if memoized:
@@ -296,27 +341,48 @@ class ParserGenerator:
                     w.line(f"chunk[{slot}] = result")
                 else:
                     w.line("self._memo[key] = result")
+            if self.profiled:
+                with w.block("if result[0] < 0:"):
+                    self._bump(w, "failures", prof_name)
+                with w.block("else:"):
+                    self._bump(w, "successes", prof_name)
             w.line("return result")
         w.line()
 
     def _production_body(self, w: CodeWriter, production: Production) -> None:
         guards = self._alternative_guards(production)
+        prof_name = production.name
         with w.block("while True:"):
             for alt_index, alternative in enumerate(production.alternatives):
                 w.line(f"# alternative {alt_index + 1}" + (f" <{alternative.label}>" if alternative.label else ""))
+                if self.profiled:
+                    self._bump(w, "coverage.entered", (prof_name, alt_index))
                 guard = guards[alt_index] if guards else None
                 if guard is not None:
                     const, message = guard
                     with w.block(f"if pos < self._length and text[pos] in {const}:"):
-                        self._alternative_attempt(w, production, alternative)
+                        pos_var = self._alternative_attempt(w, production, alternative, alt_index)
+                        # Reached only when the attempt failed (success breaks).
+                        if self.profiled:
+                            self._bump(w, "backtracks", (prof_name))
+                            w.line(f"_pw = {pos_var} - pos")
+                            with w.block("if _pw > 0:"):
+                                self._bump(w, "wasted_chars", prof_name, "_pw")
                     # Skipping the alternative must record the failure the
                     # attempt would have recorded (its first terminal failing
                     # at pos), or guarded and unguarded parsers would report
                     # different farthest-failure positions.
                     with w.block("else:"):
                         self._fail(w, "pos", message)
+                        if self.profiled:
+                            self._bump(w, "backtracks", prof_name)
                 else:
-                    self._alternative_attempt(w, production, alternative)
+                    pos_var = self._alternative_attempt(w, production, alternative, alt_index)
+                    if self.profiled:
+                        self._bump(w, "backtracks", prof_name)
+                        w.line(f"_pw = {pos_var} - pos")
+                        with w.block("if _pw > 0:"):
+                            self._bump(w, "wasted_chars", prof_name, "_pw")
             w.line("result = FAILPAIR")
             w.line("break")
 
@@ -338,8 +404,14 @@ class ParserGenerator:
                 guards.append(None)
         return guards if useful else None
 
-    def _alternative_attempt(self, w: CodeWriter, production: Production, alternative) -> None:
-        """Emit one attempt; on success set ``result`` and break."""
+    def _alternative_attempt(
+        self, w: CodeWriter, production: Production, alternative, alt_index: int = 0
+    ) -> str:
+        """Emit one attempt; on success set ``result`` and break.
+
+        Returns the attempt's position variable so profiled callers can
+        emit a wasted-character estimate on the failure path.
+        """
         names = binding_names(alternative.expr)
         self._bindings_in_scope = tuple(names)
         for bound in names:
@@ -371,9 +443,12 @@ class ParserGenerator:
             w.indent()
             depth += 1
         self._success_value(w, production, alternative, contribution_vars, explicit_vars, pos_var)
+        if self.profiled:
+            self._bump(w, "coverage.succeeded", (production.name, alt_index))
         w.line("break")
         for _ in range(depth):
             w.dedent()
+        return pos_var
 
     def _success_value(
         self,
@@ -702,6 +777,12 @@ def _has_binding(expr: Expression) -> bool:
     return any(isinstance(node, Binding) for node in walk(expr))
 
 
-def generate_parser_source(prepared: PreparedGrammar, parser_name: str = "Parser") -> str:
-    """Generate the parser module source for a prepared grammar."""
-    return ParserGenerator(prepared, parser_name).generate()
+def generate_parser_source(
+    prepared: PreparedGrammar, parser_name: str = "Parser", profiled: bool = False
+) -> str:
+    """Generate the parser module source for a prepared grammar.
+
+    ``profiled=True`` emits the instrumented twin (see
+    :class:`ParserGenerator`); the default output is unchanged.
+    """
+    return ParserGenerator(prepared, parser_name, profiled=profiled).generate()

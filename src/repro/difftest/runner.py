@@ -17,6 +17,8 @@ from repro.difftest.generator import SentenceGenerator
 from repro.difftest.mutate import mutate
 from repro.difftest.oracle import DifferentialOracle, Disagreement
 from repro.difftest.shrink import regression_test_source, shrink
+from repro.profile.collector import CoverageMatrix
+from repro.profile.runner import CoverageSession
 
 
 @dataclass
@@ -41,6 +43,9 @@ class FuzzReport:
     checked: int = 0
     backend_count: int = 0
     counterexamples: list[Counterexample] = field(default_factory=list)
+    #: Alternative-coverage matrix of the fuzz corpus (when requested via
+    #: ``fuzz_grammar(..., coverage=...)``); None otherwise.
+    coverage: CoverageMatrix | None = None
 
     @property
     def ok(self) -> bool:
@@ -54,12 +59,18 @@ class FuzzReport:
 
     def summary(self) -> str:
         status = "ok" if self.ok else f"{len(self.counterexamples)} DISAGREEMENTS"
-        return (
+        line = (
             f"{self.root}: {self.checked} inputs "
             f"({self.generated} generated, {self.mutated} mutated; "
             f"{self.valid_ratio:.0%} of generated accepted) "
             f"across {self.backend_count} backends — {status}"
         )
+        if self.coverage is not None:
+            line += (
+                f"; alternative coverage {self.coverage.ratio():.0%} "
+                f"({self.coverage.succeeded_count()}/{self.coverage.total()})"
+            )
+        return line
 
 
 def fuzz_grammar(
@@ -75,6 +86,7 @@ def fuzz_grammar(
     start: str | None = None,
     backtracking: bool = False,
     paths: list[str] | None = None,
+    coverage: CoverageMatrix | bool = False,
 ) -> FuzzReport:
     """One seeded differential fuzz run over the grammar module ``root``.
 
@@ -82,14 +94,29 @@ def fuzz_grammar(
     ``max_counterexamples`` distinct shrunk counterexamples: one real
     optimizer bug tends to disagree on hundreds of inputs, and shrinking
     each is wasted work.
+
+    With ``coverage`` set (``True`` for a fresh matrix, or an existing
+    :class:`~repro.profile.collector.CoverageMatrix` to accumulate into —
+    e.g. across seeds), every checked input is also fed through a profiled
+    reference interpreter, so the fuzz run doubles as a grammar-coverage
+    measurement; the matrix lands on ``report.coverage``.
     """
     if oracle is None:
         oracle = DifferentialOracle.for_root(
             root, paths=paths, start=start, backtracking=backtracking
         )
+    coverage_session = None
+    if coverage:
+        matrix = coverage if isinstance(coverage, CoverageMatrix) else None
+        coverage_session = CoverageSession(oracle.grammar, coverage=matrix)
     rng = random.Random(seed)
     generator = SentenceGenerator(oracle.grammar, rng, max_depth=max_depth)
-    report = FuzzReport(root=root, seed=seed, backend_count=len(oracle.backends))
+    report = FuzzReport(
+        root=root,
+        seed=seed,
+        backend_count=len(oracle.backends),
+        coverage=coverage_session.coverage if coverage_session else None,
+    )
 
     corpus: list[str] = []
     for _ in range(generated):
@@ -98,12 +125,16 @@ def fuzz_grammar(
         report.generated += 1
         if oracle.reference.run(sentence).accepted:
             report.accepted += 1
+        if coverage_session is not None:
+            coverage_session.feed(sentence)
         _check_one(oracle, root, sentence, report, max_shrink_checks, max_counterexamples)
 
     for index in range(mutated):
         base = corpus[index % len(corpus)] if corpus else ""
         mutant = mutate(base, rng, edits=rng.randint(1, 3))
         report.mutated += 1
+        if coverage_session is not None:
+            coverage_session.feed(mutant)
         _check_one(oracle, root, mutant, report, max_shrink_checks, max_counterexamples)
 
     return report

@@ -17,15 +17,15 @@ from repro.peg.grammar import Grammar
 class PackratInterpreter(GrammarInterpreter):
     """Memoizing grammar interpreter (packrat parsing)."""
 
-    def __init__(self, grammar: Grammar, chunked: bool = True):
-        super().__init__(grammar, memoize=True, chunked=chunked)
+    def __init__(self, grammar: Grammar, chunked: bool = True, profile=None):
+        super().__init__(grammar, memoize=True, chunked=chunked, profile=profile)
 
 
 class BacktrackInterpreter(GrammarInterpreter):
     """Non-memoizing grammar interpreter (naive backtracking)."""
 
-    def __init__(self, grammar: Grammar):
-        super().__init__(grammar, memoize=False)
+    def __init__(self, grammar: Grammar, profile=None):
+        super().__init__(grammar, memoize=False, profile=profile)
 
 
 __all__ = [

@@ -70,13 +70,40 @@ class _State(ParserBase):
         self._source = source
 
 
-class ClosureParser:
-    """Compile a grammar to closures; construct once, parse many times."""
+class _ProfiledState(_State):
+    """Parse state that additionally attributes farthest-failure advances.
 
-    def __init__(self, grammar: Grammar, chunked: bool = True):
+    ``ParserBase`` is not slotted, so the production stack and profile live
+    in the instance ``__dict__`` — only profiled parses allocate them.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, text: str, memo, source: str, profile):
+        super().__init__(text, memo, source)
+        self.profile = profile
+        self.prod_stack: list[str] = []
+
+    def _expected(self, pos: int, what: str) -> None:
+        if pos > self._fail_pos and self.prod_stack:
+            self.profile.record_farthest(self.prod_stack[-1])
+        super()._expected(pos, what)
+
+
+class ClosureParser:
+    """Compile a grammar to closures; construct once, parse many times.
+
+    With ``profile=`` (a :class:`repro.profile.ParseProfile`) the closures
+    are compiled with instrumentation baked in; without it the compiled
+    closures are exactly the uninstrumented ones — there is no disabled-probe
+    branch on the hot path.
+    """
+
+    def __init__(self, grammar: Grammar, chunked: bool = True, profile=None):
         grammar.validate()
         self.grammar = grammar
         self.chunked = chunked
+        self._profile = profile
         self._kind_of = kind_lookup(grammar)
         self._with_location = "withLocation" in grammar.options
         self._memo_rules: list[str] = [
@@ -114,8 +141,19 @@ class ClosureParser:
         return self._last_state.memo.entry_count()
 
     def _new_state(self, text: str, source: str) -> _State:
-        memo = make_memo_table(self._memo_rules, chunked=self.chunked)
-        state = _State(text, memo, source)
+        profile = self._profile
+        if profile is not None:
+            from repro.profile.collector import MemoEvents
+
+            memo = make_memo_table(
+                self._memo_rules,
+                chunked=self.chunked,
+                events=MemoEvents(profile, self._memo_rules),
+            )
+            state: _State = _ProfiledState(text, memo, source, profile)
+        else:
+            memo = make_memo_table(self._memo_rules, chunked=self.chunked)
+            state = _State(text, memo, source)
         self._last_state = state
         return state
 
@@ -129,8 +167,8 @@ class ClosureParser:
 
     def _compile_production(self, production: Production) -> Matcher:
         alternatives = [
-            self._compile_alternative(production, alternative)
-            for alternative in production.alternatives
+            self._compile_alternative(production, alternative, index)
+            for index, alternative in enumerate(production.alternatives)
         ]
 
         def run_alternatives(state: _State, pos: int) -> tuple[int, Any]:
@@ -141,22 +179,44 @@ class ClosureParser:
             return FAILPAIR
 
         if production.is_transient:
-            return run_alternatives
+            inner = run_alternatives
+        else:
+            index = self._memo_index[production.name]
 
-        index = self._memo_index[production.name]
+            def memoized(state: _State, pos: int) -> tuple[int, Any]:
+                memo = state.memo
+                hit = memo.get(index, pos)
+                if hit is not None:
+                    return hit
+                result = run_alternatives(state, pos)
+                memo.put(index, pos, result)
+                return result
 
-        def memoized(state: _State, pos: int) -> tuple[int, Any]:
-            memo = state.memo
-            hit = memo.get(index, pos)
-            if hit is not None:
-                return hit
-            result = run_alternatives(state, pos)
-            memo.put(index, pos, result)
+            inner = memoized
+
+        profile = self._profile
+        if profile is None:
+            return inner
+
+        name = production.name
+
+        def profiled(state: _State, pos: int) -> tuple[int, Any]:
+            profile.invoke(name)
+            stack = state.prod_stack
+            stack.append(name)
+            try:
+                result = inner(state, pos)
+            finally:
+                stack.pop()
+            if result[0] < 0:
+                profile.failure(name)
+            else:
+                profile.success(name)
             return result
 
-        return memoized
+        return profiled
 
-    def _compile_alternative(self, production: Production, alternative) -> Matcher:
+    def _compile_alternative(self, production: Production, alternative, alt_index: int) -> Matcher:
         expr = alternative.expr
         items = expr.items if isinstance(expr, Sequence) else (expr,)
         names = tuple(binding_names(expr))
@@ -166,6 +226,36 @@ class ClosureParser:
                 (self._compile(item), contributes(item, self._kind_of), isinstance(item, Action))
             )
         build = self._compile_value_builder(production, alternative)
+        profile = self._profile
+
+        if profile is not None:
+            prod_name = production.name
+
+            def match_alternative_profiled(state: _State, pos: int) -> tuple[int, Any]:
+                profile.alt_enter(prod_name, alt_index)
+                saved_env = state.env
+                if names:
+                    state.env = dict.fromkeys(names)
+                contributions: list[Any] = []
+                explicit: Any = _SENTINEL
+                cur = pos
+                try:
+                    for matcher, contributing, is_action in compiled:
+                        npos, value = matcher(state, cur)
+                        if npos < 0:
+                            profile.alt_fail(prod_name, alt_index, cur - pos)
+                            return FAILPAIR
+                        cur = npos
+                        if contributing:
+                            contributions.append(value)
+                            if is_action:
+                                explicit = value
+                    profile.alt_success(prod_name, alt_index)
+                    return cur, build(state, pos, cur, contributions, explicit)
+                finally:
+                    state.env = saved_env
+
+            return match_alternative_profiled
 
         def match_alternative(state: _State, pos: int) -> tuple[int, Any]:
             saved_env = state.env

@@ -84,11 +84,21 @@ class _CompiledProduction:
 class GrammarInterpreter:
     """Interpret a grammar directly; construct once, parse many times."""
 
-    def __init__(self, grammar: Grammar, memoize: bool = True, chunked: bool = True):
+    def __init__(
+        self,
+        grammar: Grammar,
+        memoize: bool = True,
+        chunked: bool = True,
+        profile=None,
+    ):
         grammar.validate()
         self.grammar = grammar
         self.memoize = memoize
         self.chunked = chunked
+        #: Optional :class:`repro.profile.ParseProfile`; when set, parses run
+        #: through the instrumented :class:`repro.interp.profiled.ProfilingRun`
+        #: (the plain ``_Run`` hot path is untouched when unset).
+        self.profile = profile
         kind_of = kind_lookup(grammar)
         with_location = "withLocation" in grammar.options
         self._productions: dict[str, _CompiledProduction] = {
@@ -142,7 +152,12 @@ class GrammarInterpreter:
         return self._last_run.memo_size_bytes() if self._last_run else 0
 
     def _run(self, text: str, source: str) -> "_Run":
-        run = _Run(self, text, source)
+        if self.profile is not None:
+            from repro.interp.profiled import ProfilingRun
+
+            run: _Run = ProfilingRun(self, text, source, self.profile)
+        else:
+            run = _Run(self, text, source)
         self._last_run = run
         return run
 
@@ -224,9 +239,13 @@ class _Run(ParserBase):
         explicit: list[Any] = []  # action results, which win for OBJECT kind
         cur = pos
         for item, contributing in zip(alternative.items, alternative.contributing):
-            cur, value = self._eval(item, cur, env)
-            if cur == FAIL:
-                return FAIL, None
+            nxt, value = self._eval(item, cur, env)
+            if nxt == FAIL:
+                # The failure value carries the last good position so the
+                # profiling run can estimate wasted characters; callers only
+                # look at the value on success.
+                return FAIL, cur
+            cur = nxt
             if contributing:
                 contributions.append(value)
                 if isinstance(item, Action):

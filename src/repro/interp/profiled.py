@@ -1,0 +1,80 @@
+"""The profiled interpreter run.
+
+:class:`ProfilingRun` subclasses the interpreter's per-parse ``_Run`` and
+overrides exactly the seams where telemetry attaches:
+
+- ``apply`` — per-production invocation counts, success/failure outcomes,
+  and the production stack used to attribute farthest-failure advances;
+- ``_apply_uncached`` — per-alternative coverage (entered/succeeded),
+  backtrack counts, and wasted-character estimates (the characters a failed
+  alternative consumed before being abandoned);
+- ``_expected`` — farthest-failure contribution attribution (charged to the
+  innermost production being evaluated when the frontier advances);
+- the memo table — constructed with a
+  :class:`~repro.profile.collector.MemoEvents` sink, so hit/miss telemetry
+  comes from the table itself (the same wiring both
+  :class:`~repro.runtime.memo.DictMemoTable` and
+  :class:`~repro.runtime.memo.ChunkedMemoTable` expose to any backend).
+
+The uninstrumented ``_Run`` is untouched: an interpreter without a profile
+never loads this module (see ``GrammarInterpreter._run``).
+"""
+
+from __future__ import annotations
+
+from repro.interp.evaluator import FAIL, GrammarInterpreter, _CompiledProduction, _Run
+from repro.profile.collector import MemoEvents, ParseProfile
+from repro.runtime.memo import make_memo_table
+
+
+class ProfilingRun(_Run):
+    """One profiled parse over one input text."""
+
+    def __init__(
+        self, interpreter: GrammarInterpreter, text: str, source: str, profile: ParseProfile
+    ):
+        super().__init__(interpreter, text, source)
+        self._profile = profile
+        self._stack: list[str] = []
+        if self._memo is not None:
+            names = list(interpreter._productions)
+            self._memo = make_memo_table(
+                names, chunked=interpreter.chunked, events=MemoEvents(profile, names)
+            )
+
+    def apply(self, name: str, pos: int):
+        profile = self._profile
+        profile.invoke(name)
+        self._stack.append(name)
+        try:
+            result = super().apply(name, pos)
+        finally:
+            self._stack.pop()
+        if result[0] == FAIL:
+            profile.failure(name)
+        else:
+            profile.success(name)
+        return result
+
+    def _apply_uncached(self, prod: _CompiledProduction, pos: int):
+        profile = self._profile
+        name = prod.name
+        for index, alternative in enumerate(prod.alternatives):
+            profile.alt_enter(name, index)
+            result = self._match_alternative(prod, alternative, pos)
+            if result[0] != FAIL:
+                profile.alt_success(name, index)
+                return result
+            # On failure the value slot carries the last good position
+            # (see _Run._match_alternative) — the wasted-character estimate.
+            consumed = result[1] - pos if isinstance(result[1], int) else 0
+            profile.alt_fail(name, index, consumed)
+        if not prod.alternatives:
+            # Defer to the base class for its diagnostic.
+            return super()._apply_uncached(prod, pos)
+        return FAIL, None
+
+    def _expected(self, pos: int, what: str) -> None:
+        if pos > self._fail_pos and self._stack:
+            self._profile.record_farthest(self._stack[-1])
+        super()._expected(pos, what)

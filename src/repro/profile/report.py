@@ -1,0 +1,297 @@
+"""Profile reports: frozen snapshots of a collector, rendered or serialized.
+
+A :class:`ProfileReport` is the exchange format of the profiling subsystem:
+``repro-prof`` prints it as a hotspot table, ``--json`` emits it as a
+dictionary, and the coverage tests assert on it.  Reports round-trip
+through JSON losslessly (``to_json`` / ``from_json`` are inverses; the
+tests check equality), so profiles can be archived as CI artifacts and
+compared across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.profile.collector import ParseProfile
+
+#: Bump when the report's JSON layout changes.
+REPORT_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ProductionProfile:
+    """Telemetry totals for one production."""
+
+    name: str
+    invocations: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    successes: int = 0
+    failures: int = 0
+    backtracks: int = 0
+    wasted_chars: int = 0
+    farthest: int = 0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        looked_up = self.memo_hits + self.memo_misses
+        return self.memo_hits / looked_up if looked_up else 0.0
+
+
+@dataclass(frozen=True)
+class AlternativeCoverage:
+    """Coverage counts for one alternative of one production."""
+
+    production: str
+    index: int
+    label: str | None = None
+    entered: int = 0
+    succeeded: int = 0
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """One backend's telemetry over one corpus."""
+
+    grammar: str
+    backend: str
+    parses: int = 0
+    chars: int = 0
+    rejected: int = 0
+    productions: tuple[ProductionProfile, ...] = ()
+    coverage: tuple[AlternativeCoverage, ...] = ()
+    warnings: tuple[str, ...] = field(default=())
+
+    # -- derived totals --------------------------------------------------------
+
+    @property
+    def invocations(self) -> int:
+        return sum(p.invocations for p in self.productions)
+
+    @property
+    def memo_hits(self) -> int:
+        return sum(p.memo_hits for p in self.productions)
+
+    @property
+    def memo_misses(self) -> int:
+        return sum(p.memo_misses for p in self.productions)
+
+    @property
+    def memo_hit_rate(self) -> float:
+        looked_up = self.memo_hits + self.memo_misses
+        return self.memo_hits / looked_up if looked_up else 0.0
+
+    @property
+    def backtracks(self) -> int:
+        return sum(p.backtracks for p in self.productions)
+
+    @property
+    def wasted_chars(self) -> int:
+        return sum(p.wasted_chars for p in self.productions)
+
+    def hotspots(self, top: int = 20) -> list[ProductionProfile]:
+        """Productions ranked by invocation count."""
+        ranked = sorted(self.productions, key=lambda p: (-p.invocations, p.name))
+        return ranked[:top]
+
+    def coverage_ratio(self, *, succeeded: bool = True) -> float:
+        if not self.coverage:
+            return 1.0
+        covered = sum(
+            1 for alt in self.coverage
+            if (alt.succeeded if succeeded else alt.entered) > 0
+        )
+        return covered / len(self.coverage)
+
+    def uncovered_alternatives(self, *, succeeded: bool = True) -> list[AlternativeCoverage]:
+        return [
+            alt for alt in self.coverage
+            if (alt.succeeded if succeeded else alt.entered) == 0
+        ]
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "format": REPORT_FORMAT,
+            "grammar": self.grammar,
+            "backend": self.backend,
+            "parses": self.parses,
+            "chars": self.chars,
+            "rejected": self.rejected,
+            "totals": {
+                "invocations": self.invocations,
+                "memo_hits": self.memo_hits,
+                "memo_misses": self.memo_misses,
+                "memo_hit_rate": round(self.memo_hit_rate, 6),
+                "backtracks": self.backtracks,
+                "wasted_chars": self.wasted_chars,
+            },
+            "productions": [
+                {
+                    "name": p.name,
+                    "invocations": p.invocations,
+                    "memo_hits": p.memo_hits,
+                    "memo_misses": p.memo_misses,
+                    "successes": p.successes,
+                    "failures": p.failures,
+                    "backtracks": p.backtracks,
+                    "wasted_chars": p.wasted_chars,
+                    "farthest": p.farthest,
+                }
+                for p in self.productions
+            ],
+            "coverage": {
+                "total": len(self.coverage),
+                "entered": sum(1 for a in self.coverage if a.entered > 0),
+                "succeeded": sum(1 for a in self.coverage if a.succeeded > 0),
+                "ratio": round(self.coverage_ratio(), 6),
+                "uncovered": [
+                    {"production": a.production, "index": a.index, "label": a.label}
+                    for a in self.uncovered_alternatives()
+                ],
+                "alternatives": [
+                    {
+                        "production": a.production,
+                        "index": a.index,
+                        "label": a.label,
+                        "entered": a.entered,
+                        "succeeded": a.succeeded,
+                    }
+                    for a in self.coverage
+                ],
+            },
+            "warnings": list(self.warnings),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ProfileReport":
+        return cls(
+            grammar=data["grammar"],
+            backend=data["backend"],
+            parses=data.get("parses", 0),
+            chars=data.get("chars", 0),
+            rejected=data.get("rejected", 0),
+            productions=tuple(
+                ProductionProfile(
+                    name=p["name"],
+                    invocations=p.get("invocations", 0),
+                    memo_hits=p.get("memo_hits", 0),
+                    memo_misses=p.get("memo_misses", 0),
+                    successes=p.get("successes", 0),
+                    failures=p.get("failures", 0),
+                    backtracks=p.get("backtracks", 0),
+                    wasted_chars=p.get("wasted_chars", 0),
+                    farthest=p.get("farthest", 0),
+                )
+                for p in data.get("productions", ())
+            ),
+            coverage=tuple(
+                AlternativeCoverage(
+                    production=a["production"],
+                    index=a["index"],
+                    label=a.get("label"),
+                    entered=a.get("entered", 0),
+                    succeeded=a.get("succeeded", 0),
+                )
+                for a in data.get("coverage", {}).get("alternatives", ())
+            ),
+            warnings=tuple(data.get("warnings", ())),
+        )
+
+
+def build_report(
+    profile: ParseProfile,
+    grammar: str = "<grammar>",
+    backend: str = "?",
+    warnings: tuple[str, ...] = (),
+) -> ProfileReport:
+    """Snapshot a collector into a frozen, serializable report."""
+    productions = tuple(
+        ProductionProfile(
+            name=name,
+            invocations=profile.invocations.get(name, 0),
+            memo_hits=profile.memo_hits.get(name, 0),
+            memo_misses=profile.memo_misses.get(name, 0),
+            successes=profile.successes.get(name, 0),
+            failures=profile.failures.get(name, 0),
+            backtracks=profile.backtracks.get(name, 0),
+            wasted_chars=profile.wasted_chars.get(name, 0),
+            farthest=profile.farthest.get(name, 0),
+        )
+        for name in profile.production_names()
+    )
+    matrix = profile.coverage
+    coverage = tuple(
+        AlternativeCoverage(
+            production=key[0],
+            index=key[1],
+            label=matrix.label(key),
+            entered=matrix.entered.get(key, 0),
+            succeeded=matrix.succeeded.get(key, 0),
+        )
+        for key in matrix.keys()
+    )
+    return ProfileReport(
+        grammar=grammar,
+        backend=backend,
+        parses=profile.parses,
+        chars=profile.chars,
+        rejected=profile.rejected,
+        productions=productions,
+        coverage=coverage,
+        warnings=warnings,
+    )
+
+
+def format_report(report: ProfileReport, top: int = 20) -> str:
+    """Human-readable rendering: summary, hotspot table, coverage gaps."""
+    lines = [
+        f"{report.grammar} [{report.backend}]: {report.parses} parses, "
+        f"{report.chars} chars, {report.rejected} rejected",
+        f"  invocations {report.invocations}  memo hit rate "
+        f"{report.memo_hit_rate:.1%} ({report.memo_hits}/{report.memo_hits + report.memo_misses})  "
+        f"backtracks {report.backtracks}  wasted chars {report.wasted_chars}",
+    ]
+    hotspots = report.hotspots(top)
+    if hotspots:
+        rows = [
+            {
+                "production": p.name,
+                "invocations": p.invocations,
+                "memo hits": p.memo_hits,
+                "hit rate": f"{p.memo_hit_rate:.0%}",
+                "backtracks": p.backtracks,
+                "wasted": p.wasted_chars,
+                "farthest": p.farthest,
+            }
+            for p in hotspots
+        ]
+        lines.append("")
+        lines.append(_table(rows, ["production", "invocations", "memo hits",
+                                   "hit rate", "backtracks", "wasted", "farthest"]))
+    if report.coverage:
+        uncovered = report.uncovered_alternatives()
+        lines.append("")
+        lines.append(
+            f"  alternative coverage: {report.coverage_ratio():.1%} "
+            f"({len(report.coverage) - len(uncovered)}/{len(report.coverage)} succeeded)"
+        )
+        for alt in uncovered[:40]:
+            label = f" <{alt.label}>" if alt.label else ""
+            entered = "entered, never succeeded" if alt.entered else "never entered"
+            lines.append(f"    uncovered: {alt.production}/{alt.index + 1}{label} ({entered})")
+        if len(uncovered) > 40:
+            lines.append(f"    ... {len(uncovered) - 40} more")
+    for warning in report.warnings:
+        lines.append(f"  warning: {warning}")
+    return "\n".join(lines)
+
+
+def _table(rows: list[dict], columns: list[str]) -> str:
+    widths = {c: max(len(c), *(len(str(r.get(c, ""))) for r in rows)) for c in columns}
+    out = ["  " + "  ".join(c.ljust(widths[c]) for c in columns)]
+    out.append("  " + "  ".join("-" * widths[c] for c in columns))
+    for row in rows:
+        out.append("  " + "  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(out)

@@ -17,6 +17,14 @@ measured (experiment E3):
 Entries are ``(next_pos, value)`` pairs; failures store ``(-1, None)``.
 Both tables present the same ``get(rule_index, pos)`` / ``put`` interface;
 the production *index* (dense int) is assigned by the caller.
+
+Both tables accept an optional ``events`` sink (``hit(rule, pos, entry)`` /
+``miss(rule, pos)`` / ``store(rule, pos, entry)``, see
+:class:`repro.profile.collector.MemoEvents`) used by the profiling
+subsystem for memo telemetry.  Instrumentation is pay-for-what-you-use:
+with no sink the class-level ``get``/``put`` run unchanged; with a sink,
+instrumented closures are installed as *instance* attributes, shadowing
+the fast methods for that table only.
 """
 
 from __future__ import annotations
@@ -35,9 +43,14 @@ _ABSENT = None  # absent entries are represented by None slots
 class DictMemoTable:
     """Baseline packrat memo table: one dict keyed by (rule_index, pos)."""
 
-    def __init__(self, rule_names: list[str], chunk_size: int = DEFAULT_CHUNK_SIZE):
+    def __init__(
+        self, rule_names: list[str], chunk_size: int = DEFAULT_CHUNK_SIZE, events=None
+    ):
         self._table: dict[tuple[int, int], tuple[int, Any]] = {}
         self.rule_names = list(rule_names)
+        self._size_cache: tuple[int, int] | None = None  # (entry_count, bytes)
+        if events is not None:
+            self._install_events(events)
 
     def get(self, rule: int, pos: int) -> tuple[int, Any] | None:
         return self._table.get((rule, pos))
@@ -45,20 +58,51 @@ class DictMemoTable:
     def put(self, rule: int, pos: int, entry: tuple[int, Any]) -> None:
         self._table[(rule, pos)] = entry
 
+    def _install_events(self, events) -> None:
+        """Shadow ``get``/``put`` with event-reporting closures (instance
+        attributes only; the uninstrumented class methods are untouched)."""
+        table = self._table
+
+        def get(rule: int, pos: int):
+            entry = table.get((rule, pos))
+            if entry is None:
+                events.miss(rule, pos)
+            else:
+                events.hit(rule, pos, entry)
+            return entry
+
+        def put(rule: int, pos: int, entry) -> None:
+            table[(rule, pos)] = entry
+            events.store(rule, pos, entry)
+
+        self.get = get
+        self.put = put
+
     def clear(self) -> None:
         self._table.clear()
+        self._size_cache = None
 
     def reset(self) -> "DictMemoTable":
         """Drop all entries in place, keeping the table object (and the
         dict's allocated capacity) for reuse across parses."""
         self._table.clear()
+        self._size_cache = None
         return self
 
     def entry_count(self) -> int:
         return len(self._table)
 
     def size_bytes(self) -> int:
-        return sizeof_deep(self._table)
+        # Deep-sizing is O(entries); cache keyed on the entry count, which
+        # changes with every store (entries are never overwritten: packrat
+        # memoization stores one result per ⟨rule, pos⟩).
+        cached = self._size_cache
+        count = len(self._table)
+        if cached is not None and cached[0] == count:
+            return cached[1]
+        size = sizeof_deep(self._table)
+        self._size_cache = (count, size)
+        return size
 
 
 class _Column:
@@ -78,13 +122,23 @@ class ChunkedMemoTable:
     memoized at that position.
     """
 
-    def __init__(self, rule_names: list[str], chunk_size: int = DEFAULT_CHUNK_SIZE):
+    def __init__(
+        self, rule_names: list[str], chunk_size: int = DEFAULT_CHUNK_SIZE, events=None
+    ):
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         self.rule_names = list(rule_names)
         self._chunk_size = chunk_size
         self._n_chunks = (len(rule_names) + chunk_size - 1) // chunk_size or 1
         self._columns: dict[int, _Column] = {}
+        # Accounting is incremental (maintained by put/clear/reset), never a
+        # full table scan: entry_count/chunk_count used to walk every column
+        # on every call, which made per-parse measurement quadratic.
+        self._entries = 0
+        self._chunks = 0
+        self._size_cache: tuple[int, int] | None = None  # (entry_count, bytes)
+        if events is not None:
+            self._install_events(events)
 
     def get(self, rule: int, pos: int) -> tuple[int, Any] | None:
         column = self._columns.get(pos)
@@ -103,40 +157,72 @@ class ChunkedMemoTable:
         chunk = column.chunks[index]
         if chunk is None:
             chunk = column.chunks[index] = [_ABSENT] * self._chunk_size
-        chunk[rule % self._chunk_size] = entry
+            self._chunks += 1
+        slot = rule % self._chunk_size
+        if chunk[slot] is None:
+            self._entries += 1
+        chunk[slot] = entry
+
+    def _install_events(self, events) -> None:
+        """Shadow ``get``/``put`` with event-reporting closures (instance
+        attributes only; the uninstrumented class methods are untouched)."""
+        plain_get = ChunkedMemoTable.get
+        plain_put = ChunkedMemoTable.put
+
+        def get(rule: int, pos: int):
+            entry = plain_get(self, rule, pos)
+            if entry is None:
+                events.miss(rule, pos)
+            else:
+                events.hit(rule, pos, entry)
+            return entry
+
+        def put(rule: int, pos: int, entry) -> None:
+            plain_put(self, rule, pos, entry)
+            events.store(rule, pos, entry)
+
+        self.get = get
+        self.put = put
 
     def clear(self) -> None:
         self._columns.clear()
+        self._entries = 0
+        self._chunks = 0
+        self._size_cache = None
 
     def reset(self) -> "ChunkedMemoTable":
         """Drop all columns in place, keeping the table object and its
         chunk geometry for reuse across parses."""
-        self._columns.clear()
+        self.clear()
         return self
 
     def entry_count(self) -> int:
-        count = 0
-        for column in self._columns.values():
-            for chunk in column.chunks:
-                if chunk is not None:
-                    count += sum(1 for slot in chunk if slot is not None)
-        return count
+        return self._entries
 
     def chunk_count(self) -> int:
         """Number of allocated chunk objects (the paper's space metric)."""
-        return sum(
-            sum(1 for chunk in column.chunks if chunk is not None)
-            for column in self._columns.values()
-        )
+        return self._chunks
 
     def column_count(self) -> int:
         return len(self._columns)
 
     def size_bytes(self) -> int:
-        return sizeof_deep(self._columns)
+        # Cached per entry count; every store adds an entry (one result per
+        # ⟨rule, pos⟩), so a changed table always has a changed count.
+        cached = self._size_cache
+        if cached is not None and cached[0] == self._entries:
+            return cached[1]
+        size = sizeof_deep(self._columns)
+        self._size_cache = (self._entries, size)
+        return size
 
 
-def make_memo_table(rule_names: list[str], chunked: bool, chunk_size: int = DEFAULT_CHUNK_SIZE):
+def make_memo_table(
+    rule_names: list[str],
+    chunked: bool,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    events=None,
+):
     """Factory selecting the table organization for a parser run."""
     cls = ChunkedMemoTable if chunked else DictMemoTable
-    return cls(rule_names, chunk_size)
+    return cls(rule_names, chunk_size, events=events)

@@ -1,0 +1,112 @@
+"""Grammar-coverage floors for the in-tree example corpora.
+
+Every grammar that ships an ``examples/<name>/`` corpus must keep
+succeeded-alternative coverage at or above 90%.  The corpora double as
+profiler demo inputs (``repro-prof examples/<name>``), so a regression
+here means the observability docs and smoke targets degrade too.
+
+Alternatives that are *genuinely* unreachable from the base composition
+are listed per grammar in ``ALLOWED_UNCOVERED`` — each entry must name a
+real alternative (the test fails if an allowlisted key disappears from
+the grammar, so stale entries are flagged) and must actually be
+uncovered (so the allowlist cannot mask later coverage wins).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.profile import ParseProfile, profile_corpus
+
+pytestmark = pytest.mark.prof
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+COVERAGE_FLOOR = 0.90
+
+# (production name, zero-based alternative index) -> reason it cannot be
+# reached from the base composition.
+ALLOWED_UNCOVERED: dict[str, dict[tuple[str, int], str]] = {
+    "calc": {},
+    "json": {},
+    "jay": {
+        # jay.Symbols defines COLON for extensions (the SwitchStmt module
+        # consumes it); the base jay.Jay composition never references it.
+        ("COLON", 0): "token reserved for grammar extensions",
+    },
+    "xc": {},
+    "ml": {},
+}
+
+GRAMMARS = sorted(ALLOWED_UNCOVERED)
+
+
+def corpus_texts(name: str) -> list[str]:
+    directory = EXAMPLES / name
+    files = sorted(p for p in directory.iterdir() if p.is_file())
+    assert files, f"no corpus files in {directory}"
+    return [p.read_text() for p in files]
+
+
+@pytest.fixture(scope="module", params=GRAMMARS)
+def corpus_report(request):
+    name = request.param
+    profile = ParseProfile()
+    report = profile_corpus(
+        name,
+        corpus_texts(name),
+        backend="interp",
+        profile=profile,
+        grammar_name=name,
+    )
+    return name, profile, report
+
+
+class TestCorpusCoverage:
+    def test_meets_floor(self, corpus_report):
+        name, profile, report = corpus_report
+        allowed = ALLOWED_UNCOVERED[name]
+        uncovered = set(profile.coverage.uncovered())
+        unexpected = sorted(uncovered - set(allowed))
+        labels = [profile.coverage.describe(key) for key in unexpected]
+        assert not unexpected, (
+            f"{name}: uncovered alternatives not in allowlist: {labels}"
+        )
+        total = profile.coverage.total()
+        covered = total - len(uncovered)
+        assert total > 0
+        assert covered / total >= COVERAGE_FLOOR, (
+            f"{name}: coverage {covered}/{total} below {COVERAGE_FLOOR:.0%}"
+        )
+
+    def test_allowlist_entries_are_real_and_needed(self, corpus_report):
+        name, profile, _ = corpus_report
+        keys = set(profile.coverage.keys())
+        uncovered = set(profile.coverage.uncovered())
+        for key, reason in ALLOWED_UNCOVERED[name].items():
+            assert key in keys, (
+                f"{name}: allowlisted alternative {key} no longer exists "
+                f"({reason})"
+            )
+            assert key in uncovered, (
+                f"{name}: allowlisted alternative {key} is now covered — "
+                f"remove it from ALLOWED_UNCOVERED ({reason})"
+            )
+
+    def test_corpus_mostly_accepted(self, corpus_report):
+        # At most one file per corpus may be intentionally invalid (used
+        # to drive reserved-word reject paths); everything else must parse.
+        name, _, report = corpus_report
+        assert report.parses >= 1
+        assert report.rejected <= 1, (
+            f"{name}: {report.rejected} corpus files rejected"
+        )
+
+
+def test_report_lists_grammar_and_backend():
+    report = profile_corpus("calc", corpus_texts("calc"), grammar_name="calc")
+    assert report.grammar == "calc"
+    assert report.backend == "interp"
+    assert report.coverage_ratio() >= COVERAGE_FLOOR

@@ -119,3 +119,120 @@ class TestChunkedSpecifics:
 def test_factory():
     assert isinstance(make_memo_table(RULES, chunked=True), ChunkedMemoTable)
     assert isinstance(make_memo_table(RULES, chunked=False), DictMemoTable)
+
+
+@pytest.mark.parametrize("table_cls", [DictMemoTable, ChunkedMemoTable])
+class TestSizeAccounting:
+    """entry_count/size_bytes are incremental + cached, never stale."""
+
+    def test_size_bytes_stable_between_mutations(self, table_cls):
+        table = table_cls(RULES)
+        for pos in range(20):
+            table.put(2, pos, (pos + 1, "v"))
+        assert table.size_bytes() == table.size_bytes()
+
+    def test_size_bytes_not_stale_after_reset(self, table_cls):
+        # Regression: the size cache must be invalidated by reset()/clear(),
+        # not keep reporting the pre-reset footprint.
+        table = table_cls(RULES)
+        empty = table.size_bytes()
+        for pos in range(50):
+            table.put(0, pos, (pos + 1, "payload"))
+        full = table.size_bytes()
+        assert full > empty
+        table.reset()
+        assert table.entry_count() == 0
+        assert table.size_bytes() < full
+
+    def test_size_bytes_tracks_refill_after_reset(self, table_cls):
+        table = table_cls(RULES)
+        for pos in range(50):
+            table.put(0, pos, (pos + 1, "payload"))
+        full = table.size_bytes()
+        table.reset()
+        table.put(0, 0, (1, "payload"))
+        assert table.entry_count() == 1
+        assert table.size_bytes() < full
+
+    def test_clear_resets_counts(self, table_cls):
+        table = table_cls(RULES)
+        for rule in range(5):
+            table.put(rule, 3, (4, None))
+        table.clear()
+        assert table.entry_count() == 0
+        table.put(1, 1, (2, None))
+        assert table.entry_count() == 1
+
+
+class TestChunkedIncrementalCounts:
+    def test_counts_match_scan(self):
+        # The incremental _entries/_chunks bookkeeping must agree with what a
+        # full walk of the columns would find.
+        table = ChunkedMemoTable(RULES, chunk_size=4)
+        for rule in (0, 3, 4, 19):
+            for pos in (0, 7, 7, 100):  # includes an overwrite
+                table.put(rule, pos, (pos + 1, None))
+        entries = chunks = 0
+        for column in table._columns.values():
+            for chunk in column.chunks:
+                if chunk is not None:
+                    chunks += 1
+                    entries += sum(1 for slot in chunk if slot is not None)
+        assert table.entry_count() == entries
+        assert table.chunk_count() == chunks
+
+    def test_chunk_count_not_stale_after_reset(self):
+        table = ChunkedMemoTable(RULES, chunk_size=4)
+        table.put(0, 0, (1, None))
+        table.put(9, 0, (1, None))
+        assert table.chunk_count() == 2
+        table.reset()
+        assert table.chunk_count() == 0
+        table.put(0, 0, (1, None))
+        assert table.chunk_count() == 1
+
+
+class RecordingEvents:
+    """Minimal sink capturing the raw event stream."""
+
+    def __init__(self):
+        self.events = []
+
+    def hit(self, rule, pos, entry):
+        self.events.append(("hit", rule, pos))
+
+    def miss(self, rule, pos):
+        self.events.append(("miss", rule, pos))
+
+    def store(self, rule, pos, entry):
+        self.events.append(("store", rule, pos))
+
+
+@pytest.mark.parametrize("chunked", [True, False])
+class TestEventsSink:
+    def test_event_stream(self, chunked):
+        sink = RecordingEvents()
+        table = make_memo_table(RULES, chunked=chunked, events=sink)
+        table.get(3, 7)
+        table.put(3, 7, (8, "v"))
+        table.get(3, 7)
+        assert sink.events == [("miss", 3, 7), ("store", 3, 7), ("hit", 3, 7)]
+
+    def test_instrumented_semantics_unchanged(self, chunked):
+        plain = make_memo_table(RULES, chunked=chunked)
+        wired = make_memo_table(RULES, chunked=chunked, events=RecordingEvents())
+        for table in (plain, wired):
+            table.put(1, 2, (3, "x"))
+            table.put(5, 0, (-1, None))
+        for rule, pos in [(1, 2), (5, 0), (0, 0)]:
+            assert plain.get(rule, pos) == wired.get(rule, pos)
+        assert plain.entry_count() == wired.entry_count()
+
+    def test_no_sink_no_instance_overrides(self, chunked):
+        # Pay-for-what-you-use: without a sink, get/put resolve to the plain
+        # class methods — nothing instrumented sits on the instance.
+        table = make_memo_table(RULES, chunked=chunked)
+        assert "get" not in table.__dict__
+        assert "put" not in table.__dict__
+        wired = make_memo_table(RULES, chunked=chunked, events=RecordingEvents())
+        assert "get" in wired.__dict__ and "put" in wired.__dict__
