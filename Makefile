@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench cache-check check fuzz fuzz-smoke prof-smoke
+.PHONY: test smoke bench cache-check check fuzz fuzz-smoke prof-smoke serve-smoke
 
 # Tier-1 suite (the acceptance gate).
 test:
@@ -34,6 +34,15 @@ fuzz-smoke:
 # corpus-coverage floors); see docs/profiling.md.
 prof-smoke:
 	$(PYTHON) -m pytest -q -m prof
+
+# Parse-service smoke: the serve test subset, then a real NDJSON batch
+# through a 2-worker pool with one injected timeout (the exponential
+# pathological request) and one injected oversized input; asserts the
+# service reports ok/timeout/rejected outcomes and stays healthy.  See
+# docs/serving.md.
+serve-smoke:
+	$(PYTHON) -m pytest -q -m serve
+	$(PYTHON) scripts/serve_smoke.py
 
 # Full seeded differential fuzz: 500 generated + 500 mutated inputs per
 # grammar through every backend, strict about generator health.

@@ -1,0 +1,54 @@
+"""The parse service: many requests, one robust envelope.
+
+Serves two grammars from a small worker pool and walks the outcome
+taxonomy: ``ok`` (with the tree), ``parse_error`` (with offsets — an
+answer, not an exception), ``rejected`` (oversized input, refused before
+queueing), and ``timeout`` (a genuinely pathological parse, killed by the
+watchdog, after which the recycled worker keeps serving).  Ends with the
+service's own telemetry snapshot.
+
+See docs/serving.md, and ``repro-serve`` for the same engine as a CLI.
+"""
+
+from repro.serve import GrammarSpec, ParseService, format_stats
+from repro.workloads import slow_request_input
+
+GRAMMARS = {
+    "calc": "calc.Calculator",
+    # A factory spec: the exponential-backtracking witness grammar with
+    # memoization disabled — a real parse that cannot finish, which is how
+    # the docs (and the test suite) simulate a hung request without sleeps.
+    "slow": GrammarSpec(factory="repro.workloads.pathological:exponential_setup"),
+}
+
+with ParseService(
+    GRAMMARS, workers=1, timeout=0.5, max_input_chars=10_000
+) as service:
+    # The happy path: ordered results, values attached.
+    for result in service.map(["1+2*3", "(4-5)*6"]):
+        print(f"{result.outcome:12} {result.value}")
+
+    # A parse failure is a structured result, not an exception.
+    failed = service.submit("1 + * 2", source="req.calc").result()
+    error = failed.error
+    print(f"{failed.outcome:12} {error.source}:{error.line}:{error.column}: "
+          f"expected {', '.join(error.expected)}")
+
+    # Oversized input never reaches the queue.
+    oversized = service.submit("1+" * 10_000).result()
+    print(f"{oversized.outcome:12} {oversized.detail}")
+
+    # A pathological request blows its budget; the watchdog kills the hung
+    # worker, the request resolves `timeout`, and the slot respawns...
+    hung = service.submit(slow_request_input(), grammar="slow").result()
+    print(f"{hung.outcome:12} {hung.detail}")
+
+    # ...so the very next request is business as usual.
+    after = service.submit("7*(8+9)").result()
+    print(f"{after.outcome:12} {after.value}  (on the recycled worker)")
+
+    stats = service.stats()
+
+print()
+print(format_stats(stats))
+assert stats.recycles >= 1 and not stats.degraded

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Parse-service smoke: an NDJSON batch through a 2-worker pool.
+
+Builds a small batch over the jay/calc grammars with two injected faults —
+one request that must *time out* (the exponential pathological workload)
+and one *oversized* input that must be rejected before queueing — drives it
+through the same wire layer the ``repro-serve`` CLI uses, and asserts the
+robustness envelope held:
+
+- every normal request parsed ``ok`` (after the hung worker was recycled);
+- the pathological request resolved ``timeout``;
+- the oversized request resolved ``rejected``;
+- the service never degraded to in-process fallback.
+
+Run via ``make serve-smoke`` (after the ``serve``-marked pytest subset).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve import ParseService, GrammarSpec, encode_result, format_stats, serve_lines
+from repro.workloads import slow_request_input
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def build_batch() -> list[str]:
+    # negative_keywords.jay is intentionally invalid (it exercises the
+    # reserved-word reject path in the profiler corpus); smoke only the
+    # sources that must parse.
+    jay_sources = [
+        path
+        for path in sorted((REPO / "examples" / "jay").glob("*.jay"))
+        if not path.name.startswith("negative_")
+    ]
+    assert jay_sources, "examples/jay corpus missing"
+    lines = []
+    for index, path in enumerate(jay_sources * 3, 1):
+        lines.append(json.dumps({"id": f"jay-{index}", "file": str(path), "grammar": "jay"}))
+    for index, text in enumerate(["1+2*3", "(4-5)", "6*7+8"], 1):
+        lines.append(json.dumps({"id": f"calc-{index}", "text": text, "grammar": "calc"}))
+    # Injected fault 1: a request whose parse cannot finish -> timeout.
+    lines.append(json.dumps({"id": "hung", "text": slow_request_input(), "grammar": "slow"}))
+    # Injected fault 2: an input over the size limit -> rejected.
+    lines.append(json.dumps({"id": "oversized", "text": "1" * 200_000, "grammar": "calc"}))
+    return lines
+
+
+def main() -> int:
+    began = time.perf_counter()
+    specs = {
+        "jay": GrammarSpec(root="jay.Jay"),
+        "calc": GrammarSpec(root="calc.Calculator"),
+        "slow": GrammarSpec(factory="repro.workloads.pathological:exponential_setup"),
+    }
+    outcomes: dict[str, str] = {}
+    with ParseService(
+        specs, workers=2, timeout=1.5, max_input_chars=100_000, backpressure="block"
+    ) as service:
+        for result in serve_lines(service, build_batch()):
+            outcomes[result.id] = result.outcome
+            print(encode_result(result))
+        stats = service.stats()
+
+    print(file=sys.stderr)
+    print(format_stats(stats), file=sys.stderr)
+
+    problems = []
+    if outcomes.pop("hung") != "timeout":
+        problems.append("injected pathological request did not time out")
+    if outcomes.pop("oversized") != "rejected":
+        problems.append("injected oversized request was not rejected")
+    normal_bad = {rid: out for rid, out in outcomes.items() if out != "ok"}
+    if normal_bad:
+        problems.append(f"normal requests failed: {normal_bad}")
+    if stats.recycles < 1:
+        problems.append("watchdog never recycled the hung worker")
+    if stats.degraded:
+        problems.append("service degraded to in-process fallback")
+    if problems:
+        print("serve-smoke FAILED: " + "; ".join(problems), file=sys.stderr)
+        return 1
+    print(
+        f"serve-smoke ok: {len(outcomes)} parsed, 1 timeout, 1 rejected, "
+        f"{stats.recycles} recycle(s), {time.perf_counter() - began:.1f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ inputs.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -221,11 +222,20 @@ class ParseSession:
             parser.reset(text, source)
         self.parses += 1
         if profile is None:
-            return parser.parse(self._start)
+            try:
+                return parser.parse(self._start)
+            except Exception:
+                # Failed parses must not park a stale (possibly huge) memo
+                # table on the session between requests: a long-lived session
+                # (e.g. a serve worker) would otherwise hold the whole memo
+                # of the last failure while idle.
+                parser._reset_memo()
+                raise
         try:
             value = parser.parse(self._start)
         except Exception:
             profile.count_parse(text, accepted=False)
+            parser._reset_memo()
             raise
         profile.count_parse(text, accepted=True)
         return value
@@ -246,30 +256,47 @@ class ParseSession:
 # Entries are (Language, fingerprint, module names); a hit is revalidated by
 # re-hashing the participating .mg texts, so editing a grammar file between
 # compile_grammar calls is observed even without the disk cache.
+#
+# All access to the OrderedDict goes through ``_lru_lock``: compile_grammar
+# is called concurrently by the parse-service worker pool and by any
+# multi-threaded embedder, and OrderedDict mutation is not atomic.  The
+# fingerprint I/O in ``_lru_lookup`` happens *outside* the lock so a slow
+# disk never serializes unrelated compiles.
 
 _LRU_MAX = 32
 _language_lru: OrderedDict[tuple, tuple[Language, dict[str, str], tuple[str, ...]]] = OrderedDict()
+_lru_lock = threading.RLock()
+
+if hasattr(os, "register_at_fork"):
+    # A child forked while another thread holds the lock would inherit it
+    # locked forever (the owning thread does not exist in the child); the
+    # serve worker pool forks from threaded parents, so re-arm it.
+    os.register_at_fork(after_in_child=lambda: globals().__setitem__("_lru_lock", threading.RLock()))
 
 
 def clear_language_cache() -> None:
     """Empty the in-process :class:`Language` LRU."""
-    _language_lru.clear()
+    with _lru_lock:
+        _language_lru.clear()
 
 
 def language_cache_info() -> dict[str, int]:
     """Size/capacity of the in-process :class:`Language` LRU."""
-    return {"size": len(_language_lru), "max": _LRU_MAX}
+    with _lru_lock:
+        return {"size": len(_language_lru), "max": _LRU_MAX}
 
 
 def _lru_store(key: tuple, language: Language, fingerprint: dict[str, str], modules: tuple[str, ...]) -> None:
-    _language_lru[key] = (language, fingerprint, modules)
-    _language_lru.move_to_end(key)
-    while len(_language_lru) > _LRU_MAX:
-        _language_lru.popitem(last=False)
+    with _lru_lock:
+        _language_lru[key] = (language, fingerprint, modules)
+        _language_lru.move_to_end(key)
+        while len(_language_lru) > _LRU_MAX:
+            _language_lru.popitem(last=False)
 
 
 def _lru_lookup(key: tuple, loader: ModuleLoader) -> Language | None:
-    entry = _language_lru.get(key)
+    with _lru_lock:
+        entry = _language_lru.get(key)
     if entry is None:
         return None
     language, fingerprint, modules = entry
@@ -278,9 +305,12 @@ def _lru_lookup(key: tuple, loader: ModuleLoader) -> Language | None:
     except CompositionError:
         current = None
     if current != fingerprint:
-        _language_lru.pop(key, None)
+        with _lru_lock:
+            _language_lru.pop(key, None)
         return None
-    _language_lru.move_to_end(key)
+    with _lru_lock:
+        if key in _language_lru:
+            _language_lru.move_to_end(key)
     return language
 
 

@@ -28,6 +28,13 @@ class GrammarSyntaxError(ReproError):
         self.line = line
         self.column = column
 
+    def __reduce__(self):
+        # The default exception reduction replays ``args`` (the formatted
+        # string) into ``__init__``, which would garble the fields; rebuild
+        # from the original constructor arguments so the error survives
+        # pickling (e.g. across parse-service worker processes) unchanged.
+        return (type(self), (self.message, self.source, self.line, self.column))
+
 
 class CompositionError(ReproError):
     """Module composition failed (missing module, bad instantiation,
@@ -68,6 +75,15 @@ class ParseError(ReproError):
         self.column = column
         self.expected = expected
         self.source = source
+
+    def __reduce__(self):
+        # Reconstruct from the constructor arguments rather than the
+        # formatted ``args`` string: parse-service results carry ParseErrors
+        # across process boundaries and must round-trip every field.
+        return (
+            type(self),
+            (self.message, self.offset, self.line, self.column, self.expected, self.source),
+        )
 
     def show(self, text: str, source: str | None = None) -> str:
         """A compiler-style diagnostic with the offending line and a caret.

@@ -5,8 +5,8 @@ Surface grammar (see :mod:`repro.meta.ast` for the semantic description)::
     File         <- ModuleDecl Dependency* (OptionDecl / Definition)* EOF
     ModuleDecl   <- "module" QName Params? ";"
     Params       <- "(" QName ("," QName)* ")"
-    Dependency   <- ("import" / "instantiate" / "modify") QName Args?
-                    ("as" QName)? ";"
+    Dependency   <- "instantiate" QName Args? ("as" QName)? ";"
+                  / ("import" / "modify") QName ";"
     OptionDecl   <- "option" Ident ("," Ident)* ";"
     Definition   <- Production / Addition / Override / Removal
     Production   <- Attr* Kind? Name "=" Choice ";"
@@ -138,20 +138,47 @@ class ModuleParser:
 
         dependencies: list[Dependency] = []
         while self._current.kind == "ident" and self._current.value in ("import", "instantiate", "modify"):
-            dependencies.append(self._dependency())
+            # PEG ordered choice, like the self-hosted reader: these words
+            # are not reserved, so `import = x ;` is a *production* named
+            # "import".  Try the dependency; on failure rewind and let the
+            # definition list have it — keeping the dependency diagnostic
+            # if neither interpretation parses.
+            saved = self._index
+            try:
+                dependencies.append(self._dependency())
+            except GrammarSyntaxError as dependency_error:
+                self._index = saved
+                try:
+                    self._definition()
+                except GrammarSyntaxError:
+                    raise dependency_error from None
+                self._index = saved
+                break
 
         options: set[str] = set()
         productions: list[ProductionDef] = []
         modifications: list[Addition | Override | Removal] = []
         while self._current.kind != "eof":
+            item: ProductionDef | Addition | Override | Removal
             if self._at_word("option"):
-                options |= self._option_decl()
+                saved = self._index
+                try:
+                    options |= self._option_decl()
+                    continue
+                except GrammarSyntaxError as option_error:
+                    # Same backtracking as for dependencies: a production
+                    # may be *named* "option".
+                    self._index = saved
+                    try:
+                        item = self._definition()
+                    except GrammarSyntaxError:
+                        raise option_error from None
             else:
                 item = self._definition()
-                if isinstance(item, ProductionDef):
-                    productions.append(item)
-                else:
-                    modifications.append(item)
+            if isinstance(item, ProductionDef):
+                productions.append(item)
+            else:
+                modifications.append(item)
 
         return ModuleAst(
             name=name,
@@ -186,6 +213,8 @@ class ModuleParser:
         self._eat_punct(";")
         if keyword.value != "instantiate" and arguments:
             raise self._error(f"{keyword.value} does not take arguments", keyword)
+        if keyword.value != "instantiate" and alias is not None:
+            raise self._error(f"{keyword.value} does not take an alias", keyword)
         return Dependency(keyword.value, module, arguments, alias, self._location(keyword))
 
     def _option_decl(self) -> set[str]:

@@ -1,0 +1,72 @@
+"""repro.serve — a concurrent parse service over compiled grammars.
+
+The serving layer the ROADMAP's north star asks for: the compiled-
+:class:`~repro.api.Language` + :class:`~repro.cache.CompilationCache` +
+:meth:`~repro.api.Language.session` machinery, run as a long-lived service
+that executes many parse requests through a pool of warm worker processes
+with the robustness envelope real traffic needs — bounded queues with
+explicit backpressure, per-request wall-clock timeouts enforced by a
+worker-recycling watchdog, input-size limits, bounded retries for
+worker-crash errors, and graceful degradation to an in-process fallback.
+
+.. code-block:: python
+
+    from repro.serve import ParseService
+
+    with ParseService("jay", workers=4, timeout=10.0) as service:
+        for result in service.map(sources):
+            if result.ok:
+                use(result.value)
+            else:
+                log(result.outcome, result.error or result.detail)
+
+Three front doors:
+
+- the programmatic :class:`ParseService` API above;
+- the ``repro-serve`` CLI (NDJSON requests in, NDJSON results out);
+- :func:`repro.serve.wire.serve_lines` for embedding the NDJSON protocol.
+
+See ``docs/serving.md`` for the worker lifecycle, backpressure policies,
+timeout/recycle semantics, and the wire format.
+"""
+
+from repro.serve.messages import (
+    ERROR,
+    OK,
+    OUTCOMES,
+    PARSE_ERROR,
+    REJECTED,
+    TIMEOUT,
+    WORKER_LOST,
+    ParseErrorInfo,
+    ParseRequest,
+    ParseResult,
+)
+from repro.serve.service import ParseService, ServiceFuture
+from repro.serve.spec import GrammarSpec
+from repro.serve.stats import STATS_FORMAT, LatencyStats, ServiceStats, format_stats
+from repro.serve.wire import WIRE_FORMAT, encode_result, parse_request_line, serve_lines
+
+__all__ = [
+    "ParseService",
+    "ServiceFuture",
+    "GrammarSpec",
+    "ParseRequest",
+    "ParseResult",
+    "ParseErrorInfo",
+    "ServiceStats",
+    "LatencyStats",
+    "format_stats",
+    "STATS_FORMAT",
+    "WIRE_FORMAT",
+    "encode_result",
+    "parse_request_line",
+    "serve_lines",
+    "OUTCOMES",
+    "OK",
+    "PARSE_ERROR",
+    "TIMEOUT",
+    "REJECTED",
+    "WORKER_LOST",
+    "ERROR",
+]

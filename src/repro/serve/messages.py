@@ -1,0 +1,156 @@
+"""Request and result types: the service's structured vocabulary.
+
+Every submitted request terminates in exactly one :class:`ParseResult`
+whose ``outcome`` is one of :data:`OUTCOMES` — the service never raises on
+a per-request basis.  Results are picklable (they cross the worker → parent
+pipe) and JSON-able (they exit the ``repro-serve`` CLI as NDJSON lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import ParseError
+
+# -- outcomes -------------------------------------------------------------------
+
+#: Parse succeeded; ``value`` holds the semantic value (AST).
+OK = "ok"
+#: The input was syntactically invalid; ``error`` holds the diagnostic.
+PARSE_ERROR = "parse_error"
+#: The request exceeded its wall-clock budget; the worker was recycled.
+TIMEOUT = "timeout"
+#: The request never ran: oversized input, full queue, unknown grammar,
+#: malformed wire request, or service shutdown.  ``detail`` says which.
+REJECTED = "rejected"
+#: The worker process died while parsing and bounded retries (if any) were
+#: exhausted.
+WORKER_LOST = "worker_lost"
+#: An unexpected internal exception while handling the request (the worker
+#: survives; its session for that grammar is rebuilt).
+ERROR = "error"
+
+OUTCOMES = (OK, PARSE_ERROR, TIMEOUT, REJECTED, WORKER_LOST, ERROR)
+
+
+@dataclass(frozen=True)
+class ParseErrorInfo:
+    """A :class:`~repro.errors.ParseError` flattened for transport."""
+
+    message: str
+    offset: int
+    line: int
+    column: int
+    expected: tuple[str, ...] = ()
+    source: str = "<input>"
+
+    @classmethod
+    def from_error(cls, error: ParseError) -> "ParseErrorInfo":
+        return cls(
+            message=error.message,
+            offset=error.offset,
+            line=error.line,
+            column=error.column,
+            expected=tuple(error.expected),
+            source=error.source,
+        )
+
+    def to_error(self) -> ParseError:
+        return ParseError(
+            self.message,
+            offset=self.offset,
+            line=self.line,
+            column=self.column,
+            expected=self.expected,
+            source=self.source,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "message": self.message,
+            "offset": self.offset,
+            "line": self.line,
+            "column": self.column,
+            "expected": list(self.expected),
+            "source": self.source,
+        }
+
+
+@dataclass(frozen=True)
+class ParseRequest:
+    """One unit of work: parse ``text`` with the grammar named ``grammar``."""
+
+    id: str
+    text: str
+    grammar: str = "default"
+    start: str | None = None
+    source: str = "<request>"
+
+    def to_json(self) -> dict:
+        data = {"id": self.id, "text": self.text, "grammar": self.grammar}
+        if self.start is not None:
+            data["start"] = self.start
+        if self.source != "<request>":
+            data["source"] = self.source
+        return data
+
+
+@dataclass(frozen=True)
+class ParseResult:
+    """The structured fate of one request.
+
+    ``latency_s`` is end-to-end (submit → resolution, including queue wait);
+    ``parse_s`` is the in-worker parse time alone (``None`` when the request
+    never reached a worker).  ``attempts`` counts dispatches, so a crash
+    retried once that then succeeds reports ``attempts=2``.
+    """
+
+    id: str
+    outcome: str
+    grammar: str = "default"
+    value: Any = None
+    error: ParseErrorInfo | None = None
+    detail: str | None = None
+    latency_s: float = 0.0
+    parse_s: float | None = None
+    attempts: int = 0
+    worker: int | None = None
+    fallback: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == OK
+
+    def to_json(self, include_value: bool = False) -> dict:
+        """The NDJSON wire form of this result.
+
+        Semantic values are arbitrary Python objects (generic AST nodes,
+        action results), so by default only ``ok`` is reported; with
+        ``include_value`` the value's canonical ``repr`` rides along.
+        """
+        data: dict[str, Any] = {
+            "id": self.id,
+            "outcome": self.outcome,
+            "grammar": self.grammar,
+            "latency_ms": round(self.latency_s * 1000, 3),
+            "attempts": self.attempts,
+        }
+        if self.parse_s is not None:
+            data["parse_ms"] = round(self.parse_s * 1000, 3)
+        if self.worker is not None:
+            data["worker"] = self.worker
+        if self.fallback:
+            data["fallback"] = True
+        if self.error is not None:
+            data["error"] = self.error.to_json()
+        if self.detail is not None:
+            data["detail"] = self.detail
+        if include_value and self.outcome == OK:
+            data["value"] = repr(self.value)
+        return data
+
+
+def finalize(result: ParseResult, **changes: Any) -> ParseResult:
+    """A copy of ``result`` with parent-side fields filled in."""
+    return replace(result, **changes)

@@ -1,0 +1,114 @@
+"""Worker-process handles: spawn, health, recycle.
+
+A :class:`WorkerHandle` pairs one OS process with the parent end of its
+request pipe.  The service's per-slot handler threads are the only users;
+each handle has at most one request in flight, which keeps pipe traffic
+strictly request/response and makes the watchdog trivial (``poll`` with a
+deadline, then kill).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any
+
+from repro.serve.spec import GrammarSpec
+from repro.serve.worker import MSG_STOP, MSG_WARM, worker_main
+
+
+def default_context() -> multiprocessing.context.BaseContext:
+    """``fork`` when the platform has it (cheap spawns; workers inherit the
+    parent's warm in-process LRU), else the platform default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class WorkerHandle:
+    """One worker process plus the parent end of its pipe."""
+
+    def __init__(self, process, conn, slot: int, incarnation: int):
+        self.process = process
+        self.conn = conn
+        self.slot = slot
+        #: How many processes this slot has gone through (1 = original).
+        self.incarnation = incarnation
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send(self, message: Any) -> None:
+        self.conn.send(message)
+
+    def poll(self, timeout: float | None) -> bool:
+        return self.conn.poll(timeout)
+
+    def recv(self) -> Any:
+        return self.conn.recv()
+
+    def stop(self, grace_s: float = 1.0) -> None:
+        """Ask the worker to exit; escalate to kill if it doesn't."""
+        try:
+            self.conn.send((MSG_STOP,))
+        except (BrokenPipeError, OSError, ValueError):
+            pass
+        self.process.join(grace_s)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            self._close()
+
+    def kill(self) -> None:
+        """Hard-stop the process (watchdog path); always reaps it."""
+        try:
+            self.process.terminate()
+            self.process.join(1.0)
+            if self.process.is_alive():  # pragma: no cover - stubborn child
+                self.process.kill()
+                self.process.join(1.0)
+        finally:
+            self._close()
+
+    def _close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        try:
+            self.process.close()
+        except ValueError:  # still alive; leave it to the OS
+            pass
+
+
+def spawn_worker(
+    ctx: multiprocessing.context.BaseContext,
+    slot: int,
+    incarnation: int,
+    specs: dict[str, GrammarSpec],
+    cache_dir: str | None,
+    warm: tuple[str, ...] = (),
+) -> WorkerHandle:
+    """Start one worker process and (optionally) queue a warm-up message."""
+    parent_conn, child_conn = ctx.Pipe(duplex=True)
+    process = ctx.Process(
+        target=worker_main,
+        args=(child_conn, specs, cache_dir),
+        name=f"repro-serve-{slot}.{incarnation}",
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    handle = WorkerHandle(process, parent_conn, slot, incarnation)
+    if warm:
+        # Queued ahead of the first request; the worker never replies to a
+        # warm message, so this cannot desynchronize the result stream.
+        try:
+            handle.send((MSG_WARM, tuple(warm)))
+        except (BrokenPipeError, OSError):
+            pass
+    return handle

@@ -1,0 +1,514 @@
+"""The :class:`ParseService`: many parse requests, one robust envelope.
+
+Architecture (one box per worker slot)::
+
+    submit()/map()                 handler thread 0 ── pipe ── worker proc 0
+        │   bounded queue          handler thread 1 ── pipe ── worker proc 1
+        └──▶ [■ ■ ■ ■ ░ ░] ──get──▶    …                         …
+             backpressure:         each handler owns one worker, dispatches
+             block or reject       one request at a time, and enforces the
+                                   timeout watchdog on its own pipe
+
+Every request terminates in a structured :class:`ParseResult`; the service
+API itself only raises for *caller* bugs (submitting after shutdown, bad
+configuration).  The robustness envelope:
+
+- **backpressure** — the submission queue is bounded; ``block`` makes
+  ``submit`` wait for space, ``reject`` resolves the request as
+  ``rejected`` immediately;
+- **input-size limits** — oversized inputs are rejected before queueing;
+- **timeouts** — a per-request wall-clock budget enforced by the handler's
+  watchdog; on expiry the hung worker is killed and replaced, and the
+  request resolves as ``timeout``;
+- **bounded retries** — a worker that *dies* mid-request (crash, OOM-kill)
+  is respawned and the request retried up to ``retries`` times before
+  resolving as ``worker_lost`` (parse failures are never retried — they are
+  deterministic);
+- **graceful degradation** — if a worker cannot be (re)spawned the service
+  flips to a synchronous in-process fallback (shared with ``workers=0``
+  mode) instead of failing requests, trading isolation and timeouts for
+  availability.
+
+See ``docs/serving.md`` for the full lifecycle and wire format.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.serve import messages
+from repro.serve.messages import ParseRequest, ParseResult, finalize
+from repro.serve.pool import WorkerHandle, default_context, spawn_worker
+from repro.serve.spec import GrammarSpec, normalize_grammars
+from repro.serve.stats import ServiceStats, StatsRecorder
+from repro.serve.worker import MSG_PARSE, WorkerRuntime
+
+_BACKPRESSURE_POLICIES = ("block", "reject")
+
+
+class ServiceFuture:
+    """The pending result of one submitted request.
+
+    Always resolves to a :class:`ParseResult` — never raises on the
+    request's behalf.  ``result()`` blocks (optionally with a timeout, which
+    raises :class:`TimeoutError` for the *wait*, not the request).
+    """
+
+    __slots__ = ("_event", "_result")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._result: ParseResult | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> ParseResult:
+        if not self._event.wait(timeout):
+            raise TimeoutError("result not ready")
+        return self._result
+
+    def _resolve(self, result: ParseResult) -> None:
+        self._result = result
+        self._event.set()
+
+    @classmethod
+    def resolved(cls, result: ParseResult) -> "ServiceFuture":
+        future = cls()
+        future._resolve(result)
+        return future
+
+
+class _Item:
+    """One queued request plus its bookkeeping."""
+
+    __slots__ = ("request", "future", "submitted_at", "timeout", "attempts")
+
+    def __init__(self, request: ParseRequest, future: ServiceFuture, timeout: float | None):
+        self.request = request
+        self.future = future
+        self.submitted_at = time.perf_counter()
+        self.timeout = timeout
+        self.attempts = 0
+
+
+_STOP = object()
+
+
+class ParseService:
+    """A pool of warm parser workers behind a bounded submission queue.
+
+    .. code-block:: python
+
+        from repro.serve import ParseService
+
+        with ParseService("jay", workers=4, timeout=10.0) as service:
+            results = service.map(sources)          # ordered ParseResults
+            future = service.submit(another_source) # or one at a time
+            print(future.result().outcome, service.stats().throughput_rps)
+
+    ``grammars`` is a spec-ish value (``"jay"``, ``"jay.Jay"``, a
+    :class:`GrammarSpec`) or a ``{key: spec}`` mapping; requests address
+    grammars by key, defaulting to the first.  ``workers=0`` runs every
+    request synchronously in-process (no pool, no timeout envelope) — the
+    same path used for degraded-mode fallback.
+    """
+
+    def __init__(
+        self,
+        grammars: Any,
+        *,
+        workers: int | None = None,
+        queue_size: int | None = None,
+        backpressure: str = "block",
+        timeout: float | None = None,
+        max_input_chars: int | None = None,
+        retries: int = 1,
+        fallback: bool = True,
+        cache_dir: str | Path | None = None,
+        start_method: str | None = None,
+        stats_window: int = 4096,
+    ):
+        if backpressure not in _BACKPRESSURE_POLICIES:
+            raise ValueError(f"backpressure must be one of {_BACKPRESSURE_POLICIES}, got {backpressure!r}")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        self._specs = normalize_grammars(grammars)
+        self._default_key = next(iter(self._specs))
+        if workers is None:
+            workers = max(1, min(4, os.cpu_count() or 1))
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        if queue_size is None:
+            queue_size = max(16, workers * 8)
+        elif queue_size < 0:
+            raise ValueError("queue_size must be >= 0 (0 = unbounded)")
+        self._backpressure = backpressure
+        self._timeout = timeout
+        self._max_input_chars = max_input_chars
+        self._retries = retries
+        self._fallback_enabled = fallback
+        self._cache_dir = str(cache_dir) if cache_dir is not None else None
+
+        # Compile every spec once in the parent: fails fast on bad specs,
+        # warms the in-process LRU (inherited by forked workers) and the
+        # disk cache (used by spawned workers), and provides the languages
+        # the in-process fallback parses with.
+        self._inline = WorkerRuntime(self._specs, self._cache_dir)
+        self._inline_lock = threading.Lock()
+        self._inline.warm(self._specs)
+
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._queue_capacity = queue_size
+        self._stats = StatsRecorder(workers, queue_size, window=stats_window)
+        self._ids = itertools.count(1)
+        self._closed = False
+        # workers=0 is by design, not degradation: healthy stays True.
+        self._degraded = False
+        self._state_lock = threading.Lock()
+        self._inflight = 0
+        self._ctx = (
+            multiprocessing.get_context(start_method)
+            if start_method is not None
+            else default_context()
+        )
+        slots = range(workers) if workers > 0 else range(1)
+        self._handles: dict[int, WorkerHandle | None] = {slot: None for slot in slots}
+        self._handlers: list[threading.Thread] = []
+        for slot in slots:
+            thread = threading.Thread(
+                target=self._run_slot, args=(slot,), name=f"repro-serve-handler-{slot}", daemon=True
+            )
+            self._handlers.append(thread)
+            thread.start()
+
+    # -- public API ------------------------------------------------------------
+
+    def __enter__(self) -> "ParseService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    @property
+    def healthy(self) -> bool:
+        """False once the service has degraded to in-process fallback."""
+        return not self._degraded
+
+    @property
+    def grammar_keys(self) -> tuple[str, ...]:
+        return tuple(self._specs)
+
+    def worker_pids(self) -> list[int | None]:
+        """Live worker PIDs by slot (None for dead/inline slots)."""
+        with self._state_lock:
+            return [
+                handle.pid if handle is not None and handle.alive() else None
+                for handle in self._handles.values()
+            ]
+
+    def submit(
+        self,
+        text: str,
+        *,
+        grammar: str | None = None,
+        start: str | None = None,
+        source: str = "<request>",
+        request_id: str | None = None,
+        timeout: float | None = None,
+    ) -> ServiceFuture:
+        """Queue one parse request; returns a :class:`ServiceFuture`.
+
+        ``timeout`` overrides the service-wide per-request budget.  Requests
+        that cannot be queued resolve immediately as ``rejected`` (they are
+        still counted in the stats); only calling after :meth:`shutdown` is
+        a caller error and raises.
+        """
+        if self._closed:
+            raise RuntimeError("ParseService is shut down")
+        key = grammar if grammar is not None else self._default_key
+        rid = request_id if request_id is not None else f"r{next(self._ids)}"
+        self._stats.record_submitted()
+        if key not in self._specs:
+            return self._instant_reject(rid, key, f"unknown grammar {key!r}")
+        if not isinstance(text, str):
+            return self._instant_reject(rid, key, f"text must be a string, got {type(text).__name__}")
+        if self._max_input_chars is not None and len(text) > self._max_input_chars:
+            return self._instant_reject(
+                rid, key, f"input too large ({len(text)} chars > limit {self._max_input_chars})"
+            )
+        request = ParseRequest(id=rid, text=text, grammar=key, start=start, source=source)
+        item = _Item(request, ServiceFuture(), timeout if timeout is not None else self._timeout)
+        if self._backpressure == "block":
+            self._queue.put(item)
+        else:
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                self._resolve(item, ParseResult(id=rid, outcome=messages.REJECTED, grammar=key,
+                                                detail="queue full"))
+        return item.future
+
+    def map(
+        self,
+        texts: Iterable[str],
+        *,
+        grammar: str | None = None,
+        start: str | None = None,
+        source: str = "<request>",
+    ) -> list[ParseResult]:
+        """Submit every text and gather results in submission order."""
+        futures = [
+            self.submit(text, grammar=grammar, start=start, source=source) for text in texts
+        ]
+        return [future.result() for future in futures]
+
+    def note_rejection(self, result: ParseResult) -> None:
+        """Count an externally produced ``rejected`` result in the stats.
+
+        Used by the NDJSON wire layer for requests so malformed they never
+        reach :meth:`submit` (bad JSON, unreadable file), so the stats
+        snapshot still accounts for every line of a batch.
+        """
+        self._stats.record_submitted()
+        self._stats.record_result(result)
+
+    def stats(self) -> ServiceStats:
+        """A frozen :class:`ServiceStats` snapshot (versioned-JSON-able)."""
+        with self._state_lock:
+            inflight = self._inflight
+        return self._stats.snapshot(
+            queue_depth=self._queue.qsize(), inflight=inflight, degraded=self._degraded
+        )
+
+    def shutdown(self, wait: bool = True, timeout: float | None = 30.0) -> None:
+        """Stop accepting work, drain (or cancel) the queue, stop workers.
+
+        With ``wait=True`` queued requests finish first; with ``wait=False``
+        they resolve as ``rejected`` (detail ``"service shutdown"``).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not wait:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _STOP:
+                    self._resolve(item, ParseResult(
+                        id=item.request.id, outcome=messages.REJECTED,
+                        grammar=item.request.grammar, detail="service shutdown",
+                    ))
+        for _ in self._handlers:
+            self._queue.put(_STOP)
+        for thread in self._handlers:
+            thread.join(timeout)
+        # Handlers stop their own workers on clean exit; reap stragglers.
+        with self._state_lock:
+            leftovers = [h for h in self._handles.values() if h is not None and h.alive()]
+            self._handles = {slot: None for slot in self._handles}
+        for handle in leftovers:
+            handle.kill()
+
+    # -- internals -------------------------------------------------------------
+
+    def _instant_reject(self, rid: str, grammar: str, detail: str) -> ServiceFuture:
+        result = ParseResult(id=rid, outcome=messages.REJECTED, grammar=grammar, detail=detail)
+        self._stats.record_result(result)
+        return ServiceFuture.resolved(result)
+
+    def _resolve(self, item: _Item, result: ParseResult, **extra: Any) -> None:
+        result = finalize(
+            result,
+            latency_s=time.perf_counter() - item.submitted_at,
+            attempts=item.attempts,
+            **extra,
+        )
+        self._stats.record_result(result)
+        item.future._resolve(result)
+
+    def _note_degraded(self) -> None:
+        with self._state_lock:
+            self._degraded = True
+
+    def _spawn(self, slot: int) -> WorkerHandle | None:
+        """(Re)spawn the worker for a slot; None on failure (degrades)."""
+        with self._state_lock:
+            previous = self._handles.get(slot)
+            incarnation = previous.incarnation + 1 if previous is not None else 1
+        try:
+            handle = spawn_worker(
+                self._ctx, slot, incarnation, self._specs, self._cache_dir,
+                warm=tuple(self._specs),
+            )
+        except Exception:
+            self._note_degraded()
+            with self._state_lock:
+                self._handles[slot] = None
+            return None
+        if incarnation > 1:
+            self._stats.record_respawn()
+        with self._state_lock:
+            self._handles[slot] = handle
+        return handle
+
+    def _run_slot(self, slot: int) -> None:
+        """Handler thread: own one worker, process queue items forever."""
+        worker: WorkerHandle | None = None
+        if self.workers > 0:
+            worker = self._spawn(slot)
+        try:
+            while True:
+                item = self._queue.get()
+                if item is _STOP:
+                    break
+                with self._state_lock:
+                    self._inflight += 1
+                try:
+                    worker = self._process(slot, item, worker)
+                finally:
+                    with self._state_lock:
+                        self._inflight -= 1
+        finally:
+            if worker is not None:
+                worker.stop()
+                with self._state_lock:
+                    if self._handles.get(slot) is worker:
+                        self._handles[slot] = None
+
+    #: Watchdog tick: how often the handler re-checks worker liveness while
+    #: waiting for a result.  Results themselves arrive with select()
+    #: latency; only crash/timeout *detection* is quantized to the tick.
+    _WATCHDOG_TICK_S = 0.05
+
+    def _await_result(self, worker: WorkerHandle, timeout: float | None) -> str:
+        """Wait for the worker's reply: ``"ready"``/``"timeout"``/``"crash"``.
+
+        A plain blocking ``poll`` is not enough: with a ``fork`` start
+        method, sibling workers inherit copies of each other's pipe ends, so
+        a dead worker's pipe may never raise EOF.  Liveness is therefore
+        checked explicitly every tick.
+        """
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while True:
+            tick = self._WATCHDOG_TICK_S
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    return "timeout"
+                tick = min(tick, remaining)
+            try:
+                if worker.poll(tick):
+                    return "ready"
+            except (BrokenPipeError, OSError):
+                return "crash"
+            if not worker.alive():
+                # Drain a final reply that raced the exit, if any.
+                try:
+                    if worker.poll(0):
+                        return "ready"
+                except (BrokenPipeError, OSError):
+                    pass
+                return "crash"
+
+    def _process(self, slot: int, item: _Item, worker: WorkerHandle | None) -> WorkerHandle | None:
+        """Run one item to resolution; returns the slot's (possibly new) worker."""
+        if self.workers == 0 or (
+            self._degraded and worker is None and self._fallback_enabled
+        ):
+            self._resolve_inline(item)
+            return worker
+        max_attempts = 1 + self._retries
+        while True:
+            if worker is None or not worker.alive():
+                if worker is not None:
+                    worker.kill()
+                worker = self._spawn(slot)
+                if worker is None:
+                    self._resolve_unhealthy(item)
+                    return None
+            item.attempts += 1
+            try:
+                worker.send((MSG_PARSE, item.request))
+            except (BrokenPipeError, OSError, ValueError):
+                worker = self._recycle(slot, worker)
+                if item.attempts < max_attempts:
+                    self._stats.record_retry()
+                    continue
+                self._resolve(item, ParseResult(
+                    id=item.request.id, outcome=messages.WORKER_LOST,
+                    grammar=item.request.grammar, worker=slot,
+                    detail="worker unreachable",
+                ))
+                return worker
+            verdict = self._await_result(worker, item.timeout)
+            if verdict == "timeout":
+                # Watchdog: the request outlived its budget.  Kill the hung
+                # worker (the only way to interrupt a compute-bound parse)
+                # and give the slot a fresh one.
+                worker = self._recycle(slot, worker)
+                self._resolve(item, ParseResult(
+                    id=item.request.id, outcome=messages.TIMEOUT,
+                    grammar=item.request.grammar, worker=slot,
+                    detail=f"exceeded {item.timeout:.3f}s budget",
+                ))
+                return worker
+            if verdict == "ready":
+                try:
+                    _, result = worker.recv()
+                except (EOFError, OSError):
+                    verdict = "crash"
+            if verdict == "crash":
+                # The worker died mid-request (crash, OOM-kill, SIGKILL):
+                # a worker-crash error, retried within bounds.
+                worker = self._recycle(slot, worker)
+                if item.attempts < max_attempts:
+                    self._stats.record_retry()
+                    continue
+                self._resolve(item, ParseResult(
+                    id=item.request.id, outcome=messages.WORKER_LOST,
+                    grammar=item.request.grammar, worker=slot,
+                    detail="worker died while parsing",
+                ))
+                return worker
+            self._resolve(item, result, worker=slot)
+            return worker
+
+    def _recycle(self, slot: int, worker: WorkerHandle) -> WorkerHandle | None:
+        """Kill a misbehaving worker and spawn its replacement."""
+        self._stats.record_recycle()
+        worker.kill()
+        return self._spawn(slot)
+
+    def _resolve_unhealthy(self, item: _Item) -> None:
+        """No worker available: fall back in-process, or fail the request."""
+        if self._fallback_enabled:
+            self._resolve_inline(item)
+        else:
+            self._resolve(item, ParseResult(
+                id=item.request.id, outcome=messages.WORKER_LOST,
+                grammar=item.request.grammar, detail="worker pool unavailable",
+            ))
+
+    def _resolve_inline(self, item: _Item) -> None:
+        """Synchronous in-process parse (workers=0 mode and degraded mode).
+
+        No timeout envelope here: there is no process to kill, so a
+        pathological input blocks its handler — the price of availability.
+        """
+        item.attempts += 1
+        with self._inline_lock:
+            result = self._inline.execute(item.request)
+        self._resolve(item, result, fallback=True)

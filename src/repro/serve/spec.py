@@ -1,0 +1,140 @@
+"""Grammar specifications: how a service names the languages it serves.
+
+A :class:`GrammarSpec` is a *picklable recipe* for a compiled
+:class:`~repro.api.Language` — not the language itself.  The service ships
+specs to its worker processes, and each process compiles (or, in practice,
+loads from the warm :class:`~repro.cache.CompilationCache` / in-process LRU)
+its own copy.  Two kinds of recipe are supported:
+
+``root``
+    the qualified name of a grammar module to compose with
+    :func:`repro.compile_grammar` — e.g. ``"jay.Jay"`` — optionally with
+    extra search ``paths``, a ``start`` production, and ``options``;
+
+``factory``
+    a dotted reference ``"package.module:callable"`` to a zero-argument
+    callable returning either a :class:`~repro.peg.Grammar` or a
+    ``(grammar, options)`` pair.  This is how programmatically built
+    grammars (which have no stable on-disk identity to fingerprint) enter a
+    service — e.g. the canonical slow-request workload
+    ``"repro.workloads.pathological:exponential_setup"``.
+
+Short keys from :data:`repro.grammars.ROOTS` (``"jay"``, ``"calc"``, …)
+coerce to their root modules, so ``ParseService("jay")`` just works.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.api import Language, compile_grammar
+from repro.grammars import ROOTS
+from repro.optim import Options
+from repro.peg.grammar import Grammar
+
+
+def resolve_factory(dotted: str) -> Callable[[], Any]:
+    """Import ``"package.module:callable"`` and return the callable."""
+    module_name, sep, attr = dotted.partition(":")
+    if not sep or not module_name or not attr:
+        raise ValueError(f"factory must look like 'package.module:callable', got {dotted!r}")
+    module = importlib.import_module(module_name)
+    factory = getattr(module, attr, None)
+    if not callable(factory):
+        raise ValueError(f"{dotted!r} does not name a callable")
+    return factory
+
+
+@dataclass(frozen=True)
+class GrammarSpec:
+    """A picklable recipe for compiling one served language."""
+
+    root: str | None = None
+    factory: str | None = None
+    paths: tuple[str, ...] = ()
+    start: str | None = None
+    options: Options | None = None
+    parser_name: str = "Parser"
+
+    def __post_init__(self):
+        if (self.root is None) == (self.factory is None):
+            raise ValueError("GrammarSpec needs exactly one of 'root' or 'factory'")
+        if self.factory is not None and ":" not in self.factory:
+            raise ValueError(f"factory must look like 'package.module:callable', got {self.factory!r}")
+
+    @classmethod
+    def coerce(cls, value: "GrammarSpec | str") -> "GrammarSpec":
+        """Accept a spec, a short grammar key, a qualified root, or a
+        ``"factory:module:callable"`` string."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Grammar):
+            raise TypeError(
+                "a Grammar object cannot be shipped to worker processes; "
+                "wrap it in a zero-argument callable and use "
+                "GrammarSpec(factory='package.module:callable')"
+            )
+        if not isinstance(value, str):
+            raise TypeError(f"cannot make a GrammarSpec from {value!r}")
+        if value.startswith("factory:"):
+            return cls(factory=value[len("factory:"):])
+        return cls(root=ROOTS.get(value, value))
+
+    def describe(self) -> str:
+        target = self.root if self.root is not None else f"factory:{self.factory}"
+        extras = []
+        if self.start:
+            extras.append(f"start={self.start}")
+        if self.paths:
+            extras.append(f"paths={list(self.paths)}")
+        return target + (f" ({', '.join(extras)})" if extras else "")
+
+    def compile(self, cache: Any = None, cache_dir: str | Path | None = None) -> Language:
+        """Compile this spec into a :class:`Language`.
+
+        Named roots go through both compilation-cache levels (warm workers
+        pay a disk/LRU hit, not a full compile); factory grammars are
+        programmatic and always compile, so keep them small.
+        """
+        if self.factory is not None:
+            produced = resolve_factory(self.factory)()
+            options = self.options
+            if isinstance(produced, tuple):
+                grammar, factory_options = produced
+                options = options if options is not None else factory_options
+            else:
+                grammar = produced
+            if not isinstance(grammar, Grammar):
+                raise TypeError(f"factory {self.factory!r} returned {type(grammar).__name__}, not a Grammar")
+            return compile_grammar(
+                grammar, options=options, start=self.start, parser_name=self.parser_name
+            )
+        return compile_grammar(
+            self.root,
+            options=self.options,
+            paths=list(self.paths) or None,
+            start=self.start,
+            parser_name=self.parser_name,
+            cache=cache,
+            cache_dir=cache_dir,
+        )
+
+
+def normalize_grammars(grammars: Any) -> dict[str, GrammarSpec]:
+    """Normalize the ``ParseService(grammars=...)`` argument.
+
+    Accepts a single spec-ish value (served under the key ``"default"``) or
+    a mapping of key → spec-ish.  Returns an ordered ``{key: GrammarSpec}``;
+    the first key is the service's default grammar.
+    """
+    if isinstance(grammars, dict):
+        if not grammars:
+            raise ValueError("a ParseService needs at least one grammar")
+        return {str(key): GrammarSpec.coerce(value) for key, value in grammars.items()}
+    spec = GrammarSpec.coerce(grammars)
+    if isinstance(grammars, str) and grammars in ROOTS:
+        return {grammars: spec}
+    return {"default": spec}

@@ -1,0 +1,231 @@
+"""Aggregate service telemetry: counters, latency percentiles, throughput.
+
+Follows the versioned-JSON conventions of :mod:`repro.profile.report`: a
+frozen snapshot dataclass (:class:`ServiceStats`) whose ``to_json`` /
+``from_json`` are inverses, stamped with :data:`STATS_FORMAT` so archived
+snapshots can be compared across runs.  The mutable, thread-safe side is
+:class:`StatsRecorder`, which the service updates on every lifecycle event
+and freezes on demand with :meth:`StatsRecorder.snapshot`.
+
+Latency percentiles are computed over a bounded sliding window (the last
+``window`` resolved requests) so a long-running service's snapshot cost
+stays O(window), not O(lifetime).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.serve.messages import OUTCOMES, ParseResult
+
+#: Bump when the snapshot's JSON layout changes.
+STATS_FORMAT = 1
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, round(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """End-to-end latency summary over the recorder's window (seconds)."""
+
+    count: int = 0
+    mean: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    max: float = 0.0
+
+    @classmethod
+    def over(cls, latencies: list[float]) -> "LatencyStats":
+        if not latencies:
+            return cls()
+        ordered = sorted(latencies)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(ordered, 0.50),
+            p95=percentile(ordered, 0.95),
+            p99=percentile(ordered, 0.99),
+            max=ordered[-1],
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean * 1000, 3),
+            "p50_ms": round(self.p50 * 1000, 3),
+            "p95_ms": round(self.p95 * 1000, 3),
+            "p99_ms": round(self.p99 * 1000, 3),
+            "max_ms": round(self.max * 1000, 3),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "LatencyStats":
+        return cls(
+            count=data.get("count", 0),
+            mean=data.get("mean_ms", 0.0) / 1000,
+            p50=data.get("p50_ms", 0.0) / 1000,
+            p95=data.get("p95_ms", 0.0) / 1000,
+            p99=data.get("p99_ms", 0.0) / 1000,
+            max=data.get("max_ms", 0.0) / 1000,
+        )
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """One frozen snapshot of a service's aggregate behavior."""
+
+    workers: int = 0
+    queue_capacity: int = 0
+    queue_depth: int = 0
+    inflight: int = 0
+    submitted: int = 0
+    completed: int = 0
+    outcomes: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    recycles: int = 0
+    respawns: int = 0
+    fallback_parses: int = 0
+    degraded: bool = False
+    elapsed_s: float = 0.0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def outcome(self, name: str) -> int:
+        return self.outcomes.get(name, 0)
+
+    # -- serialization (repro.profile conventions) -----------------------------
+
+    def to_json(self) -> dict:
+        # Derive throughput from the *rounded* elapsed value so that
+        # from_json(to_json(s)).to_json() == to_json(s) exactly.
+        elapsed = round(self.elapsed_s, 6)
+        throughput = self.completed / elapsed if elapsed > 0 else 0.0
+        return {
+            "format": STATS_FORMAT,
+            "kind": "repro.serve.stats",
+            "workers": self.workers,
+            "queue": {"capacity": self.queue_capacity, "depth": self.queue_depth},
+            "inflight": self.inflight,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "outcomes": {name: self.outcomes.get(name, 0) for name in OUTCOMES},
+            "retries": self.retries,
+            "recycles": self.recycles,
+            "respawns": self.respawns,
+            "fallback_parses": self.fallback_parses,
+            "degraded": self.degraded,
+            "elapsed_s": elapsed,
+            "throughput_rps": round(throughput, 3),
+            "latency": self.latency.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ServiceStats":
+        queue = data.get("queue", {})
+        return cls(
+            workers=data.get("workers", 0),
+            queue_capacity=queue.get("capacity", 0),
+            queue_depth=queue.get("depth", 0),
+            inflight=data.get("inflight", 0),
+            submitted=data.get("submitted", 0),
+            completed=data.get("completed", 0),
+            outcomes={k: v for k, v in data.get("outcomes", {}).items() if v},
+            retries=data.get("retries", 0),
+            recycles=data.get("recycles", 0),
+            respawns=data.get("respawns", 0),
+            fallback_parses=data.get("fallback_parses", 0),
+            degraded=data.get("degraded", False),
+            elapsed_s=data.get("elapsed_s", 0.0),
+            latency=LatencyStats.from_json(data.get("latency", {})),
+        )
+
+
+def format_stats(stats: ServiceStats) -> str:
+    """A compact human rendering (used by ``repro-serve --stats``)."""
+    lat = stats.latency
+    lines = [
+        f"workers {stats.workers}  queue {stats.queue_depth}/{stats.queue_capacity}"
+        f"  inflight {stats.inflight}" + ("  DEGRADED" if stats.degraded else ""),
+        f"submitted {stats.submitted}  completed {stats.completed}"
+        f"  throughput {stats.throughput_rps:.1f} req/s over {stats.elapsed_s:.2f}s",
+        "outcomes  " + "  ".join(f"{name}={stats.outcomes.get(name, 0)}" for name in OUTCOMES),
+        f"latency   p50 {lat.p50 * 1000:.1f}ms  p95 {lat.p95 * 1000:.1f}ms"
+        f"  p99 {lat.p99 * 1000:.1f}ms  max {lat.max * 1000:.1f}ms  (n={lat.count})",
+        f"retries {stats.retries}  recycles {stats.recycles}  respawns {stats.respawns}"
+        f"  fallback {stats.fallback_parses}",
+    ]
+    return "\n".join(lines)
+
+
+class StatsRecorder:
+    """Thread-safe accumulator behind :meth:`ParseService.stats`."""
+
+    def __init__(self, workers: int, queue_capacity: int, window: int = 4096):
+        self._lock = threading.Lock()
+        self._workers = workers
+        self._queue_capacity = queue_capacity
+        self._submitted = 0
+        self._completed = 0
+        self._outcomes: dict[str, int] = {}
+        self._retries = 0
+        self._recycles = 0
+        self._respawns = 0
+        self._fallback_parses = 0
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._started = time.perf_counter()
+
+    def record_submitted(self) -> None:
+        with self._lock:
+            self._submitted += 1
+
+    def record_result(self, result: ParseResult) -> None:
+        with self._lock:
+            self._completed += 1
+            self._outcomes[result.outcome] = self._outcomes.get(result.outcome, 0) + 1
+            if result.fallback:
+                self._fallback_parses += 1
+            self._latencies.append(result.latency_s)
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self._retries += 1
+
+    def record_recycle(self) -> None:
+        with self._lock:
+            self._recycles += 1
+
+    def record_respawn(self) -> None:
+        with self._lock:
+            self._respawns += 1
+
+    def snapshot(self, queue_depth: int = 0, inflight: int = 0, degraded: bool = False) -> ServiceStats:
+        with self._lock:
+            return ServiceStats(
+                workers=self._workers,
+                queue_capacity=self._queue_capacity,
+                queue_depth=queue_depth,
+                inflight=inflight,
+                submitted=self._submitted,
+                completed=self._completed,
+                outcomes=dict(self._outcomes),
+                retries=self._retries,
+                recycles=self._recycles,
+                respawns=self._respawns,
+                fallback_parses=self._fallback_parses,
+                degraded=degraded,
+                elapsed_s=time.perf_counter() - self._started,
+                latency=LatencyStats.over(list(self._latencies)),
+            )

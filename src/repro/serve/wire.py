@@ -1,0 +1,121 @@
+"""NDJSON wire format: how ``repro-serve`` talks to the outside world.
+
+One JSON object per line, in and out.  Requests::
+
+    {"id": "a", "text": "class C {}"}
+    {"id": "b", "file": "examples/jay/Showcase.jay", "grammar": "jay"}
+    {"text": "1+2", "grammar": "calc", "start": "Expr"}
+
+``text`` is the input to parse (``file`` reads it from disk and uses the
+path as the source name); ``grammar`` picks a served grammar key (default:
+the service's first); ``id`` is echoed back (default: ``line-N``).
+
+Results mirror :meth:`repro.serve.messages.ParseResult.to_json`::
+
+    {"id": "a", "outcome": "ok", "grammar": "jay", "latency_ms": 4.1, ...}
+    {"id": "b", "outcome": "parse_error", "error": {"message": ..., "offset": ...}}
+
+Malformed lines never abort a batch: they yield ``rejected`` results with a
+``detail`` explaining what was wrong — the same request-level robustness
+the service applies everywhere else.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.serve import messages
+from repro.serve.messages import ParseRequest, ParseResult
+
+#: Bump when the request/result line layout changes.
+WIRE_FORMAT = 1
+
+
+def parse_request_line(
+    line: str, seq: int, default_grammar: str
+) -> ParseRequest | ParseResult | None:
+    """Decode one NDJSON line into a request, or a ``rejected`` result.
+
+    Returns ``None`` for blank lines.  Never raises on input content.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    rid = f"line-{seq}"
+
+    def reject(detail: str) -> ParseResult:
+        return ParseResult(
+            id=rid, outcome=messages.REJECTED, grammar=default_grammar, detail=detail
+        )
+
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as error:
+        return reject(f"invalid JSON: {error.msg} (pos {error.pos})")
+    if not isinstance(obj, dict):
+        return reject(f"request must be a JSON object, got {type(obj).__name__}")
+    rid = str(obj.get("id", rid))
+    grammar = obj.get("grammar", default_grammar)
+    if not isinstance(grammar, str):
+        return reject("'grammar' must be a string")
+    start = obj.get("start")
+    if start is not None and not isinstance(start, str):
+        return reject("'start' must be a string")
+    text = obj.get("text")
+    source = obj.get("source", "<request>")
+    if text is None and "file" in obj:
+        path = Path(str(obj["file"]))
+        try:
+            text = path.read_text()
+        except OSError as error:
+            return ParseResult(
+                id=rid, outcome=messages.REJECTED, grammar=grammar,
+                detail=f"cannot read {path}: {error.strerror or error}",
+            )
+        source = str(path)
+    if not isinstance(text, str):
+        return ParseResult(
+            id=rid, outcome=messages.REJECTED, grammar=grammar,
+            detail="request needs a 'text' string or a readable 'file'",
+        )
+    return ParseRequest(id=rid, text=text, grammar=grammar, start=start, source=str(source))
+
+
+def serve_lines(
+    service, lines: Iterable[str], *, default_grammar: str | None = None
+) -> Iterator[ParseResult]:
+    """Drive NDJSON request lines through a service, in order.
+
+    Submits every line (malformed ones resolve instantly as ``rejected``)
+    and yields one :class:`ParseResult` per non-blank line, preserving input
+    order.  Submission applies the service's backpressure policy, so a
+    ``block`` service reading from a fast producer self-limits.
+    """
+    default_key = default_grammar or service.grammar_keys[0]
+    pending = []
+    for seq, line in enumerate(lines, 1):
+        decoded = parse_request_line(line, seq, default_key)
+        if decoded is None:
+            continue
+        if isinstance(decoded, ParseResult):
+            note = getattr(service, "note_rejection", None)
+            if note is not None:
+                note(decoded)
+            pending.append(decoded)
+            continue
+        pending.append(service.submit(
+            decoded.text,
+            grammar=decoded.grammar,
+            start=decoded.start,
+            source=decoded.source,
+            request_id=decoded.id,
+        ))
+    for entry in pending:
+        yield entry if isinstance(entry, ParseResult) else entry.result()
+
+
+def encode_result(result: ParseResult, include_value: bool = False) -> str:
+    """One NDJSON output line (no trailing newline)."""
+    return json.dumps(result.to_json(include_value=include_value), sort_keys=True)

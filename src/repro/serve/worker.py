@@ -1,0 +1,152 @@
+"""Worker-process side of the parse service.
+
+Each worker owns one pipe endpoint and loops: receive a request, parse it
+with a warm per-grammar :class:`~repro.api.ParseSession` (memo ``reset()``
+between requests, never reallocation), send back a structured
+:class:`~repro.serve.messages.ParseResult`.  Languages are compiled lazily
+per grammar key on first use; with a ``fork`` start method the parent's
+in-process LRU is inherited so this is a dictionary hit, and with ``spawn``
+the on-disk :class:`~repro.cache.CompilationCache` (``cache_dir``) makes it
+a deserialization, not a compile.
+
+Failure philosophy — *the request fails, the worker survives*:
+
+- a :class:`~repro.errors.ParseError` becomes a ``parse_error`` result with
+  full source offsets;
+- any other exception becomes an ``error`` result and the grammar's session
+  is dropped (rebuilt on next use) in case it was left inconsistent;
+- a semantic value the pipe cannot pickle degrades to an ``ok`` result
+  without the value (plus a ``detail`` saying so) rather than killing the
+  connection.
+
+What a worker cannot survive — being killed by the parent's watchdog, the
+OS, or a hard crash — surfaces parent-side as ``timeout``/``worker_lost``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any
+
+from repro.errors import ParseError, ReproError
+from repro.serve import messages
+from repro.serve.messages import ParseErrorInfo, ParseRequest, ParseResult
+from repro.serve.spec import GrammarSpec
+
+#: Parent → worker message kinds.
+MSG_PARSE = "parse"
+MSG_WARM = "warm"
+MSG_STOP = "stop"
+
+#: Recursion head room for deeply nested inputs (matches the benchmarks).
+WORKER_RECURSION_LIMIT = 100_000
+
+
+class WorkerRuntime:
+    """Per-process state: compiled languages and warm sessions."""
+
+    def __init__(self, specs: dict[str, GrammarSpec], cache_dir: str | None):
+        self._specs = specs
+        self._cache_dir = cache_dir
+        self._languages: dict[str, Any] = {}
+        self._sessions: dict[tuple[str, str | None], Any] = {}
+
+    def language(self, key: str):
+        language = self._languages.get(key)
+        if language is None:
+            spec = self._specs[key]
+            language = spec.compile(cache_dir=self._cache_dir)
+            self._languages[key] = language
+        return language
+
+    def session(self, key: str, start: str | None):
+        session = self._sessions.get((key, start))
+        if session is None:
+            session = self.language(key).session(start=start)
+            self._sessions[(key, start)] = session
+        return session
+
+    def drop_session(self, key: str, start: str | None) -> None:
+        self._sessions.pop((key, start), None)
+
+    def warm(self, keys) -> None:
+        for key in keys:
+            self.language(key)
+
+    def execute(self, request: ParseRequest) -> ParseResult:
+        began = time.perf_counter()
+        try:
+            session = self.session(request.grammar, request.start)
+            value = session.parse(request.text, source=request.source)
+            return ParseResult(
+                id=request.id,
+                outcome=messages.OK,
+                grammar=request.grammar,
+                value=value,
+                parse_s=time.perf_counter() - began,
+            )
+        except ParseError as error:
+            return ParseResult(
+                id=request.id,
+                outcome=messages.PARSE_ERROR,
+                grammar=request.grammar,
+                error=ParseErrorInfo.from_error(error),
+                parse_s=time.perf_counter() - began,
+            )
+        except Exception as error:  # request-level robustness: never die here
+            self.drop_session(request.grammar, request.start)
+            kind = "grammar error" if isinstance(error, ReproError) else "internal error"
+            return ParseResult(
+                id=request.id,
+                outcome=messages.ERROR,
+                grammar=request.grammar,
+                detail=f"{kind}: {type(error).__name__}: {error}",
+                parse_s=time.perf_counter() - began,
+            )
+
+
+def worker_main(conn, specs: dict[str, GrammarSpec], cache_dir: str | None) -> None:
+    """Entry point of each worker process."""
+    sys.setrecursionlimit(WORKER_RECURSION_LIMIT)
+    runtime = WorkerRuntime(specs, cache_dir)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        kind = message[0]
+        if kind == MSG_STOP:
+            break
+        if kind == MSG_WARM:
+            # Fire-and-forget: no reply, so the pipe never holds anything a
+            # result read could mistake for a result.
+            try:
+                runtime.warm(message[1])
+            except Exception:
+                # A bad spec fails loudly on the first request instead.
+                pass
+            continue
+        request: ParseRequest = message[1]
+        result = runtime.execute(request)
+        try:
+            conn.send(("result", result))
+        except (TypeError, ValueError, AttributeError) as error:
+            # The semantic value would not pickle; degrade to a value-less
+            # result rather than desynchronizing the pipe.
+            import dataclasses
+
+            conn.send((
+                "result",
+                dataclasses.replace(
+                    result,
+                    value=None,
+                    detail=f"value not picklable: {type(error).__name__}: {error}",
+                ),
+            ))
+        except (BrokenPipeError, OSError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass

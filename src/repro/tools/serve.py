@@ -1,0 +1,193 @@
+"""``repro-serve`` — drive NDJSON parse requests through a worker pool.
+
+Usage::
+
+    repro-serve jay --requests batch.ndjson            # NDJSON file in, NDJSON out
+    cat batch.ndjson | repro-serve jay                 # stdin works too
+    repro-serve jay batch1.ndjson batch2.ndjson        # several request files
+    repro-serve jay --file examples/jay/Showcase.jay   # one request per source file
+    repro-serve jay --text 'class C {}' --include-ast  # inline one-liners
+    repro-serve --grammar jay=jay.Jay --grammar calc=calc.Calculator \
+        --workers 4 --timeout 5 --stats -r batch.ndjson
+
+The positional grammar is a short key (``jay``, ``calc``, …) or a qualified
+root module (``jay.Jay``); ``--grammar KEY=SPEC`` serves several grammars at
+once, where SPEC is a root module or ``factory:package.module:callable``
+for programmatically built grammars.  Requests select a grammar with their
+``"grammar"`` key; see ``docs/serving.md`` for the wire format.
+
+Results are NDJSON on stdout (or ``--output``), one line per request, in
+request order.  ``--stats`` prints a human summary to stderr and
+``--stats-json`` writes the versioned :class:`~repro.serve.ServiceStats`
+snapshot for archiving.
+
+Exit status: 0 when every request parsed OK; 2 when any request resolved
+``parse_error``/``timeout``/``rejected``/``worker_lost``/``error``;
+1 for configuration or I/O errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.serve import GrammarSpec, ParseService, format_stats
+from repro.serve.wire import encode_result, serve_lines
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve NDJSON parse requests through a pool of warm parser workers.",
+    )
+    parser.add_argument(
+        "grammar", nargs="?",
+        help="grammar key (calc, json, jay, xc, ml, sql) or qualified root (jay.Jay); "
+        "optional when --grammar is used",
+    )
+    parser.add_argument(
+        "requests", nargs="*", metavar="NDJSON",
+        help="NDJSON request files (default: --requests/stdin)",
+    )
+    parser.add_argument(
+        "--grammar", action="append", dest="grammars", default=[], metavar="KEY=SPEC",
+        help="serve SPEC under KEY (repeatable); SPEC is a root module or "
+        "factory:package.module:callable",
+    )
+    parser.add_argument(
+        "-r", "--requests", action="append", dest="request_files", default=[],
+        metavar="FILE", help="NDJSON request file, '-' for stdin (repeatable)",
+    )
+    parser.add_argument(
+        "--file", action="append", dest="source_files", default=[], metavar="SRC",
+        help="make one request from a source file (repeatable)",
+    )
+    parser.add_argument(
+        "--text", action="append", default=[], metavar="TEXT",
+        help="make one request from inline text (repeatable)",
+    )
+    parser.add_argument(
+        "--path", action="append", dest="paths", default=[], metavar="DIR",
+        help="additional directory to search for .mg modules (repeatable)",
+    )
+    parser.add_argument("--start", help="override the start production (single grammar only)")
+    parser.add_argument("--workers", type=int, default=None, help="worker processes (default: min(4, cpus))")
+    parser.add_argument("--queue", type=int, default=None, metavar="N",
+                        help="submission queue bound (default: 8 per worker, 0 = unbounded)")
+    parser.add_argument("--backpressure", choices=("block", "reject"), default="block",
+                        help="full-queue policy (default: block)")
+    parser.add_argument("--timeout", type=float, default=30.0, metavar="SECONDS",
+                        help="per-request wall-clock budget (default: 30; 0 = none)")
+    parser.add_argument("--max-input-chars", type=int, default=None, metavar="N",
+                        help="reject inputs longer than N characters")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retries for worker-crash errors (default: 1)")
+    parser.add_argument("--no-fallback", action="store_true",
+                        help="fail requests instead of degrading to in-process parsing")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="compilation cache directory for worker warm-up")
+    parser.add_argument("--include-ast", action="store_true",
+                        help="include the semantic value's repr in OK result lines")
+    parser.add_argument("-o", "--output", metavar="FILE", help="write results here instead of stdout")
+    parser.add_argument("--stats", action="store_true", help="print a stats summary to stderr")
+    parser.add_argument("--stats-json", metavar="FILE", help="write the ServiceStats JSON snapshot")
+    return parser
+
+
+def _grammar_specs(args) -> dict[str, GrammarSpec]:
+    specs: dict[str, GrammarSpec] = {}
+    paths = tuple(args.paths)
+
+    def with_paths(spec: GrammarSpec) -> GrammarSpec:
+        if paths and spec.root is not None and not spec.paths:
+            import dataclasses
+
+            spec = dataclasses.replace(spec, paths=paths)
+        return spec
+
+    if args.grammar:
+        spec = GrammarSpec.coerce(args.grammar)
+        if args.start:
+            import dataclasses
+
+            spec = dataclasses.replace(spec, start=args.start)
+        key = args.grammar if "." not in args.grammar and ":" not in args.grammar else "default"
+        specs[key] = with_paths(spec)
+    elif args.start:
+        raise ValueError("--start needs a single positional grammar")
+    for entry in args.grammars:
+        key, sep, value = entry.partition("=")
+        if not sep or not key or not value:
+            raise ValueError(f"--grammar must look like KEY=SPEC, got {entry!r}")
+        specs[key] = with_paths(GrammarSpec.coerce(value))
+    if not specs:
+        raise ValueError("no grammar given (positional key or --grammar KEY=SPEC)")
+    return specs
+
+
+def _request_lines(args) -> "itertools.chain[str]":
+    """All request lines, in argument order; stdin when nothing else."""
+    streams = []
+    for name in [*args.requests, *args.request_files]:
+        if name == "-":
+            streams.append(sys.stdin)
+        else:
+            streams.append(Path(name).read_text().splitlines())
+    for path in args.source_files:
+        streams.append([json.dumps({"id": path, "file": path})])
+    for index, text in enumerate(args.text, 1):
+        streams.append([json.dumps({"id": f"text-{index}", "text": text})])
+    if not streams:
+        streams.append(sys.stdin)
+    return itertools.chain.from_iterable(streams)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    try:
+        specs = _grammar_specs(args)
+    except (ValueError, TypeError) as error:
+        print(f"repro-serve: error: {error}", file=sys.stderr)
+        return 1
+
+    out = open(args.output, "w") if args.output else sys.stdout
+    failures = 0
+    try:
+        with ParseService(
+            specs,
+            workers=args.workers,
+            queue_size=args.queue,
+            backpressure=args.backpressure,
+            timeout=args.timeout if args.timeout and args.timeout > 0 else None,
+            max_input_chars=args.max_input_chars,
+            retries=args.retries,
+            fallback=not args.no_fallback,
+            cache_dir=args.cache_dir,
+        ) as service:
+            for result in serve_lines(service, _request_lines(args)):
+                if not result.ok:
+                    failures += 1
+                print(encode_result(result, include_value=args.include_ast), file=out, flush=True)
+            stats = service.stats()
+        if args.stats:
+            print(format_stats(stats), file=sys.stderr)
+        if args.stats_json:
+            Path(args.stats_json).write_text(json.dumps(stats.to_json(), indent=2) + "\n")
+    except ReproError as error:
+        print(f"repro-serve: error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"repro-serve: error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    return 2 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

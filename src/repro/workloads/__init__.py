@@ -12,7 +12,15 @@ generators from one reproducible stream.
 from repro.workloads.jaygen import generate_jay_program
 from repro.workloads.cgen import generate_c_program
 from repro.workloads.jsongen import generate_json_document
-from repro.workloads.pathological import backtracking_grammar, backtracking_input
+from repro.workloads.pathological import (
+    SLOW_REQUEST_DEPTH,
+    backtracking_grammar,
+    backtracking_input,
+    exponential_grammar,
+    exponential_options,
+    exponential_setup,
+    slow_request_input,
+)
 
 __all__ = [
     "generate_jay_program",
@@ -20,4 +28,9 @@ __all__ = [
     "generate_json_document",
     "backtracking_grammar",
     "backtracking_input",
+    "exponential_grammar",
+    "exponential_options",
+    "exponential_setup",
+    "slow_request_input",
+    "SLOW_REQUEST_DEPTH",
 ]

@@ -46,3 +46,60 @@ def backtracking_input(depth: int) -> str:
     if depth < 0:
         raise ValueError("depth must be non-negative")
     return "(" * depth + "1" + ")" * depth
+
+
+# -- the canonical "slow request" ------------------------------------------------
+#
+# The serve subsystem's timeout/watchdog tests need a request that reliably
+# burns CPU for seconds without sleeping (a sleeping worker would pass a
+# watchdog test without proving the watchdog can interrupt real work).  The
+# witness grammar above provides exactly that — *if* memoization is off.
+# ``exponential_grammar`` marks every production ``transient`` and
+# ``exponential_options`` keeps only the ``transient`` optimization enabled
+# (the terminal/prefix optimizations would otherwise fold the three
+# ``Term``-prefixed alternatives and defeat the blow-up), so the generated
+# parser re-derives Θ(3^depth) work.  Measured on one 2026 core: depth 10
+# ≈ 0.1 s and ×3 per extra level, so ``SLOW_REQUEST_DEPTH`` is minutes of
+# CPU — any sane service timeout fires long before it completes.
+
+
+#: Nesting depth whose exponential parse outlives any reasonable timeout.
+SLOW_REQUEST_DEPTH = 18
+
+
+def exponential_grammar() -> Grammar:
+    """The backtracking witness with every production ``transient``."""
+    builder = GrammarBuilder("pathological", start="Start")
+    builder.void("Start", [ref("Expr"), bang(any_())], transient=True)
+    builder.void(
+        "Expr",
+        [ref("Term"), lit("+"), ref("Expr")],
+        [ref("Term"), lit("-"), ref("Expr")],
+        [ref("Term")],
+        transient=True,
+    )
+    builder.void(
+        "Term",
+        [lit("("), ref("Expr"), lit(")")],
+        [cc("0-9")],
+        transient=True,
+    )
+    return builder.build()
+
+
+def exponential_options():
+    """Options under which :func:`exponential_grammar` stays exponential."""
+    from repro.optim import Options
+
+    return Options.none().with_flags(transient=True)
+
+
+def exponential_setup():
+    """``(grammar, options)`` pair for a :class:`repro.serve.GrammarSpec`
+    factory — the canonical hung-request workload for service tests."""
+    return exponential_grammar(), exponential_options()
+
+
+def slow_request_input(depth: int = SLOW_REQUEST_DEPTH) -> str:
+    """An input that the exponential parser will not finish in practice."""
+    return backtracking_input(depth)

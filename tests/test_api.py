@@ -107,6 +107,26 @@ class TestParseSession:
         assert err.value.source == "bad.calc"
         assert session.parse("1+2") == lang.parse("1+2")
 
+    def test_session_memo_reset_on_failed_parse(self, lang):
+        # Regression: a failed parse must not park its (possibly huge) memo
+        # table on the session until the next request — a long-lived session
+        # (e.g. a serve worker) would hold that memory while idle.
+        session = lang.session()
+        with pytest.raises(ParseError):
+            session.parse("1+2+3+*")
+        assert session.parser.memo_entry_count() == 0
+        assert session.parse("4*5") == lang.parse("4*5")
+
+    def test_session_memo_reset_on_failed_parse_dict_memo(self):
+        lang = repro.compile_grammar(
+            "calc.Calculator", options=Options.all().without("chunks")
+        )
+        session = lang.session()
+        with pytest.raises(ParseError):
+            session.parse("(1+(2*(3+")
+        assert session.parser.memo_entry_count() == 0
+        assert session.parse("1") is not None
+
     def test_session_recognize(self, lang):
         session = lang.session()
         assert session.recognize("1+1")
@@ -170,3 +190,71 @@ class TestLanguageExtras:
     def test_trace_failure(self, lang):
         value, events, error = lang.trace("1+")
         assert value is None and error is not None
+
+
+class TestLanguageLRUThreadSafety:
+    """The in-process Language LRU is shared by every thread that calls
+    compile_grammar — the parse service's handler threads do so concurrently
+    with user threads, so get/put/evict must be lock-guarded."""
+
+    def test_concurrent_compile_grammar(self):
+        import threading
+
+        repro.clear_language_cache()
+        # Alternate roots so the workers mix hits, misses, and (with the
+        # small LRU) evictions rather than all racing on one key.
+        roots = ["calc.Calculator", "json.Json"]
+        results: list = []
+        errors: list = []
+        barrier = threading.Barrier(8)
+
+        def hammer(index: int) -> None:
+            barrier.wait()
+            try:
+                for step in range(12):
+                    language = repro.compile_grammar(roots[(index + step) % len(roots)])
+                    results.append(language)
+                    if step % 5 == 0:
+                        repro.language_cache_info()
+            except Exception as error:  # noqa: BLE001 - recorded for the assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not errors, errors
+        assert len(results) == 8 * 12
+        # Hits must share the cached object per root (no torn entries).
+        calc = repro.compile_grammar("calc.Calculator")
+        assert calc.parse("1+1") is not None
+        info = repro.language_cache_info()
+        assert 0 < info["size"] <= info["max"]
+
+    def test_concurrent_clear_while_compiling(self):
+        import threading
+
+        repro.clear_language_cache()
+        stop = threading.Event()
+        errors: list = []
+
+        def clearer() -> None:
+            while not stop.is_set():
+                repro.clear_language_cache()
+
+        def compiler() -> None:
+            try:
+                for _ in range(10):
+                    assert repro.compile_grammar("calc.Calculator").parse("2*3") is not None
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=clearer), threading.Thread(target=compiler)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        assert not errors, errors

@@ -20,7 +20,8 @@ sys.path.insert(0, str(EXAMPLES))
 
 @pytest.mark.parametrize(
     "script",
-    ["quickstart.py", "extend_language.py", "compose_languages.py", "selfhosted_meta.py"],
+    ["quickstart.py", "extend_language.py", "compose_languages.py", "selfhosted_meta.py",
+     "parse_service.py"],
 )
 def test_example_runs(script, capsys):
     runpy.run_path(str(EXAMPLES / script), run_name="__main__")

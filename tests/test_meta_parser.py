@@ -57,6 +57,31 @@ class TestHeaderAndDependencies:
         with pytest.raises(GrammarSyntaxError):
             parse_module("module m.M; import a.A(b.B);")
 
+    def test_import_with_alias_rejected(self):
+        # Only instantiate takes `as` — the self-hosted meta grammar
+        # (meta/Module.mg) puts MAlias on the Instantiate alternative alone.
+        with pytest.raises(GrammarSyntaxError):
+            parse_module("module m.M; import a.A as b.B;")
+        with pytest.raises(GrammarSyntaxError):
+            parse_module("module m.M; modify a.A as b.B;")
+
+    def test_dependency_keywords_are_contextual(self):
+        # `import` here cannot start a dependency (no module name follows),
+        # so — PEG ordered choice, like the self-hosted reader — it is a
+        # production *named* "import".
+        module = parse_module("module m.M; import = x ;")
+        assert module.dependencies == ()
+        assert [p.name for p in module.productions] == ["import"]
+        module = parse_module("module m.M; option = x ;")
+        assert module.options == frozenset()
+        assert [p.name for p in module.productions] == ["option"]
+
+    def test_broken_dependency_keeps_its_diagnostic(self):
+        # When neither the dependency nor the fallback definition parses,
+        # the dependency's error (the likelier intent) is reported.
+        with pytest.raises(GrammarSyntaxError, match="module name"):
+            parse_module("module m.M; import ;")
+
     def test_options(self):
         module = parse_module("module m.M; option withLocation, verbose;")
         assert module.options == frozenset({"withLocation", "verbose"})

@@ -1,0 +1,130 @@
+"""Cross-process transport: errors, AST nodes, and serve messages must
+round-trip through pickle unchanged.
+
+The parse service ships :class:`ParseResult` values (carrying generic AST
+nodes and flattened parse errors) over worker pipes, so pickling fidelity
+is part of the wire contract, not an implementation detail.
+"""
+
+import pickle
+
+import pytest
+
+import repro
+from repro.errors import GrammarSyntaxError, ParseError
+from repro.locations import Location
+from repro.runtime.node import GNode
+
+
+def roundtrip(value):
+    return pickle.loads(pickle.dumps(value))
+
+
+class TestParseErrorPickle:
+    def test_fields_survive(self):
+        error = ParseError(
+            "syntax error at 'x'", offset=17, line=2, column=5,
+            expected=("'{'", "identifier"), source="prog.jay",
+        )
+        clone = roundtrip(error)
+        assert type(clone) is ParseError
+        assert clone.message == error.message
+        assert clone.offset == 17
+        assert clone.line == 2
+        assert clone.column == 5
+        assert clone.expected == ("'{'", "identifier")
+        assert clone.source == "prog.jay"
+        assert str(clone) == str(error)
+
+    def test_show_matches_after_roundtrip(self):
+        text = "class C {\n  int x = ;\n}"
+        jay = repro.compile_grammar("jay.Jay")
+        with pytest.raises(ParseError) as caught:
+            jay.parse(text, source="broken.jay")
+        assert roundtrip(caught.value).show(text) == caught.value.show(text)
+
+    def test_real_error_from_parser(self):
+        calc = repro.compile_grammar("calc.Calculator")
+        with pytest.raises(ParseError) as caught:
+            calc.parse("1+*", source="req-42")
+        clone = roundtrip(caught.value)
+        assert clone.offset == caught.value.offset
+        assert clone.expected == caught.value.expected
+        assert clone.source == "req-42"
+
+    def test_default_arguments_roundtrip(self):
+        clone = roundtrip(ParseError("m", 0, 1, 1))
+        assert clone.expected == () and clone.source == "<input>"
+
+
+class TestGrammarSyntaxErrorPickle:
+    def test_fields_survive(self):
+        error = GrammarSyntaxError("unterminated string", "G.mg", line=4, column=9)
+        clone = roundtrip(error)
+        assert type(clone) is GrammarSyntaxError
+        assert (clone.message, clone.source, clone.line, clone.column) == (
+            "unterminated string", "G.mg", 4, 9,
+        )
+        assert str(clone) == str(error)
+
+
+class TestNodePickle:
+    def test_leafless_node(self):
+        node = GNode("Empty")
+        clone = roundtrip(node)
+        assert clone == node and clone.name == "Empty" and clone.children == ()
+
+    def test_nested_children_and_location(self):
+        node = GNode(
+            "Add",
+            (GNode("Int", ("1",)), [GNode("Int", ("2",)), None], "text"),
+            location=Location("f.calc", 3, 7),
+        )
+        clone = roundtrip(node)
+        assert clone == node  # structural equality
+        assert clone.location == Location("f.calc", 3, 7)  # locations too
+        assert clone.children[1][0].children == ("2",)
+
+    def test_real_parse_tree(self):
+        jay = repro.compile_grammar("jay.Jay")
+        tree = jay.parse("class C { int f() { return 1 + 2 * 3; } }")
+        clone = roundtrip(tree)
+        assert clone == tree
+        assert clone.size() == tree.size()
+        # Spot-check that locations travelled where present.
+        originals = tree.find_all("Class")
+        clones = clone.find_all("Class")
+        assert [n.location for n in originals] == [n.location for n in clones]
+
+
+class TestServeMessagePickle:
+    def test_request_roundtrip(self):
+        from repro.serve import ParseRequest
+
+        request = ParseRequest(id="r1", text="1+2", grammar="calc", start="Expr", source="s")
+        assert roundtrip(request) == request
+
+    def test_result_roundtrip_with_value_and_error(self):
+        from repro.serve import ParseErrorInfo, ParseResult
+
+        ok = ParseResult(
+            id="r1", outcome="ok", grammar="calc",
+            value=GNode("Int", ("1",)), latency_s=0.25, parse_s=0.01,
+            attempts=2, worker=3,
+        )
+        assert roundtrip(ok) == ok
+        failed = ParseResult(
+            id="r2", outcome="parse_error", grammar="calc",
+            error=ParseErrorInfo("syntax error", 2, 1, 3, ("'('",), "x"),
+        )
+        clone = roundtrip(failed)
+        assert clone == failed
+        assert clone.error.to_error().offset == 2
+
+    def test_error_info_inverts_parse_error(self):
+        from repro.serve import ParseErrorInfo
+
+        error = ParseError("syntax error at end of input", 9, 1, 10, ("digit",), "inline")
+        rebuilt = ParseErrorInfo.from_error(error).to_error()
+        assert str(rebuilt) == str(error)
+        assert rebuilt.offset == error.offset and rebuilt.expected == error.expected

@@ -1,0 +1,480 @@
+"""Tests for the repro.serve parse-service subsystem.
+
+Covers the full robustness envelope: outcome taxonomy, backpressure
+policies, the timeout watchdog (driven by the canonical exponential
+pathological workload, not sleeps), bounded worker-crash retries, graceful
+degradation, stats snapshots, the NDJSON wire layer, and the repro-serve
+CLI.  Everything here runs real worker processes, so tests keep pools small
+(1-2 workers) and batches short.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.serve import (
+    GrammarSpec,
+    ParseService,
+    ParseResult,
+    ServiceStats,
+    encode_result,
+    format_stats,
+    parse_request_line,
+    serve_lines,
+)
+from repro.serve import messages
+from repro.serve.stats import LatencyStats, StatsRecorder, percentile
+from repro.workloads import slow_request_input
+
+pytestmark = pytest.mark.serve
+
+CALC = {"calc": "calc.Calculator"}
+CALC_AND_SLOW = {
+    "calc": GrammarSpec(root="calc.Calculator"),
+    "slow": GrammarSpec(factory="repro.workloads.pathological:exponential_setup"),
+}
+
+
+def wait_for_worker(service, slot=0, timeout=10.0):
+    """Block until the slot's worker process is up (spawn is async)."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        pids = service.worker_pids()
+        if len(pids) > slot and pids[slot]:
+            return pids[slot]
+        time.sleep(0.01)
+    raise AssertionError("worker never came up")
+
+
+class TestOutcomes:
+    def test_ok_result_carries_value_and_latency(self):
+        with ParseService(CALC, workers=1, timeout=10.0) as service:
+            result = service.submit("1+2*3").result(30)
+        assert result.ok and result.outcome == messages.OK
+        assert repr(result.value) == "(Add (Int '1') (Mul (Int '2') (Int '3')))"
+        assert result.latency_s > 0 and result.parse_s > 0
+        assert result.attempts == 1 and result.worker == 0
+        assert result.grammar == "calc"
+
+    def test_parse_error_carries_source_offsets(self):
+        with ParseService(CALC, workers=1, timeout=10.0) as service:
+            result = service.submit("1+\n2*", source="req.calc").result(30)
+        assert result.outcome == messages.PARSE_ERROR
+        assert result.error is not None
+        assert result.error.source == "req.calc"
+        assert result.error.offset == 5 and result.error.line == 2
+        error = result.error.to_error()
+        assert str(error).startswith("req.calc:2:")
+
+    def test_unknown_grammar_rejected(self):
+        with ParseService(CALC, workers=0) as service:
+            result = service.submit("1+1", grammar="nope").result(30)
+        assert result.outcome == messages.REJECTED
+        assert "unknown grammar" in result.detail
+
+    def test_oversized_input_rejected_before_queueing(self):
+        with ParseService(CALC, workers=0, max_input_chars=10) as service:
+            result = service.submit("1" * 11).result(30)
+            ok = service.submit("1+1").result(30)
+        assert result.outcome == messages.REJECTED
+        assert "input too large" in result.detail
+        assert ok.ok
+
+    def test_non_string_text_rejected(self):
+        with ParseService(CALC, workers=0) as service:
+            result = service.submit(b"1+1").result(30)
+        assert result.outcome == messages.REJECTED
+
+    def test_map_preserves_submission_order(self):
+        texts = [f"{n}+{n}" for n in range(10)] + ["bad*("]
+        with ParseService(CALC, workers=2, timeout=10.0) as service:
+            results = service.map(texts)
+        assert [r.outcome for r in results[:-1]] == [messages.OK] * 10
+        assert results[-1].outcome == messages.PARSE_ERROR
+        assert [repr(r.value) for r in results[:2]] == ["(Add (Int '0') (Int '0'))",
+                                                        "(Add (Int '1') (Int '1'))"]
+
+    def test_multiple_grammars_routed_by_key(self):
+        specs = {"calc": "calc.Calculator", "json": "json.Json"}
+        with ParseService(specs, workers=1, timeout=10.0) as service:
+            calc = service.submit("1+1", grammar="calc").result(30)
+            doc = service.submit('{"a": [1, 2]}', grammar="json").result(30)
+        assert calc.ok and doc.ok
+
+    def test_submit_after_shutdown_raises(self):
+        service = ParseService(CALC, workers=0)
+        service.shutdown()
+        with pytest.raises(RuntimeError):
+            service.submit("1+1")
+        service.shutdown()  # idempotent
+
+    def test_start_override_per_request(self):
+        with ParseService(CALC, workers=1, timeout=10.0) as service:
+            result = service.submit("42", start="Number").result(30)
+        assert result.ok
+
+
+class TestBackpressure:
+    def test_reject_policy_resolves_overflow_as_rejected(self):
+        with ParseService(
+            CALC_AND_SLOW, workers=1, queue_size=1, backpressure="reject", timeout=1.0
+        ) as service:
+            futures = [
+                service.submit(slow_request_input(), grammar="slow") for _ in range(5)
+            ]
+            outcomes = [f.result(60).outcome for f in futures]
+        assert messages.REJECTED in outcomes
+        rejected = [o for o in outcomes if o == messages.REJECTED]
+        assert len(rejected) >= 2  # queue of 1 cannot absorb a burst of 5
+        assert all(o in (messages.TIMEOUT, messages.REJECTED) for o in outcomes)
+
+    def test_block_policy_completes_everything(self):
+        with ParseService(CALC, workers=1, queue_size=2, backpressure="block",
+                          timeout=10.0) as service:
+            results = service.map([f"{n}*2" for n in range(12)])
+        assert all(r.ok for r in results)
+
+    def test_invalid_policy_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            ParseService(CALC, workers=0, backpressure="drop")
+
+
+class TestTimeoutWatchdog:
+    def test_timeout_then_recycled_worker_still_serves(self):
+        """The acceptance fault-injection scenario: a hung request resolves
+        ``timeout``, the worker is recycled, and later requests are ``ok``."""
+        with ParseService(CALC_AND_SLOW, workers=1, timeout=0.5) as service:
+            first_pid = wait_for_worker(service)
+            hung = service.submit(slow_request_input(), grammar="slow").result(60)
+            after = [service.submit(text, grammar="calc").result(60)
+                     for text in ("1+2", "3*4", "(5-6)")]
+            stats = service.stats()
+            second_pid = wait_for_worker(service)
+        assert hung.outcome == messages.TIMEOUT
+        assert "budget" in hung.detail
+        assert hung.latency_s >= 0.5
+        assert [r.outcome for r in after] == [messages.OK] * 3
+        assert second_pid != first_pid  # genuinely a new process
+        assert stats.recycles >= 1 and stats.respawns >= 1
+        assert stats.outcomes.get(messages.TIMEOUT) == 1
+
+    def test_per_request_timeout_override(self):
+        with ParseService(CALC_AND_SLOW, workers=1, timeout=None) as service:
+            hung = service.submit(
+                slow_request_input(), grammar="slow", timeout=0.3
+            ).result(60)
+            ok = service.submit("7*7", grammar="calc").result(60)
+        assert hung.outcome == messages.TIMEOUT
+        assert ok.ok
+
+    def test_fast_requests_unaffected_by_budget(self):
+        with ParseService(CALC, workers=1, timeout=5.0) as service:
+            results = service.map(["1+1"] * 5)
+        assert all(r.ok and r.latency_s < 5.0 for r in results)
+
+
+class TestWorkerCrash:
+    def _kill_worker_mid_request(self, service, future_request_grammar="slow"):
+        future = service.submit(slow_request_input(10), grammar=future_request_grammar)
+        pid = wait_for_worker(service)
+        time.sleep(0.05)  # let the request reach the worker
+        os.kill(pid, signal.SIGKILL)
+        return future
+
+    def test_crash_is_retried_within_bounds(self):
+        with ParseService(CALC_AND_SLOW, workers=1, timeout=30.0, retries=1) as service:
+            future = self._kill_worker_mid_request(service)
+            result = future.result(60)
+            stats = service.stats()
+        # Retried on a fresh worker: same request, eventual success.
+        assert result.outcome == messages.OK
+        assert result.attempts == 2
+        assert stats.retries == 1 and stats.recycles >= 1
+
+    def test_retries_zero_resolves_worker_lost(self):
+        with ParseService(CALC_AND_SLOW, workers=1, timeout=30.0, retries=0) as service:
+            future = self._kill_worker_mid_request(service)
+            result = future.result(60)
+            follow_up = service.submit("1+1", grammar="calc").result(60)
+        assert result.outcome == messages.WORKER_LOST
+        assert result.attempts == 1
+        assert follow_up.ok  # the slot respawned regardless
+
+    def test_parse_errors_are_never_retried(self):
+        with ParseService(CALC, workers=1, timeout=10.0, retries=3) as service:
+            result = service.submit("definitely not calc").result(30)
+            stats = service.stats()
+        assert result.outcome == messages.PARSE_ERROR
+        assert result.attempts == 1
+        assert stats.retries == 0
+
+
+class TestFallback:
+    def test_workers_zero_runs_inline(self):
+        with ParseService(CALC, workers=0) as service:
+            results = service.map(["1+1", "2*2", "bad("])
+            stats = service.stats()
+        assert [r.outcome for r in results] == [
+            messages.OK, messages.OK, messages.PARSE_ERROR,
+        ]
+        assert all(r.fallback for r in results)
+        assert stats.fallback_parses == 3
+        assert service.healthy  # by design, not degradation
+
+    def test_spawn_failure_degrades_to_inline(self, monkeypatch):
+        import repro.serve.service as service_module
+
+        def refuse(*args, **kwargs):
+            raise OSError("no more processes")
+
+        monkeypatch.setattr(service_module, "spawn_worker", refuse)
+        with ParseService(CALC, workers=1, timeout=5.0) as service:
+            results = service.map(["1+1", "2+2"])
+            stats = service.stats()
+            healthy = service.healthy
+        assert [r.outcome for r in results] == [messages.OK, messages.OK]
+        assert all(r.fallback for r in results)
+        assert not healthy and stats.degraded
+        assert stats.fallback_parses == 2
+
+    def test_spawn_failure_without_fallback_fails_requests(self, monkeypatch):
+        import repro.serve.service as service_module
+
+        monkeypatch.setattr(
+            service_module, "spawn_worker",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("nope")),
+        )
+        with ParseService(CALC, workers=1, timeout=5.0, fallback=False) as service:
+            result = service.submit("1+1").result(30)
+        assert result.outcome == messages.WORKER_LOST
+        assert "unavailable" in result.detail
+
+
+class TestStatsAndSnapshot:
+    def test_counters_and_percentiles(self):
+        with ParseService(CALC, workers=1, timeout=10.0, max_input_chars=100) as service:
+            service.map(["1+1"] * 6 + ["(("])
+            service.submit("9" * 200).result(30)
+            stats = service.stats()
+        assert stats.submitted == 8 and stats.completed == 8
+        assert stats.outcomes[messages.OK] == 6
+        assert stats.outcomes[messages.PARSE_ERROR] == 1
+        assert stats.outcomes[messages.REJECTED] == 1
+        assert stats.latency.count == 8
+        assert 0 < stats.latency.p50 <= stats.latency.p95 <= stats.latency.p99 <= stats.latency.max
+        assert stats.throughput_rps > 0
+        assert stats.workers == 1 and stats.queue_capacity == 16
+
+    def test_json_roundtrip_is_lossless(self):
+        with ParseService(CALC, workers=1, timeout=10.0) as service:
+            service.map(["1+1", "bad("])
+            stats = service.stats()
+        data = stats.to_json()
+        assert data["format"] == 1 and data["kind"] == "repro.serve.stats"
+        clone = ServiceStats.from_json(json.loads(json.dumps(data)))
+        assert clone.to_json() == data
+
+    def test_format_stats_mentions_every_outcome(self):
+        rendered = format_stats(ServiceStats())
+        for outcome in messages.OUTCOMES:
+            assert outcome in rendered
+
+    def test_percentile_nearest_rank(self):
+        values = sorted(float(v) for v in range(1, 101))
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile([], 0.5) == 0.0
+        assert LatencyStats.over([]).count == 0
+
+    def test_recorder_window_bounds_memory(self):
+        recorder = StatsRecorder(workers=1, queue_capacity=4, window=8)
+        for n in range(100):
+            recorder.record_result(
+                ParseResult(id=str(n), outcome=messages.OK, latency_s=float(n))
+            )
+        snapshot = recorder.snapshot()
+        assert snapshot.completed == 100
+        assert snapshot.latency.count == 8  # only the window
+        assert snapshot.latency.max == 99.0
+
+
+class TestWire:
+    def test_blank_lines_skipped(self):
+        assert parse_request_line("", 1, "calc") is None
+        assert parse_request_line("   \n", 2, "calc") is None
+
+    def test_bad_json_rejected_not_raised(self):
+        result = parse_request_line("{oops", 3, "calc")
+        assert isinstance(result, ParseResult)
+        assert result.outcome == messages.REJECTED and result.id == "line-3"
+        assert "invalid JSON" in result.detail
+
+    def test_non_object_rejected(self):
+        result = parse_request_line("[1,2]", 1, "calc")
+        assert result.outcome == messages.REJECTED
+
+    def test_missing_text_rejected(self):
+        result = parse_request_line('{"id": "x"}', 1, "calc")
+        assert result.outcome == messages.REJECTED
+        assert "text" in result.detail
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        line = json.dumps({"file": str(tmp_path / "gone.jay")})
+        result = parse_request_line(line, 1, "calc")
+        assert result.outcome == messages.REJECTED
+        assert "cannot read" in result.detail
+
+    def test_file_request_uses_path_as_source(self, tmp_path):
+        path = tmp_path / "bad.calc"
+        path.write_text("1+")
+        request = parse_request_line(json.dumps({"file": str(path)}), 1, "calc")
+        assert request.source == str(path)
+
+    def test_serve_lines_orders_and_counts_rejections(self):
+        lines = [
+            json.dumps({"id": "a", "text": "1+1"}),
+            "not json at all",
+            "",
+            json.dumps({"id": "b", "text": "2*2"}),
+        ]
+        with ParseService(CALC, workers=1, timeout=10.0) as service:
+            results = list(serve_lines(service, lines))
+            stats = service.stats()
+        assert [r.id for r in results] == ["a", "line-2", "b"]
+        assert [r.outcome for r in results] == [
+            messages.OK, messages.REJECTED, messages.OK,
+        ]
+        assert stats.outcomes.get(messages.REJECTED) == 1  # wire reject counted
+
+    def test_encode_result_value_gating(self):
+        result = ParseResult(id="x", outcome=messages.OK, grammar="calc", value=123)
+        assert "value" not in json.loads(encode_result(result))
+        assert json.loads(encode_result(result, include_value=True))["value"] == "123"
+
+
+class TestSpec:
+    def test_coerce_short_key_and_root(self):
+        assert GrammarSpec.coerce("jay").root == "jay.Jay"
+        assert GrammarSpec.coerce("my.Module").root == "my.Module"
+        assert GrammarSpec.coerce("factory:a.b:make").factory == "a.b:make"
+
+    def test_spec_needs_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            GrammarSpec()
+        with pytest.raises(ValueError):
+            GrammarSpec(root="a.B", factory="a.b:make")
+        with pytest.raises(ValueError):
+            GrammarSpec(factory="not-dotted")
+
+    def test_grammar_object_refused_with_guidance(self):
+        import repro
+
+        grammar = repro.load_grammar("calc.Calculator")
+        with pytest.raises(TypeError, match="factory"):
+            GrammarSpec.coerce(grammar)
+
+    def test_factory_compile_applies_factory_options(self):
+        spec = GrammarSpec(factory="repro.workloads.pathological:exponential_setup")
+        language = spec.compile()
+        assert language.parser_class.MEMOIZED_RULES == []
+
+    def test_bad_factory_fails_fast_at_service_construction(self):
+        with pytest.raises(Exception):
+            ParseService({"x": GrammarSpec(factory="repro.nope:missing")}, workers=0)
+
+
+class TestCLI:
+    def run_cli(self, args, capsys):
+        from repro.tools import serve as tool
+
+        code = tool.main(args)
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines() if line.strip()]
+        return code, lines, captured.err
+
+    def test_batch_from_file(self, tmp_path, capsys):
+        requests = tmp_path / "batch.ndjson"
+        requests.write_text(
+            json.dumps({"id": "a", "text": "1+2"}) + "\n"
+            + json.dumps({"id": "b", "text": "3*"}) + "\n"
+        )
+        code, lines, _ = self.run_cli(
+            ["calc", "--workers", "1", "-r", str(requests), "--include-ast"], capsys
+        )
+        assert code == 2  # one parse_error in the batch
+        assert [line["id"] for line in lines] == ["a", "b"]
+        assert lines[0]["outcome"] == "ok"
+        assert lines[0]["value"] == "(Add (Int '1') (Int '2'))"
+        assert lines[1]["outcome"] == "parse_error"
+        assert lines[1]["error"]["offset"] == 2
+
+    def test_all_ok_exits_zero_and_writes_stats(self, tmp_path, capsys):
+        stats_path = tmp_path / "stats.json"
+        code, lines, err = self.run_cli(
+            ["calc", "--workers", "1", "--text", "1+1", "--text", "2*2",
+             "--stats", "--stats-json", str(stats_path)],
+            capsys,
+        )
+        assert code == 0
+        assert [line["outcome"] for line in lines] == ["ok", "ok"]
+        data = json.loads(stats_path.read_text())
+        assert data["format"] == 1 and data["outcomes"]["ok"] == 2
+        assert "throughput" in err
+
+    def test_source_file_requests(self, tmp_path, capsys):
+        source = tmp_path / "prog.calc"
+        source.write_text("(1+2)*3")
+        code, lines, _ = self.run_cli(
+            ["calc", "--workers", "1", "--file", str(source)], capsys
+        )
+        assert code == 0
+        assert lines[0]["id"] == str(source)
+
+    def test_output_file(self, tmp_path, capsys):
+        out = tmp_path / "results.ndjson"
+        code, lines, _ = self.run_cli(
+            ["calc", "--workers", "1", "--text", "1+1", "-o", str(out)], capsys
+        )
+        assert code == 0
+        assert lines == []  # nothing on stdout
+        assert json.loads(out.read_text().splitlines()[0])["outcome"] == "ok"
+
+    def test_multi_grammar_and_default_routing(self, capsys):
+        code, lines, _ = self.run_cli(
+            ["--grammar", "calc=calc.Calculator", "--grammar", "json=json.Json",
+             "--workers", "1", "--text", "1+1"],
+            capsys,
+        )
+        assert code == 0
+        assert lines[0]["grammar"] == "calc"  # first key is the default
+
+    def test_config_errors_exit_one(self, capsys):
+        from repro.tools import serve as tool
+
+        assert tool.main([]) == 1  # no grammar at all
+        assert tool.main(["--grammar", "broken"]) == 1  # not KEY=SPEC
+        _ = capsys.readouterr()
+
+
+class TestConcurrentSubmitters:
+    def test_many_threads_share_one_service(self):
+        with ParseService(CALC, workers=2, timeout=10.0) as service:
+            results: dict[int, list] = {}
+
+            def client(index: int) -> None:
+                results[index] = service.map([f"{index}+{n}" for n in range(5)])
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(1, 5)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60)
+        assert set(results) == {1, 2, 3, 4}
+        for index, batch in results.items():
+            assert all(r.ok for r in batch)
+            assert repr(batch[0].value) == f"(Add (Int '{index}') (Int '0'))"
