@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench cache-check check fuzz fuzz-smoke prof-smoke serve-smoke
+.PHONY: test smoke bench bench-record cache-check check fuzz fuzz-smoke prof-smoke serve-smoke
 
 # Tier-1 suite (the acceptance gate).
 test:
@@ -16,6 +16,13 @@ smoke: test
 # Experiments E1-E7 (prints the reproduced tables).
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Append a timestamped E5/E3 measurement record to BENCH_5.json so perf
+# changes can be compared against a stored baseline; see docs/testing.md.
+# Override the label: make bench-record LABEL=my-change
+LABEL ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo manual)
+bench-record:
+	$(PYTHON) scripts/bench_record.py --label $(LABEL)
 
 # Bounded differential-fuzz run (also executes inside `make test` via the
 # `fuzz` marker); see docs/testing.md.  Also profiles the example corpora

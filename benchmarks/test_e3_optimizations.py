@@ -59,7 +59,7 @@ def test_e3_cumulative_optimization_ladder(benchmark, jay_grammar, jay_corpus):
     )
 
     none_time, none_entries, none_size = results["none"]
-    full_time, full_entries, full_size = results["+prefixes"]
+    full_time, full_entries, full_size = results["+fuse"]
 
     # Headline shapes (generous margins; exact factors are host-dependent):
     assert full_time < 0.7 * none_time, "optimizations must speed parsing up substantially"
@@ -88,9 +88,11 @@ def test_e3_individual_ablations(benchmark, jay_grammar, jay_corpus):
             "memo entries": base_entries,
         }
     ]
+    times: dict[str, float] = {}
     for flag in Options.flag_names():
         parser_cls, _ = compile_with(jay_grammar, Options.all().without(flag))
         seconds, entries, _ = measure(parser_cls, jay_corpus)
+        times[flag] = seconds
         rows.append(
             {
                 "configuration": f"all - {flag}",
@@ -108,6 +110,9 @@ def test_e3_individual_ablations(benchmark, jay_grammar, jay_corpus):
     # cost time (helper productions + their memoization).
     by_name = {r["configuration"]: r for r in rows}
     assert by_name["all - transient"]["memo entries"] > base_entries
+    # Scanner fusion is a headline time lever on token-heavy grammars:
+    # without it every whitespace/comment skip is a Python-level loop.
+    assert times["fuse"] > 1.15 * base_time, "disabling fuse must cost parse time"
     benchmark.pedantic(
         lambda: [parser_all(p).parse() for p in jay_corpus], rounds=3, iterations=1
     )
@@ -141,7 +146,7 @@ def test_e3_xc_cumulative(benchmark, xc_corpus):
         ["configuration", "productions", "time (ms)", "KB/s", "memo entries"],
     )
     none_time, none_entries = results["none"]
-    full_time, full_entries = results["+prefixes"]
+    full_time, full_entries = results["+fuse"]
     assert full_time < 0.7 * none_time
     assert full_entries < 0.5 * none_entries
 

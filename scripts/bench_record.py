@@ -1,0 +1,175 @@
+"""Record the benchmark trajectory into a versioned JSON file.
+
+``make bench-record`` (or ``PYTHONPATH=src python scripts/bench_record.py``)
+runs the E5 throughput measurement (generated parser, all optimizations,
+per-grammar seeded corpora) plus the E3 cumulative optimization ladder on
+the Jay corpus, and *appends* one record to ``BENCH_5.json``.  Each record
+carries enough provenance (machine, Python, options fingerprint, pipeline
+version) that later PRs can diff performance against earlier ones instead
+of re-deriving a baseline.  See docs/testing.md for the format.
+
+The measured corpora are seeded and fixed-size, matching the fixtures in
+``benchmarks/conftest.py`` where one exists, so numbers are comparable
+across runs on the same machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro
+from repro.codegen import generate_parser_source, load_parser
+from repro.difftest.generator import SentenceGenerator
+from repro.optim import Options, prepare
+from repro.optim.pipeline import PIPELINE_VERSION
+from repro.workloads import (
+    generate_c_program,
+    generate_jay_program,
+    generate_json_document,
+)
+
+#: Bump when the record layout changes.
+SCHEMA_VERSION = 1
+
+#: Grammars measured by the E5 record, with their seeded corpora.
+def _sentences(root: str, count: int, seed: int) -> list[str]:
+    """``count`` seeded *valid* sentences of ``root`` (derivation candidates
+    that the reference parser rejects are skipped, as in the fuzz harness)."""
+    grammar = repro.load_grammar(root)
+    prepared = prepare(grammar, Options.none(), check=False)
+    generator = SentenceGenerator(prepared.grammar, random.Random(seed), max_length=600)
+    language = repro.compile_grammar(grammar, cache=False)
+    sentences: list[str] = []
+    attempts = 0
+    while len(sentences) < count and attempts < count * 20:
+        attempts += 1
+        sentence = generator.generate()
+        if language.recognize(sentence):
+            sentences.append(sentence)
+    if len(sentences) < count:
+        raise RuntimeError(f"{root}: only {len(sentences)}/{count} valid sentences")
+    return sentences
+
+
+def corpora() -> dict[str, list[str]]:
+    return {
+        "calc.Calculator": _sentences("calc.Calculator", 120, 7),
+        "json.Json": [generate_json_document(size=150, seed=s) for s in (66, 77)],
+        "jay.Jay": [generate_jay_program(size=14, seed=s) for s in (11, 22, 33)],
+        "xc.XC": [generate_c_program(size=12, seed=s) for s in (44, 55)],
+        "ml.ML": _sentences("ml.ML", 120, 9),
+    }
+
+
+def _compiled(grammar, options: Options):
+    prepared = prepare(grammar, options)
+    return load_parser(generate_parser_source(prepared))
+
+
+def _best_of(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_e5(repeat: int) -> dict[str, dict]:
+    """Per-grammar chars/sec of the fully optimized generated parser."""
+    results: dict[str, dict] = {}
+    for root, corpus in corpora().items():
+        grammar = repro.load_grammar(root)
+        parser_cls = _compiled(grammar, Options.all())
+        for text in corpus:  # correctness before timing
+            parser_cls(text).parse()
+        chars = sum(len(text) for text in corpus)
+        seconds = _best_of(lambda: [parser_cls(t).parse() for t in corpus], repeat)
+        results[root] = {
+            "inputs": len(corpus),
+            "chars": chars,
+            "seconds": round(seconds, 6),
+            "chars_per_sec": round(chars / seconds),
+        }
+    return results
+
+
+def measure_e3(repeat: int) -> dict[str, int]:
+    """Chars/sec at every rung of the cumulative ladder (Jay corpus)."""
+    corpus = [generate_jay_program(size=14, seed=s) for s in (11, 22, 33)]
+    chars = sum(len(text) for text in corpus)
+    grammar = repro.load_grammar("jay.Jay")
+    ladder: dict[str, int] = {}
+    for label, options in Options.cumulative():
+        parser_cls = _compiled(grammar, options)
+        seconds = _best_of(lambda: [parser_cls(t).parse() for t in corpus], repeat)
+        ladder[label] = round(chars / seconds)
+    return ladder
+
+
+def build_record(label: str, repeat: int) -> dict:
+    return {
+        "label": label,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "machine": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+        },
+        "options": Options.all().cache_key(),
+        "pipeline_version": PIPELINE_VERSION,
+        "e5": measure_e5(repeat),
+        "e3_cumulative": measure_e3(repeat),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_record", description="Append a benchmark record to BENCH_5.json."
+    )
+    parser.add_argument("--label", default="run", help="record label (e.g. a PR name)")
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_5.json"),
+        help="record file to append to",
+    )
+    parser.add_argument("--repeat", type=int, default=3, help="best-of-N timing")
+    args = parser.parse_args(argv)
+
+    record = build_record(args.label, args.repeat)
+
+    output = Path(args.output)
+    if output.exists():
+        data = json.loads(output.read_text())
+        if data.get("schema") != SCHEMA_VERSION:
+            print(
+                f"error: {output} has schema {data.get('schema')}, "
+                f"expected {SCHEMA_VERSION}",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        data = {"schema": SCHEMA_VERSION, "records": []}
+    data["records"].append(record)
+    output.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+
+    print(f"recorded {args.label!r} -> {output}")
+    for root, row in record["e5"].items():
+        print(f"  {root}: {row['chars_per_sec']:,} chars/s ({row['chars']} chars)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ from repro.peg.expr import (
     Nonterminal,
     Not,
     Option,
+    Regex,
     Repetition,
     Sequence,
     Text,
@@ -59,6 +60,10 @@ def expr_cost(expr: Expression) -> int:
         return expr_cost(expr.expr)
     if isinstance(expr, (And, Not, Binding, Voided, Text)):
         return 1 + expr_cost(expr.expr)
+    if isinstance(expr, Regex):
+        # One C-level scan, however large the absorbed region was — that is
+        # the point of fusion, and it keeps fused bodies attractive to inline.
+        return 2
     if isinstance(expr, CharSwitch):
         return 2 + max(
             [expr_cost(branch) for _, branch in expr.cases] + [expr_cost(expr.default)]

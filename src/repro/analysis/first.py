@@ -30,6 +30,7 @@ from repro.peg.expr import (
     Nonterminal,
     Not,
     Option,
+    Regex,
     Repetition,
     Sequence,
     Text,
@@ -60,6 +61,7 @@ class FirstAnalysis:
         self._grammar = grammar
         self._nullable = nullable_productions(grammar)
         self._production_first: dict[str, FirstSet] = {}
+        self._safe_productions: dict[str, bool] | None = None
         self._compute_productions()
 
     def _compute_productions(self) -> None:
@@ -109,24 +111,42 @@ class FirstAnalysis:
             return self.production_first(expr.name)
         if isinstance(expr, Sequence):
             chars: set[str] = set()
+            constraint: frozenset[str] | None = None
+            may_have_consumed = False
             for item in expr.items:
-                fs = self.first(item)
-                if isinstance(item, (And, Not)):
-                    # Predicates constrain but don't consume; a following
-                    # item provides the actual first character.  Treating
-                    # them as transparent keeps the set an over-approximation
-                    # only when the predicate is positive; a Not prefix means
-                    # we cannot narrow reliably, so give up on Not.
-                    if isinstance(item, Not):
-                        continue
-                    if fs.chars is None:
-                        return _UNKNOWN
+                # Predicates (possibly wrapped in value operators, which
+                # change nothing about what they match) constrain but don't
+                # consume; a following item provides the actual first
+                # character.  Dropping a predicate from the product only
+                # *widens* the set, so FIRST(!e x) ⊆ FIRST(x) and
+                # FIRST(&e x) ⊆ FIRST(x) are both sound over-approximations
+                # for dispatch.  A positive predicate at the very front
+                # additionally *narrows* the set: the first character must
+                # also start e, so intersect when e's FIRST is known.
+                inner = item
+                while isinstance(inner, (Binding, Voided, Text)):
+                    inner = inner.expr
+                if isinstance(inner, Not):
                     continue
+                if isinstance(inner, And):
+                    fk = self.first(inner.expr)
+                    if fk.chars is not None and not fk.nullable and not may_have_consumed:
+                        constraint = (
+                            fk.chars if constraint is None else constraint & fk.chars
+                        )
+                    continue
+                fs = self.first(item)
                 if fs.chars is None:
                     return _UNKNOWN
                 chars |= fs.chars
                 if not fs.nullable:
+                    if constraint is not None:
+                        chars &= constraint
                     return FirstSet(frozenset(chars), False)
+                if fs.chars:
+                    # A nullable item that may still consume input shifts the
+                    # position later predicates apply at; stop narrowing.
+                    may_have_consumed = True
             return FirstSet(frozenset(chars), True)
         if isinstance(expr, Choice):
             chars = set()
@@ -150,6 +170,8 @@ class FirstAnalysis:
             return FirstSet(None, True)
         if isinstance(expr, Not):
             return FirstSet(None, True)
+        if isinstance(expr, Regex):
+            return self.first(expr.original)
         if isinstance(expr, CharSwitch):
             chars = set()
             nullable = False
@@ -160,3 +182,92 @@ class FirstAnalysis:
                 return FirstSet(None, fs.nullable)
             return FirstSet(frozenset(chars | fs.chars), fs.nullable)
         raise TypeError(f"first: unhandled {type(expr).__name__}")
+
+    # -- dispatch safety ----------------------------------------------------
+
+    def dispatch_safe(self, expr: Expression) -> bool:
+        """May ``expr`` be *skipped* when the next character is outside its
+        FIRST set without changing the farthest-failure frontier?
+
+        First-character dispatch (``CharSwitch`` cases, the generator's
+        alternative guards) replaces an alternative's evaluation with a
+        single expected-set record at the current position.  That is only
+        observationally equivalent when evaluating the alternative on such a
+        character provably records nothing *beyond* the current position.
+        Terminal-led shapes qualify trivially: the first consuming item
+        fails on its very first character.  ``!e x`` heads qualify when
+        ``e`` is itself safe and every character that could start ``e`` lies
+        inside the sequence's own FIRST set — outside that set ``e`` fails
+        immediately and the continuation supplies the real failure (the
+        ``!Keyword Identifier`` idiom: keywords start with identifier
+        characters).  Positive predicates narrow FIRST below the operands'
+        own sets, so they are conservatively unsafe.
+        """
+        return self._expr_safe(expr)
+
+    def _production_safe(self, name: str) -> bool:
+        if self._safe_productions is None:
+            # Greatest fixpoint: assume every production safe, demote any
+            # whose alternatives turn out unsafe until stable.
+            safe = {n: True for n in self._grammar.names()}
+            self._safe_productions = safe
+            changed = True
+            while changed:
+                changed = False
+                for production in self._grammar:
+                    if not safe[production.name]:
+                        continue
+                    if not all(
+                        self._expr_safe(alt.expr) for alt in production.alternatives
+                    ):
+                        safe[production.name] = False
+                        changed = True
+        return self._safe_productions.get(name, False)
+
+    def _expr_safe(self, expr: Expression) -> bool:
+        if isinstance(expr, (Literal, CharClass, AnyChar, Epsilon, Fail, Action)):
+            return True
+        if isinstance(expr, Nonterminal):
+            return self._production_safe(expr.name)
+        if isinstance(expr, Sequence):
+            return self._sequence_safe(expr)
+        if isinstance(expr, Choice):
+            return all(self._expr_safe(alt) for alt in expr.alternatives)
+        if isinstance(expr, (Repetition, Option, Binding, Voided, Text)):
+            return self._expr_safe(expr.expr)
+        if isinstance(expr, Regex):
+            # Failure replay re-evaluates the original through the ordinary
+            # machinery, so a fused region records exactly what it would.
+            return self._expr_safe(expr.original)
+        if isinstance(expr, CharSwitch):
+            # A character outside FIRST matches no case, so only the default
+            # branch ever runs.
+            return self._expr_safe(expr.default)
+        return False  # bare And/Not: unbounded FIRST defeats dispatch anyway
+
+    def _sequence_safe(self, expr: Sequence) -> bool:
+        seq_first = self.first(expr)
+        for item in expr.items:
+            inner = item
+            while isinstance(inner, (Binding, Voided, Text)):
+                inner = inner.expr
+            if isinstance(inner, Not):
+                fk = self.first(inner.expr)
+                if fk.chars is None or not self._expr_safe(inner.expr):
+                    return False
+                if seq_first.chars is None or not fk.chars <= seq_first.chars:
+                    return False
+                continue
+            if isinstance(inner, And):
+                # The intersection narrowing means a skipped character can
+                # still start the predicate's operand, whose evaluation may
+                # record past the current position.
+                return False
+            if not self._expr_safe(item):
+                return False
+            fs = self.first(item)
+            if not fs.nullable:
+                # Items past the first non-nullable one are never reached
+                # when the first character already mismatches.
+                return True
+        return True

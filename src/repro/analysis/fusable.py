@@ -1,0 +1,366 @@
+"""Translatability analysis for scanner fusion.
+
+The fuse optimization (:mod:`repro.optim.fuse`) rewrites *fusable* regions
+— value-free, action-free, binding-free, non-recursive subexpressions built
+from literals, character classes, sequences, choices, options, repetitions,
+and predicates over fusable operands — into single :class:`~repro.peg.expr.Regex`
+leaves executed by the C regex engine.  This module decides which regions
+qualify, translates them to ``re`` patterns, and estimates whether a region
+is worth fusing.
+
+The translation is exact because PEG's committed-choice operators map onto
+``re``'s backtracking-suppression syntax (Python >= 3.11):
+
+=====================  ==================  ==================================
+PEG                    regex               why it is the same
+=====================  ==================  ==================================
+``e1 e2``              ``e1e2``            concatenation, both possessive
+``e1 / e2``            ``(?>e1|e2)``       atomic group: ordered, committed
+``e*`` / ``e+``        ``(?:e)*+`` `++`    possessive: greedy, never gives back
+``e?``                 ``(?:e)?+``         possessive option
+``&e`` / ``!e``        ``(?=e)`` `(?!e)``  lookarounds are atomic in ``re``
+``.`` (AnyChar)        ``.`` + DOTALL      matches any char incl. newline
+=====================  ==================  ==================================
+
+On interpreters older than 3.11 the possessive/atomic syntax raises
+``re.error``, so :func:`fusion_supported` gates the whole pass off there.
+
+Case-insensitive literals are deliberately *not* fusable: the backends
+compare ``text.lower()`` while ``re.IGNORECASE`` applies Unicode case
+folding, and the two disagree on characters like U+017F / U+212A.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass
+
+from repro.analysis.nullability import expr_nullable, nullable_productions
+from repro.peg.expr import (
+    And,
+    AnyChar,
+    CharClass,
+    Choice,
+    Epsilon,
+    Expression,
+    Literal,
+    Nonterminal,
+    Not,
+    Option,
+    Regex,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+    choice,
+    transform,
+    walk,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.production import ValueKind
+
+#: Possessive quantifiers and atomic groups appeared in Python 3.11.
+FUSION_SUPPORTED = sys.version_info >= (3, 11)
+
+#: A region is worth one C scan when it loops, or replaces at least this
+#: many Python-level terminal matches (below that, ``startswith`` and set
+#: membership are already optimal).
+MIN_FUSED_TERMINALS = 3
+
+_CHAR_ESCAPES = {
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+    "\f": "\\f",
+    "\v": "\\v",
+    "\0": "\\0",
+}
+
+_MISSING = object()
+
+
+def fusion_supported() -> bool:
+    """Does this interpreter's ``re`` accept possessive/atomic syntax?"""
+    return FUSION_SUPPORTED
+
+
+_COMPILED: dict[str, re.Pattern] = {}
+
+
+def compiled_pattern(pattern: str) -> re.Pattern:
+    """Compile (and cache) a fused pattern.
+
+    All fused patterns use ``re.DOTALL`` so ``.`` matches newlines, exactly
+    like ``AnyChar``.  The cache is shared process-wide: backends compiled
+    from the same prepared grammar — and the difftest oracle's many variants
+    — reuse one compiled program per distinct pattern.
+    """
+    compiled = _COMPILED.get(pattern)
+    if compiled is None:
+        compiled = _COMPILED[pattern] = re.compile(pattern, re.DOTALL)
+    return compiled
+
+
+def _escape(ch: str) -> str:
+    return _CHAR_ESCAPES.get(ch, re.escape(ch))
+
+
+@dataclass(frozen=True, slots=True)
+class FusionCoverage:
+    """How much of a prepared grammar's terminal matching fusion absorbed."""
+
+    regions: int
+    patterns: int
+    fused_terminals: int
+    plain_terminals: int
+
+    @property
+    def ratio(self) -> float:
+        total = self.fused_terminals + self.plain_terminals
+        return self.fused_terminals / total if total else 0.0
+
+
+class FusionAnalysis:
+    """Decide fusability, translate regions, and estimate benefit."""
+
+    def __init__(self, grammar: Grammar):
+        self._grammar = grammar
+        self._nullable = nullable_productions(grammar)
+        self._kinds = {p.name: p.kind for p in grammar.productions}
+        self._recursive = self._recursive_names(grammar)
+        self._regions: dict[str, Expression | None] = {}
+        #: Names inlined into at least one fused pattern (for stats/lint).
+        self.inlined_names: set[str] = set()
+
+    @staticmethod
+    def _recursive_names(grammar: Grammar) -> set[str]:
+        direct: dict[str, set[str]] = {
+            p.name: p.referenced_names() for p in grammar.productions
+        }
+        recursive: set[str] = set()
+        for name in direct:
+            seen: set[str] = set()
+            stack = list(direct.get(name, ()))
+            while stack:
+                ref = stack.pop()
+                if ref == name:
+                    recursive.add(name)
+                    break
+                if ref in seen:
+                    continue
+                seen.add(ref)
+                stack.extend(direct.get(ref, ()))
+        return recursive
+
+    def kind_of(self, name: str) -> ValueKind:
+        return self._kinds.get(name, ValueKind.OBJECT)
+
+    # -- fusability ---------------------------------------------------------
+
+    def fusable(self, expr: Expression) -> bool:
+        """Can ``expr`` be translated to an equivalent ``re`` pattern?"""
+        if isinstance(expr, Literal):
+            return not expr.ignore_case
+        if isinstance(expr, CharClass):
+            return bool(expr.ranges)
+        if isinstance(expr, (AnyChar, Epsilon)):
+            return True
+        if isinstance(expr, Sequence):
+            return all(self.fusable(item) for item in expr.items)
+        if isinstance(expr, Choice):
+            return all(self.fusable(alt) for alt in expr.alternatives)
+        if isinstance(expr, Repetition):
+            # A nullable ``e+`` fails in a PEG (the zero-width iteration
+            # doesn't count) but ``(?:e)++`` would succeed; well-formedness
+            # rejects these, but ``prepare(check=False)`` must stay exact.
+            if expr.min == 1 and expr_nullable(expr.expr, self._nullable):
+                return False
+            return self.fusable(expr.expr)
+        if isinstance(expr, (Option, And, Not, Voided, Text)):
+            return self.fusable(expr.expr)
+        if isinstance(expr, Nonterminal):
+            return self.region(expr.name) is not None
+        # Binding, Action, Fail, CharSwitch, Regex: never part of a region.
+        return False
+
+    def region(self, name: str) -> Expression | None:
+        """The inlinable region for a referenced production, or None.
+
+        A reference can join a fused region when the production is value-free
+        (``void`` or ``String`` kind — its value is machinery-built, never
+        assembled from the items), non-recursive, not marked ``nofuse``, and
+        its whole body is itself fusable.  The region is the body wrapped in
+        ``Voided``/``Text`` to mirror the reference's value contribution.
+        """
+        cached = self._regions.get(name, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        self._regions[name] = None  # cycle guard; recursion is unfusable
+        production = self._grammar.get(name)
+        if (
+            production is not None
+            and production.kind in (ValueKind.VOID, ValueKind.TEXT)
+            and not production.has("nofuse")
+            and name not in self._recursive
+            and all(self.fusable(alt.expr) for alt in production.alternatives)
+        ):
+            body = choice(*(alt.expr for alt in production.alternatives))
+            wrapper = Voided(body) if production.kind is ValueKind.VOID else Text(body)
+            self._regions[name] = wrapper
+        return self._regions[name]
+
+    def resolve(self, expr: Expression) -> Expression:
+        """Inline every referenced production, yielding a nonterminal-free
+        expression equivalent to ``expr`` (same matches, same expected-set
+        records — a reference evaluates its alternatives in order, exactly
+        like the inlined ordered choice)."""
+
+        def fn(node: Expression) -> Expression:
+            if isinstance(node, Nonterminal):
+                region = self.region(node.name)
+                if region is None:  # pragma: no cover - guarded by fusable()
+                    raise ValueError(f"cannot resolve unfusable reference {node.name}")
+                self.inlined_names.add(node.name)
+                return self.resolve(region)
+            return node
+
+        return transform(expr, fn)
+
+    # -- benefit ------------------------------------------------------------
+
+    def beneficial(self, resolved: Expression) -> bool:
+        """Is the region worth a scan?  A loop always is (the per-iteration
+        interpreter overhead is the dominant cost fusion removes); otherwise
+        require a few terminal matches to amortize the ``re`` call."""
+        terminals = 0
+        for node in walk(resolved):
+            if isinstance(node, Repetition):
+                return True
+            if isinstance(node, (Literal, CharClass, AnyChar)):
+                terminals += 1
+        return terminals >= MIN_FUSED_TERMINALS
+
+    # -- translation --------------------------------------------------------
+
+    def translate(self, resolved: Expression) -> str:
+        """The ``re`` pattern for a resolved (nonterminal-free) region."""
+        if isinstance(resolved, Literal):
+            return "".join(_escape(ch) for ch in resolved.text)
+        if isinstance(resolved, CharClass):
+            return self._class_pattern(resolved)
+        if isinstance(resolved, AnyChar):
+            return "."
+        if isinstance(resolved, Epsilon):
+            return ""
+        if isinstance(resolved, Sequence):
+            return "".join(self.translate(item) for item in resolved.items)
+        if isinstance(resolved, Choice):
+            return "(?>" + "|".join(self.translate(a) for a in resolved.alternatives) + ")"
+        if isinstance(resolved, Repetition):
+            return self._atom(resolved.expr) + ("++" if resolved.min == 1 else "*+")
+        if isinstance(resolved, Option):
+            return self._atom(resolved.expr) + "?+"
+        if isinstance(resolved, And):
+            return "(?=" + self.translate(resolved.expr) + ")"
+        if isinstance(resolved, Not):
+            return "(?!" + self.translate(resolved.expr) + ")"
+        if isinstance(resolved, (Voided, Text)):
+            return self.translate(resolved.expr)
+        raise TypeError(f"translate: unfusable {type(resolved).__name__}")
+
+    def _atom(self, expr: Expression) -> str:
+        """A self-delimited fragment a quantifier can attach to."""
+        while isinstance(expr, (Voided, Text)):
+            expr = expr.expr
+        if isinstance(expr, CharClass):
+            return self._class_pattern(expr)
+        if isinstance(expr, AnyChar):
+            return "."
+        if isinstance(expr, Literal) and len(expr.text) == 1 and not expr.ignore_case:
+            return _escape(expr.text)
+        if isinstance(expr, Choice):
+            return self.translate(expr)  # already an atomic group
+        return "(?:" + self.translate(expr) + ")"
+
+    @staticmethod
+    def _class_pattern(expr: CharClass) -> str:
+        parts: list[str] = []
+        for lo, hi in expr.ranges:
+            parts.append(_escape(lo) if lo == hi else f"{_escape(lo)}-{_escape(hi)}")
+        return ("[^" if expr.negated else "[") + "".join(parts) + "]"
+
+    # -- silence ------------------------------------------------------------
+
+    def silent_on_success(self, resolved: Expression) -> bool:
+        """Does a *successful* match of the region provably record nothing?
+
+        Pure literal/class concatenations never touch the expected set when
+        they match.  Anything with internal failure — an ordered choice whose
+        earlier alternative may fail, a repetition whose final iteration
+        fails, a ``!e`` whose success *is* ``e`` failing — records entries
+        (possibly beyond the match end), so successful scans of such regions
+        must still be noted for error replay.
+        """
+        if isinstance(resolved, (Literal, CharClass, AnyChar, Epsilon)):
+            return True
+        if isinstance(resolved, Sequence):
+            return all(self.silent_on_success(item) for item in resolved.items)
+        if isinstance(resolved, (And, Voided, Text)):
+            return self.silent_on_success(resolved.expr)
+        return False
+
+    # -- construction -------------------------------------------------------
+
+    def build_regex(
+        self, expr: Expression, *, capture: bool, label: str
+    ) -> Regex | None:
+        """Fuse ``expr`` into a ``Regex`` node, or None when not worthwhile.
+
+        ``expr`` must already satisfy :meth:`fusable`.  Returns None when the
+        region is below the benefit threshold or (defensively) when the
+        translated pattern fails to compile.
+        """
+        resolved = self.resolve(expr)
+        if not self.beneficial(resolved):
+            return None
+        pattern = self.translate(resolved)
+        try:
+            compiled_pattern(pattern)
+        except re.error:  # pragma: no cover - translation should never miss
+            return None
+        return Regex(
+            pattern=pattern,
+            original=resolved,
+            capture=capture,
+            silent=self.silent_on_success(resolved),
+            label=label,
+        )
+
+
+def fusion_coverage(grammar: Grammar) -> FusionCoverage:
+    """Measure fusion over a *prepared* grammar: how many terminal leaves
+    ended up inside fused regions vs. left for Python-level matching."""
+    regions = 0
+    patterns: set[str] = set()
+    fused = 0
+    plain = 0
+    for production in grammar:
+        for alternative in production.alternatives:
+            for node in walk(alternative.expr):
+                if isinstance(node, Regex):
+                    regions += 1
+                    patterns.add(node.pattern)
+                    fused += sum(
+                        1
+                        for sub in walk(node.original)
+                        if isinstance(sub, (Literal, CharClass, AnyChar))
+                    )
+                elif isinstance(node, (Literal, CharClass, AnyChar)):
+                    plain += 1
+    return FusionCoverage(
+        regions=regions,
+        patterns=len(patterns),
+        fused_terminals=fused,
+        plain_terminals=plain,
+    )

@@ -116,6 +116,31 @@ def lint(grammar: Grammar) -> list[LintFinding]:
     return findings
 
 
+def lint_useless_nofuse(grammar: Grammar) -> list[LintFinding]:
+    """Flag ``nofuse`` attributes that change nothing.
+
+    A ``nofuse`` annotation is useful only if the production (or a region
+    it participates in) would otherwise be fused by the scanner-fusion
+    pass.  On interpreters that cannot fuse at all the check is skipped
+    rather than flagging every annotation.
+    """
+    # Imported lazily: the optimizer depends on the analysis package, so a
+    # module-level import here would be circular.
+    from repro.analysis.fusable import fusion_supported
+    from repro.optim.fuse import useless_nofuse
+
+    if not fusion_supported():
+        return []
+    return [
+        LintFinding(
+            "useless-nofuse",
+            name,
+            "nofuse has no effect: the production would not be fused anyway",
+        )
+        for name in useless_nofuse(grammar)
+    ]
+
+
 def _expression_lints(owner: str, expr: Expression, kind_of, nullable) -> list[LintFinding]:
     findings: list[LintFinding] = []
     for node in walk(expr):

@@ -25,6 +25,7 @@ from repro.peg.expr import (
     Nonterminal,
     Not,
     Option,
+    Regex,
     Repetition,
     Sequence,
     Text,
@@ -54,6 +55,10 @@ def expr_nullable(expr: Expression, nullable_names: set[str]) -> bool:
         return True
     if isinstance(expr, (Binding, Voided, Text)):
         return expr_nullable(expr.expr, nullable_names)
+    if isinstance(expr, Regex):
+        # Fused regions have nonterminal-free originals, so production
+        # nullability assumptions are irrelevant to them.
+        return expr_nullable(expr.original, nullable_names)
     if isinstance(expr, CharSwitch):
         return any(expr_nullable(e, nullable_names) for _, e in expr.cases) or expr_nullable(
             expr.default, nullable_names

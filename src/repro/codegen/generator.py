@@ -45,6 +45,7 @@ from repro.peg.expr import (
     Nonterminal,
     Not,
     Option,
+    Regex,
     Repetition,
     Sequence,
     Text,
@@ -98,6 +99,11 @@ class ParserGenerator:
         self._action_defs: list[str] = []
         self._charsets: dict[frozenset[str], str] = {}
         self._expected: dict[str, str] = {}
+        # Fused-scan support: interned compiled patterns and the per-region
+        # replay functions that reproduce farthest-failure records on demand.
+        self._patterns: dict[str, str] = {}
+        self._replays: dict[Regex, str] = {}
+        self._replay_defs: list[str] = []
         self._counter = 0
         self._with_location_default = "withLocation" in self.grammar.options
         # Dense memo indices for non-transient productions.
@@ -124,6 +130,37 @@ class ParserGenerator:
         if existing is None:
             existing = f"_E{len(self._expected)}"
             self._expected[message] = existing
+        return existing
+
+    def _pattern_const(self, pattern: str) -> str:
+        existing = self._patterns.get(pattern)
+        if existing is None:
+            existing = f"_RX{len(self._patterns)}"
+            self._patterns[pattern] = existing
+        return existing
+
+    def _replay_fn(self, expr: Regex) -> str:
+        """The module-level replay function for one fused region.
+
+        Its body is the ordinary generated code for the region's original
+        expression, run purely for its farthest-failure records — which means
+        it naturally goes through :meth:`_fail`, so under the ``errors`` flag
+        it shares (and never mutates) the module's constant expected tables.
+        """
+        existing = self._replays.get(expr)
+        if existing is None:
+            existing = f"_fused_replay{len(self._replays)}"
+            self._replays[expr] = existing
+            w = CodeWriter()
+            with w.block(f"def {existing}(self, pos):"):
+                w.line("# Replays one fused region's original expression for its")
+                w.line("# expected-set records (see ParserBase._drain_fused).")
+                w.line("text = self._text")
+                ok_var = self._fresh("ok")
+                value_var = self._fresh("v")
+                w.line(f"{ok_var} = True")
+                self._emit(w, expr.original, "pos", value_var, ok_var, False)
+            self._replay_defs.append(w.render())
         return existing
 
     def _action_fn(self, code: str, names: tuple[str, ...]) -> str:
@@ -170,9 +207,11 @@ class ParserGenerator:
             w.line(f"{const} = frozenset({''.join(sorted(chars))!r})")
         for message, const in self._expected.items():
             w.line(f"{const} = [{message!r}]")
-        if self._charsets or self._expected:
+        for pattern, const in self._patterns.items():
+            w.line(f"{const} = _re.compile({pattern!r}, _re.DOTALL).match")
+        if self._charsets or self._expected or self._patterns:
             w.line()
-        for definition in self._action_defs:
+        for definition in self._action_defs + self._replay_defs:
             for line in definition.splitlines():
                 w.line(line)
             w.line()
@@ -195,6 +234,7 @@ class ParserGenerator:
             f"Optimizations: {', '.join(self.options.enabled()) or 'none'}",
             '"""',
             "",
+            *(("import re as _re",) if self._patterns else ()),
             "from repro.runtime.base import ParserBase",
             "from repro.runtime.node import GNode",
             "from repro.runtime.actionlib import ACTION_GLOBALS",
@@ -260,6 +300,11 @@ class ParserGenerator:
         self._memo_accounting(w)
         for production in self.grammar:
             self._production_method(w, production)
+        if self._replays:
+            with w.block("def _replay_fused(self, token, pos):"):
+                w.line("# token is one of the module's _fused_replayN functions.")
+                w.line("token(self, pos)")
+            w.line()
 
     def _memo_accounting(self, w: CodeWriter) -> None:
         if self.options.chunks:
@@ -397,7 +442,15 @@ class ParserGenerator:
         useful = False
         for alternative in production.alternatives:
             fs = self.first.first(alternative.expr)
-            if fs.known and fs.chars and len(fs.chars) <= 64:
+            if (
+                fs.known
+                and fs.chars
+                and len(fs.chars) <= 64
+                # A guarded skip records one failure at ``pos``; that must be
+                # exactly what evaluating the alternative would have recorded
+                # (see FirstAnalysis.dispatch_safe).
+                and self.first.dispatch_safe(alternative.expr)
+            ):
                 guards.append((self._charset_const(fs.chars), _first_set_message(fs.chars)))
                 useful = True
             else:
@@ -577,6 +630,8 @@ class ParserGenerator:
             self._fail(w, pos_var, expr.message or "nothing")
         elif isinstance(expr, CharSwitch):
             self._emit_char_switch(w, expr, pos_var, value_var, ok_var, need_value)
+        elif isinstance(expr, Regex):
+            self._emit_regex(w, expr, pos_var, value_var, ok_var, need_value)
         else:  # pragma: no cover
             raise CodegenError(f"cannot generate code for {type(expr).__name__}")
 
@@ -769,6 +824,34 @@ class ParserGenerator:
             if need_value:
                 with w.block(f"if {ok_var}:"):
                     w.line(f"{value_var} = {default_value}")
+
+
+    def _emit_regex(self, w, expr, pos_var, value_var, ok_var, need_value) -> None:
+        # One C-level scan for a whole fused region.  Failures — and
+        # successes of regions whose match can step over recordable failures
+        # — are noted for lazy replay; the scan itself never touches the
+        # expected set (see ParserBase._drain_fused for the argument).
+        scan = self._pattern_const(expr.pattern)
+        replay = self._replay_fn(expr)
+        if self.profiled:
+            self._bump(w, "fused_scans", expr.label or "<fused>")
+        match = self._fresh("m")
+        w.line(f"{match} = {scan}(text, {pos_var})")
+        with w.block(f"if {match} is None:"):
+            w.line(f"self._fused_pending.append(({replay}, {pos_var}))")
+            w.line(f"{ok_var} = False")
+        with w.block("else:"):
+            if not expr.silent:
+                w.line(f"self._fused_pending.append(({replay}, {pos_var}))")
+            if need_value and expr.capture:
+                end = self._fresh("e")
+                w.line(f"{end} = {match}.end()")
+                w.line(f"{value_var} = text[{pos_var}:{end}]")
+                w.line(f"{pos_var} = {end}")
+            else:
+                if need_value:
+                    w.line(f"{value_var} = None")
+                w.line(f"{pos_var} = {match}.end()")
 
 
 def _has_binding(expr: Expression) -> bool:

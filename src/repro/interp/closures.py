@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.analysis.fusable import compiled_pattern
 from repro.errors import AnalysisError
 from repro.peg.expr import (
     Action,
@@ -38,6 +39,7 @@ from repro.peg.expr import (
     Nonterminal,
     Not,
     Option,
+    Regex,
     Repetition,
     Sequence,
     Text,
@@ -68,6 +70,12 @@ class _State(ParserBase):
         self.memo = memo
         self.env: dict[str, Any] = {}
         self._source = source
+
+    def _replay_fused(self, token: Any, pos: int) -> None:
+        # ``token`` is the compiled fallback matcher for the fused region's
+        # original expression; running it reproduces the ``_expected``
+        # records the single-scan path could not make.
+        token(self, pos)
 
 
 class _ProfiledState(_State):
@@ -463,6 +471,8 @@ class ClosureParser:
                 return FAILPAIR
 
             return match_fail
+        if isinstance(expr, Regex):
+            return self._compile_regex(expr)
         if isinstance(expr, CharSwitch):
             cases = [(chars, self._compile(branch)) for chars, branch in expr.cases]
             default = self._compile(expr.default)
@@ -480,6 +490,36 @@ class ClosureParser:
 
             return match_switch
         raise AnalysisError(f"cannot compile {type(expr).__name__}")
+
+    def _compile_regex(self, expr: Regex) -> Matcher:
+        scan = compiled_pattern(expr.pattern).match
+        # The fallback matcher re-runs the region's original expression for
+        # its ``_expected`` side effects, deferred until an error message is
+        # demanded (see ParserBase._drain_fused).
+        fallback = self._compile(expr.original)
+        capture = expr.capture
+        silent = expr.silent
+        profile = self._profile
+        label = expr.label or "<fused>"
+
+        def match_fused(state, pos):
+            match = scan(state._text, pos)
+            if match is None:
+                state._fused_pending.append((fallback, pos))
+                return FAILPAIR
+            if not silent:
+                state._fused_pending.append((fallback, pos))
+            end = match.end()
+            return end, state._text[pos:end] if capture else None
+
+        if profile is None:
+            return match_fused
+
+        def match_fused_profiled(state, pos):
+            profile.fused_scan(label)
+            return match_fused(state, pos)
+
+        return match_fused_profiled
 
     def _compile_literal(self, expr: Literal) -> Matcher:
         text_value = expr.text

@@ -34,6 +34,7 @@ from repro.peg.expr import (
     Nonterminal,
     Not,
     Option,
+    Regex,
     Repetition,
     Sequence,
     Text,
@@ -41,6 +42,7 @@ from repro.peg.expr import (
 )
 from repro.peg.grammar import Grammar
 from repro.peg.production import Production, ValueKind
+from repro.analysis.fusable import compiled_pattern
 from repro.peg.values import binding_names, contributes, kind_lookup, node_name, pass_through
 from repro.runtime.actionlib import ACTION_GLOBALS
 from repro.runtime.base import ParserBase
@@ -177,6 +179,9 @@ class _Run(ParserBase):
         self._interp = interpreter
         self._source = source
         self._active: set[tuple[str, int]] = set()
+        #: Set by ProfilingRun to ``profile.fused_scans``; the plain run
+        #: checks one attribute per fused scan and skips all accounting.
+        self._fused_counts: dict[str, int] | None = None
         if interpreter.memoize:
             names = list(interpreter._productions)
             self._memo = make_memo_table(names, chunked=interpreter.chunked)
@@ -278,6 +283,13 @@ class _Run(ParserBase):
             return explicit[-1]
         return pass_through(contributions)
 
+    def _replay_fused(self, token: Any, pos: int) -> None:
+        # Re-evaluate the fused region's original expression purely for its
+        # expected-set records (see ParserBase._drain_fused).  The original
+        # is nonterminal-free, binding-free and action-free, so the empty
+        # environment is never read.
+        self._eval(token.original, pos, {})
+
     # -- expression evaluation ------------------------------------------------------
 
     def _eval(self, expr: Expression, pos: int, env: dict[str, Any]) -> tuple[int, Any]:
@@ -304,6 +316,22 @@ class _Run(ParserBase):
                 return pos + 1, text[pos]
             self._expected(pos, "any character")
             return FAIL, None
+        if isinstance(expr, Regex):
+            counts = self._fused_counts
+            if counts is not None:
+                key = expr.label or "<fused>"
+                counts[key] = counts.get(key, 0) + 1
+            match = compiled_pattern(expr.pattern).match(text, pos)
+            if match is None:
+                self._fused_pending.append((expr, pos))
+                return FAIL, None
+            if not expr.silent:
+                # A successful scan may still have stepped over recordable
+                # failures (choice backtracks, the final repetition
+                # iteration); note it for lazy error replay.
+                self._fused_pending.append((expr, pos))
+            end = match.end()
+            return end, text[pos:end] if expr.capture else None
         if isinstance(expr, Nonterminal):
             return self.apply(expr.name, pos)
         if isinstance(expr, Sequence):

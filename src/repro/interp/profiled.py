@@ -36,6 +36,9 @@ class ProfilingRun(_Run):
         super().__init__(interpreter, text, source)
         self._profile = profile
         self._stack: list[str] = []
+        # The inherited _eval counts fused Regex scans into this dict when
+        # set (one attribute check on the plain path, nothing more).
+        self._fused_counts = profile.fused_scans
         if self._memo is not None:
             names = list(interpreter._productions)
             self._memo = make_memo_table(

@@ -1,0 +1,270 @@
+"""Scanner fusion: compile value-free terminal regions to single ``re`` scans.
+
+The dominant remaining cost in a pure-Python packrat parser is interpreter
+overhead *per character*.  This pass finds regions whose match result is
+fully described by (success, end position) — no semantic value, no bindings,
+no actions, no recursion — and replaces each with a
+:class:`~repro.peg.expr.Regex` leaf whose pattern the C regex engine
+executes in one call.  :mod:`repro.analysis.fusable` holds the
+translatability rules and the PEG→``re`` mapping (ordered choice → atomic
+group, repetition → possessive quantifier) that makes the rewrite exact.
+
+Value discipline.  A region may be fused with ``capture=False`` only where
+its raw value provably never reaches a consumer: anywhere inside ``void``/
+``String`` production bodies, under ``void:``/``text:``/predicates, or as a
+non-contributing sequence item.  In positions where the raw value may flow
+(a binding, a contributing choice) only two shapes fuse, both with
+``capture=True`` and a value equal to the unfused one — ``text:e`` regions
+and references to ``String``-kind productions, whose value is the matched
+span either way.  Runs of adjacent fusable sequence items (and adjacent
+fusable choice alternatives) merge into one scan.
+
+Error parity.  Fused scans are noted (expression, position) on failure —
+and on success for regions that may record expected-set entries — and
+replayed through the ordinary machinery by ``ParserBase.parse_error``, so
+farthest-failure offsets and expected sets are bit-identical to the unfused
+pipeline.  See ``runtime/base.py``.
+
+Productions marked ``nofuse`` are left alone and never inlined into fused
+regions.  On interpreters before 3.11 (no possessive/atomic syntax) the
+pass is a no-op.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fusable import FusionAnalysis, fusion_supported
+from repro.peg.expr import (
+    And,
+    Binding,
+    CharSwitch,
+    Choice,
+    Epsilon,
+    Expression,
+    Nonterminal,
+    Not,
+    Option,
+    Repetition,
+    Sequence,
+    Text,
+    Voided,
+    choice,
+    seq,
+)
+from repro.peg.grammar import Grammar
+from repro.peg.production import Production, ValueKind
+from repro.peg.values import contributes, kind_lookup
+
+
+def fuse_scanners(grammar: Grammar) -> Grammar:
+    """Fuse every worthwhile region in ``grammar`` (no-op before 3.11)."""
+    if not fusion_supported():
+        return grammar
+    fuser = _Fuser(grammar)
+    updated = [p for p in (fuser.fuse_production(prod) for prod in grammar) if p]
+    if not updated:
+        return grammar
+    return grammar.replace_productions(updated)
+
+
+def useless_nofuse(grammar: Grammar) -> list[str]:
+    """Productions whose ``nofuse`` attribute changes nothing: with the
+    attribute ignored, fusion would neither fuse a region inside their body
+    nor inline them into any other production's region."""
+    flagged = [p.name for p in grammar if p.has("nofuse")]
+    if not flagged or not fusion_supported():
+        return []
+    stripped = grammar.replace_productions(
+        [p.with_attributes(p.attributes - {"nofuse"}) for p in grammar if p.has("nofuse")]
+    )
+    fuser = _Fuser(stripped)
+    for production in stripped:
+        fuser.fuse_production(production)
+    useful = fuser.fused_productions | fuser.analysis.inlined_names
+    return [name for name in flagged if name not in useful]
+
+
+def _raw_is_none(expr: Expression, kind_of) -> bool:
+    """Is the expression's *raw* dynamic value always None?
+
+    Non-contributing expressions still produce raw values (a literal yields
+    its text) that a binding or a contributing choice can observe; fusion in
+    such positions is only transparent when the raw value was None anyway.
+    """
+    if isinstance(expr, (Voided, Not, And, Epsilon)):
+        return True
+    if isinstance(expr, (Sequence, Repetition, Option)):
+        return not contributes(expr, kind_of)
+    if isinstance(expr, Nonterminal):
+        return kind_of(expr.name) is ValueKind.VOID
+    if isinstance(expr, Choice):
+        return all(_raw_is_none(a, kind_of) for a in expr.alternatives)
+    return False
+
+
+class _Fuser:
+    """One grammar-wide rewrite; tracks what fused for stats and lint."""
+
+    def __init__(self, grammar: Grammar):
+        self.analysis = FusionAnalysis(grammar)
+        self._kind_of = kind_lookup(grammar)
+        self._label = ""
+        #: Productions that got at least one fused region in their body.
+        self.fused_productions: set[str] = set()
+
+    def _contributes(self, expr: Expression) -> bool:
+        return contributes(expr, self._kind_of)
+
+    def fuse_production(self, production: Production) -> Production | None:
+        """The fused production, or None when nothing changed."""
+        if production.has("nofuse"):
+            return None
+        self._label = production.name
+        # Inside void/String bodies every value is machinery-built (None or
+        # the matched span), so item values are dead and whole alternatives
+        # may fuse regardless of what would normally contribute.
+        body_discards = production.kind in (ValueKind.VOID, ValueKind.TEXT)
+        changed = False
+        alternatives = []
+        for alternative in production.alternatives:
+            discard = body_discards or not self._contributes(alternative.expr)
+            rewritten = self._rewrite(alternative.expr, discard)
+            if rewritten != alternative.expr:
+                changed = True
+                alternatives.append(alternative.with_expr(rewritten))
+            else:
+                alternatives.append(alternative)
+        if not changed:
+            return None
+        self.fused_productions.add(production.name)
+        return production.with_alternatives(tuple(alternatives))
+
+    # -- rewriting ----------------------------------------------------------
+
+    def _rewrite(self, expr: Expression, discard: bool) -> Expression:
+        fused = self._try_fuse(expr, discard)
+        if fused is not None:
+            return fused
+        if isinstance(expr, Sequence):
+            return self._rewrite_sequence(expr, discard)
+        if isinstance(expr, Choice):
+            return self._rewrite_choice(expr, discard)
+        if isinstance(expr, Repetition):
+            inner = not self._contributes(expr.expr) or discard
+            return Repetition(self._rewrite(expr.expr, inner), expr.min)
+        if isinstance(expr, Option):
+            inner = not self._contributes(expr.expr) or discard
+            return Option(self._rewrite(expr.expr, inner))
+        if isinstance(expr, Binding):
+            # The bound value is the child's raw value: no discarding below.
+            return Binding(expr.name, self._rewrite(expr.expr, False))
+        if isinstance(expr, Voided):
+            return Voided(self._rewrite(expr.expr, True))
+        if isinstance(expr, Text):
+            return Text(self._rewrite(expr.expr, True))
+        if isinstance(expr, And):
+            return And(self._rewrite(expr.expr, True))
+        if isinstance(expr, Not):
+            return Not(self._rewrite(expr.expr, True))
+        if isinstance(expr, CharSwitch):
+            cases = tuple(
+                (chars, self._rewrite(branch, discard)) for chars, branch in expr.cases
+            )
+            return CharSwitch(cases, self._rewrite(expr.default, discard))
+        return expr
+
+    def _try_fuse(self, expr: Expression, discard: bool) -> Expression | None:
+        analysis = self.analysis
+        if not analysis.fusable(expr):
+            return None
+        if discard:
+            return analysis.build_regex(expr, capture=False, label=self._label)
+        # Value position: fuse only when the fused value equals the unfused
+        # raw value — the matched span for text-captured shapes, None for
+        # shapes whose raw value was already None.
+        if isinstance(expr, Text):
+            return analysis.build_regex(expr, capture=True, label=self._label)
+        if (
+            isinstance(expr, Nonterminal)
+            and analysis.kind_of(expr.name) is ValueKind.TEXT
+        ):
+            return analysis.build_regex(expr, capture=True, label=self._label)
+        if not self._contributes(expr) and _raw_is_none(expr, self._kind_of):
+            return analysis.build_regex(expr, capture=False, label=self._label)
+        return None
+
+    def _rewrite_sequence(self, expr: Sequence, discard: bool) -> Expression:
+        analysis = self.analysis
+        out: list[Expression] = []
+        run: list[Expression] = []
+
+        def run_eligible(item: Expression) -> bool:
+            if not analysis.fusable(item):
+                return False
+            if discard:
+                return True
+            # In value position a merged region yields None; every absorbed
+            # item must have been value-dead (and raw-None) already.
+            return not self._contributes(item) and _raw_is_none(item, self._kind_of)
+
+        def flush() -> None:
+            if not run:
+                return
+            items = run[:]
+            del run[:]
+            if len(items) > 1:
+                fused = analysis.build_regex(
+                    seq(*items), capture=False, label=self._label
+                )
+                if fused is not None:
+                    out.append(fused)
+                    return
+            for item in items:
+                # Run items are value-dead by eligibility, in either mode.
+                out.append(self._rewrite(item, True))
+
+        for item in expr.items:
+            if run_eligible(item):
+                run.append(item)
+            else:
+                flush()
+                item_discard = discard or not self._contributes(item)
+                out.append(self._rewrite(item, item_discard))
+        flush()
+        return seq(*out)
+
+    def _rewrite_choice(self, expr: Choice, discard: bool) -> Expression:
+        analysis = self.analysis
+        out: list[Expression] = []
+        run: list[Expression] = []
+
+        def run_eligible(alt: Expression) -> bool:
+            if not analysis.fusable(alt):
+                return False
+            if discard:
+                return True
+            return not self._contributes(alt) and _raw_is_none(alt, self._kind_of)
+
+        def flush() -> None:
+            if not run:
+                return
+            alternatives = run[:]
+            del run[:]
+            if len(alternatives) > 1:
+                fused = analysis.build_regex(
+                    choice(*alternatives), capture=False, label=self._label
+                )
+                if fused is not None:
+                    out.append(fused)
+                    return
+            for alt in alternatives:
+                # Run alternatives are value-dead by eligibility.
+                out.append(self._rewrite(alt, True))
+
+        for alt in expr.alternatives:
+            if run_eligible(alt):
+                run.append(alt)
+            else:
+                flush()
+                out.append(self._rewrite(alt, discard))
+        flush()
+        return choice(*out)

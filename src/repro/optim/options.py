@@ -22,6 +22,9 @@ interpreter configuration (runtime flags ``chunks`` and ``errors``).
 ``errors``     constant-table farthest-failure tracking instead of building
                expected-message strings at every failure site
 ``prefixes``   fold common prefixes of adjacent alternatives
+``fuse``       scanner fusion: compile value-free terminal regions to single
+               ``re`` scans (atomic groups / possessive quantifiers; no-op
+               before Python 3.11)
 =============  ================================================================
 """
 
@@ -44,6 +47,7 @@ class Options:
     inline: bool = True
     errors: bool = True
     prefixes: bool = True
+    fuse: bool = True
 
     #: Cost threshold for inlining (see :mod:`repro.analysis.cost`).
     inline_threshold: int = 12
@@ -91,7 +95,7 @@ class Options:
     def cumulative(cls) -> list[tuple[str, "Options"]]:
         """The ablation ladder for experiment E3: start from nothing and
         enable one optimization at a time, in canonical order.  Returns
-        ``[("none", none), ("+chunks", …), …, ("+prefixes", all)]``."""
+        ``[("none", none), ("+chunks", …), …, ("+fuse", all)]``."""
         ladder: list[tuple[str, Options]] = [("none", cls.none())]
         current = cls.none()
         for name in cls.flag_names():

@@ -10,9 +10,13 @@
    ``optional`` are **off** (the optimized pipeline keeps them native)
 4. grammar folding (``grammar``)
 5. common-prefix folding (``prefixes``)
-6. terminal dispatch specialization (``terminals``)
-7. cost-based inlining (``inline``)
-8. transient handling: infer when ``transient`` is on, strip when off
+6. scanner fusion (``fuse``) — after prefix folding so folded literal runs
+   fuse whole, before terminal specialization so dispatch sees fused leaves
+7. terminal dispatch specialization (``terminals``)
+8. cost-based inlining (``inline``)
+9. transient handling: infer when ``transient`` is on, strip when off —
+   fused regions are transient by construction (a single C-level scan,
+   nothing worth memoizing) because they are leaves, not productions
 
 The remaining two flags — ``chunks`` and ``errors`` — don't rewrite the
 grammar; they configure the memo-table organization and failure tracking of
@@ -26,6 +30,7 @@ from dataclasses import dataclass
 
 from repro.analysis.wellformed import Diagnostic, require_wellformed
 from repro.optim.dedup import fold_grammar
+from repro.optim.fuse import fuse_scanners
 from repro.optim.inline import inline_cheap_productions
 from repro.optim.options import Options
 from repro.optim.prefixes import fold_prefixes
@@ -38,7 +43,7 @@ from repro.transform.leftrec import transform_left_recursion
 #: Bump whenever the pipeline's semantics change (a pass is added, removed,
 #: reordered, or its output format shifts).  The compilation cache folds this
 #: into its keys, so stale prepared grammars are rebuilt, never trusted.
-PIPELINE_VERSION = 1
+PIPELINE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -73,6 +78,8 @@ def prepare(grammar: Grammar, options: Options | None = None, check: bool = True
         grammar = fold_grammar(grammar)
     if opts.prefixes:
         grammar = fold_prefixes(grammar)
+    if opts.fuse:
+        grammar = fuse_scanners(grammar)
     if opts.terminals:
         grammar = specialize_terminals(grammar)
     if opts.inline:

@@ -47,6 +47,12 @@ def build_char_switch(expr: Choice, first: FirstAnalysis) -> Expression | None:
         fs = first.first(alternative)
         if not fs.known or not fs.chars:
             return None
+        # Dispatch skips alternatives wholesale, so each must provably
+        # record nothing beyond the current position when skipped (see
+        # FirstAnalysis.dispatch_safe) or farthest-failure reports would
+        # depend on the optimization flag.
+        if not first.dispatch_safe(alternative):
+            return None
         first_sets.append(fs.chars)
     all_chars = frozenset().union(*first_sets)
     if len(all_chars) > MAX_DISPATCH_CHARS:

@@ -161,6 +161,7 @@ class GrammarBuilder:
         memo: bool = False,
         inline: bool = False,
         noinline: bool = False,
+        nofuse: bool = False,
     ) -> "GrammarBuilder":
         """Define a production; returns self for chaining."""
         if name in self._names:
@@ -171,6 +172,7 @@ class GrammarBuilder:
             "memo": memo,
             "inline": inline,
             "noinline": noinline,
+            "nofuse": nofuse,
         }
         attributes = frozenset(flag for flag, on in flags.items() if on)
         if self._with_location and kind is ValueKind.GENERIC:

@@ -27,6 +27,9 @@ Expression forms
 ``Fail``             never match (used by analyses/optimizers)
 ``CharSwitch``       internal: first-character dispatch produced by the
                      terminal optimization; never written by users
+``Regex``            internal: a fused scanner region produced by the fuse
+                     optimization; one C-level ``re`` scan replacing a
+                     value-free terminal subtree
 ===================  ===========================================================
 
 The constructors :func:`seq` and :func:`choice` perform the obvious
@@ -224,6 +227,41 @@ class CharSwitch(Expression):
 
     cases: tuple[tuple[frozenset[str], Expression], ...]
     default: Expression = field(default_factory=Fail)
+
+
+@dataclass(frozen=True, slots=True)
+class Regex(Expression):
+    """A fused scanner region (internal, built by the fuse optimization).
+
+    ``pattern`` is an ``re``-syntax translation of ``original`` using atomic
+    groups and possessive quantifiers (Python >= 3.11), compiled with
+    ``re.DOTALL`` at backend-compile time so ``.`` matches newlines like
+    ``AnyChar`` does.  The pattern is stored as a *string* so prepared
+    grammars stay picklable for the on-disk compilation cache.
+
+    ``original`` is the value-free expression the scan replaces, with every
+    referenced production inlined (it contains no ``Nonterminal`` and no
+    ``Regex``).  It is deliberately **not** part of :func:`children`: a
+    ``Regex`` is a leaf to every traversal, so later passes neither rewrite
+    nor double-count the absorbed region.  Backends keep it around to replay
+    the region through the ordinary machinery when an error message is
+    actually demanded — a single C scan cannot reproduce the expected-set
+    bookkeeping, so failure (and non-silent success) positions are noted and
+    re-evaluated lazily in ``parse_error()``.
+
+    ``capture`` is True for ``text:``-captured regions: the semantic value is
+    the matched span (otherwise None, and the node does not contribute).
+    ``silent`` marks regions whose *successful* match provably records no
+    expected-set entries (pure literal/class sequences), letting backends
+    skip the replay note on the hot path.  ``label`` carries the enclosing
+    production name for profiler attribution and is excluded from equality.
+    """
+
+    pattern: str
+    original: Expression
+    capture: bool = False
+    silent: bool = False
+    label: str = field(default="", compare=False)
 
 
 # ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ from repro.peg.expr import (
     Nonterminal,
     Not,
     Option,
+    Regex,
     Repetition,
     Sequence,
     Text,
@@ -102,6 +103,10 @@ def _format(expr: Expression) -> tuple[str, int]:
         return "text:" + format_expression(expr.expr, _SUFFIX), _PREFIX
     if isinstance(expr, Action):
         return "{ " + expr.code + " }", _PRIMARY
+    if isinstance(expr, Regex):
+        # Regex is internal; print the region it replaced (the pattern has
+        # no .mg surface form, and the original is the equivalent grammar).
+        return _format(expr.original)
     if isinstance(expr, CharSwitch):
         # CharSwitch is internal; print as the equivalent choice.
         alts = [format_expression(e, _SEQUENCE) for _, e in expr.cases]
@@ -119,7 +124,7 @@ _KIND_KEYWORD = {
 }
 
 # Attribute order mirrors conventional .mg style.
-_ATTRIBUTE_ORDER = ("public", "transient", "memo", "inline", "noinline", "withLocation")
+_ATTRIBUTE_ORDER = ("public", "transient", "memo", "inline", "noinline", "nofuse", "withLocation")
 
 
 def format_production(prod: Production) -> str:

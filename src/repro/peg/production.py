@@ -56,7 +56,7 @@ class ValueKind(enum.Enum):
 
 #: Attributes accepted on productions in ``.mg`` files.
 KNOWN_ATTRIBUTES = frozenset(
-    {"public", "transient", "memo", "inline", "noinline", "withLocation"}
+    {"public", "transient", "memo", "inline", "noinline", "nofuse", "withLocation"}
 )
 
 

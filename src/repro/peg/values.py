@@ -39,6 +39,7 @@ from repro.peg.expr import (
     Nonterminal,
     Not,
     Option,
+    Regex,
     Repetition,
     Sequence,
     Text,
@@ -58,6 +59,8 @@ def contributes(expr: Expression, kind_of: Callable[[str], ValueKind]) -> bool:
         return False
     if isinstance(expr, (Text, Action)):
         return True
+    if isinstance(expr, Regex):
+        return expr.capture
     if isinstance(expr, Nonterminal):
         return kind_of(expr.name) is not ValueKind.VOID
     if isinstance(expr, Binding):

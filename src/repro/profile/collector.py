@@ -131,6 +131,9 @@ class ParseProfile:
         self.backtracks: dict[str, int] = {}
         self.wasted_chars: dict[str, int] = {}
         self.farthest: dict[str, int] = {}
+        #: Fused single-scan ``Regex`` evaluations, keyed by the enclosing
+        #: production's name (see the ``fuse`` optimization).
+        self.fused_scans: dict[str, int] = {}
         self.coverage = coverage if coverage is not None else CoverageMatrix()
         #: Completed ``parse()`` calls (successful or not) observed via
         #: :meth:`count_parse`.
@@ -187,12 +190,17 @@ class ParseProfile:
         """``production`` advanced the farthest-failure frontier."""
         self.farthest[production] = self.farthest.get(production, 0) + 1
 
+    def fused_scan(self, production: str) -> None:
+        """One fused ``Regex`` region was scanned inside ``production``."""
+        self.fused_scans[production] = self.fused_scans.get(production, 0) + 1
+
     # -- derived totals --------------------------------------------------------
 
     def production_names(self) -> list[str]:
         names = set(self.invocations)
         for counter in (self.memo_hits, self.memo_misses, self.successes,
-                        self.failures, self.backtracks, self.wasted_chars, self.farthest):
+                        self.failures, self.backtracks, self.wasted_chars,
+                        self.farthest, self.fused_scans):
             names.update(counter)
         return sorted(names)
 
@@ -210,6 +218,9 @@ class ParseProfile:
 
     def total_wasted_chars(self) -> int:
         return sum(self.wasted_chars.values())
+
+    def total_fused_scans(self) -> int:
+        return sum(self.fused_scans.values())
 
     def memo_hit_rate(self) -> float:
         looked_up = self.total_memo_hits() + self.total_memo_misses()

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.profile.collector import ParseProfile
 
 #: Bump when the report's JSON layout changes.
-REPORT_FORMAT = 1
+REPORT_FORMAT = 2
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,7 @@ class ProductionProfile:
     backtracks: int = 0
     wasted_chars: int = 0
     farthest: int = 0
+    fused_scans: int = 0
 
     @property
     def memo_hit_rate(self) -> float:
@@ -89,6 +90,10 @@ class ProfileReport:
     def wasted_chars(self) -> int:
         return sum(p.wasted_chars for p in self.productions)
 
+    @property
+    def fused_scans(self) -> int:
+        return sum(p.fused_scans for p in self.productions)
+
     def hotspots(self, top: int = 20) -> list[ProductionProfile]:
         """Productions ranked by invocation count."""
         ranked = sorted(self.productions, key=lambda p: (-p.invocations, p.name))
@@ -126,6 +131,7 @@ class ProfileReport:
                 "memo_hit_rate": round(self.memo_hit_rate, 6),
                 "backtracks": self.backtracks,
                 "wasted_chars": self.wasted_chars,
+                "fused_scans": self.fused_scans,
             },
             "productions": [
                 {
@@ -138,6 +144,7 @@ class ProfileReport:
                     "backtracks": p.backtracks,
                     "wasted_chars": p.wasted_chars,
                     "farthest": p.farthest,
+                    "fused_scans": p.fused_scans,
                 }
                 for p in self.productions
             ],
@@ -183,6 +190,7 @@ class ProfileReport:
                     backtracks=p.get("backtracks", 0),
                     wasted_chars=p.get("wasted_chars", 0),
                     farthest=p.get("farthest", 0),
+                    fused_scans=p.get("fused_scans", 0),
                 )
                 for p in data.get("productions", ())
             ),
@@ -218,6 +226,7 @@ def build_report(
             backtracks=profile.backtracks.get(name, 0),
             wasted_chars=profile.wasted_chars.get(name, 0),
             farthest=profile.farthest.get(name, 0),
+            fused_scans=profile.fused_scans.get(name, 0),
         )
         for name in profile.production_names()
     )
@@ -251,7 +260,8 @@ def format_report(report: ProfileReport, top: int = 20) -> str:
         f"{report.chars} chars, {report.rejected} rejected",
         f"  invocations {report.invocations}  memo hit rate "
         f"{report.memo_hit_rate:.1%} ({report.memo_hits}/{report.memo_hits + report.memo_misses})  "
-        f"backtracks {report.backtracks}  wasted chars {report.wasted_chars}",
+        f"backtracks {report.backtracks}  wasted chars {report.wasted_chars}  "
+        f"fused scans {report.fused_scans}",
     ]
     hotspots = report.hotspots(top)
     if hotspots:
@@ -264,12 +274,14 @@ def format_report(report: ProfileReport, top: int = 20) -> str:
                 "backtracks": p.backtracks,
                 "wasted": p.wasted_chars,
                 "farthest": p.farthest,
+                "fused": p.fused_scans,
             }
             for p in hotspots
         ]
         lines.append("")
         lines.append(_table(rows, ["production", "invocations", "memo hits",
-                                   "hit rate", "backtracks", "wasted", "farthest"]))
+                                   "hit rate", "backtracks", "wasted", "farthest",
+                                   "fused"]))
     if report.coverage:
         uncovered = report.uncovered_alternatives()
         lines.append("")

@@ -31,6 +31,7 @@ class ParserBase:
         self._length = len(text)
         self._fail_pos = -1
         self._fail_expected: list[str] = []
+        self._fused_pending: list[tuple[Any, int]] = []
         self._line_starts: list[int] | None = None
         self._source = "<input>"
 
@@ -45,6 +46,7 @@ class ParserBase:
         self._length = len(text)
         self._fail_pos = -1
         self._fail_expected = []
+        self._fused_pending.clear()
         self._line_starts = None
         self._source = source
         self._reset_memo()
@@ -125,8 +127,41 @@ class ParserBase:
                 matched += 1
         return pos + matched
 
+    def _replay_fused(self, token: Any, pos: int) -> None:
+        """Re-run one noted fused region through the ordinary machinery.
+
+        Overridden by backends that execute fused ``Regex`` scans; ``token``
+        is whatever the backend appended to ``_fused_pending`` (the node, a
+        compiled fallback closure, a generated replay function).  The replay
+        re-evaluates the region's original expression at ``pos`` purely for
+        its ``_expected`` side effects.
+        """
+
+    def _drain_fused(self) -> None:
+        """Replay every noted fused scan into the expected-set bookkeeping.
+
+        A fused region is one C-level scan: it cannot record which terminal
+        inside it failed, or the failures its successful match stepped over
+        (a failing final repetition iteration, rejected earlier choice
+        alternatives, predicate probes — which may lie *beyond* the match
+        end).  Since the farthest-failure frontier never influences control
+        flow, backends just note ``(token, pos)`` per non-silent scan and
+        this drain reproduces the records lazily, only when an error message
+        is actually demanded.  The frontier merge is max-position plus
+        set-union — commutative and idempotent — so replay order and
+        duplicate evaluations cannot change the resulting offset or set.
+        """
+        pending = self._fused_pending
+        if not pending:
+            return
+        self._fused_pending = []
+        replay = self._replay_fused
+        for token, pos in pending:
+            replay(token, pos)
+
     def parse_error(self) -> ParseError:
         """Build a :class:`ParseError` at the farthest failure position."""
+        self._drain_fused()
         pos = max(self._fail_pos, 0)
         location = self._location(pos)
         found = repr(self._text[pos]) if pos < self._length else "end of input"

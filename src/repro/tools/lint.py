@@ -11,7 +11,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.lint import lint, lint_alternatives_of_production
+from repro.analysis.lint import (
+    lint,
+    lint_alternatives_of_production,
+    lint_useless_nofuse,
+)
 from repro.analysis.wellformed import check
 from repro.api import load_grammar
 from repro.errors import ReproError
@@ -35,7 +39,11 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     diagnostics = check(grammar)
-    findings = lint(grammar) + lint_alternatives_of_production(grammar)
+    findings = (
+        lint(grammar)
+        + lint_alternatives_of_production(grammar)
+        + lint_useless_nofuse(grammar)
+    )
 
     errors = [d for d in diagnostics if d.severity == "error"]
     warnings = [d for d in diagnostics if d.severity == "warning"]

@@ -38,6 +38,7 @@ from repro.difftest.generator import SentenceGenerator
 from repro.errors import ReproError
 from repro.meta import ModuleLoader
 from repro.modules import compose
+from repro.optim import Options
 from repro.profile import BACKENDS, format_report, profile_corpus, resolve_root
 
 
@@ -78,6 +79,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="additional directory to search for .mg modules (repeatable)",
     )
     parser.add_argument("--start", help="override the start production")
+    parser.add_argument(
+        "-O", "--optimized", action="store_true",
+        help="profile the fully optimized pipeline instead of the leftrec-only "
+        "grammar (hotspots shift to fused scans and optimized loops; coverage "
+        "then reports optimized alternatives, not source alternatives)",
+    )
     parser.add_argument("--top", type=int, default=20, help="hotspot table rows (default 20)")
     parser.add_argument("--json", action="store_true", dest="as_json", help="emit JSON")
     parser.add_argument(
@@ -127,8 +134,9 @@ def main(argv: list[str] | None = None) -> int:
         grammar = compose(root, loader, start=args.start)
         texts = _load_corpus(args, grammar)
         backends = list(BACKENDS) if args.backend == "all" else [args.backend]
+        options = Options.all() if args.optimized else None
         reports = [
-            profile_corpus(grammar, texts, backend, grammar_name=root)
+            profile_corpus(grammar, texts, backend, grammar_name=root, options=options)
             for backend in backends
         ]
     except OSError as exc:

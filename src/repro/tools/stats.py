@@ -105,6 +105,26 @@ def main(argv: list[str] | None = None) -> int:
     print(format_table([gstats.row()],
                        ["grammar", "productions", "generic", "text", "void", "object",
                         "alternatives", "nodes", "transient", "public"]))
+
+    from repro.analysis.fusable import fusion_coverage, fusion_supported
+    from repro.modules import compose
+    from repro.optim import prepare
+
+    if fusion_supported():
+        prepared = prepare(compose(args.root, paths=args.path or None))
+        coverage = fusion_coverage(prepared.grammar)
+        print()
+        print("Scanner fusion (prepared grammar, all optimizations):")
+        print(format_table(
+            [{
+                "regions": coverage.regions,
+                "patterns": coverage.patterns,
+                "fused terminals": coverage.fused_terminals,
+                "plain terminals": coverage.plain_terminals,
+                "fused %": f"{coverage.ratio:.1%}",
+            }],
+            ["regions", "patterns", "fused terminals", "plain terminals", "fused %"],
+        ))
     if args.cache_dir:
         cache = CompilationCache(args.cache_dir)
         entries = cache.entries()

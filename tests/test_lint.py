@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.analysis.lint import lint, lint_alternatives_of_production
+from repro.analysis.fusable import fusion_supported
+from repro.analysis.lint import (
+    lint,
+    lint_alternatives_of_production,
+    lint_useless_nofuse,
+)
 from repro.peg.builder import (
     GrammarBuilder,
     act,
@@ -97,6 +102,28 @@ class TestStructuralRules:
             grammar = repro.load_grammar(root)
             findings = lint(grammar) + lint_alternatives_of_production(grammar)
             assert findings == [], (root, findings)
+
+
+@pytest.mark.skipif(not fusion_supported(), reason="scanner fusion needs Python >= 3.11")
+class TestUselessNofuse:
+    def test_never_fusable_production_flagged(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.object("S", [ref("Act"), lit("!")])
+        builder.object("Act", [bind("x", text(cc("0-9"))), act("int(x)")], nofuse=True)
+        findings = lint_useless_nofuse(builder.build())
+        assert [f.rule for f in findings] == ["useless-nofuse"]
+        assert findings[0].production == "Act"
+
+    def test_effective_nofuse_not_flagged(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [ref("Space"), lit("x")])
+        builder.void("Space", [star(cc(" \t"))], nofuse=True)
+        assert lint_useless_nofuse(builder.build()) == []
+
+    def test_no_annotations_clean(self):
+        builder = GrammarBuilder("t", start="S")
+        builder.void("S", [star(cc("0-9")), lit("x")])
+        assert lint_useless_nofuse(builder.build()) == []
 
 
 class TestCli:

@@ -84,6 +84,52 @@ def matrix_case(request):
     return grammar, reference, valid, malformed
 
 
+def test_fuse_is_a_first_class_ablation_flag():
+    """``fuse`` must ride the same ablation machinery as the paper's
+    original flags: present in ``flag_names``, single-off, and as the last
+    rung of the cumulative ladder (which therefore equals all-on)."""
+    assert "fuse" in Options.flag_names()
+    assert "no-fuse" in VARIANT_IDS
+    label, options = Options.cumulative()[-1]
+    assert label == "+fuse"
+    assert options == Options.all()
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("root", sorted(CORPORA), ids=lambda r: r.split(".")[0])
+def test_fuzz_fused_vs_unfused(root):
+    """Property: on seeded generated sentences (and a mutant of each), the
+    fused and unfused configurations agree on verdict, AST, and
+    farthest-failure offset.  This is the fused-scan analogue of the
+    differential fuzz harness, pinned to the one flag this comparison is
+    about rather than the whole backend matrix."""
+    from repro.difftest.generator import SentenceGenerator
+    from repro.difftest.mutate import mutate
+    from repro.difftest.oracle import Backend
+    from repro.optim import prepare
+
+    grammar = repro.load_grammar(root)
+    fused = Backend("fused", repro.compile_grammar(grammar, Options.all(), cache=False).parse)
+    unfused = Backend(
+        "unfused",
+        repro.compile_grammar(grammar, Options.all().without("fuse"), cache=False).parse,
+    )
+    plain = prepare(grammar, Options.none(), check=False).grammar
+    generator = SentenceGenerator(plain, random.Random(20260806))
+    rng = random.Random(99)
+    for _ in range(200):
+        sentence = generator.generate()
+        for text in (sentence, mutate(sentence, rng)):
+            a = fused.run(text)
+            b = unfused.run(text)
+            assert a.crash is None, f"fused crashed on {text!r}: {a.crash}"
+            assert b.crash is None, f"unfused crashed on {text!r}: {b.crash}"
+            assert a.verdict == b.verdict, f"verdicts differ on {text!r}"
+            if a.accepted:
+                diff = structural_diff(a.value, b.value)
+                assert diff is None, f"ASTs differ on {text!r} at {diff}"
+
+
 @pytest.mark.parametrize(("label", "options"), VARIANTS, ids=VARIANT_IDS)
 class TestSingleOffMatrix:
     def test_variant_agrees_with_reference(self, matrix_case, label, options):
