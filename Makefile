@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench bench-record cache-check check fuzz fuzz-smoke prof-smoke serve-smoke
+.PHONY: test smoke bench bench-record cache-check check fuzz fuzz-smoke prof-smoke serve-smoke python-corpus-smoke
 
 # Tier-1 suite (the acceptance gate).
 test:
@@ -50,6 +50,13 @@ prof-smoke:
 serve-smoke:
 	$(PYTHON) -m pytest -q -m serve
 	$(PYTHON) scripts/serve_smoke.py
+
+# Real-Python corpus smoke: parse the checked-in stdlib slice
+# (examples/python/) end to end with the generated python.Python parser;
+# fails on any non-allowlisted parse failure or stale allowlist entry.
+# See docs/grammars-python.md.
+python-corpus-smoke:
+	$(PYTHON) -c "from repro.workloads.pycorpus import main; raise SystemExit(main())"
 
 # Full seeded differential fuzz: 500 generated + 500 mutated inputs per
 # grammar through every backend, strict about generator health.

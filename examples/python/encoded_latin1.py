@@ -1,0 +1,13 @@
+# -*- coding: latin-1 -*-
+"""A tiny module whose encoding declaration matters.
+
+The docstring below this line and the WELCOME constant contain bytes
+that are *not* valid UTF-8, so decoding this file correctly requires
+honoring the PEP 263 coding declaration above.  Café, straße.
+"""
+
+WELCOME = "Vær så god - welcome"
+
+
+def greeting(name):
+    return WELCOME + ", " + name

@@ -1,0 +1,4 @@
+# -*- coding: utf-8 -*-
+# The next line deliberately contains bytes that cannot decode as
+# utf-8 (a lone continuation byte), so this file is undecodable.
+BAD = "ÿþ broken"

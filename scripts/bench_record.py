@@ -2,8 +2,10 @@
 
 ``make bench-record`` (or ``PYTHONPATH=src python scripts/bench_record.py``)
 runs the E5 throughput measurement (generated parser, all optimizations,
-per-grammar seeded corpora) plus the E3 cumulative optimization ladder on
-the Jay corpus, and *appends* one record to ``BENCH_5.json``.  Each record
+per-grammar seeded corpora), the E3 cumulative optimization ladder on
+the Jay corpus, and the E11 real-Python corpus throughput (all three
+backends over ``examples/python/``), and *appends* one record to
+``BENCH_5.json``.  Each record
 carries enough provenance (machine, Python, options fingerprint, pipeline
 version) that later PRs can diff performance against earlier ones instead
 of re-deriving a baseline.  See docs/testing.md for the format.
@@ -35,7 +37,10 @@ from repro.workloads import (
     generate_c_program,
     generate_jay_program,
     generate_json_document,
+    load_corpus,
+    python_layout,
 )
+from repro.workloads.pycorpus import ALLOWLIST
 
 #: Bump when the record layout changes.
 SCHEMA_VERSION = 1
@@ -116,6 +121,40 @@ def measure_e3(repeat: int) -> dict[str, int]:
     return ladder
 
 
+def measure_e11(repeat: int) -> dict[str, dict]:
+    """Real-Python corpus bytes/sec per backend (layout pre-pass included)."""
+    from repro.interp import PackratInterpreter
+    from repro.interp.closures import ClosureParser
+    from repro.optim import prepare as optim_prepare
+
+    sys.setrecursionlimit(100_000)  # the interpreter is stack-hungry
+    files, _ = load_corpus()
+    texts = [cf.text for cf in files if cf.name not in ALLOWLIST]
+    nbytes = sum(cf.nbytes for cf in files if cf.name not in ALLOWLIST)
+
+    grammar = repro.load_grammar("python.Python")
+    full = optim_prepare(grammar, Options.all(), check=False)
+    session = repro.compile_grammar(grammar).session()
+    backends = {
+        "interpreter": PackratInterpreter(full.grammar, chunked=True).parse,
+        "closures": ClosureParser(full.grammar, chunked=True).parse,
+        "generated": session.parse,
+    }
+    results: dict[str, dict] = {}
+    for name, parse in backends.items():
+        seconds = _best_of(
+            lambda parse=parse: [parse(python_layout(t)) for t in texts],
+            repeat if name != "interpreter" else 1,
+        )
+        results[name] = {
+            "files": len(texts),
+            "bytes": nbytes,
+            "seconds": round(seconds, 6),
+            "bytes_per_sec": round(nbytes / seconds),
+        }
+    return results
+
+
 def build_record(label: str, repeat: int) -> dict:
     return {
         "label": label,
@@ -132,6 +171,7 @@ def build_record(label: str, repeat: int) -> dict:
         "pipeline_version": PIPELINE_VERSION,
         "e5": measure_e5(repeat),
         "e3_cumulative": measure_e3(repeat),
+        "e11_python_corpus": measure_e11(repeat),
     }
 
 
@@ -168,6 +208,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"recorded {args.label!r} -> {output}")
     for root, row in record["e5"].items():
         print(f"  {root}: {row['chars_per_sec']:,} chars/s ({row['chars']} chars)")
+    for backend, row in record["e11_python_corpus"].items():
+        print(
+            f"  python-corpus/{backend}: {row['bytes_per_sec']:,} bytes/s "
+            f"({row['files']} files)"
+        )
     return 0
 
 

@@ -66,6 +66,7 @@ class Language:
         start: str | None = None,
         source: str = "<input>",
         profile: Any = None,
+        depth_budget: int | None = None,
     ) -> Any:
         """Parse ``text`` completely with the generated parser.
 
@@ -75,17 +76,27 @@ class Language:
         untouched — see ``docs/profiling.md``).  Note the twin profiles the
         fully *optimized* grammar; for author's-grammar coverage use
         :func:`repro.profile.profile_corpus`.
+
+        ``depth_budget`` caps the recursion the parse may use, counted in
+        stack frames above the caller (see
+        :func:`repro.runtime.base.recursion_budget`).  With or without a
+        budget, input too deeply nested for the available stack raises a
+        structured :class:`~repro.errors.ParseDepthError`, never a raw
+        :class:`RecursionError`.
         """
-        if profile is None:
-            return self.parser_class(text, source).parse(start)
-        profile.register_grammar(self.prepared.grammar)
-        try:
-            value = self.profiled_parser_class(text, source, profile=profile).parse(start)
-        except Exception:
-            profile.count_parse(text, accepted=False)
-            raise
-        profile.count_parse(text, accepted=True)
-        return value
+        from repro.runtime.base import recursion_budget
+
+        with recursion_budget(depth_budget):
+            if profile is None:
+                return self.parser_class(text, source).parse(start)
+            profile.register_grammar(self.prepared.grammar)
+            try:
+                value = self.profiled_parser_class(text, source, profile=profile).parse(start)
+            except Exception:
+                profile.count_parse(text, accepted=False)
+                raise
+            profile.count_parse(text, accepted=True)
+            return value
 
     def parse_file(self, path: str | Path, start: str | None = None) -> Any:
         """Parse the contents of a file (its path becomes the source name)."""
@@ -125,7 +136,12 @@ class Language:
             object.__setattr__(self, "_profiled_class", cached)
         return cached
 
-    def session(self, start: str | None = None, profile: Any = None) -> "ParseSession":
+    def session(
+        self,
+        start: str | None = None,
+        profile: Any = None,
+        depth_budget: int | None = None,
+    ) -> "ParseSession":
         """A warm-parse session: one parser instance reused across inputs.
 
         .. code-block:: python
@@ -139,9 +155,12 @@ class Language:
         inputs allocates one parser and one memo table, not N.
 
         With ``profile`` set, the session reuses one *profiled-twin* parser
-        instead and accumulates telemetry across all its parses.
+        instead and accumulates telemetry across all its parses.  A
+        ``depth_budget`` (stack frames) applies to every parse in the
+        session — deep inputs fail with a structured
+        :class:`~repro.errors.ParseDepthError`.
         """
-        return ParseSession(self, start=start, profile=profile)
+        return ParseSession(self, start=start, profile=profile, depth_budget=depth_budget)
 
     def recognize(self, text: str, start: str | None = None) -> bool:
         """Does the whole input match?  (No value construction errors are
@@ -188,11 +207,18 @@ class ParseSession:
     of memo columns from the warm path.
     """
 
-    def __init__(self, language: Language, start: str | None = None, profile: Any = None):
+    def __init__(
+        self,
+        language: Language,
+        start: str | None = None,
+        profile: Any = None,
+        depth_budget: int | None = None,
+    ):
         self._language = language
         self._start = start
         self._parser = None
         self._profile = profile
+        self._depth_budget = depth_budget
         if profile is not None:
             profile.register_grammar(language.prepared.grammar)
         #: Number of inputs parsed (including failed parses).
@@ -209,6 +235,12 @@ class ParseSession:
 
     def parse(self, text: str, source: str = "<input>") -> Any:
         """Parse ``text`` completely; raises :class:`ParseError` on failure."""
+        from repro.runtime.base import recursion_budget
+
+        with recursion_budget(self._depth_budget):
+            return self._parse(text, source)
+
+    def _parse(self, text: str, source: str) -> Any:
         parser = self._parser
         profile = self._profile
         if parser is None:
@@ -249,6 +281,21 @@ class ParseSession:
         except ParseError:
             return False
         return True
+
+    def close(self) -> None:
+        """Release the session's parser (and with it the memo table).
+
+        The session stays usable — the next :meth:`parse` simply allocates a
+        fresh parser — but a closed idle session no longer pins the last
+        input's memo columns in memory.
+        """
+        self._parser = None
+
+    def __enter__(self) -> "ParseSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 # -- in-process language LRU ---------------------------------------------------

@@ -287,7 +287,11 @@ class ParserGenerator:
         with w.block("def parse(self, start=None):"):
             w.line('"""Parse the whole input text; returns the semantic value."""')
             w.line(f"method = getattr(self, '_p_' + (start or {self.grammar.start!r}))")
-            w.line("npos, value = method(0)")
+            with w.block("try:"):
+                w.line("npos, value = method(0)")
+            with w.block("except RecursionError:"):
+                w.line("# Deep nesting degrades into a structured diagnostic.")
+                w.line("raise self.depth_error() from None")
             with w.block("if npos < 0 or npos < self._length:"):
                 w.line("raise self.parse_error()")
             w.line("return value")

@@ -93,13 +93,58 @@ class ParseError(ReproError):
         """
         if source is None:
             source = self.source
-        start = text.rfind("\n", 0, self.offset) + 1
-        end = text.find("\n", self.offset)
-        if end == -1:
-            end = len(text)
+        # Honor all three physical line terminators so the caret line is
+        # right on \r\n and lone-\r inputs too.
+        start = max(text.rfind("\n", 0, self.offset), text.rfind("\r", 0, self.offset)) + 1
+        candidates = [i for i in (text.find("\n", start), text.find("\r", start)) if i != -1]
+        end = min(candidates) if candidates else len(text)
         source_line = text[start:end]
         caret = " " * (self.offset - start) + "^"
         header = f"{source}:{self.line}:{self.column}: error: {self.message}"
         if self.expected:
             header += f" (expected {', '.join(sorted(set(self.expected)))})"
         return f"{header}\n  {source_line}\n  {caret}"
+
+
+class ParseDepthError(ParseError):
+    """Input nesting exhausted the parser's recursion depth budget.
+
+    Every backend converts a :class:`RecursionError` escaping its descent
+    into this diagnostic, so deeply nested input degrades into a structured,
+    picklable :class:`ParseError` (farthest offset reached, source name)
+    instead of a raw interpreter traceback.  ``budget`` records the frame
+    budget in force, when one was configured (see
+    :func:`repro.runtime.base.recursion_budget`).
+
+    Unlike ordinary parse errors, the position at which the budget runs out
+    is a property of the *backend* (each one spends stack differently), so
+    differential testing treats depth errors like resource limits, not
+    semantics (see :mod:`repro.difftest.oracle`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        offset: int,
+        line: int,
+        column: int,
+        expected: tuple[str, ...] = (),
+        source: str = "<input>",
+        budget: int | None = None,
+    ):
+        super().__init__(message, offset, line, column, expected, source)
+        self.budget = budget
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                self.message,
+                self.offset,
+                self.line,
+                self.column,
+                self.expected,
+                self.source,
+                self.budget,
+            ),
+        )

@@ -1,0 +1,8 @@
+// Character classes shared by identifiers, keywords and literals.
+// ASCII identifiers only; source files using non-ASCII identifiers are
+// carried on the corpus allowlist (see docs/grammars-python.md).
+module python.Characters;
+
+transient void IdentifierStart = [a-zA-Z_] ;
+
+transient void IdentifierPart = [a-zA-Z0-9_] ;

@@ -1,0 +1,219 @@
+// The expression hierarchy, written with the natural left recursion the
+// module system supports for generic productions.  Precedence follows the
+// conventional layering: ternary > or > and > not > comparison > | > ^ > &
+// > shifts > additive > multiplicative > unary > power > await > trailers.
+//
+// Assignment *targets* get their own restricted productions (Target,
+// TargetList): a target must stop before `in`/`=` and PEG repetitions are
+// possessive, so reusing the comparison-bearing Test hierarchy for targets
+// would swallow the `in` of `for x in ...` with no way to backtrack.
+module python.Expressions;
+
+import python.Layout;
+import python.Keywords;
+import python.Identifiers;
+import python.Literals;
+import python.Symbols;
+
+public generic Test =
+    Lambda
+  / <IfExp> OrTest void:IF OrTest void:ELSE Test
+  / OrTest
+  ;
+
+// test-with-walrus: used where CPython allows namedexpr_test.
+generic NamedTest =
+    <NamedExpr> Name void:WALRUS Test
+  / Test
+  ;
+
+generic Lambda = <Lambda> void:LAMBDA LambdaParams? void:COLON Test ;
+
+// Lambda parameters must not carry annotations -- a `:` after a parameter
+// name *is* the lambda's body separator -- so they get their own production
+// instead of reusing the annotated def parameters.
+Object LambdaParams =
+    head:LambdaParam tail:( void:COMMA LambdaParam )* void:COMMA?
+    { cons(head, tail) }
+  ;
+
+generic LambdaParam =
+    <DoubleStarParam> void:DOUBLESTAR Name
+  / <StarParam> void:STAR Name?
+  / <SlashMarker> void:SLASH
+  / <Param> Name ( void:ASSIGN Test )?
+  ;
+
+generic OrTest  = <BoolOr>  OrTest  void:OR  AndTest / AndTest ;
+generic AndTest = <BoolAnd> AndTest void:AND NotTest / NotTest ;
+generic NotTest = <NotOp> void:NOT NotTest / Comparison ;
+
+// Chained comparisons associate left: a < b < c parses to
+// (Compare (Compare a "<" b) "<" c).
+generic Comparison =
+    <Compare> Comparison CompOp BitOr
+  / <NotIn>   Comparison void:NOT void:IN BitOr
+  / <IsNot>   Comparison void:IS void:NOT BitOr
+  / <In>      Comparison void:IN BitOr
+  / <Is>      Comparison void:IS BitOr
+  / BitOr
+  ;
+
+Object CompOp =
+    text:( "==" / "!=" / "<=" / ">=" / "<" !( "<" ) / ">" !( ">" ) ) Spacing
+  ;
+
+generic BitOr  = <BitOr>  BitOr  void:PIPE  BitXor / BitXor ;
+generic BitXor = <BitXor> BitXor void:CARET BitAnd / BitAnd ;
+generic BitAnd = <BitAnd> BitAnd void:AMP   Shift  / Shift ;
+
+generic Shift =
+    <LShift> Shift void:LSHIFT Arith
+  / <RShift> Shift void:RSHIFT Arith
+  / Arith
+  ;
+
+generic Arith =
+    <Add> Arith void:PLUS Term
+  / <Sub> Arith void:MINUS Term
+  / Term
+  ;
+
+generic Term =
+    <Mul>      Term void:STAR Factor
+  / <MatMul>   Term void:AT Factor
+  / <Div>      Term void:SLASH Factor
+  / <FloorDiv> Term void:DOUBLESLASH Factor
+  / <Mod>      Term void:PERCENT Factor
+  / Factor
+  ;
+
+generic Factor =
+    <UAdd>   void:PLUS Factor
+  / <USub>   void:MINUS Factor
+  / <Invert> void:TILDE Factor
+  / Power
+  ;
+
+// ** binds tighter than unary on its left, looser on its right: -x ** -y
+// is -(x ** (-y)).
+generic Power = <Pow> AwaitPrimary void:DOUBLESTAR Factor / AwaitPrimary ;
+
+generic AwaitPrimary = <Await> void:AWAIT AwaitPrimary / Primary ;
+
+generic Primary =
+    <Attr>      Primary void:DOT Name
+  / <Call>      Primary void:LPAR Arguments? void:RPAR
+  / <Subscript> Primary void:LBRACK Subscripts void:RBRACK
+  / Atom
+  ;
+
+Object Arguments =
+    head:Argument tail:( void:COMMA Argument )* void:COMMA?
+    { cons(head, tail) }
+  ;
+
+generic Argument =
+    <KwArg> Name void:ASSIGN Test
+  / <StarArg> void:STAR Test
+  / <DoubleStarArg> void:DOUBLESTAR Test
+  / <GenExpArg> Test CompClauses
+  / NamedTest
+  ;
+
+Object Subscripts =
+    head:Subscript tail:( void:COMMA Subscript )* void:COMMA?
+    { cons(head, tail) }
+  ;
+
+generic Subscript =
+    <Slice> Test? void:COLON Test? ( void:COLON Test? )?
+  / StarTest
+  ;
+
+generic StarTest = <Star> void:STAR OrTest / NamedTest ;
+
+// Expression lists as they appear in tuple displays, subscript tuples,
+// return/assignment values and for-loop iterables.
+Object TestListStar =
+    head:StarTest tail:( void:COMMA StarTest )* void:COMMA?
+    { cons(head, tail) }
+  ;
+
+generic Atom =
+    ParenAtom
+  / ListAtom
+  / BraceAtom
+  / Strings
+  / Number
+  / <EllipsisLit> ELLIPSIS
+  / <NoneLit>  NONE
+  / <TrueLit>  TRUE
+  / <FalseLit> FALSE
+  / Name
+  ;
+
+// "(x)" is grouping and passes straight through; "(x,)" and "(x, y)" are
+// tuples; "(x for y in z)" is a generator; "(yield x)" wraps a yield.
+generic ParenAtom =
+    <GenExp> void:LPAR NamedTest CompClauses void:RPAR
+  / <YieldAtom> void:LPAR YieldExpr void:RPAR
+  / <TupleLit> void:LPAR void:RPAR
+  / void:LPAR NamedTest void:RPAR
+  / <TupleLit> void:LPAR TestListStar void:RPAR
+  ;
+
+generic YieldExpr =
+    <YieldFrom> void:YIELD void:FROM Test
+  / <Yield> void:YIELD TestListStar?
+  ;
+
+generic ListAtom =
+    <ListComp> void:LBRACK NamedTest CompClauses void:RBRACK
+  / <ListLit> void:LBRACK TestListStar? void:RBRACK
+  ;
+
+generic BraceAtom =
+    <DictComp> void:LBRACE Test void:COLON Test CompClauses void:RBRACE
+  / <SetComp>  void:LBRACE NamedTest CompClauses void:RBRACE
+  / <DictLit>  void:LBRACE DictItems? void:RBRACE
+  / <SetLit>   void:LBRACE TestListStar void:RBRACE
+  ;
+
+Object DictItems =
+    head:DictItem tail:( void:COMMA DictItem )* void:COMMA?
+    { cons(head, tail) }
+  ;
+
+generic DictItem =
+    <DictPair> Test void:COLON Test
+  / <DictUnpack> void:DOUBLESTAR OrTest
+  ;
+
+// One or more comprehension clauses: a leading `for`, then any mix of
+// further `for`s and `if`s.  Conditions are or_test as in CPython, so a
+// bare ternary needs parentheses there.
+Object CompClauses =
+    head:CompFor tail:( CompFor / CompIf )* { cons(head, tail) }
+  ;
+
+generic CompFor =
+    <CompForAsync> void:ASYNC void:FOR TargetList void:IN OrTest
+  / <CompFor> void:FOR TargetList void:IN OrTest
+  ;
+
+generic CompIf = <CompIf> void:IF OrTest ;
+
+// Assignment targets: starred targets plus primaries, which already cover
+// names, attributes, subscripts and parenthesized/bracketed target lists
+// (as tuple/list atoms -- a deliberate superset of CPython's target
+// grammar; the point is never to misparse valid code).
+generic Target =
+    <StarTarget> void:STAR Target
+  / Primary
+  ;
+
+Object TargetList =
+    head:Target tail:( void:COMMA Target )* void:COMMA?
+    { cons(head, tail) }
+  ;

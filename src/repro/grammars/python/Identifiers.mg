@@ -1,0 +1,8 @@
+// Identifiers.  A Name's value is the identifier text itself.
+module python.Identifiers;
+
+import python.Characters;
+import python.Keywords;
+import python.Layout;
+
+Object Name = !Keyword text:( IdentifierStart IdentifierPart* ) Spacing ;

@@ -1,0 +1,56 @@
+// Python's reserved words (3.8-level; `match`/`case` are soft keywords and
+// parse as plain identifiers).  KeywordWord is sorted longest-first so that
+// a prefix ("as") never shadows a longer keyword ("assert", "async") in the
+// ordered choice.
+module python.Keywords;
+
+import python.Characters;
+import python.Layout;
+
+transient void Keyword = KeywordWord !IdentifierPart ;
+
+transient void KeywordWord =
+    "continue" / "nonlocal"
+  / "finally"
+  / "assert" / "except" / "global" / "import" / "lambda" / "return"
+  / "async" / "await" / "break" / "class" / "False" / "raise" / "while" / "yield"
+  / "elif" / "else" / "from" / "None" / "pass" / "True" / "with"
+  / "and" / "def" / "del" / "for" / "not" / "try"
+  / "as" / "if" / "in" / "is" / "or"
+  ;
+
+transient void AND      = "and"      !IdentifierPart Spacing ;
+transient void AS       = "as"       !IdentifierPart Spacing ;
+transient void ASSERT   = "assert"   !IdentifierPart Spacing ;
+transient void ASYNC    = "async"    !IdentifierPart Spacing ;
+transient void AWAIT    = "await"    !IdentifierPart Spacing ;
+transient void BREAK    = "break"    !IdentifierPart Spacing ;
+transient void CLASS    = "class"    !IdentifierPart Spacing ;
+transient void CONTINUE = "continue" !IdentifierPart Spacing ;
+transient void DEF      = "def"      !IdentifierPart Spacing ;
+transient void DEL      = "del"      !IdentifierPart Spacing ;
+transient void ELIF     = "elif"     !IdentifierPart Spacing ;
+transient void ELSE     = "else"     !IdentifierPart Spacing ;
+transient void EXCEPT   = "except"   !IdentifierPart Spacing ;
+transient void FALSE    = "False"    !IdentifierPart Spacing ;
+transient void FINALLY  = "finally"  !IdentifierPart Spacing ;
+transient void FOR      = "for"      !IdentifierPart Spacing ;
+transient void FROM     = "from"     !IdentifierPart Spacing ;
+transient void GLOBAL   = "global"   !IdentifierPart Spacing ;
+transient void IF       = "if"       !IdentifierPart Spacing ;
+transient void IMPORT   = "import"   !IdentifierPart Spacing ;
+transient void IN       = "in"       !IdentifierPart Spacing ;
+transient void IS       = "is"       !IdentifierPart Spacing ;
+transient void LAMBDA   = "lambda"   !IdentifierPart Spacing ;
+transient void NONE     = "None"     !IdentifierPart Spacing ;
+transient void NONLOCAL = "nonlocal" !IdentifierPart Spacing ;
+transient void NOT      = "not"      !IdentifierPart Spacing ;
+transient void OR       = "or"       !IdentifierPart Spacing ;
+transient void PASS     = "pass"     !IdentifierPart Spacing ;
+transient void RAISE    = "raise"    !IdentifierPart Spacing ;
+transient void RETURN   = "return"   !IdentifierPart Spacing ;
+transient void TRUE     = "True"     !IdentifierPart Spacing ;
+transient void TRY      = "try"      !IdentifierPart Spacing ;
+transient void WHILE    = "while"    !IdentifierPart Spacing ;
+transient void WITH     = "with"     !IdentifierPart Spacing ;
+transient void YIELD    = "yield"    !IdentifierPart Spacing ;

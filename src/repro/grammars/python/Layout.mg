@@ -1,0 +1,24 @@
+// Layout: the whitespace convention for the Python grammar.
+//
+// The grammar parses text produced by repro.workloads.pylayout.python_layout,
+// which re-expresses Python's context-sensitive indentation as three sentinel
+// characters: U+0001 (INDENT), U+0002 (DEDENT) and U+0003 (logical NEWLINE).
+// After that pre-pass a raw "\n" is *always* insignificant -- it is inside
+// brackets, after a backslash continuation, or on a blank/comment-only line --
+// so a single Spacing production suffices for the whole grammar.  Spacing
+// must never skip a sentinel: the sentinels are the layout tokens.
+module python.Layout;
+
+transient void Spacing = ( [ \t\f\n] / "\\\n" / Comment )* ;
+
+// A comment runs to the end of the physical line.  It must also stop at
+// layout sentinels: the pre-pass places the logical NEWLINE *before* the
+// "\n" of a commented code line, and the closing DEDENTs of a file can
+// directly follow a final comment with no newline at all.
+transient void Comment = "#" [^\n\u0001\u0002\u0003]* ;
+
+transient void NEWLINE = "\u0003" Spacing ;
+transient void INDENT  = "\u0001" Spacing ;
+transient void DEDENT  = "\u0002" Spacing ;
+
+transient void EndOfInput = !_ ;

@@ -1,0 +1,55 @@
+// Number and string literals.
+//
+// Numbers keep their exact source text as a (Num "...") node; strings keep
+// each literal's raw text (prefix and quotes included), with implicit
+// adjacent-literal concatenation collected into one (Str [pieces]) node.
+// f-strings are carried as plain text -- their embedded expressions are not
+// parsed (nested same-quote f-strings are a 3.12 feature and sit on the
+// corpus allowlist).
+module python.Literals;
+
+import python.Characters;
+import python.Layout;
+
+generic Number = <Num> text:( NumberBody ) !IdentifierStart Spacing ;
+
+// The trailing [jJ] accepts imaginary forms; the !IdentifierStart guard
+// rejects a literal running straight into a name (CPython rejects "123abc"
+// at the tokenizer level).
+transient void NumberBody =
+    ( "0x"i HexDigits / "0o"i OctDigits / "0b"i BinDigits / DecimalBody ) [jJ]?
+  ;
+
+transient void DecimalBody =
+    Digits "." Digits? Exponent?
+  / "." Digits Exponent?
+  / Digits Exponent?
+  ;
+
+transient void Exponent  = [eE] [+\-]? Digits ;
+transient void Digits    = [0-9] [0-9_]* ;
+
+// An underscore may directly follow the radix prefix (0x_FF is legal).
+transient void HexDigits = [0-9a-fA-F_]+ ;
+transient void OctDigits = [0-7_]+ ;
+transient void BinDigits = [01_]+ ;
+
+generic Strings = <Str> StringLiteral+ ;
+
+Object StringLiteral = text:( StringPrefix? ( LongString / ShortString ) ) Spacing ;
+
+transient void StringPrefix = [rbfuRBFU] [rbfuRBFU]? ;
+
+// Triple-quoted strings may span physical lines; the layout pre-pass
+// guarantees no sentinel characters ever appear inside a string literal.
+// "\\" _ also covers raw strings: even there a backslash lexically escapes
+// a following quote.
+transient void LongString =
+    "\"\"\"" ( "\\" _ / !( "\"\"\"" ) _ )* "\"\"\""
+  / "'''"    ( "\\" _ / !( "'''" ) _ )*    "'''"
+  ;
+
+transient void ShortString =
+    "\"" ( "\\" _ / [^"\\\n] )* "\""
+  / "'"  ( "\\" _ / [^'\\\n] )*  "'"
+  ;

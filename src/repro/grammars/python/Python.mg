@@ -1,0 +1,15 @@
+// Root module for the Python grammar.  Composing this module pulls in the
+// whole python.* family; the start production is File.
+//
+// File mirrors CPython's `file_input`: leading Spacing absorbs any blank
+// and comment-only lines (the layout pre-pass leaves those verbatim), then
+// statements until end of input.  An empty or comment-only file parses to
+// the empty statement list.
+module python.Python;
+
+import python.Layout;
+import python.Statements;
+
+public Object File =
+    void:Spacing stmts:( Statement )* void:EndOfInput { flatten(stmts) }
+  ;

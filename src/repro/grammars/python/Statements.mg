@@ -1,0 +1,181 @@
+// Statements: simple statements (one logical line, `;`-separated), compound
+// statements, and the suite structure built from the layout sentinels.
+//
+// A Suite is either an indented block -- NEWLINE INDENT statement+ DEDENT,
+// exactly the token shape the layout pre-pass guarantees -- or the inline
+// `if x: y = 1` form.  Statement values are lists (a simple-statement line
+// can hold several statements), flattened into one list per block.
+module python.Statements;
+
+import python.Layout;
+import python.Keywords;
+import python.Identifiers;
+import python.Literals;
+import python.Symbols;
+import python.Expressions;
+
+Object Statement = CompoundStmt / SimpleStmts ;
+
+Object SimpleStmts =
+    head:SmallStmt tail:( void:SEMI SmallStmt )* void:SEMI? void:NEWLINE
+    { cons(head, tail) }
+  ;
+
+Object Suite =
+    void:NEWLINE void:INDENT body:( Statement )+ void:DEDENT { flatten(body) }
+  / SimpleStmts
+  ;
+
+generic SmallStmt =
+    <Pass> void:PASS
+  / <Break> void:BREAK
+  / <Continue> void:CONTINUE
+  / <Return> void:RETURN TestListStar?
+  / <Raise> void:RAISE RaiseBody?
+  / GlobalStmt
+  / NonlocalStmt
+  / AssertStmt
+  / DelStmt
+  / ImportStmt
+  / ExprStmt
+  ;
+
+generic RaiseBody = <RaiseFrom> Test void:FROM Test / Test ;
+
+generic GlobalStmt   = <Global>   void:GLOBAL NameList ;
+generic NonlocalStmt = <Nonlocal> void:NONLOCAL NameList ;
+
+Object NameList = head:Name tail:( void:COMMA Name )* { cons(head, tail) } ;
+
+generic AssertStmt = <Assert> void:ASSERT Test ( void:COMMA Test )? ;
+
+generic DelStmt = <Del> void:DEL TargetList ;
+
+generic ImportStmt =
+    <Import> void:IMPORT DottedAsNames
+  / <FromImport> void:FROM text:( [.]* ) Spacing DottedName? void:IMPORT
+                 ImportTargets
+  ;
+
+Object DottedAsNames =
+    head:DottedAs tail:( void:COMMA DottedAs )* { cons(head, tail) }
+  ;
+
+generic DottedAs = <Module> DottedName ( void:AS Name )? ;
+
+// A dotted module path as one string ("os.path").  The !Keyword guard keeps
+// `from . import x` from reading `import` as the module name.
+Object DottedName =
+    !Keyword text:( IdentifierStart IdentifierPart*
+                    ( "." IdentifierStart IdentifierPart* )* ) Spacing
+  ;
+
+generic ImportTargets =
+    <ImportAll> STAR
+  / void:LPAR ImportAsNames void:COMMA? void:RPAR
+  / ImportAsNames
+  ;
+
+Object ImportAsNames =
+    head:ImportAs tail:( void:COMMA ImportAs )* { cons(head, tail) }
+  ;
+
+generic ImportAs = <ImportName> Name ( void:AS Name )? ;
+
+// Expression-statements and the assignment family.  Order matters: the
+// annotated and augmented forms are tried first (their operators cannot be
+// confused with `=` or a plain expression thanks to token lookahead), then
+// chained assignment, then yield / plain expressions.
+generic ExprStmt =
+    <AnnAssign> Target void:COLON Test ( void:ASSIGN AssignValue )?
+  / <AugAssign> Target AugOp AssignValue
+  / <Assign> ( TargetList void:ASSIGN )+ AssignValue
+  / YieldExpr
+  / <Expr> TestListStar
+  ;
+
+Object AssignValue = YieldExpr / TestListStar ;
+
+Object AugOp =
+    text:( "**=" / "//=" / ">>=" / "<<=" / "+=" / "-=" / "*=" / "/="
+         / "%=" / "@=" / "&=" / "|=" / "^=" ) Spacing
+  ;
+
+generic CompoundStmt =
+    IfStmt
+  / WhileStmt
+  / ForStmt
+  / TryStmt
+  / WithStmt
+  / FuncDef
+  / ClassDef
+  / Decorated
+  / AsyncStmt
+  ;
+
+generic IfStmt = <If> void:IF NamedTest void:COLON Suite ElifClause* ElseClause? ;
+
+generic ElifClause = <Elif> void:ELIF NamedTest void:COLON Suite ;
+
+Object ElseClause = void:ELSE void:COLON Suite ;
+
+generic WhileStmt = <While> void:WHILE NamedTest void:COLON Suite ElseClause? ;
+
+generic ForStmt =
+    <For> void:FOR TargetList void:IN TestListStar void:COLON Suite ElseClause?
+  ;
+
+generic TryStmt =
+    <Try> void:TRY void:COLON Suite ExceptClause* ElseClause? FinallyClause?
+  ;
+
+generic ExceptClause = <Except> void:EXCEPT ExceptSpec? void:COLON Suite ;
+
+generic ExceptSpec = <ExceptAs> Test void:AS Name / Test ;
+
+Object FinallyClause = void:FINALLY void:COLON Suite ;
+
+generic WithStmt = <With> void:WITH WithItems void:COLON Suite ;
+
+// `with (a as b, c as d):` parenthesizes the item list; the &":" lookahead
+// distinguishes it from a parenthesized expression item `with (a, b) as c:`.
+Object WithItems =
+    void:LPAR head:WithItem tail:( void:COMMA WithItem )* void:COMMA?
+    void:RPAR &( ":" ) { cons(head, tail) }
+  / head:WithItem tail:( void:COMMA WithItem )* { cons(head, tail) }
+  ;
+
+generic WithItem = <WithItem> Test ( void:AS Target )? ;
+
+generic FuncDef =
+    <FuncDef> void:DEF Name void:LPAR ParamList? void:RPAR
+              ( void:ARROW Test )? void:COLON Suite
+  ;
+
+Object ParamList =
+    head:Param tail:( void:COMMA Param )* void:COMMA? { cons(head, tail) }
+  ;
+
+generic Param =
+    <DoubleStarParam> void:DOUBLESTAR ParamName
+  / <StarParam> void:STAR ParamName?
+  / <SlashMarker> void:SLASH
+  / <Param> ParamName ( void:ASSIGN Test )?
+  ;
+
+generic ParamName = <Ann> Name void:COLON Test / Name ;
+
+generic ClassDef =
+    <ClassDef> void:CLASS Name ( void:LPAR Arguments? void:RPAR )?
+               void:COLON Suite
+  ;
+
+generic Decorated = <Decorated> Decorator+ DecoratedDef ;
+
+generic Decorator = <Decorator> void:AT NamedTest void:NEWLINE ;
+
+generic DecoratedDef = FuncDef / ClassDef / AsyncStmt ;
+
+generic AsyncStmt = <Async> void:ASYNC AsyncBody ;
+
+generic AsyncBody = FuncDef / WithStmt / ForStmt ;

@@ -1,0 +1,37 @@
+// Punctuation tokens.  Each consumes trailing Spacing and carries the
+// negative lookahead that keeps compound operators atomic ("<" never
+// splits "<=", "*" never starts "**" or "*=", and so on).
+module python.Symbols;
+
+import python.Layout;
+
+transient void LPAR        = "(" Spacing ;
+transient void RPAR        = ")" Spacing ;
+transient void LBRACK      = "[" Spacing ;
+transient void RBRACK      = "]" Spacing ;
+transient void LBRACE      = "{" Spacing ;
+transient void RBRACE      = "}" Spacing ;
+transient void COMMA       = "," Spacing ;
+transient void COLON       = ":" !( "=" ) Spacing ;
+transient void SEMI        = ";" Spacing ;
+transient void DOT         = "." !( "." ) Spacing ;
+transient void ELLIPSIS    = "..." Spacing ;
+transient void ARROW       = "->" Spacing ;
+transient void ASSIGN      = "=" !( "=" ) Spacing ;
+transient void WALRUS      = ":=" Spacing ;
+
+transient void PLUS        = "+" !( "=" ) Spacing ;
+transient void MINUS       = "-" !( [=>] ) Spacing ;
+transient void STAR        = "*" !( [*=] ) Spacing ;
+transient void DOUBLESTAR  = "**" !( "=" ) Spacing ;
+transient void SLASH       = "/" !( [/=] ) Spacing ;
+transient void DOUBLESLASH = "//" !( "=" ) Spacing ;
+transient void PERCENT     = "%" !( "=" ) Spacing ;
+transient void AT          = "@" !( "=" ) Spacing ;
+transient void TILDE       = "~" Spacing ;
+
+transient void LSHIFT      = "<<" !( "=" ) Spacing ;
+transient void RSHIFT      = ">>" !( "=" ) Spacing ;
+transient void AMP         = "&" !( "=" ) Spacing ;
+transient void PIPE        = "|" !( "=" ) Spacing ;
+transient void CARET       = "^" !( "=" ) Spacing ;

@@ -130,7 +130,12 @@ class ClosureParser:
     def parse(self, text: str, start: str | None = None, source: str = "<input>") -> Any:
         state = self._new_state(text, source)
         matcher = self._matcher_for(start or self.grammar.start)
-        pos, value = matcher(state, 0)
+        try:
+            pos, value = matcher(state, 0)
+        except RecursionError:
+            # Deep nesting is an input property, not an internal fault:
+            # degrade into a structured diagnostic once the stack unwinds.
+            raise state.depth_error() from None
         if pos < 0 or pos < len(text):
             raise state.parse_error()
         return value

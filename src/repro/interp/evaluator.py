@@ -128,7 +128,12 @@ class GrammarInterpreter:
         Raises :class:`repro.errors.ParseError` on failure or trailing input.
         """
         run = self._run(text, source)
-        pos, value = run.apply(start or self.grammar.start, 0)
+        try:
+            pos, value = run.apply(start or self.grammar.start, 0)
+        except RecursionError:
+            # Deep nesting is an input property, not an internal fault:
+            # degrade into a structured diagnostic once the stack unwinds.
+            raise run.depth_error() from None
         if pos == FAIL:
             raise run.parse_error()
         return run.check_complete(pos, value)

@@ -4,10 +4,22 @@ A :class:`Location` identifies a point in some named source text.  Locations
 are attached to grammar constructs by the ``.mg`` reader (so composition
 errors can point at the offending line) and to generic AST nodes by parsers
 generated with the ``withLocation`` attribute.
+
+:class:`LineIndex` is the shared line-number machinery: built once in O(n),
+it answers offset→(line, column) queries in O(log lines) via binary search.
+It recognizes all three real-world line terminators — ``"\\n"``, ``"\\r\\n"``
+(one terminator, not two), and lone ``"\\r"`` — while *not* treating form
+feeds or vertical tabs as line breaks (editors and compilers number physical
+lines; ``\\f`` is horizontal noise inside a line).  Columns are 1-based
+*character* offsets within the line: a tab advances the column by one, like
+``cc`` and ``clang`` column reporting, so columns stay O(1) and unambiguous
+on tab-heavy sources.
 """
 
 from __future__ import annotations
 
+import re
+from bisect import bisect_right
 from dataclasses import dataclass
 
 
@@ -25,16 +37,70 @@ class Location:
 
 UNKNOWN = Location("<unknown>", 0, 0)
 
+#: One terminator per physical line break.  ``\r\n`` must come first so a
+#: Windows line ending is a single break, not a ``\r`` break followed by a
+#: ``\n`` break.
+_LINE_BREAK = re.compile(r"\r\n|\r|\n")
+
+
+class LineIndex:
+    """Offset → (line, column) queries over one text, O(log lines) each.
+
+    The index is a sorted list of line-start offsets, built by a single
+    C-level regex scan (O(n), run once).  It is safe to build eagerly for
+    multi-megabyte inputs and to keep cached: the memory cost is one int
+    per line.
+    """
+
+    __slots__ = ("_starts", "_length")
+
+    def __init__(self, text: str):
+        starts = [0]
+        append = starts.append
+        for match in _LINE_BREAK.finditer(text):
+            append(match.end())
+        self._starts = starts
+        self._length = len(text)
+
+    @property
+    def line_count(self) -> int:
+        return len(self._starts)
+
+    def line_column(self, offset: int) -> tuple[int, int]:
+        """1-based ``(line, column)`` of ``offset`` (clamped to the text)."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        offset = min(offset, self._length)
+        starts = self._starts
+        line = bisect_right(starts, offset)
+        return line, offset - starts[line - 1] + 1
+
+    def location(self, offset: int, source: str) -> Location:
+        line, column = self.line_column(offset)
+        return Location(source, line, column)
+
+    def line_start(self, line: int) -> int:
+        """Offset of the first character of 1-based ``line``."""
+        return self._starts[line - 1]
+
+    def line_span(self, line: int) -> tuple[int, int]:
+        """``(start, end)`` offsets of 1-based ``line``.
+
+        ``end`` is the next line's start (or the text length for the last
+        line), so the slice still carries the line's terminator; display
+        code strips a trailing ``"\\r\\n"``/``"\\r"``/``"\\n"`` itself.
+        """
+        starts = self._starts
+        start = starts[line - 1]
+        end = starts[line] if line < len(starts) else self._length
+        return start, end
+
 
 def line_column(text: str, offset: int) -> tuple[int, int]:
     """Return 1-based ``(line, column)`` for ``offset`` into ``text``.
 
-    ``offset`` may equal ``len(text)`` (end-of-input position).
+    ``offset`` may equal ``len(text)`` (end-of-input position).  This
+    convenience builds a throwaway :class:`LineIndex` (O(n)); callers that
+    query the same text repeatedly should hold a :class:`LineIndex`.
     """
-    if offset < 0:
-        raise ValueError("offset must be non-negative")
-    offset = min(offset, len(text))
-    line = text.count("\n", 0, offset) + 1
-    last_newline = text.rfind("\n", 0, offset)
-    column = offset - last_newline  # works for -1 too: offset + 1
-    return line, column
+    return LineIndex(text).line_column(offset)

@@ -325,7 +325,9 @@ def char_class(spec: str) -> CharClass:
     """Build a character class from a regex-like body, e.g. ``"a-zA-Z_"``.
 
     A leading ``^`` negates.  ``\\`` escapes the next character (supporting
-    ``\\n \\r \\t \\\\ \\- \\] \\^``).
+    ``\\n \\r \\t \\\\ \\- \\] \\^`` and ``\\uXXXX``, matching the escapes
+    of string literals — layout grammars use ``\\uXXXX`` to name control
+    characters such as INDENT/DEDENT sentinels).
     """
     negated = spec.startswith("^")
     if negated:
@@ -339,6 +341,12 @@ def char_class(spec: str) -> CharClass:
             if i + 1 >= len(spec):
                 raise ValueError("dangling backslash in character class")
             nxt = spec[i + 1]
+            if nxt == "u":
+                if i + 6 > len(spec):
+                    raise ValueError("truncated \\u escape in character class")
+                chars.append(chr(int(spec[i + 2 : i + 6], 16)))
+                i += 6
+                continue
             chars.append(escapes.get(nxt, nxt))
             i += 2
         else:

@@ -13,11 +13,11 @@ human-readable descriptions of what was expected there.
 from __future__ import annotations
 
 import sys
-from bisect import bisect_right
+from contextlib import contextmanager
 from typing import Any
 
-from repro.errors import ParseError
-from repro.locations import Location
+from repro.errors import ParseDepthError, ParseError
+from repro.locations import LineIndex, Location
 
 
 class ParserBase:
@@ -32,7 +32,7 @@ class ParserBase:
         self._fail_pos = -1
         self._fail_expected: list[str] = []
         self._fused_pending: list[tuple[Any, int]] = []
-        self._line_starts: list[int] | None = None
+        self._line_index: LineIndex | None = None
         self._source = "<input>"
 
     def reset(self, text: str, source: str = "<input>") -> "ParserBase":
@@ -47,7 +47,7 @@ class ParserBase:
         self._fail_pos = -1
         self._fail_expected = []
         self._fused_pending.clear()
-        self._line_starts = None
+        self._line_index = None
         self._source = source
         self._reset_memo()
         return self
@@ -58,18 +58,18 @@ class ParserBase:
     # -- location tracking -----------------------------------------------------
 
     def _location(self, pos: int) -> Location:
-        """Line/column location of ``pos``, O(log lines) via a cached index."""
-        starts = self._line_starts
-        if starts is None:
-            starts = [0]
-            find = self._text.find
-            offset = find("\n")
-            while offset != -1:
-                starts.append(offset + 1)
-                offset = find("\n", offset + 1)
-            self._line_starts = starts
-        line = bisect_right(starts, pos)
-        return Location(self._source, line, pos - starts[line - 1] + 1)
+        """Line/column location of ``pos``, O(log lines) via a cached index.
+
+        The index (:class:`repro.locations.LineIndex`) is built once per
+        input — a single C-level scan that recognizes ``\\n``, ``\\r\\n``
+        and lone ``\\r`` terminators — and answers every later query by
+        binary search, so error construction stays cheap on multi-megabyte
+        inputs with any line-ending mix.
+        """
+        index = self._line_index
+        if index is None:
+            index = self._line_index = LineIndex(self._text)
+        return index.location(pos, self._source)
 
     # -- error tracking ------------------------------------------------------
 
@@ -177,6 +177,31 @@ class ParserBase:
             source=self._source,
         )
 
+    def depth_error(self, budget: int | None = None) -> ParseDepthError:
+        """Build the structured diagnostic for an exhausted recursion budget.
+
+        Called by backends *after* a :class:`RecursionError` has unwound (the
+        stack is free again).  The reported position is the farthest offset
+        the parse reached before running out of depth — the same heuristic
+        :meth:`parse_error` uses — so callers get an actionable location
+        instead of a bare interpreter traceback.
+        """
+        try:
+            self._drain_fused()
+        except RecursionError:  # replay itself may be deep; best effort only
+            self._fused_pending.clear()
+        pos = max(self._fail_pos, 0)
+        location = self._location(pos)
+        return ParseDepthError(
+            "input nesting exceeds the parser's depth budget",
+            offset=pos,
+            line=location.line,
+            column=location.column,
+            expected=(),
+            source=self._source,
+            budget=budget,
+        )
+
     def check_complete(self, pos: int, value: Any) -> Any:
         """Raise unless ``pos`` consumed the whole input; else return value."""
         if pos == self.FAIL or pos < self._length:
@@ -192,6 +217,43 @@ class ParserBase:
     def memo_size_bytes(self) -> int:
         """Approximate bytes held by memoization structures."""
         return 0
+
+
+def _stack_depth() -> int:
+    """Number of frames currently on the Python stack (O(depth))."""
+    frame = sys._getframe()
+    depth = 0
+    while frame is not None:
+        depth += 1
+        frame = frame.f_back
+    return depth
+
+
+@contextmanager
+def recursion_budget(frames: int | None):
+    """Temporarily cap recursion at ``frames`` *additional* stack frames.
+
+    ``None`` is a no-op.  The cap is relative to the current stack depth, so
+    a budget means the same thing whether the parse is entered from a
+    shallow script or from deep inside a framework.  Exceeding it raises
+    :class:`RecursionError`, which the parse entry points convert into a
+    structured :class:`~repro.errors.ParseDepthError` — the budget exists so
+    that degradation is a *diagnostic*, not a stack overflow.
+    """
+    if frames is None:
+        yield
+        return
+    if frames < 1:
+        raise ValueError("depth budget must be a positive frame count")
+    previous = sys.getrecursionlimit()
+    # The budget both tightens and widens: a parse-service worker uses it to
+    # accept deeper nesting than the interpreter default *and* to fail with
+    # a diagnostic well before the hard worker recursion ceiling.
+    sys.setrecursionlimit(_stack_depth() + frames)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
 
 
 def sizeof_deep(obj: Any, _seen: set[int] | None = None) -> int:

@@ -13,7 +13,7 @@ import multiprocessing
 from typing import Any
 
 from repro.serve.spec import GrammarSpec
-from repro.serve.worker import MSG_STOP, MSG_WARM, worker_main
+from repro.serve.worker import DEFAULT_DEPTH_BUDGET, MSG_STOP, MSG_WARM, worker_main
 
 
 def default_context() -> multiprocessing.context.BaseContext:
@@ -92,12 +92,13 @@ def spawn_worker(
     specs: dict[str, GrammarSpec],
     cache_dir: str | None,
     warm: tuple[str, ...] = (),
+    depth_budget: int | None = DEFAULT_DEPTH_BUDGET,
 ) -> WorkerHandle:
     """Start one worker process and (optionally) queue a warm-up message."""
     parent_conn, child_conn = ctx.Pipe(duplex=True)
     process = ctx.Process(
         target=worker_main,
-        args=(child_conn, specs, cache_dir),
+        args=(child_conn, specs, cache_dir, depth_budget),
         name=f"repro-serve-{slot}.{incarnation}",
         daemon=True,
     )

@@ -135,6 +135,7 @@ class ParseService:
         cache_dir: str | Path | None = None,
         start_method: str | None = None,
         stats_window: int = 4096,
+        depth_budget: int | None = None,
     ):
         if backpressure not in _BACKPRESSURE_POLICIES:
             raise ValueError(f"backpressure must be one of {_BACKPRESSURE_POLICIES}, got {backpressure!r}")
@@ -159,12 +160,20 @@ class ParseService:
         self._retries = retries
         self._fallback_enabled = fallback
         self._cache_dir = str(cache_dir) if cache_dir is not None else None
+        # Per-parse recursion budget applied by every worker (and by the
+        # in-process fallback): deep inputs become structured parse_error
+        # results instead of crashing a worker at its recursion ceiling.
+        if depth_budget is not None and depth_budget < 1:
+            raise ValueError("depth_budget must be a positive frame count (or None)")
+        from repro.serve.worker import DEFAULT_DEPTH_BUDGET
+
+        self._depth_budget = depth_budget if depth_budget is not None else DEFAULT_DEPTH_BUDGET
 
         # Compile every spec once in the parent: fails fast on bad specs,
         # warms the in-process LRU (inherited by forked workers) and the
         # disk cache (used by spawned workers), and provides the languages
         # the in-process fallback parses with.
-        self._inline = WorkerRuntime(self._specs, self._cache_dir)
+        self._inline = WorkerRuntime(self._specs, self._cache_dir, depth_budget=self._depth_budget)
         self._inline_lock = threading.Lock()
         self._inline.warm(self._specs)
 
@@ -351,7 +360,7 @@ class ParseService:
         try:
             handle = spawn_worker(
                 self._ctx, slot, incarnation, self._specs, self._cache_dir,
-                warm=tuple(self._specs),
+                warm=tuple(self._specs), depth_budget=self._depth_budget,
             )
         except Exception:
             self._note_degraded()

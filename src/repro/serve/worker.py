@@ -39,16 +39,29 @@ MSG_PARSE = "parse"
 MSG_WARM = "warm"
 MSG_STOP = "stop"
 
-#: Recursion head room for deeply nested inputs (matches the benchmarks).
+#: Hard recursion ceiling of a worker process (matches the benchmarks).
 WORKER_RECURSION_LIMIT = 100_000
+
+#: Default per-parse depth budget (stack frames above the parse entry).
+#: Deliberately far below :data:`WORKER_RECURSION_LIMIT`: a request that
+#: exhausts the budget degrades into a structured ``parse_error`` result
+#: (:class:`~repro.errors.ParseDepthError`), with the ceiling left as head
+#: room for building that diagnostic — the worker never dies at the limit.
+DEFAULT_DEPTH_BUDGET = 50_000
 
 
 class WorkerRuntime:
     """Per-process state: compiled languages and warm sessions."""
 
-    def __init__(self, specs: dict[str, GrammarSpec], cache_dir: str | None):
+    def __init__(
+        self,
+        specs: dict[str, GrammarSpec],
+        cache_dir: str | None,
+        depth_budget: int | None = DEFAULT_DEPTH_BUDGET,
+    ):
         self._specs = specs
         self._cache_dir = cache_dir
+        self._depth_budget = depth_budget
         self._languages: dict[str, Any] = {}
         self._sessions: dict[tuple[str, str | None], Any] = {}
 
@@ -63,7 +76,7 @@ class WorkerRuntime:
     def session(self, key: str, start: str | None):
         session = self._sessions.get((key, start))
         if session is None:
-            session = self.language(key).session(start=start)
+            session = self.language(key).session(start=start, depth_budget=self._depth_budget)
             self._sessions[(key, start)] = session
         return session
 
@@ -106,10 +119,15 @@ class WorkerRuntime:
             )
 
 
-def worker_main(conn, specs: dict[str, GrammarSpec], cache_dir: str | None) -> None:
+def worker_main(
+    conn,
+    specs: dict[str, GrammarSpec],
+    cache_dir: str | None,
+    depth_budget: int | None = DEFAULT_DEPTH_BUDGET,
+) -> None:
     """Entry point of each worker process."""
     sys.setrecursionlimit(WORKER_RECURSION_LIMIT)
-    runtime = WorkerRuntime(specs, cache_dir)
+    runtime = WorkerRuntime(specs, cache_dir, depth_budget=depth_budget)
     while True:
         try:
             message = conn.recv()

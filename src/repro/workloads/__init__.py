@@ -12,6 +12,17 @@ generators from one reproducible stream.
 from repro.workloads.jaygen import generate_jay_program
 from repro.workloads.cgen import generate_c_program
 from repro.workloads.jsongen import generate_json_document
+from repro.workloads.pylayout import LayoutError, python_layout
+from repro.workloads.pycorpus import (
+    ALLOWLIST,
+    CORPUS_DIR,
+    CorpusDecodeError,
+    CorpusReport,
+    decode_python_source,
+    load_corpus,
+    run_corpus,
+    source_encoding,
+)
 from repro.workloads.pathological import (
     SLOW_REQUEST_DEPTH,
     backtracking_grammar,
@@ -26,6 +37,16 @@ __all__ = [
     "generate_jay_program",
     "generate_c_program",
     "generate_json_document",
+    "python_layout",
+    "LayoutError",
+    "ALLOWLIST",
+    "CORPUS_DIR",
+    "CorpusDecodeError",
+    "CorpusReport",
+    "decode_python_source",
+    "load_corpus",
+    "run_corpus",
+    "source_encoding",
     "backtracking_grammar",
     "backtracking_input",
     "exponential_grammar",

@@ -1,0 +1,265 @@
+"""Indentation layout pre-pass for the modular Python grammar.
+
+The paper's module system composes *context-free* grammar fragments; Python's
+indentation is context-sensitive.  The bridge used here is a **layout
+pre-pass**: a linear scan that re-expresses all layout significance as three
+sentinel characters spliced into the text, after which the ``python.*``
+grammar modules are ordinary PEG modules (see ``docs/grammars-python.md`` for
+why this composed more cleanly than a parameterized-whitespace module):
+
+- ``INDENT``  (``\\u0001``) — the start of a deeper block,
+- ``DEDENT``  (``\\u0002``) — one block closed (one sentinel per level),
+- ``NEWLINE`` (``\\u0003``) — the end of a *logical* line.
+
+Everything else stays verbatim, so parse offsets remain meaningful and every
+backend parses the identical preprocessed string.  After the pre-pass a raw
+``"\\n"`` in the text is *always* insignificant (it is inside brackets, after
+a backslash continuation, or on a blank/comment-only line), which is what
+lets the grammar use a single whitespace convention (``python.Layout``)
+instead of bracket-aware spacing states.
+
+The scan understands exactly as much Python lexing as layout needs: string
+literals (all prefix/quote forms, including triple quotes spanning lines),
+comments, bracket nesting, and backslash continuation.  Tabs advance the
+indentation column to the next multiple of 8 (CPython's rule); form feeds
+are ignored for indentation purposes.  Inconsistent dedents raise
+:class:`LayoutError` — corpus drivers surface those as per-file skips, not
+crashes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+INDENT = ""
+DEDENT = ""
+NEWLINE = ""
+
+#: Characters the pre-pass inserts; input containing them raw is rejected.
+SENTINELS = frozenset((INDENT, DEDENT, NEWLINE))
+
+_OPEN = frozenset("([{")
+_CLOSE = frozenset(")]}")
+_QUOTES = frozenset("'\"")
+#: Legal string-prefix letters (any case, any order the lexer accepts).
+_PREFIX_LETTERS = frozenset("rbfuRBFU")
+
+
+class LayoutError(ReproError):
+    """The layout pre-pass rejected the input (e.g. inconsistent dedent)."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.message = message
+        self.line = line
+
+
+def _indent_width(line: str) -> tuple[int, int]:
+    """``(width, first_code_index)`` of a physical line's indentation.
+
+    Width follows CPython: tabs advance to the next multiple of 8, form
+    feeds reset nothing and count as zero width.
+    """
+    width = 0
+    i = 0
+    for i, ch in enumerate(line):
+        if ch == " ":
+            width += 1
+        elif ch == "\t":
+            width = (width // 8 + 1) * 8
+        elif ch == "\f":
+            continue
+        else:
+            return width, i
+    return width, len(line)
+
+
+def _string_prefix(text: str, pos: int) -> int:
+    """Length of a string prefix (``r``/``b``/``f``/``u`` combination)
+    ending at a quote, or 0 when ``text[pos:]`` does not open a string."""
+    i = pos
+    while i < len(text) and i - pos < 3 and text[i] in _PREFIX_LETTERS:
+        i += 1
+    if i < len(text) and text[i] in _QUOTES:
+        return i - pos
+    return 0
+
+
+class _Scanner:
+    """Character-level layout scanner over one decoded source text."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.out: list[str] = []
+        self.indents = [0]
+        self.depth = 0  # bracket nesting
+        self.line_no = 1
+
+    def run(self) -> str:
+        text = self.text
+        for ch in SENTINELS:
+            if ch in text:
+                raise LayoutError("input already contains a layout sentinel", 1)
+        out = self.out
+        n = len(text)
+        pos = 0
+        while pos < n:
+            pos = self._logical_line(pos)
+        # Close any blocks still open at end of input (code lines always
+        # emit their own NEWLINE, even without a trailing "\n").
+        while len(self.indents) > 1:
+            self.indents.pop()
+            out.append(DEDENT)
+        return "".join(out)
+
+    # -- pieces ----------------------------------------------------------------
+
+    def _logical_line(self, pos: int) -> int:
+        """Consume one physical line starting at ``pos`` (which may extend
+        to several physical lines); emit layout sentinels; return the offset
+        after the line's terminating newline."""
+        text, out = self.text, self.out
+        n = len(text)
+        line_end = text.find("\n", pos)
+        if line_end == -1:
+            line_end = n
+        line = text[pos:line_end]
+        width, code_at = _indent_width(line)
+
+        # Blank or comment-only lines carry no layout meaning.
+        stripped = line[code_at:] if code_at < len(line) else ""
+        if not stripped or stripped.startswith("#"):
+            out.append(line)
+            if line_end < n:
+                out.append("\n")
+            self.line_no += 1
+            return line_end + 1
+
+        # A code line at bracket depth 0 opens/continues/closes blocks.
+        if width > self.indents[-1]:
+            self.indents.append(width)
+            out.append(INDENT)
+        else:
+            while width < self.indents[-1]:
+                self.indents.pop()
+                out.append(DEDENT)
+            if width != self.indents[-1]:
+                raise LayoutError(
+                    f"unindent to column {width} does not match any outer block",
+                    self.line_no,
+                )
+
+        # Scan the logical line to its true end (brackets, strings and
+        # backslash continuations may extend it across physical lines).
+        end = self._scan_code(pos)
+        out.append(NEWLINE)
+        if end < n and text[end] == "\n":
+            out.append("\n")
+            self.line_no += 1
+            return end + 1
+        return end
+
+    def _scan_code(self, pos: int) -> int:
+        """Scan code from ``pos`` to the end of the logical line.  Appends
+        the scanned text to the output verbatim and returns the offset of
+        the terminating newline (or end of text)."""
+        text, out = self.text, self.out
+        n = len(text)
+        start = pos
+        while pos < n:
+            ch = text[pos]
+            if ch == "\n":
+                if self.depth > 0:
+                    # Implicit continuation inside brackets.
+                    self.line_no += 1
+                    pos += 1
+                    continue
+                out.append(text[start:pos])
+                return pos
+            if ch == "\\" and pos + 1 < n and text[pos + 1] == "\n":
+                # Explicit continuation: keep both characters (the grammar's
+                # Spacing skips the pair); the logical line continues.
+                self.line_no += 1
+                pos += 2
+                continue
+            if ch == "#":
+                comment_end = text.find("\n", pos)
+                pos = comment_end if comment_end != -1 else n
+                continue
+            if ch in _OPEN:
+                self.depth += 1
+                pos += 1
+                continue
+            if ch in _CLOSE:
+                if self.depth > 0:
+                    self.depth -= 1
+                pos += 1
+                continue
+            if ch in _QUOTES:
+                pos = self._scan_string(pos, 0)
+                continue
+            prefix = _string_prefix(text, pos) if ch in _PREFIX_LETTERS else 0
+            if prefix:
+                # Only treat the letters as a prefix when they are not the
+                # tail of a longer identifier (e.g. ``der"x"`` is not one).
+                before = text[pos - 1] if pos > 0 else ""
+                if not (before.isalnum() or before == "_"):
+                    pos = self._scan_string(pos + prefix, prefix)
+                    continue
+                pos += prefix
+                continue
+            pos += 1
+        out.append(text[start:pos])
+        return pos
+
+    def _scan_string(self, pos: int, prefix_len: int) -> int:
+        """Scan a string literal whose opening quote is at ``pos``;
+        returns the offset just past its closing quote."""
+        text = self.text
+        n = len(text)
+        quote = text[pos]
+        raw = prefix_len > 0 and "r" in text[pos - prefix_len : pos].lower()
+        if text.startswith(quote * 3, pos):
+            terminator = quote * 3
+            pos += 3
+            while pos < n:
+                if not raw and text[pos] == "\\":
+                    pos += 2
+                    continue
+                if text.startswith(terminator, pos):
+                    return pos + 3
+                if text[pos] == "\n":
+                    self.line_no += 1
+                pos += 1
+            raise LayoutError("unterminated triple-quoted string", self.line_no)
+        pos += 1
+        while pos < n:
+            ch = text[pos]
+            if not raw and ch == "\\":
+                pos += 2
+                continue
+            if raw and ch == "\\" and pos + 1 < n:
+                # A raw string cannot *end* with an odd backslash; the
+                # backslash still escapes the quote lexically.
+                pos += 2
+                continue
+            if ch == quote:
+                return pos + 1
+            if ch == "\n":
+                raise LayoutError("unterminated string literal", self.line_no)
+            pos += 1
+        raise LayoutError("unterminated string literal", self.line_no)
+
+
+def python_layout(text: str) -> str:
+    """Run the layout pre-pass over decoded Python source.
+
+    Line endings are normalized first (``\\r\\n`` and lone ``\\r`` become
+    ``\\n``, as CPython's tokenizer does), then the sentinel-annotated text
+    the ``python.Python`` grammar parses is returned.  Raises
+    :class:`LayoutError` on inputs whose layout is malformed (inconsistent
+    dedent, unterminated string, raw sentinel characters).
+    """
+    if "\r" in text:
+        text = text.replace("\r\n", "\n").replace("\r", "\n")
+    return _Scanner(text).run()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ParseError
-from repro.locations import Location, line_column
+from repro.locations import LineIndex, Location, line_column
 from repro.runtime.base import ParserBase, sizeof_deep
 
 
@@ -32,6 +32,86 @@ class TestLineColumn:
 
     def test_empty_text(self):
         assert line_column("", 0) == (1, 1)
+
+
+class TestLineIndexMixedEndings:
+    """Regression tests for the corpus-scale line index: mixed terminators,
+    form feeds, and tab-heavy lines on large inputs."""
+
+    def test_crlf_is_one_terminator(self):
+        index = LineIndex("ab\r\ncd\r\nef")
+        assert index.line_count == 3
+        assert index.line_column(4) == (2, 1)
+        # Offsets pointing *inside* "\r\n" belong to the line it terminates.
+        assert index.line_column(2) == (1, 3)
+        assert index.line_column(3) == (1, 4)
+
+    def test_lone_cr_is_a_terminator(self):
+        index = LineIndex("ab\rcd\ref")
+        assert index.line_count == 3
+        assert index.line_column(3) == (2, 1)
+
+    def test_mixed_terminators_in_one_text(self):
+        index = LineIndex("a\nb\r\nc\rd")
+        assert index.line_count == 4
+        assert index.line_column(2) == (2, 1)  # after "\n"
+        assert index.line_column(5) == (3, 1)  # after "\r\n"
+        assert index.line_column(7) == (4, 1)  # after lone "\r"
+
+    def test_cr_then_lf_across_lines_not_merged(self):
+        # "\n\r\n" is a "\n" break then a "\r\n" break — two lines, not one.
+        index = LineIndex("a\n\r\nb")
+        assert index.line_count == 3
+        assert index.line_column(4) == (3, 1)
+
+    def test_form_feed_is_not_a_line_break(self):
+        index = LineIndex("ab\fcd\nef\x0bgh")
+        assert index.line_count == 2
+        assert index.line_column(4) == (1, 5)
+        assert index.line_column(9) == (2, 4)
+
+    def test_tab_heavy_line_columns_are_character_offsets(self):
+        index = LineIndex("\t\tx = 1\n\ty\n")
+        assert index.line_column(2) == (1, 3)  # tabs count one column each
+        assert index.line_column(9) == (2, 2)
+
+    def test_line_span_carries_crlf_terminator(self):
+        text = "ab\r\ncd"
+        index = LineIndex(text)
+        assert text[slice(*index.line_span(1))] == "ab\r\n"
+        assert text[slice(*index.line_span(2))] == "cd"
+
+    def test_multi_megabyte_mixed_input(self):
+        """The index stays correct (and is queried many times cheaply) on a
+        multi-MB text mixing all three terminators and form feeds."""
+        block = "x = 1\n\ty\r\nzzzz\rlast\f line\n"
+        repeats = 90_000  # ~2.3 MB, 360k lines
+        text = block * repeats
+        index = LineIndex(text)
+        lines_per_block = 4  # "\f" does not break a line
+        assert index.line_count == lines_per_block * repeats + 1
+        for k in (0, 1, repeats // 2, repeats - 1):
+            offset = k * len(block)
+            assert index.line_column(offset) == (k * lines_per_block + 1, 1)
+            # Inside the "\rlast..." physical line of block k.
+            assert index.line_column(offset + 15) == (k * lines_per_block + 4, 1)
+        assert index.line_column(len(text)) == (index.line_count, 1)
+
+    def test_index_queries_are_logarithmic_not_linear(self):
+        """Querying a later offset must not scan the text: many queries over
+        a huge index complete in time comparable to few queries."""
+        import time
+
+        text = "line\n" * 400_000
+        index = LineIndex(text)
+        offsets = [i * 5 for i in range(0, 400_000, 40)]
+        start = time.perf_counter()
+        for offset in offsets:
+            index.line_column(offset)
+        elapsed = time.perf_counter() - start
+        # 10k binary searches over 400k lines: generous ceiling that a
+        # linear-scan implementation (O(lines) per query) cannot meet.
+        assert elapsed < 1.0
 
 
 class TestParserBaseLocation:
@@ -103,8 +183,9 @@ class TestFailureTracking:
         parser = ParserBase("a\nb\nc")
         parser._expected(4, "'x'")
         error = parser.parse_error()
-        # parse_error populated (and used) the _location line-start index.
-        assert parser._line_starts == [0, 2, 4]
+        # parse_error populated (and used) the _location line index.
+        assert parser._line_index is not None
+        assert parser._line_index._starts == [0, 2, 4]
         assert (error.line, error.column) == (3, 1)
 
     def test_reset_clears_failure_state(self):
@@ -114,7 +195,7 @@ class TestFailureTracking:
         parser.reset("second", source="other.mg")
         assert parser._fail_pos == -1
         assert parser._fail_expected == []
-        assert parser._line_starts is None
+        assert parser._line_index is None
         assert parser._length == 6
         parser._expected(0, "'y'")
         assert parser.parse_error().source == "other.mg"
