@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench bench-record cache-check check fuzz fuzz-smoke prof-smoke serve-smoke python-corpus-smoke
+.PHONY: test smoke bench bench-record cache-check check fuzz fuzz-smoke prof-smoke serve-smoke python-corpus-smoke vm-smoke
 
 # Tier-1 suite (the acceptance gate).
 test:
@@ -57,6 +57,13 @@ serve-smoke:
 # See docs/grammars-python.md.
 python-corpus-smoke:
 	$(PYTHON) -c "from repro.workloads.pycorpus import main; raise SystemExit(main())"
+
+# Parsing-machine smoke: the VM test file, then an end-to-end cross-check
+# of machine vs generated trees on the seeded jay/xC corpora and a real-
+# Python corpus sample, plus a disassembly sanity pass.  See docs/vm.md.
+vm-smoke:
+	$(PYTHON) -m pytest -q tests/test_vm.py
+	$(PYTHON) scripts/vm_smoke.py
 
 # Full seeded differential fuzz: 500 generated + 500 mutated inputs per
 # grammar through every backend, strict about generator health.

@@ -3,6 +3,7 @@ be imported by module name without clashing with tests/conftest.py)."""
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 
@@ -27,6 +28,14 @@ def print_table(title: str, rows: list[dict], columns: list[str]) -> None:
     print("  ".join("-" * widths[c] for c in columns))
     for row in rows:
         print("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware on Linux)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
 
 
 def time_best_of(fn, repeat: int = 3) -> float:

@@ -4,9 +4,9 @@ Two series over the checked-in stdlib corpus (``examples/python/``, see its
 README for provenance):
 
 (a) corpus throughput (bytes/sec of raw source) of each backend — packrat
-    interpreter, closure compiler, generated parser — over every
-    non-allowlisted corpus file, layout pre-pass included in the timing
-    (it is part of what a client pays to parse Python);
+    interpreter, closure compiler, generated parser, parsing machine — over
+    every non-allowlisted corpus file, layout pre-pass included in the
+    timing (it is part of what a client pays to parse Python);
 (b) E4-style linearity on a large real-Python input: a ≥100 KB file built
     by concatenating corpus modules must parse in time linear in its size.
 
@@ -44,10 +44,12 @@ def python_backends():
     language = repro.compile_grammar(grammar)
     interpreter = PackratInterpreter(full.grammar, chunked=True)
     closures = ClosureParser(full.grammar, chunked=True)
+    vm_session = language.session(backend="vm")
     session = language.session()
     return [
         ("interpreter", interpreter.parse),
         ("closures", closures.parse),
+        ("vm", vm_session.parse),
         ("generated", session.parse),
     ]
 
@@ -80,9 +82,11 @@ def test_e11a_corpus_throughput_per_backend(benchmark, corpus_texts, python_back
 
     assert len(corpus_texts) >= 20 and total_bytes >= 300_000
     # The compiled backends must beat the interpreter; the generated parser
-    # is the fast path clients get from Language.parse.
+    # is the fast path clients get from Language.parse, and the parsing
+    # machine must beat the closures it replaces.
     assert throughput["generated"] > throughput["interpreter"]
     assert throughput["closures"] > throughput["interpreter"]
+    assert throughput["vm"] > throughput["closures"]
 
     _, fastest = python_backends[-1]
     small = [t for _, t, n in corpus_texts if n < 15_000]

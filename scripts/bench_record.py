@@ -1,11 +1,13 @@
 """Record the benchmark trajectory into a versioned JSON file.
 
 ``make bench-record`` (or ``PYTHONPATH=src python scripts/bench_record.py``)
-runs the E5 throughput measurement (generated parser, all optimizations,
-per-grammar seeded corpora), the E3 cumulative optimization ladder on
-the Jay corpus, and the E11 real-Python corpus throughput (all three
-backends over ``examples/python/``), and *appends* one record to
-``BENCH_5.json``.  Each record
+runs the E5 throughput measurement (generated parser and parsing machine,
+all optimizations, per-grammar seeded corpora), the E3 cumulative
+optimization ladder on the Jay corpus, and the E11 real-Python corpus
+throughput (every backend over ``examples/python/``), and *appends* one
+record to ``BENCH_5.json``.  ``--backends`` restricts which backends the
+E5/E11 sections measure (e.g. ``--backends vm`` for a machine-only
+record).  Each record
 carries enough provenance (machine, Python, options fingerprint, pipeline
 version) that later PRs can diff performance against earlier ones instead
 of re-deriving a baseline.  See docs/testing.md for the format.
@@ -44,6 +46,10 @@ from repro.workloads.pycorpus import ALLOWLIST
 
 #: Bump when the record layout changes.
 SCHEMA_VERSION = 1
+
+#: Backends the E5/E11 sections can measure; ``--backends`` selects a subset.
+E5_BACKENDS = ("generated", "vm")
+E11_BACKENDS = ("interpreter", "closures", "generated", "vm")
 
 #: Grammars measured by the E5 record, with their seeded corpora.
 def _sentences(root: str, count: int, seed: int) -> list[str]:
@@ -89,22 +95,36 @@ def _best_of(fn, repeat: int) -> float:
     return best
 
 
-def measure_e5(repeat: int) -> dict[str, dict]:
-    """Per-grammar chars/sec of the fully optimized generated parser."""
+def measure_e5(repeat: int, backends: tuple[str, ...] = E5_BACKENDS) -> dict[str, dict]:
+    """Per-grammar chars/sec of the selected backends over the optimized
+    grammar.  The generated parser keeps its historical top-level keys
+    (``seconds``/``chars_per_sec``); other backends land under
+    ``backends.<name>`` so earlier records diff cleanly."""
     results: dict[str, dict] = {}
     for root, corpus in corpora().items():
         grammar = repro.load_grammar(root)
-        parser_cls = _compiled(grammar, Options.all())
-        for text in corpus:  # correctness before timing
-            parser_cls(text).parse()
+        prepared = prepare(grammar, Options.all())
         chars = sum(len(text) for text in corpus)
-        seconds = _best_of(lambda: [parser_cls(t).parse() for t in corpus], repeat)
-        results[root] = {
-            "inputs": len(corpus),
-            "chars": chars,
-            "seconds": round(seconds, 6),
-            "chars_per_sec": round(chars / seconds),
-        }
+        entry: dict = {"inputs": len(corpus), "chars": chars}
+        if "generated" in backends:
+            parser_cls = load_parser(generate_parser_source(prepared))
+            for text in corpus:  # correctness before timing
+                parser_cls(text).parse()
+            seconds = _best_of(lambda: [parser_cls(t).parse() for t in corpus], repeat)
+            entry["seconds"] = round(seconds, 6)
+            entry["chars_per_sec"] = round(chars / seconds)
+        if "vm" in backends:
+            from repro.vm import VMParser, compile_program
+
+            vm = VMParser(compile_program(prepared))
+            for text in corpus:
+                vm.reset(text).parse()
+            seconds = _best_of(lambda: [vm.reset(t).parse() for t in corpus], repeat)
+            entry.setdefault("backends", {})["vm"] = {
+                "seconds": round(seconds, 6),
+                "chars_per_sec": round(chars / seconds),
+            }
+        results[root] = entry
     return results
 
 
@@ -121,7 +141,7 @@ def measure_e3(repeat: int) -> dict[str, int]:
     return ladder
 
 
-def measure_e11(repeat: int) -> dict[str, dict]:
+def measure_e11(repeat: int, backends: tuple[str, ...] = E11_BACKENDS) -> dict[str, dict]:
     """Real-Python corpus bytes/sec per backend (layout pre-pass included)."""
     from repro.interp import PackratInterpreter
     from repro.interp.closures import ClosureParser
@@ -134,14 +154,16 @@ def measure_e11(repeat: int) -> dict[str, dict]:
 
     grammar = repro.load_grammar("python.Python")
     full = optim_prepare(grammar, Options.all(), check=False)
-    session = repro.compile_grammar(grammar).session()
-    backends = {
-        "interpreter": PackratInterpreter(full.grammar, chunked=True).parse,
-        "closures": ClosureParser(full.grammar, chunked=True).parse,
-        "generated": session.parse,
+    language = repro.compile_grammar(grammar)
+    available = {
+        "interpreter": lambda: PackratInterpreter(full.grammar, chunked=True).parse,
+        "closures": lambda: ClosureParser(full.grammar, chunked=True).parse,
+        "vm": lambda: language.session(backend="vm").parse,
+        "generated": lambda: language.session().parse,
     }
+    measured = {name: make() for name, make in available.items() if name in backends}
     results: dict[str, dict] = {}
-    for name, parse in backends.items():
+    for name, parse in measured.items():
         seconds = _best_of(
             lambda parse=parse: [parse(python_layout(t)) for t in texts],
             repeat if name != "interpreter" else 1,
@@ -155,7 +177,9 @@ def measure_e11(repeat: int) -> dict[str, dict]:
     return results
 
 
-def build_record(label: str, repeat: int) -> dict:
+def build_record(label: str, repeat: int, backends: tuple[str, ...] | None = None) -> dict:
+    e5_backends = tuple(b for b in E5_BACKENDS if backends is None or b in backends)
+    e11_backends = tuple(b for b in E11_BACKENDS if backends is None or b in backends)
     return {
         "label": label,
         "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
@@ -169,9 +193,9 @@ def build_record(label: str, repeat: int) -> dict:
         },
         "options": Options.all().cache_key(),
         "pipeline_version": PIPELINE_VERSION,
-        "e5": measure_e5(repeat),
+        "e5": measure_e5(repeat, e5_backends),
         "e3_cumulative": measure_e3(repeat),
-        "e11_python_corpus": measure_e11(repeat),
+        "e11_python_corpus": measure_e11(repeat, e11_backends),
     }
 
 
@@ -186,9 +210,23 @@ def main(argv: list[str] | None = None) -> int:
         help="record file to append to",
     )
     parser.add_argument("--repeat", type=int, default=3, help="best-of-N timing")
+    parser.add_argument(
+        "--backends", metavar="NAME[,NAME…]",
+        help="restrict the E5/E11 sections to a backend subset "
+        f"(known: {', '.join(sorted(set(E5_BACKENDS) | set(E11_BACKENDS)))})",
+    )
     args = parser.parse_args(argv)
 
-    record = build_record(args.label, args.repeat)
+    backends = None
+    if args.backends:
+        backends = tuple(t.strip() for t in args.backends.split(",") if t.strip())
+        known = set(E5_BACKENDS) | set(E11_BACKENDS)
+        unknown = [t for t in backends if t not in known]
+        if unknown:
+            print(f"error: unknown backend(s) {unknown}; known: {sorted(known)}", file=sys.stderr)
+            return 1
+
+    record = build_record(args.label, args.repeat, backends)
 
     output = Path(args.output)
     if output.exists():
@@ -207,7 +245,10 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"recorded {args.label!r} -> {output}")
     for root, row in record["e5"].items():
-        print(f"  {root}: {row['chars_per_sec']:,} chars/s ({row['chars']} chars)")
+        if "chars_per_sec" in row:
+            print(f"  {root}: {row['chars_per_sec']:,} chars/s ({row['chars']} chars)")
+        for backend, sub in row.get("backends", {}).items():
+            print(f"  {root}/{backend}: {sub['chars_per_sec']:,} chars/s")
     for backend, row in record["e11_python_corpus"].items():
         print(
             f"  python-corpus/{backend}: {row['bytes_per_sec']:,} bytes/s "

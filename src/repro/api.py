@@ -58,6 +58,9 @@ class Language:
     parser_source: str
     parser_class: type
 
+    #: Backends :meth:`parse` / :meth:`session` accept.
+    BACKENDS = ("generated", "vm")
+
     # -- parsing ----------------------------------------------------------------
 
     def parse(
@@ -67,23 +70,35 @@ class Language:
         source: str = "<input>",
         profile: Any = None,
         depth_budget: int | None = None,
+        backend: str = "generated",
     ) -> Any:
-        """Parse ``text`` completely with the generated parser.
+        """Parse ``text`` completely.
+
+        ``backend`` selects the execution strategy: ``"generated"`` (the
+        default, compiled Python source) or ``"vm"`` (the parsing machine,
+        :mod:`repro.vm`).  Both produce identical ASTs and errors.
 
         Pass a :class:`repro.profile.ParseProfile` as ``profile`` to record
         parse-time telemetry; the parse then runs through a lazily compiled
-        *profiled twin* of the generated parser (the default parser class is
+        *profiled twin* of the selected backend (the default parser class is
         untouched — see ``docs/profiling.md``).  Note the twin profiles the
         fully *optimized* grammar; for author's-grammar coverage use
         :func:`repro.profile.profile_corpus`.
 
-        ``depth_budget`` caps the recursion the parse may use, counted in
-        stack frames above the caller (see
-        :func:`repro.runtime.base.recursion_budget`).  With or without a
-        budget, input too deeply nested for the available stack raises a
-        structured :class:`~repro.errors.ParseDepthError`, never a raw
+        ``depth_budget`` caps the resources the parse may use: for the
+        generated backend it is a recursion budget counted in stack frames
+        above the caller (see :func:`repro.runtime.base.recursion_budget`);
+        for the VM backend it is a machine stack-entry budget (calls plus
+        live backtrack points).  Either way, input too deeply nested raises
+        a structured :class:`~repro.errors.ParseDepthError`, never a raw
         :class:`RecursionError`.
         """
+        if backend == "vm":
+            return self._parse_vm(text, start, source, profile, depth_budget)
+        if backend != "generated":
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {self.BACKENDS}"
+            )
         from repro.runtime.base import recursion_budget
 
         with recursion_budget(depth_budget):
@@ -97,6 +112,43 @@ class Language:
                 raise
             profile.count_parse(text, accepted=True)
             return value
+
+    def _parse_vm(
+        self,
+        text: str,
+        start: str | None,
+        source: str,
+        profile: Any,
+        depth_budget: int | None,
+    ) -> Any:
+        from repro.vm import VMParser
+
+        program = self.vm_program(profiled=profile is not None)
+        if profile is None:
+            return VMParser(program, text, source, depth_budget=depth_budget).parse(start)
+        profile.register_grammar(self.prepared.grammar)
+        try:
+            value = VMParser(
+                program, text, source, profile=profile, depth_budget=depth_budget
+            ).parse(start)
+        except Exception:
+            profile.count_parse(text, accepted=False)
+            raise
+        profile.count_parse(text, accepted=True)
+        return value
+
+    def vm_program(self, profiled: bool = False):
+        """The grammar lowered to parsing-machine bytecode, compiled on first
+        use and cached on the instance (plain and profiled twins separately).
+        """
+        from repro.vm import compile_program
+
+        attr = "_vm_program_profiled" if profiled else "_vm_program"
+        cached = self.__dict__.get(attr)
+        if cached is None:
+            cached = compile_program(self.prepared, profiled=profiled)
+            object.__setattr__(self, attr, cached)
+        return cached
 
     def parse_file(self, path: str | Path, start: str | None = None) -> Any:
         """Parse the contents of a file (its path becomes the source name)."""
@@ -141,6 +193,7 @@ class Language:
         start: str | None = None,
         profile: Any = None,
         depth_budget: int | None = None,
+        backend: str = "generated",
     ) -> "ParseSession":
         """A warm-parse session: one parser instance reused across inputs.
 
@@ -154,13 +207,17 @@ class Language:
         line index, and the memo table are cleared *in place*, so parsing N
         inputs allocates one parser and one memo table, not N.
 
-        With ``profile`` set, the session reuses one *profiled-twin* parser
-        instead and accumulates telemetry across all its parses.  A
-        ``depth_budget`` (stack frames) applies to every parse in the
+        ``backend`` selects the execution strategy (``"generated"`` or
+        ``"vm"``), exactly as in :meth:`parse`.  With ``profile`` set, the
+        session reuses one *profiled-twin* parser instead and accumulates
+        telemetry across all its parses.  A ``depth_budget`` (stack frames,
+        or machine stack entries on the VM) applies to every parse in the
         session — deep inputs fail with a structured
         :class:`~repro.errors.ParseDepthError`.
         """
-        return ParseSession(self, start=start, profile=profile, depth_budget=depth_budget)
+        return ParseSession(
+            self, start=start, profile=profile, depth_budget=depth_budget, backend=backend
+        )
 
     def recognize(self, text: str, start: str | None = None) -> bool:
         """Does the whole input match?  (No value construction errors are
@@ -213,12 +270,18 @@ class ParseSession:
         start: str | None = None,
         profile: Any = None,
         depth_budget: int | None = None,
+        backend: str = "generated",
     ):
+        if backend not in Language.BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {Language.BACKENDS}"
+            )
         self._language = language
         self._start = start
         self._parser = None
         self._profile = profile
         self._depth_budget = depth_budget
+        self._backend = backend
         if profile is not None:
             profile.register_grammar(language.prepared.grammar)
         #: Number of inputs parsed (including failed parses).
@@ -235,21 +298,33 @@ class ParseSession:
 
     def parse(self, text: str, source: str = "<input>") -> Any:
         """Parse ``text`` completely; raises :class:`ParseError` on failure."""
+        if self._backend == "vm":
+            # The VM enforces the depth budget itself, as a machine
+            # stack-entry cap — no interpreter recursion limit to arm.
+            return self._parse(text, source)
         from repro.runtime.base import recursion_budget
 
         with recursion_budget(self._depth_budget):
             return self._parse(text, source)
 
+    def _make_parser(self, text: str, source: str):
+        profile = self._profile
+        if self._backend == "vm":
+            from repro.vm import VMParser
+
+            program = self._language.vm_program(profiled=profile is not None)
+            return VMParser(
+                program, text, source, profile=profile, depth_budget=self._depth_budget
+            )
+        if profile is None:
+            return self._language.parser_class(text, source)
+        return self._language.profiled_parser_class(text, source, profile=profile)
+
     def _parse(self, text: str, source: str) -> Any:
         parser = self._parser
         profile = self._profile
         if parser is None:
-            if profile is None:
-                parser = self._parser = self._language.parser_class(text, source)
-            else:
-                parser = self._parser = self._language.profiled_parser_class(
-                    text, source, profile=profile
-                )
+            parser = self._parser = self._make_parser(text, source)
         else:
             parser.reset(text, source)
         self.parses += 1

@@ -587,7 +587,9 @@ class XcParser:
         text, n = self._text, self._length
         pos = self._pos
         ch = text[pos] if pos < n else ""
-        if ch in _DIGITS or (ch == "." and pos + 1 < n and text[pos + 1] in _DIGITS):
+        # ``ch`` must be non-empty: ``"" in _DIGITS`` is True (empty string
+        # is a substring), which would send an at-EOF position into _number.
+        if (ch and ch in _DIGITS) or (ch == "." and pos + 1 < n and text[pos + 1] in _DIGITS):
             return self._number()
         if ch == "'":
             end = pos + 1

@@ -6,6 +6,7 @@ Usage::
     repro-fuzz calc json jay -n 500 --mutated 500 --seed 42 --strict
     repro-fuzz ml.ML --start Program --path grammars/
     repro-fuzz jay --backtracking   # include the exponential naive backend
+    repro-fuzz jay --backends vm,codegen-all   # fuzz a backend subset
 
 Grammars may be short keys (``calc``, ``json``, ``jay``, …, resolved via
 :data:`repro.grammars.ROOTS`) or qualified module names.  Every run is
@@ -65,6 +66,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="also run the naive backtracking interpreter (can be exponential)",
     )
     parser.add_argument(
+        "--backends", metavar="NAME[,NAME…]",
+        help="restrict to a backend subset, comma-separated (e.g. vm,closures,"
+        "codegen-all; 'codegen' selects every codegen variant; the reference "
+        "interpreter is always kept)",
+    )
+    parser.add_argument(
         "--strict", action="store_true",
         help="additionally fail when the generator's accepted ratio is below --min-valid",
     )
@@ -77,6 +84,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_arg_parser().parse_args(argv)
+    backends = None
+    if args.backends:
+        backends = [token.strip() for token in args.backends.split(",") if token.strip()]
     failures = 0
     vacuous = 0
     for name in args.grammars:
@@ -91,8 +101,9 @@ def main(argv: list[str] | None = None) -> int:
                 start=args.start,
                 backtracking=args.backtracking,
                 paths=args.paths,
+                backends=backends,
             )
-        except ReproError as exc:
+        except (ReproError, ValueError) as exc:
             print(f"error: {root}: {exc}", file=sys.stderr)
             return 1
         print(report.summary())

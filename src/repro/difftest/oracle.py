@@ -3,6 +3,10 @@
 One :class:`DifferentialOracle` holds every parser the library can derive
 from a single grammar:
 
+The core set is declared once, in :data:`BACKEND_TABLE` — one row per
+backend naming how it is built from the oracle's prepared grammars — so a
+new backend is one table row, not a constructor edit per call site:
+
 - the packrat interpreter over the fully optimized grammar, under *both*
   memo-table organizations (:class:`~repro.runtime.memo.ChunkedMemoTable`
   and :class:`~repro.runtime.memo.DictMemoTable`);
@@ -10,20 +14,24 @@ from a single grammar:
   closest thing to textbook PEG semantics, and the reference backend;
 - the closure-compiled parser (:class:`repro.interp.closures.ClosureParser`)
   over the fully optimized grammar;
-- the generated parser with all optimizations on, and one generated parser
-  per single-optimization-off :meth:`~repro.optim.Options.single_off`
-  variant (the paper's ``-Ono-…`` configurations);
-- the hand-written recursive-descent baseline, where one is registered in
-  :data:`repro.baselines.BASELINES`;
-- optionally the naive backtracking interpreter (off by default: it is
-  worst-case exponential, which is a property of the backend, not a bug).
+- the generated parser with all optimizations on;
+- the parsing machine (:mod:`repro.vm`) over the same fully optimized,
+  chunked-memo configuration.
+
+On top of the table the constructor adds the parameterized members: one
+generated parser per single-optimization-off
+:meth:`~repro.optim.Options.single_off` variant (the paper's ``-Ono-…``
+configurations), the hand-written recursive-descent baseline where one is
+registered in :data:`repro.baselines.BASELINES`, and optionally the naive
+backtracking interpreter (off by default: it is worst-case exponential,
+which is a property of the backend, not a bug).
 
 :meth:`check` parses one input with every backend and reports
 *disagreements*: mismatched accept/reject verdicts, structurally unequal
-ASTs on accepts, mismatched farthest-failure offsets on rejects (for
-backends with farthest-failure semantics — hand-written baselines report
-their own positions and are excluded from offset comparison), and any
-non-:class:`~repro.errors.ParseError` crash.
+ASTs on accepts, mismatched farthest-failure offsets or expected sets on
+rejects (for backends with farthest-failure semantics — hand-written
+baselines report their own positions and are excluded from error
+comparison), and any non-:class:`~repro.errors.ParseError` crash.
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ from repro.interp import BacktrackInterpreter, PackratInterpreter
 from repro.interp.closures import ClosureParser
 from repro.modules import compose
 from repro.meta import ModuleLoader
-from repro.optim import Options, prepare
+from repro.optim import Options, PreparedGrammar, prepare
 from repro.peg.grammar import Grammar
 from repro.runtime.node import structural_diff
 
@@ -68,6 +76,11 @@ class Backend:
     parse: Callable[[str], Any]
     #: Failure offsets follow farthest-failure semantics and must match.
     exact_errors: bool = True
+    #: Backends sharing a group label run the *same* prepared grammar and
+    #: must report identical expected sets on rejects.  (Across different
+    #: preparations the sets legitimately differ — fusion rewrites the
+    #: expected-message vocabulary — so only offsets are compared there.)
+    expected_group: str | None = None
 
     def run(self, text: str) -> Outcome:
         try:
@@ -108,6 +121,95 @@ class Disagreement:
         )
 
 
+@dataclass(frozen=True)
+class OracleGrammars:
+    """The grammar forms every backend row is built from."""
+
+    grammar: Grammar
+    #: ``Options.none()`` pipeline output — textbook PEG semantics.
+    plain: PreparedGrammar
+    #: ``Options.all()`` pipeline output — what production backends run.
+    full: PreparedGrammar
+
+
+@dataclass(frozen=True)
+class BackendDef:
+    """One row of the declarative backend table."""
+
+    name: str
+    build: Callable[[OracleGrammars], Callable[[str], Any]]
+    exact_errors: bool = True
+    expected_group: str | None = None
+
+    def instantiate(self, grammars: OracleGrammars) -> Backend:
+        return Backend(
+            self.name,
+            self.build(grammars),
+            exact_errors=self.exact_errors,
+            expected_group=self.expected_group,
+        )
+
+
+def _build_codegen(prepared: PreparedGrammar) -> Callable[[str], Any]:
+    parser_class = load_parser(generate_parser_source(prepared))
+    return lambda text: parser_class(text).parse()
+
+
+def _build_vm(grammars: OracleGrammars) -> Callable[[str], Any]:
+    from repro.vm import VMParser, compile_program
+
+    program = compile_program(grammars.full)
+    return lambda text: VMParser(program, text).parse()
+
+
+#: The core backends, declaratively.  Order matters: the first row is the
+#: comparison reference.  Adding a backend here registers it with every
+#: oracle construction site (``repro-fuzz``, the fuzz matrix, regression
+#: tests) at once.
+BACKEND_TABLE: tuple[BackendDef, ...] = (
+    # Reference first: packrat interpretation of the unoptimized grammar.
+    BackendDef("interp-plain", lambda g: PackratInterpreter(g.plain.grammar, chunked=False).parse),
+    # Two expected-set vocabularies exist over the optimized grammar: the
+    # interpreter family reports raw leaf messages; codegen and the VM
+    # report precomputed guard/first-set messages ("one of …").  Expected
+    # sets are compared within each vocabulary, offsets across all.
+    BackendDef(
+        "interp-chunked",
+        lambda g: PackratInterpreter(g.full.grammar, chunked=True).parse,
+        expected_group="full-interp",
+    ),
+    BackendDef(
+        "interp-dict",
+        lambda g: PackratInterpreter(g.full.grammar, chunked=False).parse,
+        expected_group="full-interp",
+    ),
+    BackendDef(
+        "closures",
+        lambda g: ClosureParser(g.full.grammar, chunked=True).parse,
+        expected_group="full-interp",
+    ),
+    BackendDef("codegen-all", lambda g: _build_codegen(g.full), expected_group="full-codegen"),
+    BackendDef("vm", _build_vm, expected_group="full-codegen"),
+)
+
+
+def _wanted(name: str, requested: tuple[str, ...] | None) -> bool:
+    """Does a ``backends=`` subset select this backend name?
+
+    A token selects exact matches and prefix families: ``codegen`` keeps
+    ``codegen-all`` and every ``codegen-no-…`` variant; ``interp`` keeps all
+    interpreters.
+    """
+    if requested is None:
+        return True
+    return any(name == token or name.startswith(token + "-") for token in requested)
+
+
+def _wanted_any(token: str, known: set[str]) -> bool:
+    """Does a selector token match at least one known backend name?"""
+    return any(name == token or name.startswith(token + "-") for name in known)
+
+
 class DifferentialOracle:
     """All backends derivable from one grammar, plus the comparison logic."""
 
@@ -119,28 +221,43 @@ class DifferentialOracle:
         baseline: type | None = None,
         backtracking: bool = False,
         variants: list[tuple[str, Options]] | None = None,
+        backends: list[str] | tuple[str, ...] | None = None,
     ):
         if start is not None:
             grammar = grammar.with_start(start)
         self.grammar = grammar
         plain = prepare(grammar, Options.none(), check=False)
         full = prepare(grammar, Options.all(), check=False)
+        self.grammars = OracleGrammars(grammar=grammar, plain=plain, full=full)
+        requested = tuple(backends) if backends is not None else None
+        if requested is not None:
+            known = {d.name for d in BACKEND_TABLE} | {"interp-backtrack", "codegen", "baseline"}
+            known |= {f"codegen-{label}" for label, _ in Options.single_off()}
+            unknown = [t for t in requested if not _wanted_any(t, known)]
+            if unknown:
+                raise ValueError(
+                    f"unknown backend selector(s) {unknown!r}; known: {sorted(known)}"
+                )
         self.backends: list[Backend] = []
 
-        # Reference first: packrat interpretation of the unoptimized grammar.
-        self._add_interpreter("interp-plain", plain.grammar, chunked=False)
-        self._add_interpreter("interp-chunked", full.grammar, chunked=True)
-        self._add_interpreter("interp-dict", full.grammar, chunked=False)
-        self._add_closures("closures", full.grammar)
-        if backtracking:
+        for index, definition in enumerate(BACKEND_TABLE):
+            # The reference row is always present: every other backend is
+            # compared against it, so a subset without it is meaningless.
+            if index == 0 or _wanted(definition.name, requested):
+                self.backends.append(definition.instantiate(self.grammars))
+
+        if backtracking and _wanted("interp-backtrack", requested):
             naive = BacktrackInterpreter(plain.grammar)
             self.backends.append(Backend("interp-backtrack", naive.parse))
 
-        self._add_generated("codegen-all", full)
         for label, options in variants if variants is not None else Options.single_off():
-            self._add_generated(f"codegen-{label}", prepare(grammar, options, check=False))
+            name = f"codegen-{label}"
+            if _wanted(name, requested):
+                self.backends.append(
+                    Backend(name, _build_codegen(prepare(grammar, options, check=False)))
+                )
 
-        if baseline is not None:
+        if baseline is not None and _wanted("baseline", requested):
             self.backends.append(
                 Backend("baseline", lambda text: baseline(text).parse(), exact_errors=False)
             )
@@ -165,18 +282,6 @@ class DifferentialOracle:
         kwargs.setdefault("baseline", BASELINES.get(root))
         return cls(grammar, **kwargs)
 
-    def _add_interpreter(self, name: str, grammar: Grammar, chunked: bool) -> None:
-        interp = PackratInterpreter(grammar, chunked=chunked)
-        self.backends.append(Backend(name, interp.parse))
-
-    def _add_closures(self, name: str, grammar: Grammar) -> None:
-        closures = ClosureParser(grammar, chunked=True)
-        self.backends.append(Backend(name, closures.parse))
-
-    def _add_generated(self, name: str, prepared) -> None:
-        parser_class = load_parser(generate_parser_source(prepared))
-        self.backends.append(Backend(name, lambda text: parser_class(text).parse()))
-
     def add_backend(self, backend: Backend) -> None:
         """Attach an extra backend (used by tests to inject broken passes)."""
         self.backends.append(backend)
@@ -192,16 +297,46 @@ class DifferentialOracle:
         return {backend.name: backend.run(text) for backend in self.backends}
 
     def check(self, text: str) -> list[Disagreement]:
-        """All pairwise disagreements of any backend with the reference."""
+        """All pairwise disagreements of any backend with the reference,
+        plus expected-set disagreements within each same-grammar group."""
         reference = self.reference
         ref_outcome = reference.run(text)
         disagreements: list[Disagreement] = []
-        for backend in self.backends[1:]:
-            outcome = backend.run(text)
-            detail = self._compare(ref_outcome, outcome, backend)
-            if detail is not None:
+        group_leads: dict[str, tuple[Backend, Outcome]] = {}
+        for backend in self.backends:
+            outcome = ref_outcome if backend is reference else backend.run(text)
+            if backend is not reference:
+                detail = self._compare(ref_outcome, outcome, backend)
+                if detail is not None:
+                    disagreements.append(
+                        Disagreement(
+                            text, reference.name, backend.name, ref_outcome, outcome, detail
+                        )
+                    )
+            group = backend.expected_group
+            if group is None or not backend.exact_errors or outcome.crash is not None:
+                continue
+            lead = group_leads.get(group)
+            if lead is None:
+                group_leads[group] = (backend, outcome)
+                continue
+            lead_backend, lead_outcome = lead
+            if (
+                not lead_outcome.accepted
+                and not outcome.accepted
+                and set(lead_outcome.expected) != set(outcome.expected)
+            ):
                 disagreements.append(
-                    Disagreement(text, reference.name, backend.name, ref_outcome, outcome, detail)
+                    Disagreement(
+                        text,
+                        lead_backend.name,
+                        backend.name,
+                        lead_outcome,
+                        outcome,
+                        "expected sets differ: "
+                        f"{sorted(set(lead_outcome.expected))} != "
+                        f"{sorted(set(outcome.expected))}",
+                    )
                 )
         return disagreements
 

@@ -87,6 +87,7 @@ def fuzz_grammar(
     backtracking: bool = False,
     paths: list[str] | None = None,
     coverage: CoverageMatrix | bool = False,
+    backends: list[str] | None = None,
 ) -> FuzzReport:
     """One seeded differential fuzz run over the grammar module ``root``.
 
@@ -100,10 +101,14 @@ def fuzz_grammar(
     e.g. across seeds), every checked input is also fed through a profiled
     reference interpreter, so the fuzz run doubles as a grammar-coverage
     measurement; the matrix lands on ``report.coverage``.
+
+    ``backends`` restricts the oracle to a subset of backend names (the
+    reference is always kept); see
+    :class:`~repro.difftest.oracle.DifferentialOracle`.
     """
     if oracle is None:
         oracle = DifferentialOracle.for_root(
-            root, paths=paths, start=start, backtracking=backtracking
+            root, paths=paths, start=start, backtracking=backtracking, backends=backends
         )
     coverage_session = None
     if coverage:

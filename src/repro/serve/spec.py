@@ -58,12 +58,19 @@ class GrammarSpec:
     start: str | None = None
     options: Options | None = None
     parser_name: str = "Parser"
+    #: Execution strategy for served parses: ``"generated"`` or ``"vm"``
+    #: (see :attr:`repro.api.Language.BACKENDS`).
+    backend: str = "generated"
 
     def __post_init__(self):
         if (self.root is None) == (self.factory is None):
             raise ValueError("GrammarSpec needs exactly one of 'root' or 'factory'")
         if self.factory is not None and ":" not in self.factory:
             raise ValueError(f"factory must look like 'package.module:callable', got {self.factory!r}")
+        if self.backend not in Language.BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {Language.BACKENDS}"
+            )
 
     @classmethod
     def coerce(cls, value: "GrammarSpec | str") -> "GrammarSpec":
@@ -90,6 +97,8 @@ class GrammarSpec:
             extras.append(f"start={self.start}")
         if self.paths:
             extras.append(f"paths={list(self.paths)}")
+        if self.backend != "generated":
+            extras.append(f"backend={self.backend}")
         return target + (f" ({', '.join(extras)})" if extras else "")
 
     def compile(self, cache: Any = None, cache_dir: str | Path | None = None) -> Language:

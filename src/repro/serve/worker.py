@@ -76,7 +76,11 @@ class WorkerRuntime:
     def session(self, key: str, start: str | None):
         session = self._sessions.get((key, start))
         if session is None:
-            session = self.language(key).session(start=start, depth_budget=self._depth_budget)
+            session = self.language(key).session(
+                start=start,
+                depth_budget=self._depth_budget,
+                backend=self._specs[key].backend,
+            )
             self._sessions[(key, start)] = session
         return session
 

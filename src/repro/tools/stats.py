@@ -4,6 +4,8 @@ Usage::
 
     repro-stats jay.Jay
     repro-stats my.Lang --path grammars/
+    repro-stats jay.Jay --disasm              # parsing-machine bytecode listing
+    repro-stats jay.Jay --disasm Expression   # one production only
 """
 
 from __future__ import annotations
@@ -47,6 +49,11 @@ def main(argv: list[str] | None = None) -> int:
         "--dot", action="store_true", help="print the module dependency graph as GraphViz DOT"
     )
     parser.add_argument(
+        "--disasm", nargs="?", const="", metavar="PRODUCTION",
+        help="print the parsing-machine bytecode for the optimized grammar "
+        "(optionally one production) and exit",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="DIR",
         help="also report the compilation cache entries in DIR",
@@ -66,6 +73,29 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 1
         print(graph.to_dot())
+        return 0
+    if args.disasm is not None:
+        from repro.modules import compose
+        from repro.optim import prepare
+        from repro.vm import compile_program, disassemble, summarize
+
+        try:
+            prepared = prepare(compose(args.root, paths=args.path or None))
+            program = compile_program(prepared)
+            print(disassemble(program, args.disasm or None))
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 1
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        counts = summarize(program)
+        top = ", ".join(f"{name} {n}" for name, n in list(counts["opcodes"].items())[:6])
+        print(
+            f"\n; {counts['instructions']} instructions across "
+            f"{counts['productions']} productions ({counts['memo_rules']} memoized); "
+            f"top opcodes: {top}"
+        )
         return 0
     try:
         gstats, modules = collect(args.root, args.path or None)

@@ -1,0 +1,133 @@
+"""Human-readable listings of compiled :class:`~repro.vm.compiler.VMProgram`\\ s.
+
+:func:`disassemble` renders the flat instruction array grouped by the
+production each region was lowered from (``repro-stats --disasm`` prints
+this); :func:`summarize` gives the opcode histogram and per-production
+instruction counts used by docs and smoke checks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.vm.compiler import (
+    OP_ACTION,
+    OP_CALL,
+    OP_CALL_BIND,
+    OP_CHAR,
+    OP_CLASS,
+    OP_GCHOICE,
+    OP_GUARD,
+    OP_LIT,
+    OP_LIT_CI,
+    OP_NAMES,
+    OP_REGEX,
+    OP_RED_NODE,
+    OP_REP_BEGIN,
+    OP_SET,
+    OP_SPAN,
+    OP_SWITCH,
+    VMProgram,
+)
+
+_MAX_CHARSET = 12
+
+
+def _charset(chars) -> str:
+    shown = "".join(sorted(chars))
+    if len(shown) > _MAX_CHARSET:
+        shown = shown[:_MAX_CHARSET] + "…"
+    return f"[{shown!r} #{len(chars)}]"
+
+
+def _operands(inst: tuple) -> str:
+    op = inst[0]
+    if op == OP_CHAR:
+        return f"{inst[1]!r} push={int(bool(inst[3]))}"
+    if op == OP_SET:
+        return f"{_charset(inst[1])} push={int(bool(inst[2]))}"
+    if op == OP_CALL:
+        return f"{inst[3]} @{inst[1]} memo={inst[2]}"
+    if op == OP_CALL_BIND:
+        return f"{inst[3]} @{inst[1]} memo={inst[2]} bind={inst[4]!r}"
+    if op == OP_GCHOICE:
+        return f"{_charset(inst[1])} else @{inst[2]}"
+    if op == OP_RED_NODE:
+        return f"{inst[1]!r} n={inst[2]} loc={int(bool(inst[3]))}"
+    if op == OP_REP_BEGIN:
+        return f"end @{inst[1]} min={inst[2]} mode={inst[3]}"
+    if op == OP_LIT:
+        return f"{inst[1]!r} push={int(bool(inst[4]))}"
+    if op == OP_LIT_CI:
+        return f"{inst[1]!r} ci push={int(bool(inst[5]))}"
+    if op == OP_GUARD:
+        return f"{_charset(inst[1])} else @{inst[2]}"
+    if op == OP_SWITCH:
+        cases = " ".join(f"{ch!r}->@{ip}" for ch, ip in sorted(inst[1].items()))
+        return f"{{{cases}}} default @{inst[2]}"
+    if op == OP_REGEX:
+        return f"{inst[5]} push_mode={inst[2]} silent={int(bool(inst[3]))}"
+    if op == OP_SPAN:
+        return _charset(inst[1])
+    if op == OP_CLASS:
+        return f"<predicate> push={int(bool(inst[2]))}"
+    if op == OP_ACTION:
+        return f"<code> push={int(bool(inst[2]))}"
+    # Generic rendering: ints are instruction targets or counts, everything
+    # else reprs compactly.
+    parts = []
+    for arg in inst[1:]:
+        if isinstance(arg, bool):
+            parts.append(str(int(arg)))
+        elif isinstance(arg, int):
+            parts.append(f"@{arg}" if arg > 1 else str(arg))
+        elif isinstance(arg, str):
+            parts.append(repr(arg) if len(arg) <= 24 else repr(arg[:24] + "…"))
+        elif isinstance(arg, (tuple, frozenset)):
+            parts.append(f"#{len(arg)}")
+        else:
+            parts.append(f"<{type(arg).__name__}>")
+    return " ".join(parts)
+
+
+def disassemble(program: VMProgram, production: str | None = None) -> str:
+    """Render the program (or one production of it) as an assembly listing."""
+    spans = program.rule_spans
+    if production is not None:
+        spans = tuple(span for span in spans if span[0] == production)
+        if not spans:
+            raise KeyError(f"no production {production!r} in program")
+    lines = [
+        f"; program {program.grammar_name}: {len(program.code)} instructions, "
+        f"{len(program.rule_spans)} productions, start={program.start}"
+        f"{', profiled' if program.profiled else ''}"
+    ]
+    if production is None:
+        lines.append("     0  FAIL                ; shared failure target")
+        lines.append("     1  HALT                ; shared return target")
+    for name, start_ip, end_ip in spans:
+        memo = program.memo_index.get(name, -1)
+        tag = f" memo={memo}" if memo >= 0 else " transient"
+        lines.append(f"\n{name}:{tag}")
+        for ip in range(start_ip, end_ip):
+            inst = program.code[ip]
+            mnemonic = OP_NAMES.get(inst[0], f"OP{inst[0]}")
+            operands = _operands(inst)
+            lines.append(f"{ip:6d}  {mnemonic:<10s} {operands}".rstrip())
+    return "\n".join(lines)
+
+
+def summarize(program: VMProgram) -> dict:
+    """Opcode histogram plus per-production instruction counts."""
+    histogram = Counter(OP_NAMES.get(inst[0], f"OP{inst[0]}") for inst in program.code)
+    per_rule = {name: end - start for name, start, end in program.rule_spans}
+    return {
+        "grammar": program.grammar_name,
+        "start": program.start,
+        "instructions": len(program.code),
+        "productions": len(program.rule_spans),
+        "memo_rules": len(program.memo_rules),
+        "profiled": program.profiled,
+        "opcodes": dict(histogram.most_common()),
+        "per_production": per_rule,
+    }
