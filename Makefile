@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench bench-record cache-check check fuzz fuzz-smoke prof-smoke serve-smoke python-corpus-smoke vm-smoke
+.PHONY: test smoke bench bench-record cache-check check fuzz fuzz-smoke prof-smoke serve-smoke python-corpus-smoke vm-smoke incremental-smoke
 
 # Tier-1 suite (the acceptance gate).
 test:
@@ -64,6 +64,15 @@ python-corpus-smoke:
 vm-smoke:
 	$(PYTHON) -m pytest -q tests/test_vm.py
 	$(PYTHON) scripts/vm_smoke.py
+
+# Incremental-reparsing smoke: the incremental test file (memo surgery,
+# session semantics, streaming, the 200-script edit property), then a
+# bounded differential edit-fuzz run — warm reparses after seeded edit
+# scripts checked bit-identically against cold parses.  See
+# docs/incremental.md.
+incremental-smoke:
+	$(PYTHON) -m pytest -q tests/test_incremental.py
+	$(PYTHON) -m repro.tools.fuzz calc jay -n 60 --edits 4 --seed 20260807
 
 # Full seeded differential fuzz: 500 generated + 500 mutated inputs per
 # grammar through every backend, strict about generator health.

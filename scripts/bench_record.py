@@ -3,8 +3,10 @@
 ``make bench-record`` (or ``PYTHONPATH=src python scripts/bench_record.py``)
 runs the E5 throughput measurement (generated parser and parsing machine,
 all optimizations, per-grammar seeded corpora), the E3 cumulative
-optimization ladder on the Jay corpus, and the E11 real-Python corpus
-throughput (every backend over ``examples/python/``), and *appends* one
+optimization ladder on the Jay corpus, the E11 real-Python corpus
+throughput (every backend over ``examples/python/``), and the E12
+incremental-reparse ratio (warm edit reparse vs cold parse, both
+incremental backends, Jay and real-Python buffers), and *appends* one
 record to ``BENCH_5.json``.  ``--backends`` restricts which backends the
 E5/E11 sections measure (e.g. ``--backends vm`` for a machine-only
 record).  Each record
@@ -177,6 +179,57 @@ def measure_e11(repeat: int, backends: tuple[str, ...] = E11_BACKENDS) -> dict[s
     return results
 
 
+#: Incremental backends the E12 section measures.
+E12_BACKENDS = ("vm", "closures")
+
+
+def measure_e12(edits: int = 8) -> dict[str, dict]:
+    """Warm-vs-cold reparse ratio per incremental backend (see benchmark
+    E12): a seeded identifier-rename script over a Jay program and a
+    layouted real-Python stdlib source; ``speedup`` is total cold seconds
+    over total warm seconds for the whole script."""
+    from repro.workloads.pyedits import corpus_texts, rename_edits
+
+    buffers = {
+        "jay.Jay": (
+            repro.compile_grammar("jay.Jay"),
+            generate_jay_program(size=14, seed=11),
+        ),
+    }
+    python_corpus = corpus_texts(limit=1, max_chars=40_000)
+    if python_corpus:
+        [(name, text)] = python_corpus
+        buffers[f"python.Python ({name})"] = (repro.compile_grammar("python.Python"), text)
+
+    results: dict[str, dict] = {}
+    for key, (language, text) in buffers.items():
+        entry: dict = {"chars": len(text), "edits": edits, "backends": {}}
+        for backend in E12_BACKENDS:
+            warm = language.incremental(backend=backend)
+            warm.set_text(text)
+            warm.parse()
+            cold = language.incremental(backend=backend)
+            current = text
+            warm_s = cold_s = 0.0
+            for edit in rename_edits(text, random.Random(5), edits):
+                warm.apply_edit(edit.offset, edit.removed, edit.inserted)
+                current = edit.apply(current)
+                start = time.perf_counter()
+                warm.parse()
+                warm_s += time.perf_counter() - start
+                cold.set_text(current)
+                start = time.perf_counter()
+                cold.parse()
+                cold_s += time.perf_counter() - start
+            entry["backends"][backend] = {
+                "warm_seconds": round(warm_s, 6),
+                "cold_seconds": round(cold_s, 6),
+                "speedup": round(cold_s / warm_s, 2),
+            }
+        results[key] = entry
+    return results
+
+
 def build_record(label: str, repeat: int, backends: tuple[str, ...] | None = None) -> dict:
     e5_backends = tuple(b for b in E5_BACKENDS if backends is None or b in backends)
     e11_backends = tuple(b for b in E11_BACKENDS if backends is None or b in backends)
@@ -196,6 +249,7 @@ def build_record(label: str, repeat: int, backends: tuple[str, ...] | None = Non
         "e5": measure_e5(repeat, e5_backends),
         "e3_cumulative": measure_e3(repeat),
         "e11_python_corpus": measure_e11(repeat, e11_backends),
+        "e12_incremental": measure_e12(),
     }
 
 
@@ -254,6 +308,12 @@ def main(argv: list[str] | None = None) -> int:
             f"  python-corpus/{backend}: {row['bytes_per_sec']:,} bytes/s "
             f"({row['files']} files)"
         )
+    for key, row in record.get("e12_incremental", {}).items():
+        for backend, sub in row["backends"].items():
+            print(
+                f"  incremental/{key}/{backend}: {sub['speedup']}x warm-vs-cold "
+                f"({row['edits']} edits over {row['chars']} chars)"
+            )
     return 0
 
 

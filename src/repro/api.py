@@ -137,16 +137,24 @@ class Language:
         profile.count_parse(text, accepted=True)
         return value
 
-    def vm_program(self, profiled: bool = False):
+    def vm_program(self, profiled: bool = False, incremental: bool = False):
         """The grammar lowered to parsing-machine bytecode, compiled on first
-        use and cached on the instance (plain and profiled twins separately).
+        use and cached on the instance (plain, profiled, and incremental
+        twins separately).
         """
         from repro.vm import compile_program
 
-        attr = "_vm_program_profiled" if profiled else "_vm_program"
+        if profiled and incremental:
+            raise ValueError("profiled and incremental VM programs are exclusive")
+        if incremental:
+            attr = "_vm_program_incremental"
+        elif profiled:
+            attr = "_vm_program_profiled"
+        else:
+            attr = "_vm_program"
         cached = self.__dict__.get(attr)
         if cached is None:
-            cached = compile_program(self.prepared, profiled=profiled)
+            cached = compile_program(self.prepared, profiled=profiled, incremental=incremental)
             object.__setattr__(self, attr, cached)
         return cached
 
@@ -217,6 +225,36 @@ class Language:
         """
         return ParseSession(
             self, start=start, profile=profile, depth_budget=depth_budget, backend=backend
+        )
+
+    def incremental(
+        self,
+        start: str | None = None,
+        backend: str = "vm",
+        profile: Any = None,
+        depth_budget: int | None = None,
+    ) -> "IncrementalSession":
+        """An edit-aware session: reparse after edits, reusing memo entries.
+
+        .. code-block:: python
+
+            session = lang.incremental()
+            session.set_text(buffer)
+            tree = session.parse()
+            session.apply_edit(offset, removed, "replacement")
+            tree = session.parse()          # only re-derives damaged spans
+
+        :meth:`~repro.incremental.IncrementalSession.apply_edit` shifts memo
+        entries right of the damage and drops only those whose *examined*
+        span overlaps it, so a small edit costs work proportional to the
+        damage, not the buffer (see ``docs/incremental.md``).  ``backend``
+        is ``"vm"`` (default) or ``"closures"``; both run watermark-
+        instrumented twins whose results are identical to a cold parse.
+        """
+        from repro.incremental import IncrementalSession
+
+        return IncrementalSession(
+            self, start=start, backend=backend, profile=profile, depth_budget=depth_budget
         )
 
     def recognize(self, text: str, start: str | None = None) -> bool:

@@ -12,7 +12,8 @@ inputs:
   grammar itself (cost-bounded random derivation);
 - :mod:`~repro.difftest.mutate` corrupts them to exercise the error path;
 - :mod:`~repro.difftest.oracle` runs every backend and compares verdicts,
-  ASTs, and failure offsets;
+  ASTs, and failure offsets; its :class:`EditOracle` does the same for
+  incremental reparsing, warm edit-by-edit sessions against cold parses;
 - :mod:`~repro.difftest.shrink` reduces a disagreeing input to a minimal
   counterexample and emits a ready-to-paste regression test;
 - :mod:`~repro.difftest.runner` / :mod:`~repro.difftest.cli` package the
@@ -24,14 +25,34 @@ finding from its seed.
 
 from repro.difftest.generator import SentenceGenerator, min_costs
 from repro.difftest.mutate import mutate
-from repro.difftest.oracle import Backend, DifferentialOracle, Disagreement, Outcome
-from repro.difftest.runner import Counterexample, FuzzReport, fuzz_grammar
-from repro.difftest.shrink import regression_test_source, shrink
+from repro.difftest.oracle import (
+    Backend,
+    DifferentialOracle,
+    Disagreement,
+    EditOracle,
+    Outcome,
+)
+from repro.difftest.runner import (
+    Counterexample,
+    EditCounterexample,
+    EditFuzzReport,
+    FuzzReport,
+    fuzz_edits,
+    fuzz_grammar,
+)
+from repro.difftest.shrink import (
+    edit_regression_test_source,
+    regression_test_source,
+    shrink,
+    shrink_edit_script,
+)
 
 __all__ = [
     "SentenceGenerator", "min_costs",
     "mutate",
-    "Backend", "DifferentialOracle", "Disagreement", "Outcome",
+    "Backend", "DifferentialOracle", "Disagreement", "EditOracle", "Outcome",
     "Counterexample", "FuzzReport", "fuzz_grammar",
+    "EditCounterexample", "EditFuzzReport", "fuzz_edits",
     "regression_test_source", "shrink",
+    "edit_regression_test_source", "shrink_edit_script",
 ]

@@ -7,6 +7,7 @@ Usage::
     repro-fuzz ml.ML --start Program --path grammars/
     repro-fuzz jay --backtracking   # include the exponential naive backend
     repro-fuzz jay --backends vm,codegen-all   # fuzz a backend subset
+    repro-fuzz jay --edits 6        # incremental edit scripts, warm vs cold
 
 Grammars may be short keys (``calc``, ``json``, ``jay``, …, resolved via
 :data:`repro.grammars.ROOTS`) or qualified module names.  Every run is
@@ -24,7 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.difftest.runner import fuzz_grammar
+from repro.difftest.runner import fuzz_edits, fuzz_grammar
 from repro.errors import ReproError
 from repro.grammars import ROOTS
 
@@ -72,6 +73,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "interpreter is always kept)",
     )
     parser.add_argument(
+        "--edits", type=int, default=None, metavar="N",
+        help="edit-script mode: replay N-edit seeded scripts per generated "
+        "sentence through incremental sessions; after every edit the warm "
+        "reparse must be bit-identical to a cold parse (-n counts scripts; "
+        "see docs/incremental.md)",
+    )
+    parser.add_argument(
         "--strict", action="store_true",
         help="additionally fail when the generator's accepted ratio is below --min-valid",
     )
@@ -91,6 +99,35 @@ def main(argv: list[str] | None = None) -> int:
     vacuous = 0
     for name in args.grammars:
         root = ROOTS.get(name, name)
+        if args.edits is not None:
+            try:
+                report = fuzz_edits(
+                    root,
+                    seed=args.seed,
+                    scripts=args.generated,
+                    edits_per_script=args.edits,
+                    max_depth=args.max_depth,
+                    start=args.start,
+                    paths=args.paths,
+                )
+            except (ReproError, ValueError) as exc:
+                print(f"error: {root}: {exc}", file=sys.stderr)
+                return 1
+            print(report.summary())
+            for example in report.counterexamples:
+                failures += 1
+                print(f"\n--- edit counterexample ({root}) ---")
+                print(f"text: {example.text!r}")
+                print(f"original script ({len(example.original)} edits): {example.original!r}")
+                print(f"shrunk script   ({len(example.shrunk)} edits): {example.shrunk!r}")
+                print(example.disagreement.describe())
+                print("regression test:\n")
+                print(example.regression_test)
+            print(
+                f"reproduce with: repro-fuzz {name} --seed {args.seed} "
+                f"-n {args.generated} --edits {args.edits}"
+            )
+            continue
         try:
             report = fuzz_grammar(
                 root,

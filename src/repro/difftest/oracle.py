@@ -32,6 +32,12 @@ ASTs on accepts, mismatched farthest-failure offsets or expected sets on
 rejects (for backends with farthest-failure semantics — hand-written
 baselines report their own positions and are excluded from error
 comparison), and any non-:class:`~repro.errors.ParseError` crash.
+
+:class:`EditOracle` is the incremental twin: it replays an *edit script*
+through warm :class:`~repro.incremental.IncrementalSession` instances
+(memo surgery + reuse) and demands that after every edit the warm result
+is bit-identical — verdict, AST, farthest-failure offset, expected set —
+to a cold parse of the same buffer by the same incremental program.
 """
 
 from __future__ import annotations
@@ -364,4 +370,188 @@ class DifferentialOracle:
             return None
         if backend.exact_errors and ref.offset != other.offset:
             return f"farthest-failure offsets differ: {ref.offset} != {other.offset}"
+        return None
+
+
+#: The incremental backends :class:`EditOracle` cross-checks.
+INCREMENTAL_BACKENDS = ("vm", "closures")
+
+
+def _as_edit(edit: Any) -> tuple[int, int, str]:
+    """Normalize an edit to ``(offset, removed, inserted)`` — accepts plain
+    tuples and :class:`repro.workloads.pyedits.Edit` objects alike."""
+    if isinstance(edit, (tuple, list)):
+        offset, removed, inserted = edit
+        return int(offset), int(removed), str(inserted)
+    return int(edit.offset), int(edit.removed), str(edit.inserted)
+
+
+class EditOracle:
+    """The differential oracle for incremental reparsing.
+
+    For each incremental backend (:data:`INCREMENTAL_BACKENDS`) the oracle
+    keeps a *warm* :class:`~repro.incremental.IncrementalSession` that
+    applies the script's edits one at a time (memo surgery + reuse) and a
+    *cold* session of the same flavor that is re-seeded from scratch with
+    :meth:`~repro.incremental.IncrementalSession.set_text` at every step.
+
+    Comparison semantics follow the preparation boundary documented on
+    :data:`BACKEND_TABLE`: warm vs cold of the **same** incremental program
+    must agree *bit-identically* — verdict, structural AST, farthest-failure
+    offset, and expected **set** (the incremental program is its own
+    preparation: unfused regexes and memoize-everything give it its own
+    expected-set vocabulary, so it is only error-comparable to itself).
+    Across the two incremental backends only verdict, AST, and offset are
+    compared.  A warm reject that the failure-fidelity cold rerun turns
+    into an accept (``last_parse_recovered``) is reported as a disagreement
+    in its own right: it means a memo entry survived an edit it depended on.
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        *,
+        start: str | None = None,
+        backends: tuple[str, ...] | list[str] | None = None,
+    ):
+        from repro.api import compile_grammar
+
+        if start is not None:
+            grammar = grammar.with_start(start)
+        self.grammar = grammar
+        self.language = compile_grammar(grammar, cache=False)
+        self.backends = tuple(backends) if backends else INCREMENTAL_BACKENDS
+        self._warm = {b: self.language.incremental(backend=b) for b in self.backends}
+        self._cold = {b: self.language.incremental(backend=b) for b in self.backends}
+
+    @classmethod
+    def for_root(
+        cls,
+        root: str,
+        *,
+        paths: list[str] | None = None,
+        loader: ModuleLoader | None = None,
+        start: str | None = None,
+        **kwargs: Any,
+    ) -> "EditOracle":
+        """Build the oracle for a named grammar module (e.g. ``jay.Jay``)."""
+        if loader is None:
+            loader = ModuleLoader(paths=paths)
+        return cls(compose(root, loader, start=start), **kwargs)
+
+    @staticmethod
+    def _outcome(session: Any) -> Outcome:
+        try:
+            value = session.parse()
+        except ParseDepthError:
+            return Outcome(accepted=False, crash="RecursionError")
+        except ParseError as error:
+            return Outcome(accepted=False, offset=error.offset, expected=error.expected)
+        except RecursionError:
+            return Outcome(accepted=False, crash="RecursionError")
+        except Exception as error:  # noqa: BLE001 - crashes are findings
+            return Outcome(accepted=False, crash=f"{type(error).__name__}: {error}")
+        return Outcome(accepted=True, value=value)
+
+    def check_script(self, text: str, edits: list[Any]) -> list[Disagreement]:
+        """All disagreements over one edit script applied to ``text``.
+
+        Edits are ``(offset, removed, inserted)`` with offsets relative to
+        the buffer *after* all previous edits (the
+        :func:`repro.workloads.pyedits.edit_script` convention).  An edit
+        whose offsets fall outside the evolving buffer raises ``ValueError``
+        — shrinkers treat such mangled scripts as uninteresting.
+        """
+        steps = [_as_edit(edit) for edit in edits]
+        # Validate the whole script up front so a malformed candidate (from
+        # shrinking) fails before any session state is touched.
+        current = text
+        for offset, removed, inserted in steps:
+            if not 0 <= offset <= len(current) or removed < 0 or offset + removed > len(current):
+                raise ValueError(
+                    f"edit ({offset}, {removed}, {inserted!r}) outside buffer "
+                    f"of length {len(current)}"
+                )
+            current = current[:offset] + inserted + current[offset + removed:]
+
+        disagreements: list[Disagreement] = []
+        for name in self.backends:
+            self._warm[name].set_text(text)
+            self._outcome(self._warm[name])  # step 0: populate the memo
+        current = text
+        for step, (offset, removed, inserted) in enumerate(steps, start=1):
+            current = current[:offset] + inserted + current[offset + removed:]
+            warm_outcomes: dict[str, Outcome] = {}
+            for name in self.backends:
+                warm = self._warm[name]
+                warm.apply_edit(offset, removed, inserted)
+                outcome = self._outcome(warm)
+                warm_outcomes[name] = outcome
+                if warm.last_parse_recovered:
+                    disagreements.append(
+                        Disagreement(
+                            current, f"cold-{name}", f"warm-{name}",
+                            outcome, outcome,
+                            f"step {step}: warm reject recovered by cold rerun "
+                            "(a memo entry survived an edit it depended on)",
+                        )
+                    )
+                cold = self._cold[name]
+                cold.set_text(current)
+                cold_outcome = self._outcome(cold)
+                detail = self._compare_step(cold_outcome, outcome, same_program=True)
+                if detail is not None:
+                    disagreements.append(
+                        Disagreement(
+                            current, f"cold-{name}", f"warm-{name}",
+                            cold_outcome, outcome, f"step {step}: {detail}",
+                        )
+                    )
+            if len(self.backends) >= 2:
+                lead, *rest = self.backends
+                for name in rest:
+                    detail = self._compare_step(
+                        warm_outcomes[lead], warm_outcomes[name], same_program=False
+                    )
+                    if detail is not None:
+                        disagreements.append(
+                            Disagreement(
+                                current, f"warm-{lead}", f"warm-{name}",
+                                warm_outcomes[lead], warm_outcomes[name],
+                                f"step {step}: {detail}",
+                            )
+                        )
+        return disagreements
+
+    def explain_script(self, text: str, edits: list[Any]) -> str | None:
+        """The first disagreement on one script, described — or None.
+
+        This is the single-call form used by generated regression tests."""
+        disagreements = self.check_script(text, edits)
+        return disagreements[0].describe() if disagreements else None
+
+    @staticmethod
+    def _compare_step(ref: Outcome, other: Outcome, *, same_program: bool) -> str | None:
+        if ref.crash is not None or other.crash is not None:
+            # Warm memo hits flatten recursion a cold parse performs, so
+            # depth limits can legitimately fire on one side only.
+            if ref.crash == "RecursionError" or other.crash == "RecursionError":
+                return None
+            if ref.crash != other.crash:
+                return f"crashes differ: {ref.crash} != {other.crash}"
+            return None
+        if ref.accepted != other.accepted:
+            return "accept/reject verdicts differ"
+        if ref.accepted:
+            diff = structural_diff(ref.value, other.value)
+            if diff is not None:
+                return f"ASTs differ at {diff}"
+            return None
+        if ref.offset != other.offset:
+            return f"farthest-failure offsets differ: {ref.offset} != {other.offset}"
+        if same_program and set(ref.expected) != set(other.expected):
+            return (
+                "expected sets differ: "
+                f"{sorted(set(ref.expected))} != {sorted(set(other.expected))}"
+            )
         return None

@@ -15,8 +15,13 @@ from dataclasses import dataclass, field
 
 from repro.difftest.generator import SentenceGenerator
 from repro.difftest.mutate import mutate
-from repro.difftest.oracle import DifferentialOracle, Disagreement
-from repro.difftest.shrink import regression_test_source, shrink
+from repro.difftest.oracle import DifferentialOracle, Disagreement, EditOracle
+from repro.difftest.shrink import (
+    edit_regression_test_source,
+    regression_test_source,
+    shrink,
+    shrink_edit_script,
+)
 from repro.profile.collector import CoverageMatrix
 from repro.profile.runner import CoverageSession
 
@@ -174,3 +179,105 @@ def _check_one(
             regression_test=regression_test_source(root, shrunk, detail),
         )
     )
+
+
+# -- incremental edit scripts --------------------------------------------------
+
+
+@dataclass
+class EditCounterexample:
+    """One edit-script disagreement, shrunk and packaged for a human."""
+
+    text: str
+    original: list
+    shrunk: list
+    disagreement: Disagreement
+    regression_test: str
+
+
+@dataclass
+class EditFuzzReport:
+    """Summary of one seeded edit-script fuzz run over one grammar."""
+
+    root: str
+    seed: int
+    scripts: int = 0
+    edits_checked: int = 0
+    backend_count: int = 0
+    counterexamples: list[EditCounterexample] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.counterexamples
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.counterexamples)} DISAGREEMENTS"
+        return (
+            f"{self.root} [edits]: {self.scripts} scripts "
+            f"({self.edits_checked} edits, warm vs cold) across "
+            f"{self.backend_count} incremental backends — {status}"
+        )
+
+
+def fuzz_edits(
+    root: str,
+    *,
+    seed: int = 0,
+    scripts: int = 200,
+    edits_per_script: int = 6,
+    max_depth: int = 24,
+    max_shrink_checks: int = 400,
+    max_counterexamples: int = 5,
+    oracle: EditOracle | None = None,
+    start: str | None = None,
+    paths: list[str] | None = None,
+) -> EditFuzzReport:
+    """One seeded differential fuzz run over incremental edit scripts.
+
+    Derives ``scripts`` sentences from the grammar, builds a seeded
+    ``edits_per_script``-edit script over each
+    (:func:`repro.workloads.pyedits.edit_script` — token-boundary and
+    mid-token inserts/deletes/replacements), and replays every script
+    through the :class:`~repro.difftest.oracle.EditOracle`: after each
+    edit the warm incremental reparse must match a cold parse of the same
+    buffer bit-identically.  Disagreeing scripts are shrunk
+    (:func:`~repro.difftest.shrink.shrink_edit_script`) and packaged with
+    a ready-to-paste regression test.
+    """
+    from repro.workloads.pyedits import edit_script
+
+    if oracle is None:
+        oracle = EditOracle.for_root(root, paths=paths, start=start)
+    rng = random.Random(seed)
+    generator = SentenceGenerator(oracle.grammar, rng, max_depth=max_depth)
+    report = EditFuzzReport(root=root, seed=seed, backend_count=len(oracle.backends))
+    for _ in range(scripts):
+        sentence = generator.generate()
+        edits = [
+            (e.offset, e.removed, e.inserted)
+            for e in edit_script(sentence, rng, edits_per_script)
+        ]
+        report.scripts += 1
+        report.edits_checked += len(edits)
+        if len(report.counterexamples) >= max_counterexamples:
+            continue
+        disagreements = oracle.check_script(sentence, edits)
+        if not disagreements:
+            continue
+        first = disagreements[0]
+        shrunk = shrink_edit_script(
+            edits,
+            lambda candidate: bool(oracle.check_script(sentence, candidate)),
+            max_checks=max_shrink_checks,
+        )
+        detail = oracle.explain_script(sentence, shrunk) or first.describe()
+        report.counterexamples.append(
+            EditCounterexample(
+                text=sentence,
+                original=edits,
+                shrunk=shrunk,
+                disagreement=first,
+                regression_test=edit_regression_test_source(root, sentence, shrunk, detail),
+            )
+        )
+    return report

@@ -72,6 +72,80 @@ def shrink(
     return current
 
 
+def shrink_edit_script(
+    edits: list,
+    is_interesting: Callable[[list], bool],
+    max_checks: int = 400,
+) -> list:
+    """Smallest edit script (by greedy reduction) that stays interesting.
+
+    Delta-debugs the edit *list* (drop chunks of edits, largest first),
+    then simplifies surviving edits' inserted text.  Dropping an edit can
+    leave later edits' offsets pointing outside the evolving buffer; the
+    predicate (:meth:`~repro.difftest.oracle.EditOracle.check_script`)
+    raises ``ValueError`` on such mangled scripts, which counts as
+    *uninteresting* here — the reduction simply keeps looking.
+    """
+    edits = [tuple(e) if isinstance(e, (tuple, list)) else (e.offset, e.removed, e.inserted)
+             for e in edits]
+    if not is_interesting(edits):
+        raise ValueError("shrink_edit_script() requires an already-interesting script")
+    budget = [max_checks]
+
+    def check(candidate: list) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            return is_interesting(candidate)
+        except ValueError:
+            return False
+
+    current = list(edits)
+    progress = True
+    while progress and budget[0] > 0:
+        progress = False
+        # Pass 1: drop chunks of edits, largest first.
+        chunk = max(1, len(current) // 2)
+        while chunk >= 1:
+            start = 0
+            while start < len(current):
+                candidate = current[:start] + current[start + chunk:]
+                if candidate != current and check(candidate):
+                    current = candidate
+                    progress = True
+                else:
+                    start += chunk
+            chunk //= 2
+        # Pass 2: simplify inserted text (empty, then halved) per edit.
+        for index, (offset, removed, inserted) in enumerate(current):
+            for simpler in ("", inserted[: len(inserted) // 2]):
+                if simpler == inserted:
+                    continue
+                candidate = list(current)
+                candidate[index] = (offset, removed, simpler)
+                if check(candidate):
+                    current = candidate
+                    progress = True
+                    break
+    return current
+
+
+def edit_regression_test_source(root: str, text: str, edits: list, detail: str) -> str:
+    """A self-contained pytest test replaying a shrunk edit-script finding."""
+    script = [tuple(e) for e in edits]
+    digest = hashlib.sha256(f"{root}:{text}:{script}".encode()).hexdigest()[:10]
+    return (
+        f"def test_edit_regression_{digest}():\n"
+        f"    # Shrunk incremental-edit counterexample for {root}.\n"
+        f"    # Original disagreement: {detail}\n"
+        f"    from repro.difftest import EditOracle\n"
+        f"\n"
+        f"    oracle = EditOracle.for_root({root!r})\n"
+        f"    assert oracle.explain_script({text!r}, {script!r}) is None\n"
+    )
+
+
 def regression_test_source(root: str, text: str, detail: str) -> str:
     """A self-contained pytest test asserting the disagreement stays fixed."""
     digest = hashlib.sha256(f"{root}:{text}".encode()).hexdigest()[:10]

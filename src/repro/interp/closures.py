@@ -50,7 +50,7 @@ from repro.peg.production import Production, ValueKind
 from repro.peg.values import binding_names, contributes, kind_lookup, node_name
 from repro.runtime.actionlib import ACTION_GLOBALS
 from repro.runtime.base import ParserBase
-from repro.runtime.memo import make_memo_table
+from repro.runtime.memo import IncrementalMemoTable, make_memo_table
 from repro.runtime.node import GNode
 
 FAIL = -1
@@ -76,6 +76,30 @@ class _State(ParserBase):
         # original expression; running it reproduces the ``_expected``
         # records the single-scan path could not make.
         token(self, pos)
+
+
+class _IncrementalState(_State):
+    """Parse state that tracks the *examined* watermark (incremental mode).
+
+    ``examined`` is the exclusive end of the span of positions the current
+    memoized-production frame has read — consumption, lookahead probes and
+    failed expectations alike.  The memoized wrapper saves/resets/restores
+    it around each frame so every memo entry records exactly the input span
+    its cached outcome depends on (see docs/incremental.md).
+    """
+
+    __slots__ = ("examined",)
+
+    def __init__(self, text: str, memo, source: str):
+        super().__init__(text, memo, source)
+        self.examined = 0
+
+    def _expected(self, pos: int, what: str) -> None:
+        # A failed expectation at ``pos`` read the character there (or saw
+        # end of input), so the outcome depends on positions up to pos + 1.
+        if pos >= self.examined:
+            self.examined = pos + 1
+        super()._expected(pos, what)
 
 
 class _ProfiledState(_State):
@@ -107,15 +131,35 @@ class ClosureParser:
     branch on the hot path.
     """
 
-    def __init__(self, grammar: Grammar, chunked: bool = True, profile=None):
+    def __init__(
+        self,
+        grammar: Grammar,
+        chunked: bool = True,
+        profile=None,
+        incremental: bool = False,
+    ):
         grammar.validate()
+        if incremental and profile is not None:
+            raise AnalysisError(
+                "incremental closure parsers do not support profile=; "
+                "attach the profile to the IncrementalSession instead"
+            )
         self.grammar = grammar
         self.chunked = chunked
         self._profile = profile
+        self._incremental = incremental
         self._kind_of = kind_lookup(grammar)
         self._with_location = "withLocation" in grammar.options
+        # Incremental mode memoizes *every* production (not just the ones
+        # the transient heuristic would keep): an edit reuses entries at the
+        # granularity they were stored, and un-memoized structural glue
+        # (single-call-site rules) would force the warm reparse to re-derive
+        # the whole spine.  Memoizing more never changes results — the
+        # interp-plain reference memoizes everything.
         self._memo_rules: list[str] = [
-            p.name for p in grammar.productions if not p.is_transient
+            p.name
+            for p in grammar.productions
+            if incremental or not p.is_transient
         ]
         self._memo_index = {name: i for i, name in enumerate(self._memo_rules)}
         # Production matchers are filled in after compilation so that
@@ -164,11 +208,50 @@ class ClosureParser:
                 events=MemoEvents(profile, self._memo_rules),
             )
             state: _State = _ProfiledState(text, memo, source, profile)
+        elif self._incremental:
+            memo = IncrementalMemoTable(self._memo_rules).resize(len(text))
+            state = _IncrementalState(text, memo, source)
         else:
             memo = make_memo_table(self._memo_rules, chunked=self.chunked)
             state = _State(text, memo, source)
         self._last_state = state
         return state
+
+    # -- incremental reparsing (driven by repro.incremental) -----------------------
+
+    def incremental_state(self, text: str = "", source: str = "<input>") -> _IncrementalState:
+        """A persistent parse state whose memo table survives across edits.
+
+        Only available on parsers built with ``incremental=True`` (whose
+        closures maintain the examined watermark the reuse test needs).
+        """
+        if not self._incremental:
+            raise AnalysisError("parser was not compiled with incremental=True")
+        memo = IncrementalMemoTable(self._memo_rules).resize(len(text))
+        state = _IncrementalState(text, memo, source)
+        self._last_state = state
+        return state
+
+    def reparse(self, state: _IncrementalState, start: str | None = None) -> Any:
+        """Parse ``state``'s current text, serving surviving memo entries.
+
+        The caller (:class:`repro.incremental.IncrementalSession`) has
+        already applied the edit to the memo table and rebound the state at
+        the new text; this just runs the closures over it.  Raises
+        :class:`ParseError` on failure like :meth:`parse`.
+        """
+        state._fail_pos = -1
+        state._fail_expected = []
+        state._fused_pending.clear()
+        state.examined = 0
+        matcher = self._matcher_for(start or self.grammar.start)
+        try:
+            pos, value = matcher(state, 0)
+        except RecursionError:
+            raise state.depth_error() from None
+        if pos < 0 or pos < state._length:
+            raise state.parse_error()
+        return value
 
     def _matcher_for(self, name: str) -> Matcher:
         matcher = self._productions.get(name)
@@ -191,7 +274,50 @@ class ClosureParser:
                     return result
             return FAILPAIR
 
-        if production.is_transient:
+        if self._incremental:
+            index = self._memo_index[production.name]
+
+            def memoized_incremental(state: _State, pos: int) -> tuple[int, Any]:
+                # Entries are relative: ((span, value), rel_examined) where
+                # span = next_pos - pos (-1 marks failure) and rel_examined
+                # is the exclusive width of the region this computation read
+                # — relative so the table relocates across edits by splicing
+                # columns, never rewriting entries.  The watermark is
+                # saved/reset around the frame so the entry records only
+                # *this* production's dependencies, then folded back into
+                # the parent's watermark.
+                memo = state.memo
+                col = memo._cols[pos]
+                hit = col[index] if col is not None else None
+                if hit is not None:
+                    examined = pos + hit[1]
+                    if examined > state.examined:
+                        state.examined = examined
+                    pair = hit[0]
+                    span = pair[0]
+                    if span < 0:
+                        return FAILPAIR
+                    return (pos + span, pair[1])
+                saved = state.examined
+                state.examined = pos
+                result = run_alternatives(state, pos)
+                examined = state.examined
+                end = result[0]
+                if end > examined:
+                    examined = end
+                memo.put(
+                    index,
+                    pos,
+                    (
+                        (end - pos, result[1]) if end >= 0 else FAILPAIR,
+                        examined - pos,
+                    ),
+                )
+                state.examined = examined if examined > saved else saved
+                return result
+
+            inner = memoized_incremental
+        elif production.is_transient:
             inner = run_alternatives
         else:
             index = self._memo_index[production.name]
@@ -412,6 +538,20 @@ class ClosureParser:
         if isinstance(expr, And):
             item = self._compile(expr.expr)
 
+            if self._incremental:
+                # A *succeeding* lookahead operand leaves no failure record,
+                # yet the outcome depends on everything it consumed — fold
+                # its end into the watermark before rewinding.
+                def match_and_incremental(state, pos):
+                    npos, _ = item(state, pos)
+                    if npos < 0:
+                        return FAILPAIR
+                    if npos > state.examined:
+                        state.examined = npos
+                    return pos, None
+
+                return match_and_incremental
+
             def match_and(state, pos):
                 npos, _ = item(state, pos)
                 if npos < 0:
@@ -421,6 +561,19 @@ class ClosureParser:
             return match_and
         if isinstance(expr, Not):
             item = self._compile(expr.expr)
+
+            if self._incremental:
+
+                def match_not_incremental(state, pos):
+                    npos, _ = item(state, pos)
+                    if npos >= 0:
+                        if npos > state.examined:
+                            state.examined = npos
+                        state._expected(pos, "not-predicate")
+                        return FAILPAIR
+                    return pos, None
+
+                return match_not_incremental
 
             def match_not(state, pos):
                 npos, _ = item(state, pos)
@@ -477,10 +630,41 @@ class ClosureParser:
 
             return match_fail
         if isinstance(expr, Regex):
+            if self._incremental:
+                # A fused scan examines an unbounded span past its match end
+                # (possessive backtracking probes), which would poison the
+                # watermark; incremental parsers run the region's *original*
+                # expression instead, whose reads are all accounted for.
+                # PR 5's replay machinery guarantees fused and unfused runs
+                # report identical outcomes, offsets and expected sets.
+                inner = expr.original
+                if expr.capture:
+                    wrapped = inner if isinstance(inner, Text) else Text(inner)
+                else:
+                    wrapped = Voided(inner)
+                return self._compile(wrapped)
             return self._compile_regex(expr)
         if isinstance(expr, CharSwitch):
             cases = [(chars, self._compile(branch)) for chars, branch in expr.cases]
             default = self._compile(expr.default)
+
+            if self._incremental:
+                # Dispatch reads text[pos] (or sees end of input) without
+                # recording anything on the skip path; account for the read.
+                def match_switch_incremental(state, pos):
+                    if pos >= state.examined:
+                        state.examined = pos + 1
+                    if pos < state._length:
+                        ch = state._text[pos]
+                        for chars, branch in cases:
+                            if ch in chars:
+                                result = branch(state, pos)
+                                if result[0] >= 0:
+                                    return result
+                                break
+                    return default(state, pos)
+
+                return match_switch_incremental
 
             def match_switch(state, pos):
                 if pos < state._length:

@@ -19,7 +19,7 @@ on tab-heavy sources.
 from __future__ import annotations
 
 import re
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
 
@@ -82,6 +82,61 @@ class LineIndex:
     def line_start(self, line: int) -> int:
         """Offset of the first character of 1-based ``line``."""
         return self._starts[line - 1]
+
+    def offset_of(self, line: int, column: int) -> int:
+        """Inverse of :meth:`line_column`: the absolute offset of a 1-based
+        ``(line, column)`` pair.  No bounds check beyond the line lookup —
+        the caller vouches the pair came from this index's text."""
+        return self._starts[line - 1] + column - 1
+
+    def clone(self) -> "LineIndex":
+        """An O(1) snapshot of the current state.
+
+        :meth:`splice` *rebinds* the line-start list (it never mutates it),
+        so a clone taken before a splice keeps answering queries over the
+        pre-edit text — which is exactly what the incremental session needs
+        to map stale locations through an edit (``docs/incremental.md``).
+        """
+        copy = LineIndex.__new__(LineIndex)
+        copy._starts = self._starts
+        copy._length = self._length
+        return copy
+
+    def splice(self, new_text: str, offset: int, removed: int, inserted: int) -> None:
+        """Update the index in place for an edit that replaced ``removed``
+        characters at ``offset`` with ``inserted`` characters, yielding
+        ``new_text``.  Only the damaged neighbourhood is rescanned; line
+        starts right of it are shifted by the length delta, so the cost is
+        O(damage + lines) instead of O(characters) — the difference that
+        matters on multi-megabyte editor buffers (see docs/incremental.md).
+
+        The result is always identical to ``LineIndex(new_text)``.
+        """
+        delta = inserted - removed
+        new_len = len(new_text)
+        if new_len != self._length + delta:
+            raise ValueError("new_text length does not match the edit")
+        starts = self._starts
+        # Rescan from one line *before* the damaged line: an edit at the very
+        # start of a line can join or split a "\r\n" straddling the boundary.
+        li = bisect_right(starts, offset) - 1
+        if li > 0:
+            li -= 1
+        scan_from = starts[li]
+        # First retained tail start: the +2 skirts both characters of a
+        # potential "\r\n" terminator ending at the damage edge, so the break
+        # producing that start is provably intact.
+        j = bisect_left(starts, offset + removed + 2)
+        tail = [s + delta for s in starts[j:]]
+        scan_to = tail[0] if tail else new_len
+        middle = [
+            match.end()
+            for match in _LINE_BREAK.finditer(new_text, scan_from, scan_to)
+        ]
+        if tail and middle and middle[-1] == scan_to:
+            middle.pop()
+        self._starts = starts[: li + 1] + middle + tail
+        self._length = new_len
 
     def line_span(self, line: int) -> tuple[int, int]:
         """``(start, end)`` offsets of 1-based ``line``.

@@ -25,8 +25,10 @@ from repro.profile.report import (
 )
 from repro.profile.runner import (
     BACKENDS,
+    EDIT_BACKENDS,
     CoverageSession,
     profile_corpus,
+    profile_edits,
     profiled_parse_fn,
     prepare_for_profiling,
     resolve_root,
@@ -36,6 +38,7 @@ __all__ = [
     "ParseProfile", "CoverageMatrix", "MemoEvents",
     "ProfileReport", "ProductionProfile", "AlternativeCoverage",
     "build_report", "format_report",
-    "BACKENDS", "CoverageSession", "profile_corpus",
-    "profiled_parse_fn", "prepare_for_profiling", "resolve_root",
+    "BACKENDS", "EDIT_BACKENDS", "CoverageSession", "profile_corpus",
+    "profile_edits", "profiled_parse_fn", "prepare_for_profiling",
+    "resolve_root",
 ]

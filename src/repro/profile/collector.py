@@ -140,6 +140,13 @@ class ParseProfile:
         self.parses = 0
         self.chars = 0
         self.rejected = 0
+        #: Incremental-session edit accounting (:meth:`record_edit`):
+        #: memo entries reused (retained), invalidated, and relocated, summed
+        #: over every :meth:`repro.incremental.IncrementalSession.apply_edit`.
+        self.edits = 0
+        self.memo_reused = 0
+        self.memo_dropped = 0
+        self.memo_shifted = 0
 
     # -- corpus accounting (called by runners, not parsers) -------------------
 
@@ -155,6 +162,15 @@ class ParseProfile:
         self.coverage.register(grammar)
         for production in grammar:
             self.invocations.setdefault(production.name, 0)
+
+    def record_edit(self, reused: int, dropped: int, shifted: int) -> None:
+        """One incremental edit: ``reused`` memo entries survived it,
+        ``dropped`` overlapped the damage and were invalidated, ``shifted``
+        were relocated by the length delta."""
+        self.edits += 1
+        self.memo_reused += reused
+        self.memo_dropped += dropped
+        self.memo_shifted += shifted
 
     # -- parser hooks ----------------------------------------------------------
 

@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 from repro.profile.collector import ParseProfile
 
 #: Bump when the report's JSON layout changes.
-REPORT_FORMAT = 2
+#: 3: added the "incremental" block (edit counts and memo reuse/invalidation
+#: totals from incremental sessions, see docs/incremental.md).
+REPORT_FORMAT = 3
 
 
 @dataclass(frozen=True)
@@ -59,6 +61,11 @@ class ProfileReport:
     parses: int = 0
     chars: int = 0
     rejected: int = 0
+    #: Incremental-session edit accounting (all zero outside incremental runs).
+    edits: int = 0
+    memo_reused: int = 0
+    memo_dropped: int = 0
+    memo_shifted: int = 0
     productions: tuple[ProductionProfile, ...] = ()
     coverage: tuple[AlternativeCoverage, ...] = ()
     warnings: tuple[str, ...] = field(default=())
@@ -133,6 +140,12 @@ class ProfileReport:
                 "wasted_chars": self.wasted_chars,
                 "fused_scans": self.fused_scans,
             },
+            "incremental": {
+                "edits": self.edits,
+                "memo_reused": self.memo_reused,
+                "memo_dropped": self.memo_dropped,
+                "memo_shifted": self.memo_shifted,
+            },
             "productions": [
                 {
                     "name": p.name,
@@ -179,6 +192,10 @@ class ProfileReport:
             parses=data.get("parses", 0),
             chars=data.get("chars", 0),
             rejected=data.get("rejected", 0),
+            edits=data.get("incremental", {}).get("edits", 0),
+            memo_reused=data.get("incremental", {}).get("memo_reused", 0),
+            memo_dropped=data.get("incremental", {}).get("memo_dropped", 0),
+            memo_shifted=data.get("incremental", {}).get("memo_shifted", 0),
             productions=tuple(
                 ProductionProfile(
                     name=p["name"],
@@ -247,6 +264,10 @@ def build_report(
         parses=profile.parses,
         chars=profile.chars,
         rejected=profile.rejected,
+        edits=profile.edits,
+        memo_reused=profile.memo_reused,
+        memo_dropped=profile.memo_dropped,
+        memo_shifted=profile.memo_shifted,
         productions=productions,
         coverage=coverage,
         warnings=warnings,
@@ -263,6 +284,12 @@ def format_report(report: ProfileReport, top: int = 20) -> str:
         f"backtracks {report.backtracks}  wasted chars {report.wasted_chars}  "
         f"fused scans {report.fused_scans}",
     ]
+    if report.edits:
+        lines.append(
+            f"  incremental: {report.edits} edits  memo entries reused "
+            f"{report.memo_reused}  invalidated {report.memo_dropped}  "
+            f"shifted {report.memo_shifted}"
+        )
     hotspots = report.hotspots(top)
     if hotspots:
         rows = [

@@ -121,6 +121,99 @@ def profile_corpus(
     return build_report(profile, grammar=grammar_name, backend=backend, warnings=tuple(warnings))
 
 
+#: Backends :func:`profile_edits` can drive (the incremental session's).
+EDIT_BACKENDS = ("vm", "closures")
+
+
+def _random_edit(rng, text: str) -> tuple[int, int, str]:
+    """One seeded random edit ``(offset, removed, inserted)`` over ``text``.
+
+    Insertions sample characters from the text itself (plus a space), so
+    edits stay in-vocabulary often enough to exercise both accepting and
+    rejecting reparses."""
+    alphabet = text if text else " "
+    op = rng.choice(("insert", "delete", "replace"))
+    offset = rng.randint(0, len(text))
+    if op == "insert" or offset >= len(text):
+        return offset, 0, "".join(
+            rng.choice(alphabet) for _ in range(rng.randint(1, 3))
+        )
+    removed = rng.randint(1, min(3, len(text) - offset))
+    if op == "delete":
+        return offset, removed, ""
+    inserted = "".join(rng.choice(alphabet) for _ in range(rng.randint(1, 3)))
+    return offset, removed, inserted
+
+
+def profile_edits(
+    grammar: Grammar | str,
+    texts: Iterable[str],
+    backend: str = "vm",
+    *,
+    edits: int = 20,
+    seed: int = 0,
+    options: Options | None = None,
+    profile: ParseProfile | None = None,
+    paths: list[str] | None = None,
+    start: str | None = None,
+    grammar_name: str | None = None,
+) -> ProfileReport:
+    """Profile incremental reparsing: seeded random edits per input.
+
+    Each input seeds an :class:`repro.incremental.IncrementalSession`
+    (``backend`` is ``"vm"`` or ``"closures"``) which then applies ``edits``
+    random edits, reparsing after each.  The session reports per-edit memo
+    accounting into the profile (:meth:`ParseProfile.record_edit`), so the
+    report's ``incremental`` block — entries reused vs invalidated vs
+    shifted — measures how effective memo reuse was on this corpus.
+    Rejected reparses are counted, not raised.
+    """
+    import random
+
+    from repro.api import compile_grammar
+
+    if backend not in EDIT_BACKENDS:
+        raise ValueError(
+            f"unknown incremental backend {backend!r}; expected one of {EDIT_BACKENDS}"
+        )
+    if grammar_name is None:
+        grammar_name = grammar if isinstance(grammar, str) else "<grammar>"
+    if isinstance(grammar, str):
+        loader = ModuleLoader(paths=paths)
+        grammar = compose(resolve_root(grammar), loader, start=start)
+    language = compile_grammar(grammar, options=options, start=start, cache=False)
+    if profile is None:
+        profile = ParseProfile()
+    # No register_grammar: incremental parsers carry no per-production
+    # hooks, so zero-filled hotspot/coverage rows would only be noise —
+    # the report's payload is the corpus totals and the incremental block.
+    rng = random.Random(seed)
+    warnings: list[str] = []
+    session = language.incremental(backend=backend, profile=profile)
+    def safe_parse() -> None:
+        try:
+            session.parse()
+        except ParseError:
+            pass  # counted by the session
+        except RecursionError:
+            if not warnings:
+                warnings.append("some inputs exhausted the recursion limit")
+
+    for text in texts:
+        session.set_text(text)
+        safe_parse()
+        for _ in range(edits):
+            offset, removed, inserted = _random_edit(rng, session.text)
+            session.apply_edit(offset, removed, inserted)
+            safe_parse()
+    return build_report(
+        profile,
+        grammar=grammar_name,
+        backend=f"incremental-{backend}",
+        warnings=tuple(warnings),
+    )
+
+
 class CoverageSession:
     """Feed inputs through one profiled reference interpreter.
 

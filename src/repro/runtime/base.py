@@ -34,22 +34,60 @@ class ParserBase:
         self._fused_pending: list[tuple[Any, int]] = []
         self._line_index: LineIndex | None = None
         self._source = "<input>"
+        self._failed = False
 
     def reset(self, text: str, source: str = "<input>") -> "ParserBase":
         """Point this parser at a new input, reusing allocated structures.
 
         Clears failure tracking, the line index, and (via :meth:`_reset_memo`)
-        the memo table *in place* — no per-parse reallocation.  Returns
+        the memo table *in place* — no per-parse reallocation.  When ``text``
+        is the very input the parser already holds, the memo table and line
+        index are *kept*: every stored entry is still valid (entries depend
+        only on the text), so a repeated ``parse()`` of the same input in a
+        session is memo-warm instead of re-deriving the whole table.  Returns
         ``self`` so ``parser.reset(text).parse()`` chains.
+
+        Retention is skipped when the previous parse *failed*: memo hits do
+        not replay the expected-set records their original computation made,
+        so a warm re-parse of a failing input would rebuild an incomplete
+        farthest-failure frontier.  Failed parses stay cold and exact.
+        """
+        same_text = not self._failed and (text is self._text or text == self._text)
+        self._failed = False
+        self._text = text
+        self._length = len(text)
+        self._fail_pos = -1
+        self._fail_expected = []
+        self._fused_pending.clear()
+        self._source = source
+        if not same_text:
+            self._line_index = None
+            self._reset_memo()
+        return self
+
+    def rebind(
+        self,
+        text: str,
+        line_index: LineIndex | None = None,
+        source: str | None = None,
+    ) -> "ParserBase":
+        """Re-point at edited text *without* touching memoized state.
+
+        The incremental-session path: the caller has already dropped or
+        shifted the affected memo entries (:mod:`repro.incremental`) and may
+        supply the incrementally spliced line index so locations and error
+        messages never pay an O(n) rebuild.  Failure tracking is cleared —
+        the farthest-failure frontier is a per-parse quantity.
         """
         self._text = text
         self._length = len(text)
         self._fail_pos = -1
         self._fail_expected = []
         self._fused_pending.clear()
-        self._line_index = None
-        self._source = source
-        self._reset_memo()
+        self._line_index = line_index
+        self._failed = False
+        if source is not None:
+            self._source = source
         return self
 
     def _reset_memo(self) -> None:
@@ -161,6 +199,7 @@ class ParserBase:
 
     def parse_error(self) -> ParseError:
         """Build a :class:`ParseError` at the farthest failure position."""
+        self._failed = True  # disables same-text memo retention on reset()
         self._drain_fused()
         pos = max(self._fail_pos, 0)
         location = self._location(pos)
@@ -186,6 +225,7 @@ class ParserBase:
         :meth:`parse_error` uses — so callers get an actionable location
         instead of a bare interpreter traceback.
         """
+        self._failed = True
         try:
             self._drain_fused()
         except RecursionError:  # replay itself may be deep; best effort only

@@ -25,10 +25,17 @@ subsystem for memo telemetry.  Instrumentation is pay-for-what-you-use:
 with no sink the class-level ``get``/``put`` run unchanged; with a sink,
 instrumented closures are installed as *instance* attributes, shadowing
 the fast methods for that table only.
+
+A third organization, :class:`IncrementalMemoTable`, serves incremental
+reparsing (``docs/incremental.md``): a position-indexed column list holding
+*relative* entries, so that relocating the memo across a text edit is two
+C-level list splices (``shift_from``) plus a damage-local invalidation scan
+(``drop_range``) instead of a walk over every entry.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Any
 
 from repro.runtime.base import sizeof_deep
@@ -215,6 +222,195 @@ class ChunkedMemoTable:
         size = sizeof_deep(self._columns)
         self._size_cache = (self._entries, size)
         return size
+
+
+#: Relative examined spans are summarized per column in one byte; spans of
+#: ``_SPAN_CAP`` or more are additionally tracked in an exact side set.
+_SPAN_CAP = 255
+
+
+class IncrementalMemoTable:
+    """Position-indexed memo table for incremental reparsing.
+
+    Entries are *relative*: ``((span, value), rel_examined)`` where
+    ``span = next_pos - pos`` (``-1`` marks a failure) and ``rel_examined =
+    examined - pos`` is the exclusive width of the region of text the
+    memoized parse read, lookahead and failure probes included.  Because
+    nothing inside an entry mentions an absolute position, relocating the
+    table across an edit (``shift_from``) is a pair of C-level list splices
+    — tree-sitter's relative-offset trick applied to packrat columns —
+    rather than a rewrite of every entry.
+
+    Storage is one flat list slot per ⟨position, rule⟩: ``_cols[pos]`` is
+    ``None`` until the first store at ``pos``, then a ``len(rule_names)``
+    list.  Two per-column summaries keep ``drop_range`` damage-local:
+
+    - ``_relb[pos]`` — a byte holding the column's maximum relative
+      examined span, capped at ``_SPAN_CAP``;
+    - ``_long`` — the (small) set of positions whose true maximum reaches
+      the cap, checked exactly.
+
+    An edit at ``lo`` therefore only inspects the damaged columns plus the
+    ≤254-column spine window left of ``lo`` whose summary byte proves an
+    entry *might* reach the damage, plus the handful of ``_long`` columns.
+
+    One deliberate conservatism: a pure deletion at ``lo`` also drops
+    zero-width entries *at* ``lo`` along with the damaged interior (the
+    column is spliced away).  Dropping a reusable entry only costs a
+    re-derivation; retention is what must be — and is — exact.
+    """
+
+    def __init__(self, rule_names: list[str]):
+        self.rule_names = list(rule_names)
+        self._width = len(rule_names)
+        self._cols: list[list | None] = [None]
+        self._relb = bytearray(1)
+        self._cnt = array("H", (0,))
+        self._long: set[int] = set()
+        self._entries = 0
+
+    def resize(self, length: int) -> "IncrementalMemoTable":
+        """Reset the table for a text of ``length`` characters (columns for
+        every position including the end-of-input position)."""
+        n = length + 1
+        self._cols = [None] * n
+        self._relb = bytearray(n)
+        self._cnt = array("H", bytes(2 * n))
+        self._long.clear()
+        self._entries = 0
+        return self
+
+    def reset(self) -> "IncrementalMemoTable":
+        """Drop all entries in place, keeping the current geometry."""
+        return self.resize(len(self._cols) - 1)
+
+    def get(self, rule: int, pos: int):
+        col = self._cols[pos]
+        return col[rule] if col is not None else None
+
+    def put(self, rule: int, pos: int, entry) -> None:
+        col = self._cols[pos]
+        if col is None:
+            col = self._cols[pos] = [None] * self._width
+        if col[rule] is None:
+            self._entries += 1
+            self._cnt[pos] += 1
+        col[rule] = entry
+        rel = entry[1]
+        if rel >= _SPAN_CAP:
+            self._long.add(pos)
+            self._relb[pos] = _SPAN_CAP
+        elif rel > self._relb[pos]:
+            self._relb[pos] = rel
+
+    # -- incremental reparsing (see docs/incremental.md) ----------------------
+
+    def drop_range(self, lo: int, hi: int) -> int:
+        """Invalidate entries whose examined span overlaps the damaged
+        region ``[lo, hi)`` of the old text.  An entry at ``p`` with
+        relative examined span ``r`` survives iff ``p + r <= lo`` (it never
+        read damaged text) or ``p >= hi`` (it starts after the damage and is
+        relocated by :meth:`shift_from`).  Returns the number dropped."""
+        cols = self._cols
+        relb = self._relb
+        dropped = 0
+        # Damaged interior: everything goes except zero-width entries at lo.
+        for p in range(lo, min(hi, len(cols))):
+            col = cols[p]
+            if col is None:
+                continue
+            if p > lo or relb[p] > 0:
+                dropped += self._drop_crossing(p, lo)
+        # Spine: columns left of lo whose summary byte admits an entry
+        # reaching past lo, plus the exact long-span set.
+        window = max(0, lo - (_SPAN_CAP - 1))
+        for p in range(window, lo):
+            if relb[p] > lo - p:
+                dropped += self._drop_crossing(p, lo)
+        if self._long:
+            for p in [q for q in self._long if q < window]:
+                dropped += self._drop_crossing(p, lo)
+        self._entries -= dropped
+        return dropped
+
+    def _drop_crossing(self, p: int, lo: int) -> int:
+        """Null every entry in column ``p`` whose examined end exceeds
+        ``lo``; re-tighten the column's span summary.  Returns the count."""
+        col = self._cols[p]
+        if col is None:
+            return 0
+        threshold = lo - p
+        dropped = 0
+        best = 0
+        for i, entry in enumerate(col):
+            if entry is None:
+                continue
+            rel = entry[1]
+            if rel > threshold:
+                col[i] = None
+                dropped += 1
+            elif rel > best:
+                best = rel
+        if dropped:
+            self._cnt[p] -= dropped
+            if best >= _SPAN_CAP:
+                self._relb[p] = _SPAN_CAP
+            else:
+                self._relb[p] = best
+                self._long.discard(p)
+            if self._cnt[p] == 0:
+                self._cols[p] = None
+        return dropped
+
+    def shift_from(self, pos: int, delta: int, on_value=None) -> int:
+        """Relocate every column at a position ``>= pos`` by ``delta``
+        characters.  With relative entries this is pure column motion: a
+        list splice inserting ``delta`` empty columns (insertion) or
+        deleting the ``-delta`` columns left of ``pos`` (deletion); no entry
+        is rewritten.  ``on_value`` (if given) is called once per relocated
+        success value so callers can patch position-bearing payloads (e.g.
+        source locations).  Returns the number of entries relocated."""
+        cols = self._cols
+        cnt = self._cnt
+        if delta > 0:
+            cols[pos:pos] = [None] * delta
+            self._relb[pos:pos] = bytes(delta)
+            cnt[pos:pos] = array("H", bytes(2 * delta))
+        elif delta < 0:
+            lost = sum(cnt[pos + delta : pos])
+            if lost:
+                self._entries -= lost
+            del cols[pos + delta : pos]
+            del self._relb[pos + delta : pos]
+            del cnt[pos + delta : pos]
+        if self._long:
+            cut = pos + delta if delta < 0 else pos
+            self._long = {
+                q + delta if q >= pos else q
+                for q in self._long
+                if q < cut or q >= pos
+            }
+        start = pos + delta if delta < 0 else pos
+        shifted = sum(cnt[start:]) if delta else 0
+        if on_value is not None:
+            for col in cols[start:]:
+                if col is None:
+                    continue
+                for entry in col:
+                    if entry is not None and entry[0][0] >= 0:
+                        on_value(entry[0][1])
+        return shifted
+
+    def entry_count(self) -> int:
+        return self._entries
+
+    def column_count(self) -> int:
+        return sum(1 for col in self._cols if col is not None)
+
+    def size_bytes(self) -> int:
+        return sizeof_deep(self._cols) + sizeof_deep(self._relb) + sizeof_deep(
+            self._cnt
+        )
 
 
 def make_memo_table(

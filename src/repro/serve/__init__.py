@@ -45,7 +45,13 @@ from repro.serve.messages import (
 from repro.serve.service import ParseService, ServiceFuture
 from repro.serve.spec import GrammarSpec
 from repro.serve.stats import STATS_FORMAT, LatencyStats, ServiceStats, format_stats
-from repro.serve.wire import WIRE_FORMAT, encode_result, parse_request_line, serve_lines
+from repro.serve.wire import (
+    WIRE_FORMAT,
+    StreamChunk,
+    encode_result,
+    parse_request_line,
+    serve_lines,
+)
 
 __all__ = [
     "ParseService",
@@ -59,6 +65,7 @@ __all__ = [
     "format_stats",
     "STATS_FORMAT",
     "WIRE_FORMAT",
+    "StreamChunk",
     "encode_result",
     "parse_request_line",
     "serve_lines",

@@ -10,6 +10,21 @@ One JSON object per line, in and out.  Requests::
 path as the source name); ``grammar`` picks a served grammar key (default:
 the service's first); ``id`` is echoed back (default: ``line-N``).
 
+Streaming requests (``repro-serve --streaming``) feed a named character
+stream chunk by chunk; a :class:`repro.incremental.StreamFeeder` frames
+the chunks into newline-delimited documents and each completed document is
+parsed as its own request with id ``<stream>:<index>``::
+
+    {"stream": "logs", "chunk": "{\\"a\\": 1}\\n{\\"b\\"", "grammar": "json"}
+    {"stream": "logs", "chunk": ": 2}\\n"}
+    {"stream": "logs", "end": true}
+
+Chunk boundaries are arbitrary — a document may span many chunks and one
+chunk may complete many documents.  ``end`` flushes the unterminated tail;
+end of input flushes every open stream.  Without ``--streaming`` such
+requests are rejected, not honored: framing buffers unbounded client state
+in the server, which callers must opt into.
+
 Results mirror :meth:`repro.serve.messages.ParseResult.to_json`::
 
     {"id": "a", "outcome": "ok", "grammar": "jay", "latency_ms": 4.1, ...}
@@ -23,6 +38,7 @@ the service applies everywhere else.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
@@ -30,13 +46,26 @@ from repro.serve import messages
 from repro.serve.messages import ParseRequest, ParseResult
 
 #: Bump when the request/result line layout changes.
-WIRE_FORMAT = 1
+#: 2: added streaming requests ({"stream": …, "chunk": …, "end": …}).
+WIRE_FORMAT = 2
+
+
+@dataclass(frozen=True)
+class StreamChunk:
+    """One decoded streaming request line: a chunk of the named stream."""
+
+    stream: str
+    chunk: str
+    end: bool
+    grammar: str
+    start: str | None
 
 
 def parse_request_line(
     line: str, seq: int, default_grammar: str
-) -> ParseRequest | ParseResult | None:
-    """Decode one NDJSON line into a request, or a ``rejected`` result.
+) -> ParseRequest | ParseResult | StreamChunk | None:
+    """Decode one NDJSON line into a request, a stream chunk, or a
+    ``rejected`` result.
 
     Returns ``None`` for blank lines.  Never raises on input content.
     """
@@ -63,6 +92,17 @@ def parse_request_line(
     start = obj.get("start")
     if start is not None and not isinstance(start, str):
         return reject("'start' must be a string")
+    if "stream" in obj:
+        stream = obj["stream"]
+        if not isinstance(stream, str) or not stream:
+            return reject("'stream' must be a non-empty string")
+        chunk = obj.get("chunk", "")
+        if not isinstance(chunk, str):
+            return reject("'chunk' must be a string")
+        return StreamChunk(
+            stream=stream, chunk=chunk, end=bool(obj.get("end", False)),
+            grammar=grammar, start=start,
+        )
     text = obj.get("text")
     source = obj.get("source", "<request>")
     if text is None and "file" in obj:
@@ -84,7 +124,8 @@ def parse_request_line(
 
 
 def serve_lines(
-    service, lines: Iterable[str], *, default_grammar: str | None = None
+    service, lines: Iterable[str], *, default_grammar: str | None = None,
+    streaming: bool = False,
 ) -> Iterator[ParseResult]:
     """Drive NDJSON request lines through a service, in order.
 
@@ -92,9 +133,40 @@ def serve_lines(
     and yields one :class:`ParseResult` per non-blank line, preserving input
     order.  Submission applies the service's backpressure policy, so a
     ``block`` service reading from a fast producer self-limits.
+
+    With ``streaming`` enabled, ``{"stream": …, "chunk": …}`` lines feed
+    per-stream :class:`~repro.incremental.StreamFeeder` framers; each
+    completed newline-delimited document is submitted as a request with id
+    ``<stream>:<index>``, and end of input flushes every open stream.  The
+    stream's grammar/start are fixed by its first chunk.
     """
+    from repro.incremental import StreamFeeder
+
     default_key = default_grammar or service.grammar_keys[0]
+    #: stream name -> (framing feeder, grammar, start)
+    feeders: dict[str, tuple[StreamFeeder, str, str | None]] = {}
     pending = []
+
+    def rejected(rid: str, detail: str, grammar: str = default_key) -> None:
+        result = ParseResult(
+            id=rid, outcome=messages.REJECTED, grammar=grammar, detail=detail
+        )
+        note = getattr(service, "note_rejection", None)
+        if note is not None:
+            note(result)
+        pending.append(result)
+
+    def submit_documents(stream: str, records) -> None:
+        feeder, grammar, start = feeders[stream]
+        for record in records:
+            pending.append(service.submit(
+                record.text,
+                grammar=grammar,
+                start=start,
+                source=f"<{stream}>",
+                request_id=f"{stream}:{record.index}",
+            ))
+
     for seq, line in enumerate(lines, 1):
         decoded = parse_request_line(line, seq, default_key)
         if decoded is None:
@@ -105,6 +177,24 @@ def serve_lines(
                 note(decoded)
             pending.append(decoded)
             continue
+        if isinstance(decoded, StreamChunk):
+            if not streaming:
+                rejected(
+                    f"{decoded.stream}:chunk-{seq}",
+                    "streaming is disabled (run repro-serve --streaming)",
+                    decoded.grammar,
+                )
+                continue
+            if decoded.stream not in feeders:
+                feeders[decoded.stream] = (StreamFeeder(), decoded.grammar, decoded.start)
+            feeder = feeders[decoded.stream][0]
+            records = feeder.feed(decoded.chunk)
+            if decoded.end:
+                records = [*records, *feeder.end()]
+            submit_documents(decoded.stream, records)
+            if decoded.end:
+                del feeders[decoded.stream]
+            continue
         pending.append(service.submit(
             decoded.text,
             grammar=decoded.grammar,
@@ -112,6 +202,11 @@ def serve_lines(
             source=decoded.source,
             request_id=decoded.id,
         ))
+    # End of input ends every stream a client left open: the unterminated
+    # tail is a document too (same rule as StreamFeeder.end()).
+    for stream in list(feeders):
+        submit_documents(stream, feeders[stream][0].end())
+    feeders.clear()
     for entry in pending:
         yield entry if isinstance(entry, ParseResult) else entry.result()
 

@@ -39,7 +39,14 @@ from repro.errors import ReproError
 from repro.meta import ModuleLoader
 from repro.modules import compose
 from repro.optim import Options
-from repro.profile import BACKENDS, format_report, profile_corpus, resolve_root
+from repro.profile import (
+    BACKENDS,
+    EDIT_BACKENDS,
+    format_report,
+    profile_corpus,
+    profile_edits,
+    resolve_root,
+)
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -71,8 +78,19 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="derivation depth budget for generated sentences",
     )
     parser.add_argument(
-        "--backend", choices=(*BACKENDS, "all"), default="all",
-        help="which backend to instrument (default: all)",
+        "--backend", choices=(*BACKENDS, "vm", "all"), default="all",
+        help="which backend to instrument (default: all; with --edits the "
+        "incremental backends 'vm' and 'closures')",
+    )
+    parser.add_argument(
+        "--edits", type=int, default=None, metavar="N",
+        help="profile incremental reparsing instead: apply N seeded random "
+        "edits per input through an incremental session and report memo "
+        "entries reused vs invalidated vs shifted (see docs/incremental.md)",
+    )
+    parser.add_argument(
+        "--edit-seed", type=int, default=0,
+        help="edit-script seed for --edits (default 0)",
     )
     parser.add_argument(
         "--path", action="append", dest="paths", metavar="DIR",
@@ -133,12 +151,38 @@ def main(argv: list[str] | None = None) -> int:
         loader = ModuleLoader(paths=args.paths)
         grammar = compose(root, loader, start=args.start)
         texts = _load_corpus(args, grammar)
-        backends = list(BACKENDS) if args.backend == "all" else [args.backend]
         options = Options.all() if args.optimized else None
-        reports = [
-            profile_corpus(grammar, texts, backend, grammar_name=root, options=options)
-            for backend in backends
-        ]
+        if args.edits is not None:
+            if args.backend == "all":
+                backends = list(EDIT_BACKENDS)
+            elif args.backend in EDIT_BACKENDS:
+                backends = [args.backend]
+            else:
+                print(
+                    f"error: --edits drives the incremental backends "
+                    f"{EDIT_BACKENDS}; got --backend {args.backend}",
+                    file=sys.stderr,
+                )
+                return 1
+            reports = [
+                profile_edits(
+                    grammar, texts, backend, edits=args.edits,
+                    seed=args.edit_seed, grammar_name=root, options=options,
+                )
+                for backend in backends
+            ]
+        else:
+            if args.backend == "vm":
+                print(
+                    "error: the 'vm' backend is incremental-only here; pass --edits N",
+                    file=sys.stderr,
+                )
+                return 1
+            backends = list(BACKENDS) if args.backend == "all" else [args.backend]
+            reports = [
+                profile_corpus(grammar, texts, backend, grammar_name=root, options=options)
+                for backend in backends
+            ]
     except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

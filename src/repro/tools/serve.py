@@ -9,6 +9,7 @@ Usage::
     repro-serve jay --text 'class C {}' --include-ast  # inline one-liners
     repro-serve --grammar jay=jay.Jay --grammar calc=calc.Calculator \
         --workers 4 --timeout 5 --stats -r batch.ndjson
+    tail -f app.ndjson-chunks | repro-serve json --streaming  # chunked streams
 
 The positional grammar is a short key (``jay``, ``calc``, …) or a qualified
 root module (``jay.Jay``); ``--grammar KEY=SPEC`` serves several grammars at
@@ -90,6 +91,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="fail requests instead of degrading to in-process parsing")
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="compilation cache directory for worker warm-up")
+    parser.add_argument("--streaming", action="store_true",
+                        help="accept {\"stream\": …, \"chunk\": …} requests: frame chunked "
+                        "character streams into newline-delimited documents and parse "
+                        "each as it completes (ids are <stream>:<index>)")
     parser.add_argument("--include-ast", action="store_true",
                         help="include the semantic value's repr in OK result lines")
     parser.add_argument("-o", "--output", metavar="FILE", help="write results here instead of stdout")
@@ -168,7 +173,7 @@ def main(argv: list[str] | None = None) -> int:
             fallback=not args.no_fallback,
             cache_dir=args.cache_dir,
         ) as service:
-            for result in serve_lines(service, _request_lines(args)):
+            for result in serve_lines(service, _request_lines(args), streaming=args.streaming):
                 if not result.ok:
                     failures += 1
                 print(encode_result(result, include_value=args.include_ast), file=out, flush=True)

@@ -198,6 +198,7 @@ class VMProgram:
     rule_spans: tuple[tuple[str, int, int], ...]
     profiled: bool = False
     chunked: bool = True
+    incremental: bool = False
     grammar_name: str = "grammar"
     grammar: Grammar | None = field(default=None, repr=False, compare=False)
 
@@ -209,7 +210,13 @@ class VMProgram:
         return None
 
 
-def compile_program(source: Any, *, profiled: bool = False, guards: bool | None = None) -> VMProgram:
+def compile_program(
+    source: Any,
+    *,
+    profiled: bool = False,
+    guards: bool | None = None,
+    incremental: bool = False,
+) -> VMProgram:
     """Compile a grammar (or a :class:`~repro.optim.PreparedGrammar`) to a
     :class:`VMProgram`.
 
@@ -217,6 +224,13 @@ def compile_program(source: Any, *, profiled: bool = False, guards: bool | None 
     ``terminals`` optimization flag (like the code generator); for a bare
     grammar they default to on.  ``guards`` overrides either way;
     ``profiled=True`` always disables them and emits probe ops instead.
+
+    ``incremental=True`` builds the variant executed by
+    :meth:`VMParser._run_incremental` (see docs/incremental.md): fused
+    ``Regex`` regions are lowered back to their original expressions, whose
+    reads the examined watermark can account for exactly — a single C scan
+    probes unboundedly far past its match end.  Everything else is compiled
+    identically, so incremental and plain runs agree bit for bit.
     """
     if hasattr(source, "grammar"):
         grammar = source.grammar
@@ -228,20 +242,44 @@ def compile_program(source: Any, *, profiled: bool = False, guards: bool | None 
         if guards is None:
             guards = True
         chunked = True
-    return _Compiler(grammar, profiled=profiled, guards=guards, chunked=chunked).compile()
+    if profiled and incremental:
+        raise AnalysisError("vm compiler: profiled and incremental are exclusive")
+    return _Compiler(
+        grammar,
+        profiled=profiled,
+        guards=guards,
+        chunked=chunked,
+        incremental=incremental,
+    ).compile()
 
 
 class _Compiler:
-    def __init__(self, grammar: Grammar, *, profiled: bool, guards: bool, chunked: bool):
+    def __init__(
+        self,
+        grammar: Grammar,
+        *,
+        profiled: bool,
+        guards: bool,
+        chunked: bool,
+        incremental: bool = False,
+    ):
         grammar.validate()
         self.grammar = grammar
         self.profiled = profiled
         self.chunked = chunked
+        self.incremental = incremental
         self.kind_of = kind_lookup(grammar)
         self.with_location = "withLocation" in grammar.options
         self.first = FirstAnalysis(grammar) if guards and not profiled else None
         self.code: list[list] = []
-        self.memo_rules = tuple(p.name for p in grammar.productions if not p.is_transient)
+        # Incremental programs memoize every production (see closures.py:
+        # reuse happens at stored-entry granularity, and un-memoized
+        # structural glue would make warm reparses re-derive the spine).
+        self.memo_rules = tuple(
+            p.name
+            for p in grammar.productions
+            if incremental or not p.is_transient
+        )
         self.memo_index = {name: i for i, name in enumerate(self.memo_rules)}
         self.rule_labels = {p.name: _Label() for p in grammar.productions}
 
@@ -275,6 +313,7 @@ class _Compiler:
             rule_spans=tuple(spans),
             profiled=self.profiled,
             chunked=self.chunked,
+            incremental=self.incremental,
             grammar_name=self.grammar.name,
             grammar=self.grammar,
         )
@@ -476,7 +515,12 @@ class _Compiler:
                 self._emit(OP_PUSH, None)
             return
         if isinstance(expr, Binding):
-            if not want and not self.profiled and isinstance(expr.expr, Regex):
+            if (
+                not want
+                and not self.profiled
+                and not self.incremental
+                and isinstance(expr.expr, Regex)
+            ):
                 self._compile_regex(expr.expr, True, bind=expr.name)
                 return
             if not want and not self.profiled and isinstance(expr.expr, Nonterminal):
@@ -519,6 +563,20 @@ class _Compiler:
             self._emit(OP_EXPECT_FAIL, expr.message or "nothing")
             return
         if isinstance(expr, Regex):
+            if self.incremental:
+                # Incremental programs must not execute single-scan fused
+                # regions: a possessive C scan examines unboundedly far past
+                # its match end, which the watermark cannot bound.  Lower the
+                # region's *original* (nonterminal-free) expression instead;
+                # PR 5 guarantees identical outcomes and error reporting.
+                inner = expr.original
+                if expr.capture:
+                    self._compile_expr(
+                        inner if isinstance(inner, Text) else Text(inner), want
+                    )
+                else:
+                    self._compile_expr(Voided(inner) if want else inner, want)
+                return
             self._compile_regex(expr, want)
             return
         if isinstance(expr, CharSwitch):

@@ -66,7 +66,7 @@ from repro.peg.expr import (
 from repro.peg.expr import Choice as ChoiceExpr
 from repro.runtime.actionlib import ACTION_GLOBALS
 from repro.runtime.base import ParserBase
-from repro.runtime.memo import ChunkedMemoTable, make_memo_table
+from repro.runtime.memo import ChunkedMemoTable, IncrementalMemoTable, make_memo_table
 from repro.runtime.node import GNode
 from repro.vm.compiler import (
     HALT_IP,
@@ -155,14 +155,26 @@ class VMParser(ParserBase):
         chunked: bool | None = None,
         profile: Any = None,
         depth_budget: int | None = None,
+        incremental: bool = False,
     ):
         super().__init__(text)
         self._source = source
         self._program = program
         self._profile = profile
         self._depth_budget = depth_budget
+        self._incremental = incremental
         if profile is not None and not program.profiled:
             raise AnalysisError("profiled VM parse needs the profiled twin program")
+        if incremental and not program.incremental:
+            raise AnalysisError(
+                "incremental VM parse needs an incremental program "
+                "(compile_program(..., incremental=True))"
+            )
+        if incremental and profile is not None:
+            raise AnalysisError(
+                "incremental VM parsers do not support profile=; "
+                "attach the profile to the IncrementalSession instead"
+            )
         if chunked is None:
             chunked = program.chunked
         self._chunked = chunked
@@ -173,6 +185,8 @@ class VMParser(ParserBase):
             self._memo = make_memo_table(
                 rule_names, chunked=chunked, events=MemoEvents(profile, rule_names)
             )
+        elif incremental:
+            self._memo = IncrementalMemoTable(rule_names).resize(self._length)
         else:
             self._memo = make_memo_table(rule_names, chunked=chunked)
 
@@ -189,7 +203,12 @@ class VMParser(ParserBase):
         return self._run(start or self._program.start)
 
     def _reset_memo(self) -> None:
-        self._memo.reset()
+        if self._incremental:
+            # The incremental table is sized to the text; a reset after a
+            # rebind must adopt the current length, not the old geometry.
+            self._memo.resize(self._length)
+        else:
+            self._memo.reset()
 
     def memo_entry_count(self) -> int:
         return self._memo.entry_count()
@@ -298,6 +317,8 @@ class VMParser(ParserBase):
     def _run(self, start: str) -> tuple[int, Any]:
         if self._profile is not None:
             return self._run_profiled(start)
+        if self._incremental:
+            return self._run_incremental(start)
         program = self._program
         code = program.code
         entries = program.entries
@@ -713,6 +734,435 @@ class VMParser(ParserBase):
                 return pos, (vals[-1] if vals else None)
             elif op == OP_JUMP:
                 ip = inst[1]
+            else:
+                raise AnalysisError(f"vm machine: unknown opcode {op}")
+
+    # -- the incremental machine ----------------------------------------------
+
+    def _run_incremental(self, start: str) -> tuple[int, Any]:
+        """The watermark-tracking twin loop (see docs/incremental.md).
+
+        Identical to :meth:`_run` except that it maintains ``wm``, the
+        *examined* watermark of the current memoized frame — the exclusive
+        end of the input span the frame has read, lookahead and failure
+        probes included — and stores *relative* ``((span, value),
+        rel_examined)`` entries in an :class:`IncrementalMemoTable` (span =
+        next_pos − pos, −1 for failure), so the table relocates across
+        edits by splicing columns.  K_CALL frames grow a seventh slot
+        holding the caller's saved watermark; every other stack shape is
+        unchanged.  Programs must be compiled with ``incremental=True``
+        (fused regex regions are lowered back to their originals — a single
+        C scan examines unboundedly far past its match end; incremental
+        programs also memoize every production, see the compiler).
+
+        Watermark protocol: a memoized call saves the caller's ``wm`` and
+        resets to the call position; the entry records ``max(wm, end)``; the
+        caller resumes with ``max(saved, entry examined)``.  Memo hits fold
+        the stored examined end into ``wm``.  Reads that leave no failure
+        record — succeeding ``&``/``!`` operands, dispatch probes of
+        ``text[pos]`` (SWITCH/GUARD/GCHOICE), SPAN stop positions — bump
+        ``wm`` explicitly; recorded failures bump it in the unwinder.
+        """
+        program = self._program
+        code = program.code
+        entries = program.entries
+        if start not in entries:
+            raise AnalysisError(f"undefined production {start!r}")
+        text = self._text
+        length = self._length
+        memo = self._memo
+        mput = memo.put
+        cols = memo._cols  # position-indexed column list (IncrementalMemoTable)
+        budget = self._depth_budget
+        limit = DEFAULT_STACK_BUDGET if budget is None else budget
+
+        pos = 0
+        wm = 0
+        ip = entries[start]
+        vals: list = []
+        env: dict[str, Any] = {}
+        stack: list = [
+            (K_CALL, HALT_IP, program.memo_index.get(start, -1), 0, env, None, 0)
+        ]
+        stack_append = stack.append
+        vals_append = vals.append
+        fail_pos = self._fail_pos
+        fail_exp = self._fail_expected
+        fmsg: str | None = None
+        fpos = 0
+
+        while True:
+            inst = code[ip]
+            op = inst[0]
+
+            if op == OP_CALL:
+                midx = inst[2]
+                if midx >= 0:
+                    column = cols[pos]
+                    hit = column[midx] if column is not None else None
+                    if hit is not None:
+                        examined = pos + hit[1]
+                        if examined > wm:
+                            wm = examined
+                        pair = hit[0]
+                        span = pair[0]
+                        if span < 0:
+                            ip = 0
+                        else:
+                            pos += span
+                            vals_append(pair[1])
+                            ip += 1
+                        continue
+                if len(stack) >= limit:
+                    self._fail_pos = fail_pos
+                    self._fail_expected = fail_exp
+                    raise self.depth_error(limit)
+                stack_append((K_CALL, ip + 1, midx, pos, env, None, wm))
+                wm = pos
+                ip = inst[1]
+            elif op == OP_GCHOICE:
+                if pos >= wm:
+                    wm = pos + 1  # the dispatch probe reads text[pos] / EOF
+                if pos < length and text[pos] in inst[1]:
+                    stack_append((K_CHOICE, inst[2], pos, len(vals), env))
+                    ip += 1
+                else:
+                    msg = inst[3]
+                    if pos > fail_pos:
+                        fail_pos = pos
+                        fail_exp = [msg]
+                    elif pos == fail_pos and msg not in fail_exp:
+                        fail_exp.append(msg)
+                    ip = inst[2]
+            elif op == OP_RET:
+                frame = stack.pop()
+                if wm < pos:
+                    wm = pos
+                if frame[2] >= 0:
+                    base = frame[3]
+                    mput(frame[2], base, ((pos - base, vals[-1]), wm - base))
+                saved = frame[6]
+                if saved > wm:
+                    wm = saved
+                env = frame[4]
+                bind = frame[5]
+                if bind is not None:
+                    env[bind] = vals.pop()
+                ip = frame[1]
+            elif op == OP_ACTION_RET:
+                value = eval(inst[1], ACTION_GLOBALS, env)  # noqa: S307
+                frame = stack.pop()
+                if wm < pos:
+                    wm = pos
+                if frame[2] >= 0:
+                    base = frame[3]
+                    mput(frame[2], base, ((pos - base, value), wm - base))
+                saved = frame[6]
+                if saved > wm:
+                    wm = saved
+                env = frame[4]
+                bind = frame[5]
+                if bind is not None:
+                    env[bind] = value
+                else:
+                    vals_append(value)
+                ip = frame[1]
+            elif op == OP_CALL_BIND:
+                midx = inst[2]
+                if midx >= 0:
+                    column = cols[pos]
+                    hit = column[midx] if column is not None else None
+                    if hit is not None:
+                        examined = pos + hit[1]
+                        if examined > wm:
+                            wm = examined
+                        pair = hit[0]
+                        span = pair[0]
+                        if span < 0:
+                            ip = 0
+                        else:
+                            pos += span
+                            env[inst[4]] = pair[1]
+                            ip += 1
+                        continue
+                if len(stack) >= limit:
+                    self._fail_pos = fail_pos
+                    self._fail_expected = fail_exp
+                    raise self.depth_error(limit)
+                stack_append((K_CALL, ip + 1, midx, pos, env, inst[4], wm))
+                wm = pos
+                ip = inst[1]
+            elif op == OP_FAIL:
+                if fmsg is not None:
+                    if fpos >= wm:
+                        wm = fpos + 1  # the failed read examined text[fpos]
+                    if fpos > fail_pos:
+                        fail_pos = fpos
+                        fail_exp = [fmsg]
+                    elif fpos == fail_pos and fmsg not in fail_exp:
+                        fail_exp.append(fmsg)
+                    fmsg = None
+                while True:
+                    if not stack:
+                        self._fail_pos = fail_pos
+                        self._fail_expected = fail_exp
+                        return FAILPAIR
+                    entry = stack.pop()
+                    kind = entry[0]
+                    if kind == K_CHOICE:
+                        ip = entry[1]
+                        pos = entry[2]
+                        del vals[entry[3]:]
+                        env = entry[4]
+                        break
+                    if kind == K_CALL:
+                        if entry[2] >= 0:
+                            base = entry[3]
+                            examined = wm if wm > base else base
+                            mput(entry[2], base, (FAILPAIR, examined - base))
+                        saved = entry[6]
+                        if saved > wm:
+                            wm = saved
+                        continue
+                    if kind == K_REP:
+                        pos = entry[2]
+                        del vals[entry[4]:]
+                        env = entry[8]
+                        if entry[5] < entry[6]:
+                            continue
+                        mode = entry[7]
+                        if mode == 2:
+                            collected = vals[entry[3]:]
+                            del vals[entry[3]:]
+                            vals_append(collected)
+                        elif mode == 1:
+                            vals_append(None)
+                        ip = entry[1]
+                        break
+                    if kind == K_NOT:
+                        ip = entry[1]
+                        pos = entry[2]
+                        del vals[entry[3]:]
+                        env = entry[4]
+                        break
+                    # K_AND: the predicate's operand failed, so the predicate
+                    # itself fails -- keep unwinding.
+            elif op == OP_ENV_NEW:
+                env = dict.fromkeys(inst[1])
+                ip += 1
+            elif op == OP_REP_BEGIN:
+                stack_append([K_REP, inst[1], pos, len(vals), len(vals), 0, inst[2], inst[3], env])
+                ip += 1
+            elif op == OP_ACTION:
+                value = eval(inst[1], ACTION_GLOBALS, env)  # noqa: S307
+                if inst[2]:
+                    vals_append(value)
+                ip += 1
+            elif op == OP_CHOICE:
+                stack_append((K_CHOICE, inst[1], pos, len(vals), env))
+                ip += 1
+            elif op == OP_GUARD:
+                if pos >= wm:
+                    wm = pos + 1  # dispatch probe, as in OP_GCHOICE
+                if pos < length and text[pos] in inst[1]:
+                    ip += 1
+                else:
+                    msg = inst[3]
+                    if pos > fail_pos:
+                        fail_pos = pos
+                        fail_exp = [msg]
+                    elif pos == fail_pos and msg not in fail_exp:
+                        fail_exp.append(msg)
+                    ip = inst[2]
+            elif op == OP_RED_NODE:
+                count = inst[2]
+                if count:
+                    children = tuple(vals[-count:])
+                    del vals[-count:]
+                else:
+                    children = ()
+                location = self._location(stack[-1][3]) if inst[3] else None
+                vals_append(GNode(inst[1], children, location))
+                ip += 1
+            elif op == OP_POPE:
+                stack.pop()
+                ip += 1
+            elif op == OP_REP_NEXT:
+                entry = stack[-1]
+                if pos == entry[2]:
+                    del vals[entry[4]:]
+                    stack.pop()
+                    if entry[5] < entry[6]:
+                        ip = 0
+                    else:
+                        mode = entry[7]
+                        if mode == 2:
+                            collected = vals[entry[3]:]
+                            del vals[entry[3]:]
+                            vals_append(collected)
+                        elif mode == 1:
+                            vals_append(None)
+                        ip += 1
+                else:
+                    entry[5] += 1
+                    entry[2] = pos
+                    entry[4] = len(vals)
+                    ip = inst[1]
+            elif op == OP_CHAR:
+                if pos < length and text[pos] == inst[1]:
+                    if inst[3]:
+                        vals_append(inst[1])
+                    pos += 1
+                    ip += 1
+                else:
+                    fmsg = inst[2]
+                    fpos = pos
+                    ip = 0
+            elif op == OP_PUSH_POS:
+                vals_append(pos)
+                ip += 1
+            elif op == OP_TEXT_END:
+                start_pos = vals.pop()
+                vals_append(text[start_pos:pos])
+                ip += 1
+            elif op == OP_SET:
+                if pos < length and text[pos] in inst[1]:
+                    if inst[2]:
+                        vals_append(text[pos])
+                    pos += 1
+                    ip += 1
+                else:
+                    fmsg = _CLASS_MSG
+                    fpos = pos
+                    ip = 0
+            elif op == OP_LIT:
+                if text.startswith(inst[1], pos):
+                    if inst[4]:
+                        vals_append(inst[1])
+                    pos += inst[2]
+                    ip += 1
+                else:
+                    lit = inst[1]
+                    if pos < length and text[pos] == lit[0]:
+                        fpos = self._literal_failure_pos(pos, lit)
+                    else:
+                        fpos = pos
+                    fmsg = inst[3]
+                    ip = 0
+            elif op == OP_COMMIT:
+                stack.pop()
+                ip = inst[1]
+            elif op == OP_BIND_POP:
+                env[inst[1]] = vals.pop()
+                ip += 1
+            elif op == OP_PUSH:
+                vals_append(inst[1])
+                ip += 1
+            elif op == OP_SWITCH:
+                if pos >= wm:
+                    wm = pos + 1  # dispatch probe reads text[pos] / EOF
+                if pos < length:
+                    target = inst[1].get(text[pos])
+                    if target is not None:
+                        stack_append((K_CHOICE, inst[2], pos, len(vals), env))
+                        ip = target
+                        continue
+                ip = inst[2]
+            elif op == OP_SEQ_TUPLE:
+                count = inst[1]
+                grouped = tuple(vals[-count:])
+                del vals[-count:]
+                vals_append(grouped)
+                ip += 1
+            elif op == OP_RED_TEXT:
+                vals_append(text[stack[-1][3]:pos])
+                ip += 1
+            elif op == OP_SPAN:
+                charset = inst[1]
+                while pos < length and text[pos] in charset:
+                    pos += 1
+                if pos >= wm:
+                    wm = pos + 1  # the stopping read examined text[pos] / EOF
+                if pos > fail_pos:
+                    fail_pos = pos
+                    fail_exp = [_CLASS_MSG]
+                elif pos == fail_pos and _CLASS_MSG not in fail_exp:
+                    fail_exp.append(_CLASS_MSG)
+                ip += 1
+            elif op == OP_CLASS:
+                if pos < length and inst[1](text[pos]):
+                    if inst[2]:
+                        vals_append(text[pos])
+                    pos += 1
+                    ip += 1
+                else:
+                    fmsg = _CLASS_MSG
+                    fpos = pos
+                    ip = 0
+            elif op == OP_ANY:
+                if pos < length:
+                    if inst[1]:
+                        vals_append(text[pos])
+                    pos += 1
+                    ip += 1
+                else:
+                    fmsg = _ANY_MSG
+                    fpos = pos
+                    ip = 0
+            elif op == OP_POP:
+                vals.pop()
+                ip += 1
+            elif op == OP_BIND:
+                env[inst[1]] = vals[-1]
+                ip += 1
+            elif op == OP_NOT_BEGIN:
+                stack_append((K_NOT, inst[1], pos, len(vals), env))
+                ip += 1
+            elif op == OP_NOT_FAIL:
+                entry = stack.pop()
+                if pos > wm:
+                    wm = pos  # the operand's successful match was examined
+                fmsg = "not-predicate"
+                fpos = entry[2]
+                ip = 0
+            elif op == OP_AND_BEGIN:
+                stack_append((K_AND, pos, len(vals), env))
+                ip += 1
+            elif op == OP_AND_END:
+                entry = stack.pop()
+                if pos > wm:
+                    wm = pos  # succeeding lookahead leaves no failure record
+                pos = entry[1]
+                del vals[entry[2]:]
+                env = entry[3]
+                ip += 1
+            elif op == OP_LIT_CI:
+                end = pos + inst[3]
+                chunk = text[pos:end]
+                if chunk.lower() == inst[2]:
+                    if inst[5]:
+                        vals_append(chunk)
+                    pos = end
+                    ip += 1
+                else:
+                    fpos = self._literal_failure_pos(pos, inst[1], True)
+                    fmsg = inst[4]
+                    ip = 0
+            elif op == OP_EXPECT_FAIL:
+                fmsg = inst[1]
+                fpos = pos
+                ip = 0
+            elif op == OP_HALT:
+                self._fail_pos = fail_pos
+                self._fail_expected = fail_exp
+                return pos, (vals[-1] if vals else None)
+            elif op == OP_JUMP:
+                ip = inst[1]
+            elif op == OP_REGEX:
+                raise AnalysisError(
+                    "vm machine: fused regex op in an incremental program "
+                    "(compiler bug: incremental lowering missed a Regex)"
+                )
             else:
                 raise AnalysisError(f"vm machine: unknown opcode {op}")
 

@@ -357,6 +357,81 @@ class TestWire:
         assert json.loads(encode_result(result, include_value=True))["value"] == "123"
 
 
+class TestStreaming:
+    def test_stream_chunk_decoding(self):
+        from repro.serve import StreamChunk
+
+        chunk = parse_request_line(
+            json.dumps({"stream": "s", "chunk": "1+1\n", "grammar": "calc"}), 1, "calc"
+        )
+        assert isinstance(chunk, StreamChunk)
+        assert chunk.stream == "s" and chunk.chunk == "1+1\n" and not chunk.end
+        end = parse_request_line(json.dumps({"stream": "s", "end": True}), 2, "calc")
+        assert end.chunk == "" and end.end
+
+    def test_stream_request_validation(self):
+        bad = parse_request_line(json.dumps({"stream": ""}), 1, "calc")
+        assert bad.outcome == messages.REJECTED and "stream" in bad.detail
+        bad = parse_request_line(json.dumps({"stream": "s", "chunk": 7}), 1, "calc")
+        assert bad.outcome == messages.REJECTED and "chunk" in bad.detail
+
+    def test_streaming_disabled_by_default(self):
+        lines = [json.dumps({"stream": "s", "chunk": "1+1\n"})]
+        with ParseService(CALC, workers=1, timeout=10.0) as service:
+            results = list(serve_lines(service, lines))
+        assert [r.outcome for r in results] == [messages.REJECTED]
+        assert "repro-serve --streaming" in results[0].detail
+
+    def test_streaming_frames_across_chunk_boundaries(self):
+        # One document split over two chunks, one chunk completing two
+        # documents, a blank line skipped, and an unterminated tail flushed
+        # by end of input.
+        lines = [
+            json.dumps({"stream": "s", "chunk": "1+"}),
+            json.dumps({"stream": "s", "chunk": "1\n2*2\n\n"}),
+            json.dumps({"id": "plain", "text": "7"}),
+            json.dumps({"stream": "s", "chunk": "(3)"}),
+        ]
+        with ParseService(CALC, workers=1, timeout=10.0) as service:
+            results = list(serve_lines(service, lines, streaming=True))
+        assert [r.id for r in results] == ["s:1", "s:2", "plain", "s:3"]
+        assert [r.outcome for r in results] == [messages.OK] * 4
+
+    def test_stream_end_flushes_and_closes(self):
+        lines = [
+            json.dumps({"stream": "s", "chunk": "1+1\n2*"}),
+            json.dumps({"stream": "s", "end": True}),
+            # A new stream under the same name starts a fresh framer.
+            json.dumps({"stream": "s", "chunk": "5\n"}),
+        ]
+        with ParseService(CALC, workers=1, timeout=10.0) as service:
+            results = list(serve_lines(service, lines, streaming=True))
+        assert [r.id for r in results] == ["s:1", "s:2", "s:1"]
+        # The tail "2*" became document s:2 and is a parse error.
+        assert [r.outcome for r in results] == [
+            messages.OK, messages.PARSE_ERROR, messages.OK,
+        ]
+
+    def test_cli_streaming_flag(self, capsys):
+        from repro.tools.serve import main as serve_main
+
+        lines = [
+            json.dumps({"stream": "s", "chunk": "1+1\n", "grammar": "calc"}),
+            json.dumps({"stream": "s", "end": True}),
+        ]
+        import io, sys as _sys
+
+        old_stdin = _sys.stdin
+        _sys.stdin = io.StringIO("\n".join(lines) + "\n")
+        try:
+            code = serve_main(["calc", "--streaming", "--workers", "1"])
+        finally:
+            _sys.stdin = old_stdin
+        out = capsys.readouterr().out.strip().splitlines()
+        assert code == 0
+        assert [json.loads(line)["id"] for line in out] == ["s:1"]
+
+
 class TestSpec:
     def test_coerce_short_key_and_root(self):
         assert GrammarSpec.coerce("jay").root == "jay.Jay"
